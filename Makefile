@@ -1,0 +1,43 @@
+# Convenience targets for the superpose reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench cover experiments experiments-full clean
+
+all: vet test build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+# Short mode skips the multi-case pipeline integration runs.
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+cover:
+	$(GO) test -cover ./...
+
+# The evaluation tables and figures at a quick scale.
+experiments:
+	$(GO) run ./cmd/experiments -table all -scale 0.05
+
+# Published-size benchmark circuits (slow; see EXPERIMENTS.md).
+experiments-full:
+	$(GO) run ./cmd/experiments -table 1 -scale 1.0
+
+# The artifacts requested by the reproduction protocol.
+artifacts:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	rm -f test_output.txt bench_output.txt .fullscale_table1.txt .fs_*.txt

@@ -1,0 +1,84 @@
+// Atpggen generates Launch-on-Shift transition-delay test patterns for an
+// ISCAS .bench netlist and writes them in the STIL-like pattern format.
+//
+// Usage:
+//
+//	atpggen -bench circuit.bench -chains 4 -o patterns.stil
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"superpose/internal/atpg"
+	"superpose/internal/netio"
+	"superpose/internal/scan"
+	"superpose/internal/stil"
+)
+
+func main() {
+	var (
+		benchFile = flag.String("bench", "", "input netlist, .bench or .v (required)")
+		chains    = flag.Int("chains", 4, "number of scan chains")
+		out       = flag.String("o", "", "output pattern file (default stdout)")
+
+		seed        = flag.Uint64("seed", 1, "random fill / random pattern seed")
+		randomPats  = flag.Int("random", 64, "random patterns before deterministic generation")
+		maxPatterns = flag.Int("max-patterns", 0, "pattern cap (0 = unlimited)")
+		maxFaults   = flag.Int("max-faults", 0, "deterministic fault target cap (0 = all)")
+		faultSample = flag.Int("fault-sample", 0, "evenly sample the fault list (0 = all)")
+		backtracks  = flag.Int("backtracks", 256, "PODEM backtrack limit per fault")
+		compact     = flag.Bool("compact", false, "reverse-order static compaction of the final set")
+		ndetect     = flag.Int("ndetect", 1, "distinct detections required per fault")
+	)
+	flag.Parse()
+	if *benchFile == "" {
+		fmt.Fprintln(os.Stderr, "atpggen: -bench is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	n, err := netio.ReadFile(*benchFile)
+	if err != nil {
+		fail(err)
+	}
+
+	ch := scan.Configure(n, *chains)
+	res, err := atpg.Generate(ch, atpg.Options{
+		Seed:           *seed,
+		RandomPatterns: *randomPats,
+		MaxPatterns:    *maxPatterns,
+		MaxFaults:      *maxFaults,
+		FaultSample:    *faultSample,
+		BacktrackLimit: *backtracks,
+		NDetect:        *ndetect,
+	})
+	if err != nil {
+		fail(err)
+	}
+	patterns := res.Patterns
+	if *compact {
+		patterns = atpg.Compact(ch, patterns)
+		fmt.Fprintf(os.Stderr, "compaction: %d -> %d patterns\n", len(res.Patterns), len(patterns))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		g, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer g.Close()
+		w = g
+	}
+	if err := stil.Write(w, patterns); err != nil {
+		fail(err)
+	}
+	fmt.Fprintln(os.Stderr, res)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "atpggen:", err)
+	os.Exit(1)
+}

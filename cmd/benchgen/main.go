@@ -1,0 +1,79 @@
+// Benchgen emits the synthetic Trust-Hub-style benchmark netlists (or a
+// custom-sized host circuit) in ISCAS .bench format.
+//
+// Usage:
+//
+//	benchgen -bench s35932 -scale 0.25 -o s35932.bench
+//	benchgen -bench s38417 -trojan T100 -scale 0.25 -o s38417_t100.bench
+//	benchgen -pis 8 -pos 8 -ffs 64 -comb 600 -levels 6 -seed 1 -o custom.bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"superpose/internal/bench"
+	"superpose/internal/netio"
+	"superpose/internal/netlist"
+	"superpose/internal/trust"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "suite benchmark name (s35932, s38417, s38584); empty = custom params")
+		trojName  = flag.String("trojan", "", "Trojan variant to insert (e.g. T100); empty = clean host")
+		scale     = flag.Float64("scale", 0.25, "size scale for suite benchmarks (1.0 = published size)")
+		out       = flag.String("o", "", "output file (default stdout)")
+
+		pis    = flag.Int("pis", 8, "custom: primary inputs")
+		pos    = flag.Int("pos", 8, "custom: primary outputs")
+		ffs    = flag.Int("ffs", 64, "custom: flip-flops")
+		comb   = flag.Int("comb", 600, "custom: combinational gates")
+		levels = flag.Int("levels", 6, "custom: logic depth")
+		seed   = flag.Uint64("seed", 1, "custom: generator seed")
+	)
+	flag.Parse()
+
+	n, err := generate(*benchName, *trojName, *scale, trust.Params{
+		Name: "custom", PIs: *pis, POs: *pos, FFs: *ffs, Comb: *comb, Levels: *levels, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+
+	if *out != "" {
+		// Format follows the extension: .bench or .v.
+		if err := netio.WriteFile(*out, n); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+	} else if err := bench.Write(os.Stdout, n); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, n.ComputeStats())
+}
+
+func generate(benchName, trojName string, scale float64, custom trust.Params) (*netlist.Netlist, error) {
+	if benchName == "" {
+		if trojName != "" {
+			return nil, fmt.Errorf("-trojan requires -bench (suite Trojans are defined per benchmark)")
+		}
+		return trust.Generate(custom)
+	}
+	if trojName != "" {
+		inst, err := trust.Build(trust.Case{Benchmark: benchName, Trojan: trojName}, scale)
+		if err != nil {
+			return nil, err
+		}
+		return inst.Infected, nil
+	}
+	for _, b := range trust.Suite(scale) {
+		if b.Name == benchName {
+			return trust.Generate(b.Params)
+		}
+	}
+	return nil, fmt.Errorf("unknown benchmark %q (have: s35932, s38417, s38584)", benchName)
+}

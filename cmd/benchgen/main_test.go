@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+
+	"superpose/internal/trust"
+)
+
+func TestGenerateCustom(t *testing.T) {
+	n, err := generate("", "", 1.0, trust.Params{
+		Name: "t", PIs: 3, POs: 3, FFs: 8, Comb: 60, Levels: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.ComputeStats().FFs != 8 {
+		t.Error("custom params ignored")
+	}
+}
+
+func TestGenerateSuiteHost(t *testing.T) {
+	n, err := generate("s35932", "", 0.03, trust.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "s35932" {
+		t.Errorf("name = %s", n.Name)
+	}
+}
+
+func TestGenerateInfected(t *testing.T) {
+	n, err := generate("s38417", "T100", 0.03, trust.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := generate("s38417", "", 0.03, trust.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumGates() <= clean.NumGates() {
+		t.Error("infected netlist must carry extra gates")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := generate("sBOGUS", "", 0.05, trust.Params{}); err == nil {
+		t.Error("unknown benchmark must error")
+	}
+	if _, err := generate("", "T100", 0.05, trust.Params{}); err == nil {
+		t.Error("-trojan without -bench must error")
+	}
+	if _, err := generate("s35932", "T999", 0.05, trust.Params{}); err == nil {
+		t.Error("unknown trojan must error")
+	}
+}

@@ -1,0 +1,267 @@
+// Trojanscan runs the full superposition detection pipeline against a
+// simulated IC-under-certification and prints the certification report.
+//
+// The device is simulated: a benchmark case (or a user netlist, optionally
+// auto-infected through rare-net analysis) is manufactured with process
+// variation, and the defender's flow — which sees only the golden netlist
+// and scalar power readings — hunts for the Trojan.
+//
+// Usage:
+//
+//	trojanscan -case s35932-T200 -scale 0.1 -varsigma 0.15
+//	trojanscan -case s38417-T100 -clean              # certify a clean die
+//	trojanscan -bench my.bench -infect 4             # custom host, 4-tap Trojan
+//	trojanscan -case s35932-T200 -lot 5              # whole-lot certification
+//	trojanscan -case s35932-T200 -mode delay         # delay-fingerprint baseline
+//	trojanscan -case s35932-T200 -report             # full report document
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"superpose/internal/atpg"
+	"superpose/internal/core"
+	"superpose/internal/netio"
+	"superpose/internal/netlist"
+	"superpose/internal/power"
+	"superpose/internal/scan"
+	"superpose/internal/timing"
+	"superpose/internal/trojan"
+	"superpose/internal/trust"
+)
+
+func main() {
+	var (
+		caseName  = flag.String("case", "", "benchmark case, e.g. s35932-T200 (see -list)")
+		benchFile = flag.String("bench", "", "user .bench netlist instead of a suite case")
+		infect    = flag.Int("infect", 0, "with -bench: insert an auto-placed Trojan with this many trigger taps")
+		clean     = flag.Bool("clean", false, "manufacture a clean (Trojan-free) die")
+		list      = flag.Bool("list", false, "list available benchmark cases")
+
+		scale    = flag.Float64("scale", 0.1, "benchmark scale (1.0 = published size)")
+		varsigma = flag.Float64("varsigma", 0.15, "intra-die variation 3σ of the die AND the verdict bound")
+		chipSeed = flag.Uint64("chip-seed", 1, "die selection seed")
+		chains   = flag.Int("chains", 4, "scan chains")
+		seeds    = flag.Int("seeds", 3, "adaptive runs from the strongest seed patterns")
+		lot      = flag.Int("lot", 0, "certify a lot of this many dies instead of a single die")
+		mode     = flag.String("mode", "power", "side channel: power (superposition) or delay (fingerprint baseline)")
+		report   = flag.Bool("report", false, "print the full certification report document")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available cases:", strings.Join(trust.Names(), ", "))
+		return
+	}
+
+	golden, physical, truth, err := materialize(*caseName, *benchFile, *infect, *clean, *scale)
+	if err != nil {
+		fail(err)
+	}
+
+	if *mode == "delay" {
+		runDelayFingerprint(golden, physical, truth, *varsigma, *chipSeed)
+		return
+	}
+	if *mode != "power" {
+		fail(fmt.Errorf("unknown -mode %q (power or delay)", *mode))
+	}
+
+	lib := power.SAED90Like()
+	cfg := core.Config{
+		NumChains: *chains,
+		MaxSeeds:  *seeds,
+		Varsigma:  *varsigma,
+		ATPG:      atpg.Options{Seed: 7, RandomPatterns: 32, MaxFaults: 40, FaultSample: 120},
+	}
+
+	if *lot > 0 {
+		cfg, err = core.WithSharedSeeds(golden, cfg)
+		if err != nil {
+			fail(err)
+		}
+		lr, err := core.CertifyLot(golden, lib, physical, cfg, core.LotOptions{
+			Dies:      *lot,
+			Variation: power.ThreeSigmaIntra(*varsigma),
+			Seed:      *chipSeed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("golden:", golden.ComputeStats())
+		fmt.Println(lr)
+		for _, d := range lr.Dies {
+			fmt.Printf("  die %d (seed %d): |S-RPD| %.4f  detected=%v\n",
+				d.Die, d.Seed, d.FinalMag, d.Report.Detected)
+		}
+		if truth != nil {
+			fmt.Printf("ground truth: lot is attacked (%d Trojan gates)\n", len(truth.TrojanGates))
+		} else {
+			fmt.Println("ground truth: lot is clean")
+		}
+		return
+	}
+
+	chip := power.Manufacture(physical, lib, power.ThreeSigmaIntra(*varsigma), *chipSeed)
+	dev := core.NewDevice(chip, *chains, scan.LOS)
+
+	rep, err := core.Detect(golden, lib, dev, cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	if *report {
+		if err := core.WriteReport(os.Stdout, rep); err != nil {
+			fail(err)
+		}
+		if truth != nil {
+			fmt.Printf("\nground truth: %d Trojan gates inserted (%s)\n",
+				len(truth.TrojanGates), truth.Spec.Name)
+		} else {
+			fmt.Println("\nground truth: die is clean")
+		}
+		return
+	}
+
+	fmt.Println("golden:", golden.ComputeStats())
+	if rep.ATPGSummary != "" {
+		fmt.Println("seeds: ", rep.ATPGSummary)
+	}
+	fmt.Printf("seed pattern      RPD   = %+.5f\n", rep.SeedReading.RPD)
+	fmt.Printf("adaptive flow     RPD   = %+.5f  (%d steps, %d pairs flagged)\n",
+		rep.AdaptiveReading.RPD, len(rep.Adaptive.Steps), len(rep.Adaptive.Pairs))
+	if rep.HasPair {
+		fmt.Printf("superposition     S-RPD = %+.5f  (unique %d+%d gates)\n",
+			rep.Superposition.SRPD, rep.Superposition.AUniqueCount, rep.Superposition.BUniqueCount)
+		fmt.Printf("strategic mods    S-RPD = %+.5f  (%d modifications)\n",
+			rep.Strategic.Final.SRPD, len(rep.Strategic.Applied))
+	} else {
+		fmt.Println("superposition: no suspicious drop flagged")
+	}
+	fmt.Printf("verdict: ")
+	if rep.Detected {
+		fmt.Printf("TROJAN DETECTED  (|S-RPD| %.4f > max benign %.4f at 3σ_intra=%.0f%%)\n",
+			abs(rep.FinalSRPD), rep.Varsigma, 100**varsigma)
+	} else {
+		fmt.Printf("clean (|S-RPD| %.4f within benign bound %.4f)\n", abs(rep.FinalSRPD), rep.Varsigma)
+	}
+	fmt.Println("\ndetection likelihood vs intra-die variation (Eq. 3):")
+	for _, v := range core.TableIIVarsigmas {
+		fmt.Printf("  3σ_intra = %4.0f%%: %s\n", 100*v,
+			core.FormatProbability(core.DetectionProbability(rep.FinalSRPD, v)))
+	}
+
+	if truth != nil {
+		fmt.Printf("\nground truth: %d Trojan gates inserted (%s)\n",
+			len(truth.TrojanGates), truth.Spec.Name)
+	} else {
+		fmt.Println("\nground truth: die is clean")
+	}
+}
+
+// materialize resolves the flags into (golden, physical, groundTruth).
+func materialize(caseName, benchFile string, infect int, clean bool, scale float64) (
+	golden, physical *netlist.Netlist, truth *trojan.Instance, err error) {
+	switch {
+	case caseName != "" && benchFile != "":
+		return nil, nil, nil, fmt.Errorf("use -case or -bench, not both")
+
+	case caseName != "":
+		parts := strings.SplitN(caseName, "-", 2)
+		if len(parts) != 2 {
+			return nil, nil, nil, fmt.Errorf("case %q: want <bench>-<trojan>, e.g. s35932-T200", caseName)
+		}
+		inst, err := trust.Build(trust.Case{Benchmark: parts[0], Trojan: parts[1]}, scale)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if clean {
+			return inst.Host, inst.Host, nil, nil
+		}
+		return inst.Host, inst.Infected, inst, nil
+
+	case benchFile != "":
+		host, err := netio.ReadFile(benchFile)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if clean || infect == 0 {
+			return host, host, nil, nil
+		}
+		rare := trojan.FindRareNets(host, 64*64, 99, 0.3)
+		if len(rare) <= infect {
+			return nil, nil, nil, fmt.Errorf("only %d rare nets available for %d taps", len(rare), infect)
+		}
+		var taps []string
+		for _, r := range rare[:infect] {
+			taps = append(taps, r.Name)
+		}
+		anc, err := trojan.TapAncestors(host, taps)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		victim := ""
+		for i := len(rare) - 1; i >= 0; i-- {
+			if !anc[rare[i].ID] {
+				victim = rare[i].Name
+				break
+			}
+		}
+		if victim == "" {
+			return nil, nil, nil, fmt.Errorf("no cycle-free payload victim found")
+		}
+		spec, err := trojan.BuildSpec("user", rare, infect, victim)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		inst, err := trojan.Insert(host, spec)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return host, inst.Infected, inst, nil
+
+	default:
+		return nil, nil, nil, fmt.Errorf("one of -case or -bench is required (try -list)")
+	}
+}
+
+// runDelayFingerprint runs the path-delay baseline ([1]-style) instead of
+// the power superposition pipeline.
+func runDelayFingerprint(golden, physical *netlist.Netlist, truth *trojan.Instance,
+	varsigma float64, chipSeed uint64) {
+	lib := timing.SAED90LikeDelays()
+	m := timing.NewModel(golden, lib)
+	chip := timing.Manufacture(physical, lib, varsigma, varsigma/3, chipSeed)
+	res, err := timing.Fingerprint(golden, m, chip.Measure(), varsigma)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("golden:", golden.ComputeStats())
+	fmt.Printf("delay fingerprint: max calibrated residual %.4f (threshold %.4f, scale %.4f)\n",
+		res.MaxResidual, varsigma, res.Scale)
+	if res.Detected {
+		fmt.Println("verdict: TIMING ANOMALY DETECTED")
+	} else {
+		fmt.Println("verdict: clean (timing within process variation)")
+	}
+	if truth != nil {
+		fmt.Printf("ground truth: die is attacked (%d Trojan gates)\n", len(truth.TrojanGates))
+	} else {
+		fmt.Println("ground truth: die is clean")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "trojanscan:", err)
+	os.Exit(1)
+}

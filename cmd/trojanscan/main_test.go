@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"superpose/internal/bench"
+	"superpose/internal/trust"
+)
+
+func TestMaterializeCase(t *testing.T) {
+	golden, physical, truth, err := materialize("s35932-T200", "", 0, false, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth == nil {
+		t.Fatal("infected case must carry ground truth")
+	}
+	if physical.NumGates() <= golden.NumGates() {
+		t.Error("physical netlist must be the infected one")
+	}
+}
+
+func TestMaterializeCleanCase(t *testing.T) {
+	golden, physical, truth, err := materialize("s35932-T200", "", 0, true, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth != nil {
+		t.Error("clean die must have no ground truth")
+	}
+	if golden != physical {
+		t.Error("clean die: golden and physical must coincide")
+	}
+}
+
+func TestMaterializeBenchFile(t *testing.T) {
+	host, err := trust.Generate(trust.Params{
+		Name: "u", PIs: 4, POs: 4, FFs: 24, Comb: 220, Levels: 5, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "u.bench")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.Write(f, host); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Clean user netlist.
+	golden, physical, truth, err := materialize("", path, 0, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth != nil || golden != physical {
+		t.Error("uninfected user netlist handling")
+	}
+
+	// Auto-infected user netlist.
+	golden, physical, truth, err = materialize("", path, 3, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth == nil || physical.NumGates() <= golden.NumGates() {
+		t.Error("auto-infection failed")
+	}
+}
+
+func TestMaterializeErrors(t *testing.T) {
+	if _, _, _, err := materialize("", "", 0, false, 0.05); err == nil {
+		t.Error("no inputs must error")
+	}
+	if _, _, _, err := materialize("x-y", "z.bench", 0, false, 0.05); err == nil {
+		t.Error("both -case and -bench must error")
+	}
+	if _, _, _, err := materialize("malformed", "", 0, false, 0.05); err == nil {
+		t.Error("malformed case must error")
+	}
+	if _, _, _, err := materialize("", "/does/not/exist.bench", 0, false, 0.05); err == nil {
+		t.Error("missing file must error")
+	}
+}

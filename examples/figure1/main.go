@@ -1,0 +1,47 @@
+// Figure1 walks through the paper's Figure 1: the ideal superposition
+// pair. A launch transition traverses nine non-Trojan gates into a Trojan
+// AND gate whose other input is a static scan-cell value; flipping only
+// that static value yields two patterns with identical benign activity,
+// one activating and one deactivating the Trojan — so the power
+// difference IS the Trojan, at full magnitude.
+//
+//	go run ./examples/figure1
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"superpose/internal/core"
+)
+
+func main() {
+	demo, err := core.BuildFigure1()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Figure 1: test pattern pair leveraging superposition")
+	fmt.Println()
+	fmt.Println("The host: scan cells x0,x1 (chain 0) and y (chain 1); the load")
+	fmt.Println("\"01\" launches a transition from x1 through nine benign gates")
+	fmt.Println("(p1..p9); the Trojan trigger ANDs p5 with the static value of y.")
+	fmt.Println()
+	fmt.Printf("  TPa = %v   (y=1: Trojan AND passes the transition)\n", demo.TPa)
+	fmt.Printf("  TPb = %v   (y=0: Trojan AND blocks it)\n", demo.TPb)
+	fmt.Println()
+	fmt.Printf("  golden-model prediction:  PNa = %.2f   PNb = %.2f  (identical)\n",
+		demo.NominalA, demo.NominalB)
+	fmt.Printf("  chip measurements:        POa = %.2f   POb = %.2f\n",
+		demo.ObservedA, demo.ObservedB)
+	fmt.Printf("  unique benign activity:   %d gates — the overlap is perfect\n",
+		demo.UniqueBenign)
+	fmt.Println()
+	fmt.Printf("  superposition residual (POa-POb)-(PNa-PNb) = %.2f\n", demo.Residual)
+	fmt.Printf("    = Trojan gate switching   %.2f\n", demo.TrojanEnergy)
+	fmt.Printf("    + payload-induced benign  %.2f\n", demo.InducedEnergy)
+	fmt.Println()
+	fmt.Println("Every benign effect cancels; the Trojan signal stands alone at")
+	fmt.Println("full magnitude — the ideal case the strategic modifications of")
+	fmt.Println("Section IV-D drive real pattern pairs toward.")
+}

@@ -1,0 +1,42 @@
+package superpose_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesSmoke builds and runs the fast examples end-to-end, checking
+// their headline output. The slower sweeps (pvsweep, lotcert) are covered
+// by their underlying library tests; here they are only compiled.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs example binaries")
+	}
+	runs := []struct {
+		pkg  string
+		want string
+	}{
+		{"./examples/quickstart", "TROJAN DETECTED"},
+		{"./examples/figure1", "full magnitude"},
+		{"./examples/customtrojan", "TROJAN DETECTED"},
+		{"./examples/diagnosis", "diagnosis successful"},
+	}
+	for _, r := range runs {
+		r := r
+		t.Run(strings.TrimPrefix(r.pkg, "./examples/"), func(t *testing.T) {
+			out, err := exec.Command("go", "run", r.pkg).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s: %v\n%s", r.pkg, err, out)
+			}
+			if !strings.Contains(string(out), r.want) {
+				t.Errorf("%s output missing %q:\n%s", r.pkg, r.want, out)
+			}
+		})
+	}
+	for _, pkg := range []string{"./examples/pvsweep", "./examples/lotcert"} {
+		if out, err := exec.Command("go", "build", "-o", "/dev/null", pkg).CombinedOutput(); err != nil {
+			t.Errorf("%s does not build: %v\n%s", pkg, err, out)
+		}
+	}
+}

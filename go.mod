@@ -1,0 +1,3 @@
+module superpose
+
+go 1.22

@@ -1,0 +1,420 @@
+package atpg
+
+import (
+	"strings"
+	"testing"
+
+	"superpose/internal/bench"
+	"superpose/internal/netlist"
+	"superpose/internal/scan"
+	"superpose/internal/stats"
+)
+
+const s27Src = `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+G17 = NOT(G11)
+`
+
+func parseS27(t testing.TB) *netlist.Netlist {
+	t.Helper()
+	n, err := bench.Parse(strings.NewReader(s27Src), "s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestFaultListExcludesPIs(t *testing.T) {
+	n := parseS27(t)
+	faults := FaultList(n)
+	// 14 non-PI gates (3 FF + 10 comb + G17? G17 is comb) => gates=18 total,
+	// 4 PIs excluded => 14 nets * 2 directions.
+	if want := (n.NumGates() - len(n.PIs)) * 2; len(faults) != want {
+		t.Errorf("fault list size = %d, want %d", len(faults), want)
+	}
+	for _, f := range faults {
+		if n.Gates[f.Net].Type == netlist.Input {
+			t.Errorf("PI fault %v in list", f)
+		}
+	}
+}
+
+func TestDirectionSemantics(t *testing.T) {
+	if SlowToRise.initial() != false || SlowToRise.final() != true {
+		t.Error("STR must be 0 -> 1")
+	}
+	if SlowToFall.initial() != true || SlowToFall.final() != false {
+		t.Error("STF must be 1 -> 0")
+	}
+	if SlowToRise.String() != "STR" || SlowToFall.String() != "STF" {
+		t.Error("direction names")
+	}
+	if s := (Fault{Net: 3, Dir: SlowToFall}).String(); s != "3/STF" {
+		t.Errorf("Fault.String = %q", s)
+	}
+}
+
+func TestCollapseBufNotChains(t *testing.T) {
+	b := netlist.NewBuilder("chain")
+	if _, err := b.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddInput("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("g", netlist.And, "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("h", netlist.Buf, "g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("i", netlist.Not, "h"); err != nil {
+		t.Fatal(err)
+	}
+	b.MarkOutput("i")
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := n.GateID("g")
+	h, _ := n.GateID("h")
+	i, _ := n.GateID("i")
+
+	reps, repOf := Collapse(n, FaultList(n))
+	// All six faults collapse onto the two faults of g.
+	if len(reps) != 2 {
+		t.Fatalf("reps = %v, want 2 faults on g", reps)
+	}
+	if r := repOf[Fault{Net: h, Dir: SlowToRise}]; r != (Fault{Net: g, Dir: SlowToRise}) {
+		t.Errorf("buf STR rep = %v", r)
+	}
+	if r := repOf[Fault{Net: i, Dir: SlowToRise}]; r != (Fault{Net: g, Dir: SlowToFall}) {
+		t.Errorf("not STR rep = %v (must invert direction)", r)
+	}
+	if r := repOf[Fault{Net: i, Dir: SlowToFall}]; r != (Fault{Net: g, Dir: SlowToRise}) {
+		t.Errorf("not STF rep = %v", r)
+	}
+}
+
+func TestCollapseStopsAtPIs(t *testing.T) {
+	b := netlist.NewBuilder("pibuf")
+	if _, err := b.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("x", netlist.Not, "a"); err != nil {
+		t.Fatal(err)
+	}
+	b.MarkOutput("x")
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, _ := Collapse(n, FaultList(n))
+	x, _ := n.GateID("x")
+	for _, r := range reps {
+		if r.Net != x {
+			t.Errorf("rep %v must stay on the NOT output, not the PI", r)
+		}
+	}
+}
+
+func TestGenerateS27(t *testing.T) {
+	n := parseS27(t)
+	ch := scan.Configure(n, 1)
+	res, err := Generate(ch, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TestPodemCompleteOnS27 establishes by brute force that exactly 17 of
+	// the 24 collapsed faults are LOS-testable in this configuration; the
+	// generator must find all of them and prove the rest untestable.
+	if res.Detected != 17 || res.Untestable != 7 || res.Aborted != 0 {
+		t.Errorf("detected/untestable/aborted = %d/%d/%d, want 17/7/0 (%s)",
+			res.Detected, res.Untestable, res.Aborted, res)
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("no patterns generated")
+	}
+	if len(res.PerPatternDetects) != len(res.Patterns) {
+		t.Fatal("PerPatternDetects shape mismatch")
+	}
+	for i, d := range res.PerPatternDetects {
+		if d <= 0 {
+			t.Errorf("pattern %d kept but detects nothing", i)
+		}
+	}
+	// Accounting adds up.
+	if got := res.Detected + res.Untestable + res.Aborted + res.NotTargeted; got != res.TotalFaults {
+		t.Errorf("accounting: %d+%d+%d+%d != %d", res.Detected, res.Untestable,
+			res.Aborted, res.NotTargeted, res.TotalFaults)
+	}
+	if !strings.Contains(res.String(), "patterns") {
+		t.Error("String output")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	n := parseS27(t)
+	ch := scan.Configure(n, 1)
+	r1, err := Generate(ch, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Generate(ch, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Patterns) != len(r2.Patterns) || r1.Detected != r2.Detected {
+		t.Fatal("same seed must reproduce the run")
+	}
+	for i := range r1.Patterns {
+		if !r1.Patterns[i].Equal(r2.Patterns[i]) {
+			t.Fatal("pattern mismatch between identical runs")
+		}
+	}
+}
+
+func TestGeneratedPatternsAreValidLOS(t *testing.T) {
+	n := parseS27(t)
+	ch := scan.Configure(n, 2)
+	res, err := Generate(ch, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Patterns {
+		if len(p.Scan) != ch.NumChains() {
+			t.Fatal("pattern chain count mismatch")
+		}
+		for c := range p.Scan {
+			if len(p.Scan[c]) != len(ch.Chain(c)) {
+				t.Fatal("pattern chain length mismatch")
+			}
+		}
+		if len(p.PI) != len(n.PIs) {
+			t.Fatal("pattern PI length mismatch")
+		}
+	}
+}
+
+func TestUntestableFaultDetected(t *testing.T) {
+	// x = AND(a, NOT(a)) is constant 0: slow-to-rise on x is untestable.
+	b := netlist.NewBuilder("const")
+	if _, err := b.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddDFF("q", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("na", netlist.Not, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("x", netlist.And, "a", "na"); err != nil {
+		t.Fatal(err)
+	}
+	b.MarkOutput("x")
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := scan.Configure(n, 1)
+	res, err := Generate(ch, Options{Seed: 1, RandomPatterns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Untestable == 0 {
+		t.Errorf("expected untestable faults, got %s", res)
+	}
+}
+
+func TestNoInputsError(t *testing.T) {
+	// A netlist with no PIs and no FFs cannot be driven.
+	b := netlist.NewBuilder("empty")
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := scan.Configure(n, 1)
+	if _, err := Generate(ch, Options{}); err == nil {
+		t.Fatal("expected error for uncontrollable netlist")
+	}
+}
+
+func TestFaultSimulatorDetectsKnownCase(t *testing.T) {
+	// Shift circuit: ff -> obs(BUF) -> D pin. STR on ff needs scan bits
+	// (prev,final) = (0,1) at the cell and is observed at the D pin.
+	b := netlist.NewBuilder("one")
+	if _, err := b.AddInput("pi"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddDFF("f0", "d0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddDFF("f1", "d1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("d0", netlist.Xor, "f0", "pi"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("d1", netlist.Xor, "f1", "d0"); err != nil {
+		t.Fatal(err)
+	}
+	b.MarkOutput("d1")
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := scan.Configure(n, 1)
+	fs := NewFaultSimulator(ch)
+	f1id, _ := n.GateID("f1")
+
+	// Chain order is [f0, f1]. STR at f1 (index 1) needs bits (f0,f1)=(0,1).
+	p := ch.NewPattern()
+	p.Scan[0][0] = false
+	p.Scan[0][1] = true
+	if !fs.Detects(p, Fault{Net: f1id, Dir: SlowToRise}) {
+		t.Error("STR at f1 must be detected by 01 load")
+	}
+	// Same pattern cannot detect STF at f1 (no 1->0 launch there).
+	if fs.Detects(p, Fault{Net: f1id, Dir: SlowToFall}) {
+		t.Error("STF at f1 must not be detected by 01 load")
+	}
+	// All-zero load launches nothing.
+	q := ch.NewPattern()
+	if fs.Detects(q, Fault{Net: f1id, Dir: SlowToRise}) {
+		t.Error("no-launch pattern must not detect")
+	}
+}
+
+func TestPodemAgreesWithFaultSim(t *testing.T) {
+	// Cross-validation: every PODEM-generated test, before fill, already
+	// guarantees detection; after fill the fault simulator must agree.
+	n := parseS27(t)
+	ch := scan.Configure(n, 1)
+	e := newExpansion(n, ch)
+	fsim := NewFaultSimulator(ch)
+	rng := stats.NewRNG(17)
+
+	reps, _ := Collapse(n, FaultList(n))
+	generated, agreed := 0, 0
+	for _, f := range reps {
+		p := newPodem(e, f)
+		g := p.run(256)
+		if !g.ok {
+			continue
+		}
+		generated++
+		pat := extractPattern(ch, e, p.assign, rng)
+		if fsim.Detects(pat, f) {
+			agreed++
+		} else {
+			t.Errorf("fault %v: PODEM test not confirmed by fault simulation", f)
+		}
+	}
+	if generated == 0 {
+		t.Fatal("PODEM generated nothing on s27")
+	}
+	t.Logf("PODEM generated %d tests, %d confirmed", generated, agreed)
+}
+
+func TestMaxPatternsAndMaxFaults(t *testing.T) {
+	n := parseS27(t)
+	ch := scan.Configure(n, 1)
+	res, err := Generate(ch, Options{Seed: 1, RandomPatterns: 1, MaxPatterns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) > 2 {
+		t.Errorf("MaxPatterns violated: %d", len(res.Patterns))
+	}
+	res2, err := Generate(ch, Options{Seed: 1, RandomPatterns: 1, MaxFaults: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.NotTargeted == 0 {
+		t.Error("MaxFaults must leave faults untargeted")
+	}
+}
+
+func TestNDetectProducesMorePatterns(t *testing.T) {
+	n := parseS27(t)
+	ch := scan.Configure(n, 1)
+	r1, err := Generate(ch, Options{Seed: 3, RandomPatterns: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := Generate(ch, Options{Seed: 3, RandomPatterns: 8, NDetect: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r3.Patterns) <= len(r1.Patterns) {
+		t.Errorf("n-detect 3 produced %d patterns vs %d for 1-detect",
+			len(r3.Patterns), len(r1.Patterns))
+	}
+	if r3.Detected != r1.Detected {
+		t.Errorf("once-detected coverage must match: %d vs %d", r3.Detected, r1.Detected)
+	}
+	if r3.NDetectSatisfied > r3.Detected {
+		t.Error("satisfied count cannot exceed detected count")
+	}
+	// Verify the quota with an independent fault simulation: every
+	// satisfied fault must indeed be caught by >= 3 distinct patterns.
+	reps, _ := Collapse(n, FaultList(n))
+	fsim := NewFaultSimulator(ch)
+	counts := make([]int, len(reps))
+	for start := 0; start < len(r3.Patterns); start += 64 {
+		end := start + 64
+		if end > len(r3.Patterns) {
+			end = len(r3.Patterns)
+		}
+		det := fsim.DetectBatch(r3.Patterns[start:end], reps)
+		for i, mask := range det {
+			for m := mask; m != 0; m &= m - 1 {
+				counts[i]++
+			}
+		}
+	}
+	satisfied := 0
+	for _, c := range counts {
+		if c >= 3 {
+			satisfied++
+		}
+	}
+	if satisfied < r3.NDetectSatisfied {
+		t.Errorf("independent count %d < reported satisfied %d", satisfied, r3.NDetectSatisfied)
+	}
+}
+
+func TestNDetectSingleEqualsDefault(t *testing.T) {
+	n := parseS27(t)
+	ch := scan.Configure(n, 1)
+	a, err := Generate(ch, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(ch, Options{Seed: 5, NDetect: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Patterns) != len(b.Patterns) || a.Detected != b.Detected {
+		t.Error("explicit NDetect=1 must equal the default")
+	}
+	if a.NDetectSatisfied != a.Detected {
+		t.Error("with NDetect=1, satisfied must equal detected")
+	}
+}

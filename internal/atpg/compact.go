@@ -1,0 +1,61 @@
+package atpg
+
+import (
+	"superpose/internal/scan"
+)
+
+// Compact performs static test-set compaction by reverse-order fault
+// simulation: patterns are re-fault-simulated from last to first against
+// the full collapsed fault list, and a pattern is kept only if it detects
+// at least one fault no later-kept pattern covers. Commercial flows run
+// the same pass after generation; it typically removes the early random
+// patterns that deterministic tests subsume.
+//
+// The returned patterns preserve their relative order. Coverage is
+// unchanged by construction.
+func Compact(ch *scan.Chains, patterns []*scan.Pattern) []*scan.Pattern {
+	if len(patterns) <= 1 {
+		return patterns
+	}
+	n := ch.Netlist()
+	reps, _ := Collapse(n, FaultList(n))
+	live := make([]bool, len(reps))
+	for i := range live {
+		live[i] = true
+	}
+	fsim := NewFaultSimulator(ch)
+
+	keep := make([]bool, len(patterns))
+	// liveFaults materializes the currently-undetected faults.
+	liveFaults := func() ([]Fault, []int) {
+		var fl []Fault
+		var idx []int
+		for i, f := range reps {
+			if live[i] {
+				fl = append(fl, f)
+				idx = append(idx, i)
+			}
+		}
+		return fl, idx
+	}
+	for pi := len(patterns) - 1; pi >= 0; pi-- {
+		fl, idx := liveFaults()
+		if len(fl) == 0 {
+			break
+		}
+		det := fsim.DetectBatch([]*scan.Pattern{patterns[pi]}, fl)
+		for fi, mask := range det {
+			if mask&1 != 0 {
+				live[idx[fi]] = false
+				keep[pi] = true
+			}
+		}
+	}
+	var out []*scan.Pattern
+	for i, p := range patterns {
+		if keep[i] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package atpg
+
+import (
+	"testing"
+
+	"superpose/internal/scan"
+	"superpose/internal/stats"
+)
+
+// coverageOf fault-simulates a pattern set against the full collapsed
+// fault list and returns the detected-fault count.
+func coverageOf(t *testing.T, ch *scan.Chains, pats []*scan.Pattern) int {
+	t.Helper()
+	n := ch.Netlist()
+	reps, _ := Collapse(n, FaultList(n))
+	fsim := NewFaultSimulator(ch)
+	detected := make([]bool, len(reps))
+	for start := 0; start < len(pats); start += 64 {
+		end := start + 64
+		if end > len(pats) {
+			end = len(pats)
+		}
+		det := fsim.DetectBatch(pats[start:end], reps)
+		for i, mask := range det {
+			if mask != 0 {
+				detected[i] = true
+			}
+		}
+	}
+	c := 0
+	for _, d := range detected {
+		if d {
+			c++
+		}
+	}
+	return c
+}
+
+func TestCompactPreservesCoverage(t *testing.T) {
+	n := parseS27(t)
+	ch := scan.Configure(n, 1)
+	res, err := Generate(ch, Options{Seed: 1, RandomPatterns: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := coverageOf(t, ch, res.Patterns)
+	compacted := Compact(ch, res.Patterns)
+	after := coverageOf(t, ch, compacted)
+	if after != before {
+		t.Fatalf("compaction changed coverage: %d -> %d", before, after)
+	}
+	if len(compacted) > len(res.Patterns) {
+		t.Fatal("compaction grew the pattern set")
+	}
+	t.Logf("compaction: %d -> %d patterns at coverage %d", len(res.Patterns), len(compacted), after)
+}
+
+func TestCompactDropsRedundantPatterns(t *testing.T) {
+	// Duplicating every pattern must compact back: the duplicates detect
+	// nothing new.
+	n := parseS27(t)
+	ch := scan.Configure(n, 1)
+	res, err := Generate(ch, Options{Seed: 2, RandomPatterns: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled := append(append([]*scan.Pattern{}, res.Patterns...), res.Patterns...)
+	compacted := Compact(ch, doubled)
+	if len(compacted) > len(res.Patterns) {
+		t.Errorf("compacted %d patterns from %d originals", len(compacted), len(res.Patterns))
+	}
+	if coverageOf(t, ch, compacted) != coverageOf(t, ch, doubled) {
+		t.Error("coverage lost")
+	}
+}
+
+func TestCompactKeepsUsefulPatterns(t *testing.T) {
+	// Patterns that detect nothing at all must all be dropped.
+	n := parseS27(t)
+	ch := scan.Configure(n, 1)
+	empty := []*scan.Pattern{ch.NewPattern(), ch.NewPattern()}
+	if got := Compact(ch, empty); len(got) != 0 {
+		t.Errorf("all-zero patterns kept: %d", len(got))
+	}
+	// Tiny sets pass through.
+	rng := stats.NewRNG(1)
+	one := []*scan.Pattern{ch.RandomPattern(rng)}
+	if got := Compact(ch, one); len(got) != 1 {
+		t.Errorf("singleton handling: %d", len(got))
+	}
+}

@@ -1,0 +1,94 @@
+package atpg
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"superpose/internal/scan"
+)
+
+// Dictionary is a full-response fault dictionary: for every fault, the set
+// of patterns that detect it. Fault dictionaries are the classic
+// diagnosis structure — the paper's superposition idea traces back to
+// Orailoglu's dictionary-based diagnosis work ([21], [22]) — and here they
+// close the loop: once the certification flow flags a die, the dictionary
+// localizes which logic the anomaly is consistent with.
+type Dictionary struct {
+	Faults   []Fault
+	Patterns []*scan.Pattern
+	// rows[fi] is a bitset over patterns (64 per word).
+	rows [][]uint64
+}
+
+// BuildDictionary fault-simulates every (fault, pattern) combination.
+func BuildDictionary(ch *scan.Chains, faults []Fault, patterns []*scan.Pattern) *Dictionary {
+	d := &Dictionary{Faults: faults, Patterns: patterns}
+	words := (len(patterns) + 63) / 64
+	d.rows = make([][]uint64, len(faults))
+	for i := range d.rows {
+		d.rows[i] = make([]uint64, words)
+	}
+	fsim := NewFaultSimulator(ch)
+	for start := 0; start < len(patterns); start += 64 {
+		end := start + 64
+		if end > len(patterns) {
+			end = len(patterns)
+		}
+		det := fsim.DetectBatch(patterns[start:end], faults)
+		w := start / 64
+		for fi, mask := range det {
+			d.rows[fi][w] |= uint64(mask)
+		}
+	}
+	return d
+}
+
+// Detects reports whether pattern pi detects fault fi.
+func (d *Dictionary) Detects(fi, pi int) bool {
+	return d.rows[fi][pi/64]&(1<<uint(pi%64)) != 0
+}
+
+// DetectionCount returns how many patterns detect fault fi.
+func (d *Dictionary) DetectionCount(fi int) int {
+	c := 0
+	for _, w := range d.rows[fi] {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Candidate is one diagnosis hypothesis.
+type Candidate struct {
+	FaultIndex int
+	Fault      Fault
+	// Distance is the Hamming distance between the fault's dictionary
+	// signature and the observed failing-pattern set (0 = exact match).
+	Distance int
+}
+
+// Diagnose ranks the dictionary's faults by signature distance to an
+// observed failing-pattern set (failing[pi] = pattern pi mismatched on
+// the tester). Exact-match candidates come first; ties break on fault
+// order for determinism.
+func (d *Dictionary) Diagnose(failing []bool) ([]Candidate, error) {
+	if len(failing) != len(d.Patterns) {
+		return nil, fmt.Errorf("atpg: %d observations for %d patterns", len(failing), len(d.Patterns))
+	}
+	obs := make([]uint64, (len(failing)+63)/64)
+	for pi, f := range failing {
+		if f {
+			obs[pi/64] |= 1 << uint(pi%64)
+		}
+	}
+	out := make([]Candidate, len(d.Faults))
+	for fi := range d.Faults {
+		dist := 0
+		for w := range obs {
+			dist += bits.OnesCount64(d.rows[fi][w] ^ obs[w])
+		}
+		out[fi] = Candidate{FaultIndex: fi, Fault: d.Faults[fi], Distance: dist}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package atpg
+
+import (
+	"testing"
+
+	"superpose/internal/scan"
+)
+
+func buildDictFixture(t *testing.T) (*scan.Chains, []Fault, []*scan.Pattern, *Dictionary) {
+	t.Helper()
+	n := parseS27(t)
+	ch := scan.Configure(n, 1)
+	res, err := Generate(ch, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, _ := Collapse(n, FaultList(n))
+	d := BuildDictionary(ch, reps, res.Patterns)
+	return ch, reps, res.Patterns, d
+}
+
+func TestDictionaryConsistentWithFaultSim(t *testing.T) {
+	ch, reps, pats, d := buildDictFixture(t)
+	fsim := NewFaultSimulator(ch)
+	for fi, f := range reps {
+		for pi, p := range pats {
+			want := fsim.Detects(p, f)
+			if got := d.Detects(fi, pi); got != want {
+				t.Fatalf("fault %v pattern %d: dictionary %v, fault sim %v", f, pi, got, want)
+			}
+		}
+	}
+}
+
+func TestDictionaryDetectionCounts(t *testing.T) {
+	_, reps, pats, d := buildDictFixture(t)
+	for fi := range reps {
+		c := 0
+		for pi := range pats {
+			if d.Detects(fi, pi) {
+				c++
+			}
+		}
+		if d.DetectionCount(fi) != c {
+			t.Fatalf("fault %d: count %d vs %d", fi, d.DetectionCount(fi), c)
+		}
+	}
+}
+
+func TestDiagnoseIdentifiesInjectedFault(t *testing.T) {
+	// Simulate a die with each testable fault injected: its observed
+	// failing-pattern signature must diagnose back to the fault itself
+	// (distance 0 at rank 0) or to an indistinguishable equivalent.
+	_, reps, pats, d := buildDictFixture(t)
+	diagnosedExact := 0
+	testable := 0
+	for fi := range reps {
+		if d.DetectionCount(fi) == 0 {
+			continue // untestable: no signature to observe
+		}
+		testable++
+		failing := make([]bool, len(pats))
+		for pi := range pats {
+			failing[pi] = d.Detects(fi, pi)
+		}
+		cands, err := d.Diagnose(failing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cands[0].Distance != 0 {
+			t.Fatalf("fault %v: best distance %d, want 0", reps[fi], cands[0].Distance)
+		}
+		// The injected fault must be among the distance-0 candidates.
+		found := false
+		for _, c := range cands {
+			if c.Distance > 0 {
+				break
+			}
+			if c.FaultIndex == fi {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("fault %v not among exact-match candidates", reps[fi])
+		}
+		if cands[0].FaultIndex == fi {
+			diagnosedExact++
+		}
+	}
+	if testable == 0 {
+		t.Fatal("no testable faults")
+	}
+	t.Logf("diagnosis: %d/%d faults uniquely ranked first", diagnosedExact, testable)
+}
+
+func TestDiagnoseNoisyObservation(t *testing.T) {
+	// One flipped observation must still rank the true fault near the top
+	// (distance 1).
+	_, reps, pats, d := buildDictFixture(t)
+	var fi int
+	for i := range reps {
+		if d.DetectionCount(i) >= 2 {
+			fi = i
+			break
+		}
+	}
+	failing := make([]bool, len(pats))
+	for pi := range pats {
+		failing[pi] = d.Detects(fi, pi)
+	}
+	failing[0] = !failing[0] // tester noise
+	cands, err := d.Diagnose(failing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if c.FaultIndex == fi {
+			if c.Distance != 1 {
+				t.Errorf("noisy distance = %d, want 1", c.Distance)
+			}
+			return
+		}
+	}
+	t.Fatal("true fault missing from candidates")
+}
+
+func TestDiagnoseShapeMismatch(t *testing.T) {
+	_, _, _, d := buildDictFixture(t)
+	if _, err := d.Diagnose([]bool{true}); err == nil {
+		t.Error("length mismatch must error")
+	}
+}

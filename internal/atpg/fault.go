@@ -1,0 +1,109 @@
+// Package atpg implements Launch-on-Shift transition-delay-fault test
+// generation: the stand-in for the commercial ATPG (Mentor Tessent) the
+// paper uses to produce its seed patterns (§V-B).
+//
+// The generator is a PODEM over a virtual two-frame expansion of the
+// full-scan circuit. Decision variables are the scan-in bits and the
+// primary inputs; the LOS shift constraint (frame-1 state of cell j equals
+// scan bit j-1) is built into the expansion, so every generated test is a
+// legal LOS pattern by construction.
+package atpg
+
+import (
+	"fmt"
+
+	"superpose/internal/netlist"
+)
+
+// Direction is the transition polarity of a delay fault.
+type Direction uint8
+
+const (
+	// SlowToRise: the net fails to complete a 0→1 transition in time.
+	SlowToRise Direction = iota
+	// SlowToFall: the net fails to complete a 1→0 transition in time.
+	SlowToFall
+)
+
+// String names the direction in conventional notation.
+func (d Direction) String() string {
+	if d == SlowToRise {
+		return "STR"
+	}
+	return "STF"
+}
+
+// initial returns the required frame-1 value at the fault site.
+func (d Direction) initial() bool { return d == SlowToFall }
+
+// final returns the required frame-2 (good-machine) value at the fault site.
+func (d Direction) final() bool { return d == SlowToRise }
+
+// Fault is one transition-delay fault.
+type Fault struct {
+	Net int // gate/net ID of the fault site
+	Dir Direction
+}
+
+// String renders the fault as "net/STR".
+func (f Fault) String() string { return fmt.Sprintf("%d/%s", f.Net, f.Dir) }
+
+// FaultList builds the full transition fault list of a netlist: both
+// directions on every combinational gate output and every flip-flop
+// output. Primary-input nets are excluded — under LOS the primary inputs
+// are held static across the launch, so no transition can originate there.
+func FaultList(n *netlist.Netlist) []Fault {
+	var out []Fault
+	for id, g := range n.Gates {
+		if g.Type == netlist.Input {
+			continue
+		}
+		out = append(out, Fault{Net: id, Dir: SlowToRise}, Fault{Net: id, Dir: SlowToFall})
+	}
+	return out
+}
+
+// Collapse performs equivalence collapsing across BUF/NOT chains: a
+// transition fault on a buffer output is indistinguishable from the
+// same-direction fault on its input, and on an inverter output from the
+// opposite-direction fault on its input. It returns the representative
+// faults and a map from every fault to its representative.
+func Collapse(n *netlist.Netlist, faults []Fault) (reps []Fault, repOf map[Fault]Fault) {
+	repOf = make(map[Fault]Fault, len(faults))
+	var canon func(f Fault) Fault
+	canon = func(f Fault) Fault {
+		if r, ok := repOf[f]; ok {
+			return r
+		}
+		g := n.Gates[f.Net]
+		var r Fault
+		switch {
+		case (g.Type == netlist.Buf || g.Type == netlist.Not) &&
+			n.Gates[g.Fanin[0]].Type == netlist.Input:
+			// Don't collapse onto a primary-input net: PI faults are not
+			// in the LOS fault universe (PIs are static at launch).
+			r = f
+		case g.Type == netlist.Buf:
+			r = canon(Fault{Net: g.Fanin[0], Dir: f.Dir})
+		case g.Type == netlist.Not:
+			opp := SlowToRise
+			if f.Dir == SlowToRise {
+				opp = SlowToFall
+			}
+			r = canon(Fault{Net: g.Fanin[0], Dir: opp})
+		default:
+			r = f
+		}
+		repOf[f] = r
+		return r
+	}
+	seen := make(map[Fault]bool, len(faults))
+	for _, f := range faults {
+		r := canon(f)
+		if !seen[r] {
+			seen[r] = true
+			reps = append(reps, r)
+		}
+	}
+	return reps, repOf
+}

@@ -1,0 +1,77 @@
+package atpg
+
+import (
+	"superpose/internal/logic"
+	"superpose/internal/netlist"
+	"superpose/internal/scan"
+	"superpose/internal/sim"
+)
+
+// FaultSimulator evaluates which transition faults a batch of LOS patterns
+// detects. It runs the good machine once per batch and one faulty capture
+// frame per live fault (serial fault simulation, 64 patterns in parallel
+// per run), which combined with fault dropping keeps total work modest.
+type FaultSimulator struct {
+	n   *netlist.Netlist
+	ch  *scan.Chains
+	eng *scan.Engine
+	fs  *sim.Simulator // faulty-machine simulator
+	obs []int
+}
+
+// NewFaultSimulator returns a simulator over the scan configuration.
+func NewFaultSimulator(ch *scan.Chains) *FaultSimulator {
+	n := ch.Netlist()
+	e := newExpansion(n, ch)
+	return &FaultSimulator{
+		n:   n,
+		ch:  ch,
+		eng: scan.NewEngine(ch),
+		fs:  sim.New(n),
+		obs: e.obs,
+	}
+}
+
+// DetectBatch simulates up to 64 patterns and reports, per fault in
+// `faults`, the lanes on which the fault is detected (launched at the site
+// and observed at a PO or scan-cell D pin).
+func (fs *FaultSimulator) DetectBatch(pats []*scan.Pattern, faults []Fault) []logic.Word {
+	f1, f2 := fs.eng.Launch(pats, scan.LOS)
+	good1 := append([]logic.Word(nil), f1...)
+	good2 := append([]logic.Word(nil), f2...)
+	src2 := fs.eng.Frame2Sources()
+
+	laneMask := logic.AllOne
+	if len(pats) < 64 {
+		laneMask = (logic.Word(1) << uint(len(pats))) - 1
+	}
+
+	out := make([]logic.Word, len(faults))
+	for i, f := range faults {
+		initial := logic.AllZero
+		if f.Dir.initial() {
+			initial = logic.AllOne
+		}
+		// Launch lanes: frame-1 site value equals the initial value.
+		launch := ^(good1[f.Net] ^ initial) & laneMask
+		if launch == 0 {
+			continue
+		}
+		faulty2 := fs.fs.RunForced(src2, f.Net, initial)
+		var diff logic.Word
+		for _, o := range fs.obs {
+			diff |= good2[o] ^ faulty2[o]
+			if diff&launch == launch {
+				break // all launch lanes already detect
+			}
+		}
+		out[i] = diff & launch
+	}
+	return out
+}
+
+// Detects reports whether a single pattern detects the fault.
+func (fs *FaultSimulator) Detects(p *scan.Pattern, f Fault) bool {
+	res := fs.DetectBatch([]*scan.Pattern{p}, []Fault{f})
+	return res[0]&1 != 0
+}

@@ -1,0 +1,108 @@
+package atpg
+
+import (
+	"superpose/internal/netlist"
+)
+
+// Scoap holds the classic SCOAP testability measures of a netlist:
+// CC0/CC1 (the number of input assignments needed to set a net to 0/1)
+// computed over the combinational view, with scan cells and primary
+// inputs as unit-cost control points. The PODEM backtrace uses them to
+// choose the cheapest input to pursue, which shrinks the search compared
+// to a first-X policy.
+type Scoap struct {
+	CC0, CC1 []int
+}
+
+// scoapCap bounds the measures to keep additions overflow-free on deep
+// reconvergent circuits.
+const scoapCap = 1 << 28
+
+func capAdd(a, b int) int {
+	s := a + b
+	if s > scoapCap {
+		return scoapCap
+	}
+	return s
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ComputeScoap calculates controllability for every net in one forward
+// topological pass.
+func ComputeScoap(n *netlist.Netlist) *Scoap {
+	s := &Scoap{
+		CC0: make([]int, n.NumGates()),
+		CC1: make([]int, n.NumGates()),
+	}
+	for _, id := range append(append([]int{}, n.PIs...), n.FFs...) {
+		s.CC0[id] = 1
+		s.CC1[id] = 1
+	}
+	for _, id := range n.TopoOrder() {
+		g := &n.Gates[id]
+		switch g.Type {
+		case netlist.Buf:
+			s.CC0[id] = capAdd(s.CC0[g.Fanin[0]], 1)
+			s.CC1[id] = capAdd(s.CC1[g.Fanin[0]], 1)
+		case netlist.Not:
+			s.CC0[id] = capAdd(s.CC1[g.Fanin[0]], 1)
+			s.CC1[id] = capAdd(s.CC0[g.Fanin[0]], 1)
+		case netlist.And, netlist.Nand:
+			// AND core: 0 needs the cheapest 0; 1 needs all 1s.
+			c0 := scoapCap
+			c1 := 0
+			for _, f := range g.Fanin {
+				c0 = minInt(c0, s.CC0[f])
+				c1 = capAdd(c1, s.CC1[f])
+			}
+			c0 = capAdd(c0, 1)
+			c1 = capAdd(c1, 1)
+			if g.Type == netlist.Nand {
+				c0, c1 = c1, c0
+			}
+			s.CC0[id], s.CC1[id] = c0, c1
+		case netlist.Or, netlist.Nor:
+			c1 := scoapCap
+			c0 := 0
+			for _, f := range g.Fanin {
+				c1 = minInt(c1, s.CC1[f])
+				c0 = capAdd(c0, s.CC0[f])
+			}
+			c0 = capAdd(c0, 1)
+			c1 = capAdd(c1, 1)
+			if g.Type == netlist.Nor {
+				c0, c1 = c1, c0
+			}
+			s.CC0[id], s.CC1[id] = c0, c1
+		case netlist.Xor, netlist.Xnor:
+			// Parity: cost of achieving even/odd parity over the fanins.
+			// Computed incrementally: even/odd parity costs so far.
+			even, odd := 0, scoapCap
+			for _, f := range g.Fanin {
+				ne := minInt(capAdd(even, s.CC0[f]), capAdd(odd, s.CC1[f]))
+				no := minInt(capAdd(even, s.CC1[f]), capAdd(odd, s.CC0[f]))
+				even, odd = ne, no
+			}
+			c0, c1 := capAdd(even, 1), capAdd(odd, 1)
+			if g.Type == netlist.Xnor {
+				c0, c1 = c1, c0
+			}
+			s.CC0[id], s.CC1[id] = c0, c1
+		}
+	}
+	return s
+}
+
+// Cost returns the controllability cost of driving net id to val.
+func (s *Scoap) Cost(id int, val bool) int {
+	if val {
+		return s.CC1[id]
+	}
+	return s.CC0[id]
+}

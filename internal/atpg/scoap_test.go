@@ -1,0 +1,125 @@
+package atpg
+
+import (
+	"strings"
+	"testing"
+
+	"superpose/internal/bench"
+	"superpose/internal/netlist"
+)
+
+func TestScoapBasics(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(z)
+g_and = AND(a, b)
+g_or = OR(a, b)
+g_not = NOT(a)
+g_xor = XOR(a, b)
+deep = AND(g_and, c)
+z = BUF(deep)
+`
+	n, err := bench.Parse(strings.NewReader(src), "scoap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeScoap(n)
+	id := func(name string) int {
+		g, ok := n.GateID(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		return g
+	}
+
+	// Sources are unit cost.
+	if s.CC0[id("a")] != 1 || s.CC1[id("a")] != 1 {
+		t.Error("PI controllability must be 1")
+	}
+	// AND: CC1 = CC1(a)+CC1(b)+1 = 3; CC0 = min(CC0)+1 = 2.
+	if s.CC1[id("g_and")] != 3 || s.CC0[id("g_and")] != 2 {
+		t.Errorf("AND cc = (%d,%d)", s.CC0[id("g_and")], s.CC1[id("g_and")])
+	}
+	// OR: symmetric.
+	if s.CC0[id("g_or")] != 3 || s.CC1[id("g_or")] != 2 {
+		t.Errorf("OR cc = (%d,%d)", s.CC0[id("g_or")], s.CC1[id("g_or")])
+	}
+	// NOT swaps.
+	if s.CC0[id("g_not")] != 2 || s.CC1[id("g_not")] != 2 {
+		t.Errorf("NOT cc = (%d,%d)", s.CC0[id("g_not")], s.CC1[id("g_not")])
+	}
+	// XOR: 0 needs equal values (min(1+1,1+1)+1=3), 1 needs unequal (3).
+	if s.CC0[id("g_xor")] != 3 || s.CC1[id("g_xor")] != 3 {
+		t.Errorf("XOR cc = (%d,%d)", s.CC0[id("g_xor")], s.CC1[id("g_xor")])
+	}
+	// Depth accumulates: deep's CC1 = CC1(g_and)+CC1(c)+1 = 5.
+	if s.CC1[id("deep")] != 5 {
+		t.Errorf("deep CC1 = %d", s.CC1[id("deep")])
+	}
+	// Cost accessor.
+	if s.Cost(id("deep"), true) != 5 || s.Cost(id("g_and"), false) != 2 {
+		t.Error("Cost accessor")
+	}
+}
+
+func TestScoapMonotoneWithDepth(t *testing.T) {
+	// A chain of buffers must strictly increase controllability cost.
+	b := netlist.NewBuilder("chain")
+	if _, err := b.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	prev := "a"
+	for i := 0; i < 10; i++ {
+		name := "b" + string(rune('0'+i))
+		if _, err := b.AddGate(name, netlist.Buf, prev); err != nil {
+			t.Fatal(err)
+		}
+		prev = name
+	}
+	b.MarkOutput(prev)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeScoap(n)
+	last := 0
+	for _, id := range n.TopoOrder() {
+		if s.CC1[id] <= last {
+			t.Fatalf("CC1 not increasing along buffer chain: %d after %d", s.CC1[id], last)
+		}
+		last = s.CC1[id]
+	}
+}
+
+func TestScoapCapsOnPathologicalDepth(t *testing.T) {
+	// Wide AND pyramids blow up CC1 multiplicatively; the cap must hold.
+	b := netlist.NewBuilder("pyramid")
+	var layer []string
+	for i := 0; i < 8; i++ {
+		name := "i" + string(rune('0'+i))
+		if _, err := b.AddInput(name); err != nil {
+			t.Fatal(err)
+		}
+		layer = append(layer, name)
+	}
+	for l := 0; l < 40; l++ {
+		name := "p" + string(rune('a'+l%26)) + string(rune('0'+l/26))
+		if _, err := b.AddGate(name, netlist.And, layer[0], layer[1]); err != nil {
+			t.Fatal(err)
+		}
+		layer = append(layer[2:], name, name)
+	}
+	b.MarkOutput(layer[len(layer)-1])
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeScoap(n)
+	for id := range s.CC1 {
+		if s.CC1[id] > scoapCap || s.CC0[id] > scoapCap || s.CC1[id] < 0 || s.CC0[id] < 0 {
+			t.Fatalf("controllability out of range: (%d,%d)", s.CC0[id], s.CC1[id])
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package atpg
+
+import (
+	"fmt"
+
+	"superpose/internal/logic"
+	"superpose/internal/netlist"
+	"superpose/internal/scan"
+	"superpose/internal/stats"
+)
+
+// StuckFault is a single stuck-at fault.
+type StuckFault struct {
+	Net     int
+	StuckAt bool // the faulty value
+}
+
+// String renders the fault as "net/sa0".
+func (f StuckFault) String() string {
+	if f.StuckAt {
+		return fmt.Sprintf("%d/sa1", f.Net)
+	}
+	return fmt.Sprintf("%d/sa0", f.Net)
+}
+
+// StuckFaultList builds the full stuck-at fault list: both polarities on
+// every net (including primary inputs — unlike transition faults, static
+// values are controllable on PIs).
+func StuckFaultList(n *netlist.Netlist) []StuckFault {
+	var out []StuckFault
+	for id := range n.Gates {
+		out = append(out, StuckFault{Net: id, StuckAt: false}, StuckFault{Net: id, StuckAt: true})
+	}
+	return out
+}
+
+// StuckAtTest generates a single-frame test for one stuck-at fault using
+// the same PODEM engine as the transition generator: the combinational
+// circuit is evaluated once (both "frames" get identical sources under a
+// static view), the site requires the value opposite the stuck one, and
+// the effect must reach a primary output or a flip-flop D pin.
+//
+// The returned pattern's scan load is the test vector (applied statically,
+// i.e. the capture-mode stimulus); random fill completes don't-cares.
+// ok=false means untestable (redundant) within the backtrack limit;
+// aborted=true means the limit was hit first.
+func StuckAtTest(ch *scan.Chains, f StuckFault, backtrackLimit int, fillSeed uint64) (p *scan.Pattern, ok, aborted bool) {
+	n := ch.Netlist()
+	e := newExpansion(n, ch)
+	// A stuck-at fault corresponds to a transition fault's second frame
+	// alone. Reuse the two-frame PODEM with a fault whose frame-1 launch
+	// condition is made vacuous by construction: slow-to-rise at net N
+	// requires frame1=0 and frame2=1 with stuck-at-0 injection; for a
+	// static sa0 test only the frame-2 part matters. We therefore run the
+	// dedicated single-frame engine below instead of bending the TDF one.
+	pd := newStuckPodem(e, f)
+	g := pd.run(backtrackLimit)
+	if !g.ok {
+		return nil, false, g.aborted
+	}
+	rng := stats.NewRNG(fillSeed)
+	return extractPattern(ch, e, pd.assign, rng), true, false
+}
+
+// stuckPodem is the single-frame variant of the PODEM engine.
+type stuckPodem struct {
+	*podem
+}
+
+func newStuckPodem(e *expansion, f StuckFault) *stuckPodem {
+	// Map the stuck-at fault onto the transition engine's data: a sa0
+	// fault behaves like slow-to-rise's frame 2 (good must be 1, faulty
+	// stuck 0); sa1 like slow-to-fall's.
+	dir := SlowToRise
+	if f.StuckAt {
+		dir = SlowToFall
+	}
+	p := newPodem(e, Fault{Net: f.Net, Dir: dir})
+	return &stuckPodem{p}
+}
+
+// run executes the decision loop with single-frame semantics: frame 1 is
+// forced identical to frame 2 (static test), which the base engine's
+// launch check then accepts trivially.
+func (p *stuckPodem) run(backtrackLimit int) genResult {
+	type decision struct {
+		variable int
+		value    bool
+		flipped  bool
+	}
+	var stack []decision
+	backtracks := 0
+
+	backtrack := func() int {
+		for {
+			if len(stack) == 0 {
+				return 1
+			}
+			top := &stack[len(stack)-1]
+			if !top.flipped {
+				backtracks++
+				if backtracks > backtrackLimit {
+					return 2
+				}
+				top.flipped = true
+				top.value = !top.value
+				p.assign[top.variable] = logic.FromBit(top.value)
+				return 0
+			}
+			p.assign[top.variable] = logic.X
+			stack = stack[:len(stack)-1]
+		}
+	}
+
+	for {
+		p.simulateStatic()
+		st := p.checkStatic()
+		if st == statusSuccess {
+			return genResult{ok: true}
+		}
+		conflict := st == statusConflict
+		var variable int
+		var value bool
+		if !conflict {
+			net, val, _, ok := p.objectiveStatic()
+			if !ok {
+				conflict = true
+			} else {
+				variable, value = p.backtrace(net, val, 2)
+				if variable < 0 || p.assign[variable] != logic.X {
+					conflict = true
+				}
+			}
+		}
+		if conflict {
+			switch backtrack() {
+			case 1:
+				return genResult{}
+			case 2:
+				return genResult{aborted: true}
+			}
+			continue
+		}
+		stack = append(stack, decision{variable: variable, value: value})
+		p.assign[variable] = logic.FromBit(value)
+	}
+}
+
+// simulateStatic evaluates only the capture frame, with flip-flops taking
+// their scan-bit variables directly (static application).
+func (p *stuckPodem) simulateStatic() {
+	n := p.e.n
+	for _, pi := range n.PIs {
+		v := p.assign[p.e.piVar[pi]]
+		if pi == p.fault.Net {
+			v = p.inject(v)
+		}
+		p.v2[pi] = v
+	}
+	for _, ff := range n.FFs {
+		v := p.frameValue(ff, 2)
+		if ff == p.fault.Net {
+			v = p.inject(v)
+		}
+		p.v2[ff] = v
+	}
+	for _, id := range n.TopoOrder() {
+		v := eval5(n, p.v2, id)
+		if id == p.fault.Net {
+			v = p.inject(v)
+		}
+		p.v2[id] = v
+	}
+}
+
+// checkStatic is the base check without the frame-1 launch condition.
+func (p *stuckPodem) checkStatic() status {
+	if v := p.v2[p.fault.Net]; v.Known() && !v.IsD() {
+		return statusConflict
+	}
+	for _, o := range p.e.obs {
+		if p.v2[o].IsD() {
+			return statusSuccess
+		}
+	}
+	if !p.xPath() {
+		return statusConflict
+	}
+	return statusOpen
+}
+
+// objectiveStatic is the base objective without the frame-1 goal.
+func (p *stuckPodem) objectiveStatic() (net int, val bool, frame int, ok bool) {
+	if p.v2[p.fault.Net] == logic.X {
+		return p.fault.Net, p.fault.Dir.final(), 2, true
+	}
+	n := p.e.n
+	for _, id := range n.TopoOrder() {
+		if p.v2[id] != logic.X {
+			continue
+		}
+		g := &n.Gates[id]
+		hasD := false
+		for _, f := range g.Fanin {
+			if p.v2[f].IsD() {
+				hasD = true
+				break
+			}
+		}
+		if !hasD {
+			continue
+		}
+		for _, f := range g.Fanin {
+			if p.v2[f] == logic.X {
+				return f, nonControlling(g.Type), 2, true
+			}
+		}
+	}
+	return 0, false, 0, false
+}

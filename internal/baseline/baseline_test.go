@@ -1,0 +1,117 @@
+package baseline
+
+import (
+	"testing"
+
+	"superpose/internal/atpg"
+	"superpose/internal/core"
+	"superpose/internal/power"
+	"superpose/internal/scan"
+	"superpose/internal/trust"
+)
+
+func workbench(t testing.TB) (*core.Evaluator, *power.Library) {
+	t.Helper()
+	inst, err := trust.Build(trust.Case{Benchmark: "s35932", Trojan: "T200"}, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := power.SAED90Like()
+	chip := power.Manufacture(inst.Infected, lib, power.ThreeSigmaIntra(0.15), 42)
+	dev := core.NewDevice(chip, 4, scan.LOS)
+	ev := core.NewEvaluator(inst.Host, lib, dev, 4, scan.LOS)
+	return ev, lib
+}
+
+func TestRandomSearchFindsWeakSignalOnly(t *testing.T) {
+	ev, _ := workbench(t)
+	res := RandomSearch(ev, 128, 3)
+	if res.Patterns != 128 {
+		t.Fatalf("patterns = %d", res.Patterns)
+	}
+	if res.BestRPD <= 0 {
+		t.Fatal("random search found no signal at all")
+	}
+	// The paper's framing: random patterns leave the Trojan buried. The
+	// best random RPD should stay an order of magnitude below the
+	// superposition levels (~0.1+) the pipeline reaches on this testbench.
+	if res.BestRPD > 0.05 {
+		t.Errorf("random BestRPD = %v, suspiciously strong", res.BestRPD)
+	}
+}
+
+func TestRegionSearchShape(t *testing.T) {
+	ev, _ := workbench(t)
+	res := RegionSearch(ev, 16, 3)
+	if res.Patterns != 16*ev.Chains().NumChains() {
+		t.Fatalf("patterns = %d", res.Patterns)
+	}
+	if res.BestRPD <= 0 {
+		t.Fatal("region search found no signal")
+	}
+}
+
+func TestRegionPatternsConfineActivity(t *testing.T) {
+	// Structural check: a region pattern launches transitions in exactly
+	// one chain.
+	ev, _ := workbench(t)
+	ch := ev.Chains()
+	// Reconstruct what RegionSearch builds and verify the confinement
+	// property through the public TransitionAt predicate.
+	res := RegionSearch(ev, 1, 9)
+	_ = res
+	// RegionSearch doesn't expose its patterns; verify the invariant on a
+	// hand-built equivalent instead.
+	p := ch.NewPattern()
+	for j := range p.Scan[1] {
+		p.Scan[1][j] = j%3 == 0
+	}
+	for c := range p.Scan {
+		for j := range p.Scan[c] {
+			if c != 1 && p.TransitionAt(c, j) {
+				t.Fatalf("transition outside region at chain %d", c)
+			}
+		}
+	}
+}
+
+func TestBaselinesBelowPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline comparison")
+	}
+	inst, err := trust.Build(trust.Case{Benchmark: "s35932", Trojan: "T200"}, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := power.SAED90Like()
+	chip := power.Manufacture(inst.Infected, lib, power.ThreeSigmaIntra(0.15), 42)
+	dev := core.NewDevice(chip, 4, scan.LOS)
+
+	rep, err := core.Detect(inst.Host, lib, dev, core.Config{
+		NumChains: 4, Varsigma: 0.10,
+		ATPG: atpg.Options{Seed: 7, RandomPatterns: 32, MaxFaults: 40, FaultSample: 120},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ev := core.NewEvaluator(inst.Host, lib, dev, 4, scan.LOS)
+	rnd := RandomSearch(ev, 256, 5)
+	reg := RegionSearch(ev, 64, 5)
+
+	pipeline := rep.FinalSRPD
+	if pipeline < 0 {
+		pipeline = -pipeline
+	}
+	t.Logf("pipeline S-RPD=%.4f; random best RPD=%.4f pair=%.4f; region best RPD=%.4f pair=%.4f",
+		pipeline, rnd.BestRPD, rnd.BestPairSRPD, reg.BestRPD, reg.BestPairSRPD)
+
+	// The paper's comparison: superposition exceeds what random-pattern
+	// methods reach by a wide margin.
+	if pipeline < 3*rnd.BestRPD {
+		t.Errorf("pipeline %.4f not well above random RPD %.4f", pipeline, rnd.BestRPD)
+	}
+	if pipeline < 3*reg.BestRPD {
+		t.Errorf("pipeline %.4f not well above region RPD %.4f", pipeline, reg.BestRPD)
+	}
+}

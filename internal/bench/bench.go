@@ -1,0 +1,147 @@
+// Package bench reads and writes the ISCAS-85/89 ".bench" netlist format,
+// the interchange format used by the Trust-Hub benchmark suite.
+//
+// The grammar is line-oriented:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G10 = DFF(G14)
+//	G12 = NAND(G1, G3)
+//
+// Net names may contain any characters except whitespace, '=', '(', ')'
+// and ','. Gate type names are case-insensitive.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"superpose/internal/netlist"
+)
+
+// Parse reads a .bench netlist from r. The name is attached to the
+// resulting netlist (the format itself carries no name).
+func Parse(r io.Reader, name string) (*netlist.Netlist, error) {
+	b := netlist.NewBuilder(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(b, line); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return b.Build()
+}
+
+func parseLine(b *netlist.Builder, line string) error {
+	// Directive form: INPUT(x) / OUTPUT(x).
+	if upper := strings.ToUpper(line); strings.HasPrefix(upper, "INPUT(") || strings.HasPrefix(upper, "OUTPUT(") {
+		open := strings.IndexByte(line, '(')
+		closeIdx := strings.LastIndexByte(line, ')')
+		if closeIdx < open {
+			return fmt.Errorf("malformed directive %q", line)
+		}
+		arg := strings.TrimSpace(line[open+1 : closeIdx])
+		if arg == "" {
+			return fmt.Errorf("empty net name in %q", line)
+		}
+		if strings.HasPrefix(upper, "INPUT(") {
+			_, err := b.AddInput(arg)
+			return err
+		}
+		b.MarkOutput(arg)
+		return nil
+	}
+
+	// Assignment form: name = TYPE(f1, f2, ...).
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return fmt.Errorf("expected assignment, got %q", line)
+	}
+	lhs := strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	if lhs == "" {
+		return fmt.Errorf("empty net name in %q", line)
+	}
+	open := strings.IndexByte(rhs, '(')
+	closeIdx := strings.LastIndexByte(rhs, ')')
+	if open < 0 || closeIdx < open {
+		return fmt.Errorf("malformed gate expression %q", rhs)
+	}
+	typName := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+	// Common .bench aliases.
+	switch typName {
+	case "BUFF":
+		typName = "BUF"
+	case "INV":
+		typName = "NOT"
+	}
+	typ, ok := netlist.ParseGateType(typName)
+	if !ok {
+		return fmt.Errorf("unknown gate type %q", strings.TrimSpace(rhs[:open]))
+	}
+	var fanins []string
+	for _, f := range strings.Split(rhs[open+1:closeIdx], ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			return fmt.Errorf("empty fanin in %q", line)
+		}
+		fanins = append(fanins, f)
+	}
+	switch typ {
+	case netlist.Input:
+		return fmt.Errorf("INPUT is a directive, not a gate type: %q", line)
+	case netlist.DFF:
+		if len(fanins) != 1 {
+			return fmt.Errorf("DFF takes exactly one fanin: %q", line)
+		}
+		_, err := b.AddDFF(lhs, fanins[0])
+		return err
+	default:
+		_, err := b.AddGate(lhs, typ, fanins...)
+		return err
+	}
+}
+
+// Write serializes a netlist in .bench format. Output order is: inputs,
+// outputs, flip-flops, then combinational gates in topological order, which
+// round-trips through Parse to an equivalent netlist.
+func Write(w io.Writer, n *netlist.Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", n.Name)
+	fmt.Fprintf(bw, "# %s\n", n.ComputeStats())
+	for _, pi := range n.PIs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", n.Names[pi])
+	}
+	for _, po := range n.POs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", n.Names[po])
+	}
+	for _, ff := range n.FFs {
+		fmt.Fprintf(bw, "%s = DFF(%s)\n", n.Names[ff], n.Names[n.Gates[ff].Fanin[0]])
+	}
+	for _, id := range n.TopoOrder() {
+		g := n.Gates[id]
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = n.Names[f]
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", n.Names[id], g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"superpose/internal/netlist"
+)
+
+const s27 = `
+# s27 (ISCAS-89), full-scan view
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+G17 = NOT(G11)
+`
+
+func parseS27(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	n, err := Parse(strings.NewReader(s27), "s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestParseS27(t *testing.T) {
+	n := parseS27(t)
+	s := n.ComputeStats()
+	if s.PIs != 4 || s.POs != 1 || s.FFs != 3 {
+		t.Fatalf("s27 stats = %+v", s)
+	}
+	if s.Combinational != 10 {
+		t.Errorf("combinational gates = %d, want 10", s.Combinational)
+	}
+	g17, ok := n.GateID("G17")
+	if !ok || !n.IsPO(g17) {
+		t.Error("G17 must be a PO")
+	}
+	if n.Gates[g17].Type != netlist.Not {
+		t.Errorf("G17 type = %v, want NOT", n.Gates[g17].Type)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	n := parseS27(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Parse(&buf, "s27rt")
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+
+	// Same structure: every gate has the same type and fanin set by name.
+	if m.NumGates() != n.NumGates() {
+		t.Fatalf("gate count %d != %d", m.NumGates(), n.NumGates())
+	}
+	for id := range n.Gates {
+		name := n.NameOf(id)
+		mid, ok := m.GateID(name)
+		if !ok {
+			t.Fatalf("net %s missing after round trip", name)
+		}
+		if m.Gates[mid].Type != n.Gates[id].Type {
+			t.Errorf("net %s type %v != %v", name, m.Gates[mid].Type, n.Gates[id].Type)
+		}
+		var want, got []string
+		for _, f := range n.Gates[id].Fanin {
+			want = append(want, n.NameOf(f))
+		}
+		for _, f := range m.Gates[mid].Fanin {
+			got = append(got, m.NameOf(f))
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("net %s fanins %v != %v", name, got, want)
+		}
+	}
+	// PO set preserved.
+	if len(m.POs) != len(n.POs) || m.NameOf(m.POs[0]) != n.NameOf(n.POs[0]) {
+		t.Error("POs not preserved")
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := "# header\n\nINPUT(a)  # trailing comment\n   \nOUTPUT(b)\nb = NOT(a)\n"
+	n, err := Parse(strings.NewReader(src), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumGates() != 2 {
+		t.Errorf("NumGates = %d", n.NumGates())
+	}
+}
+
+func TestCaseInsensitiveTypesAndAliases(t *testing.T) {
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nx = nand(a, b)\ny = buff(x)\nw = inv(y)\nz = Xor(w, a)\n"
+	n, err := Parse(strings.NewReader(src), "alias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := func(s string) netlist.GateType {
+		g, ok := n.GateID(s)
+		if !ok {
+			t.Fatalf("missing %s", s)
+		}
+		return n.Gates[g].Type
+	}
+	if id("x") != netlist.Nand || id("y") != netlist.Buf || id("w") != netlist.Not || id("z") != netlist.Xor {
+		t.Error("alias/case handling wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no assignment":    "INPUT(a)\nfoo bar\n",
+		"unknown type":     "INPUT(a)\nx = FROB(a)\n",
+		"empty fanin":      "INPUT(a)\nx = AND(a, )\n",
+		"empty name":       "INPUT()\n",
+		"malformed expr":   "INPUT(a)\nx = AND a\n",
+		"malformed direct": "INPUT(a\n",
+		"empty lhs":        " = AND(a, b)\n",
+		"INPUT as gate":    "INPUT(a)\nx = INPUT(a)\n",
+		"DFF two fanins":   "INPUT(a)\nINPUT(b)\nx = DFF(a, b)\n",
+		"undefined net":    "INPUT(a)\nOUTPUT(x)\nx = AND(a, ghost)\n",
+	}
+	for label, src := range cases {
+		if _, err := Parse(strings.NewReader(src), label); err == nil {
+			t.Errorf("%s: expected parse error", label)
+		}
+	}
+}
+
+func TestErrorIncludesLineNumber(t *testing.T) {
+	src := "INPUT(a)\nINPUT(b)\nx = FROB(a)\n"
+	_, err := Parse(strings.NewReader(src), "lineno")
+	if err == nil || !strings.Contains(err.Error(), "lineno:3") {
+		t.Errorf("error = %v, want lineno:3 prefix", err)
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	n := parseS27(t)
+	var b1, b2 bytes.Buffer
+	if err := Write(&b1, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b2, n); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("Write must be deterministic")
+	}
+}

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary text at the .bench parser: it must never
+// panic, and anything it accepts must survive a Write/Parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(s27)
+	f.Add("INPUT(a)\nOUTPUT(b)\nb = NOT(a)\n")
+	f.Add("# only a comment\n")
+	f.Add("x = AND(a, b)\n")
+	f.Add("INPUT(a)\nx = DFF(a)\nOUTPUT(x)\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(strings.NewReader(src), "fuzz")
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, n); err != nil {
+			t.Fatalf("accepted netlist failed to serialize: %v", err)
+		}
+		m, err := Parse(&buf, "fuzz2")
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, buf.String())
+		}
+		if m.NumGates() != n.NumGates() {
+			t.Fatalf("round trip changed gate count %d -> %d", n.NumGates(), m.NumGates())
+		}
+	})
+}

@@ -1,0 +1,301 @@
+package core
+
+import "superpose/internal/scan"
+
+// CellRef addresses one stimulus bit: a scan bit (Chain >= 0) or a primary
+// input (Chain == PIChain, Index = PI position).
+type CellRef struct {
+	Chain, Index int
+}
+
+// PIChain is the sentinel Chain value marking a primary-input bit.
+const PIChain = -1
+
+// IsPI reports whether the reference addresses a primary input.
+func (r CellRef) IsPI() bool { return r.Chain == PIChain }
+
+// applyFlip flips the referenced bit in place.
+func applyFlip(p *scan.Pattern, r CellRef) {
+	if r.IsPI() {
+		p.PI[r.Index] = !p.PI[r.Index]
+		return
+	}
+	p.Scan[r.Chain][r.Index] = !p.Scan[r.Chain][r.Index]
+}
+
+// transitionDelta returns the change in the pattern's LOS transition count
+// if bit (chain, idx) were flipped.
+func transitionDelta(p *scan.Pattern, chain, idx int) int {
+	bits := p.Scan[chain]
+	delta := 0
+	flip := func(j int) { bits[j] = !bits[j] }
+	count := func() int {
+		c := 0
+		lo, hi := idx-1, idx+1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(bits)-1 {
+			hi = len(bits) - 1
+		}
+		for j := lo + 1; j <= hi; j++ {
+			if bits[j] != bits[j-1] {
+				c++
+			}
+		}
+		return c
+	}
+	before := count()
+	flip(idx)
+	after := count()
+	flip(idx) // restore
+	delta = after - before
+	return delta
+}
+
+// AdaptiveOptions tunes the §IV-B flow.
+type AdaptiveOptions struct {
+	// MaxSteps bounds the number of accepted modifications (default
+	// 4 × scan-bit count).
+	MaxSteps int
+	// DropThreshold is the |S-RPD| level between adjacent steps that
+	// counts as the "suspiciously-large drop" of §IV-C and flags the pair
+	// for superposition analysis. Default 0.02.
+	DropThreshold float64
+	// MinGain is the minimum RPD improvement for accepting a step
+	// (default 1e-6: any strict improvement).
+	MinGain float64
+	// ScreenTop is how many of the largest-residual candidates receive a
+	// full superposition analysis per step (default 6). The candidate with
+	// the largest raw residual is not necessarily the best pair: a smaller
+	// residual over a much smaller unique activity yields a stronger
+	// S-RPD — the Fig. 1 ideal is a static sensitization difference whose
+	// unique set is tiny.
+	ScreenTop int
+}
+
+func (o AdaptiveOptions) withDefaults(p *scan.Pattern) AdaptiveOptions {
+	if o.MaxSteps == 0 {
+		bits := 0
+		for _, c := range p.Scan {
+			bits += len(c)
+		}
+		o.MaxSteps = 4*bits + 16
+	}
+	if o.DropThreshold == 0 {
+		o.DropThreshold = 0.02
+	}
+	if o.MinGain == 0 {
+		o.MinGain = 1e-6
+	}
+	if o.ScreenTop == 0 {
+		o.ScreenTop = 6
+	}
+	return o
+}
+
+// AdaptiveStep is one accepted state of the flow.
+type AdaptiveStep struct {
+	Pattern     *scan.Pattern
+	Reading     Reading
+	Flipped     CellRef // the bit flipped to reach this step ({-1,-1} for the seed)
+	Transitions int
+}
+
+// PairCandidate is a pattern pair flagged by the drop screen: the two
+// patterns differ in exactly the Critical stimulus bit, and their
+// superposition signal exceeded the drop threshold.
+type PairCandidate struct {
+	A, B     *scan.Pattern
+	Critical CellRef
+	SRPD     float64
+	// Significance is the residual in units of √(Σe²) over the unique
+	// sets (see PairAnalysis.Significance) — the selection key. Ranking by
+	// raw |S-RPD| would favor tiny-denominator pairs whose benign
+	// variation happens to be extreme; significance normalizes by the
+	// variation exposure instead.
+	Significance float64
+}
+
+// AdaptiveResult is the full trajectory of one adaptive run.
+type AdaptiveResult struct {
+	Steps []AdaptiveStep
+	// Best indexes the step with the highest RPD — the "final test pattern
+	// achieved by the adaptive flow alone" of Table I.
+	Best int
+	// Pairs lists drop-flagged adjacent pairs, in discovery order.
+	Pairs []PairCandidate
+}
+
+// BestPattern returns the max-RPD pattern of the trajectory.
+func (r *AdaptiveResult) BestPattern() *scan.Pattern { return r.Steps[r.Best].Pattern }
+
+// BestPair returns the drop-flagged pair with the highest significance
+// along with the critical bit (the single flip separating the two
+// patterns), or ok=false if no drop was flagged.
+func (r *AdaptiveResult) BestPair() (a, b *scan.Pattern, critical CellRef, ok bool) {
+	best := -1
+	var bestSig float64
+	for i, pc := range r.Pairs {
+		if best < 0 || pc.Significance > bestSig {
+			best, bestSig = i, pc.Significance
+		}
+	}
+	if best < 0 {
+		return nil, nil, CellRef{}, false
+	}
+	pc := r.Pairs[best]
+	return pc.A, pc.B, pc.Critical, true
+}
+
+// Adaptive runs the §IV-B flow from a seed pattern as a greedy hill climb
+// on the suspicious signal: at every step it measures every single-bit
+// scan flip of the current pattern and accepts the one with the highest
+// RPD, stopping at a local maximum. Because RPD normalizes the unexplained
+// power by the nominal activity, the climb both quiets ancillary activity
+// (smaller PN) and sensitizes whatever the golden model cannot explain —
+// "pursuing those potential Trojan-related effects" (§IV-B).
+//
+// Alongside the climb runs the §IV-C drop screen: every candidate whose
+// reading falls hardest below the current pattern's expectation is
+// analyzed through superposition, and pairs whose |S-RPD| exceeds the
+// drop threshold are flagged for the focused §IV-D stage.
+func (ev *Evaluator) Adaptive(seed *scan.Pattern, opt AdaptiveOptions) *AdaptiveResult {
+	opt = opt.withDefaults(seed)
+	cur := seed.Clone()
+	res := &AdaptiveResult{
+		Steps: []AdaptiveStep{{
+			Pattern:     cur,
+			Reading:     ev.Measure(cur),
+			Flipped:     CellRef{-1, -1},
+			Transitions: cur.TransitionCount(),
+		}},
+	}
+
+	for step := 0; step < opt.MaxSteps; step++ {
+		// Every single-bit stimulus flip is a candidate: scan bits change
+		// launch activity, primary-input bits change sensitization at zero
+		// launch cost (PIs hold static across the LOS launch).
+		var cands []CellRef
+		for c := range cur.Scan {
+			for j := range cur.Scan[c] {
+				cands = append(cands, CellRef{c, j})
+			}
+		}
+		for i := range cur.PI {
+			cands = append(cands, CellRef{PIChain, i})
+		}
+		if len(cands) == 0 {
+			break
+		}
+
+		// Measure all candidates, 64 per batch. Two results matter: the
+		// candidate with the strongest suspicious signal (the greedy step)
+		// and the candidate whose reading drops hardest below the current
+		// pattern's expectation — the §IV-C indicator that the flip just
+		// deactivated something the golden model does not know about.
+		curReading := res.Steps[len(res.Steps)-1].Reading
+		bestIdx, bestRPD := -1, 0.0
+		patterns := make([]*scan.Pattern, len(cands))
+		residuals := make([]float64, len(cands))
+		for start := 0; start < len(cands); start += 64 {
+			end := start + 64
+			if end > len(cands) {
+				end = len(cands)
+			}
+			batch := make([]*scan.Pattern, end-start)
+			for i, cr := range cands[start:end] {
+				q := cur.Clone()
+				applyFlip(q, cr)
+				batch[i] = q
+				patterns[start+i] = q
+			}
+			for i, rd := range ev.MeasureBatch(batch) {
+				if bestIdx < 0 || rd.RPD > bestRPD {
+					bestIdx, bestRPD = start+i, rd.RPD
+				}
+				// Superposition numerator of (cur, candidate): observed
+				// power change not explained by the nominal model.
+				residuals[start+i] = abs((curReading.Observed - rd.Observed) -
+					(curReading.Nominal - rd.Nominal))
+			}
+		}
+
+		// Focused superposition analysis of the top residual droppers.
+		top := topIndices(residuals, opt.ScreenTop)
+		pairs := make([][2]*scan.Pattern, len(top))
+		for i, idx := range top {
+			pairs[i] = [2]*scan.Pattern{cur, patterns[idx]}
+		}
+		for i, pa := range ev.AnalyzePairs(pairs) {
+			if abs(pa.SRPD) > opt.DropThreshold {
+				res.Pairs = append(res.Pairs, PairCandidate{
+					A: cur, B: patterns[top[i]], Critical: cands[top[i]],
+					SRPD: pa.SRPD, Significance: pa.Significance(),
+				})
+			}
+		}
+
+		// Local maximum: stop when no flip improves the signal.
+		if bestRPD <= curReading.RPD+opt.MinGain {
+			break
+		}
+
+		chosen := cands[bestIdx]
+		next := patterns[bestIdx]
+		res.Steps = append(res.Steps, AdaptiveStep{
+			Pattern:     next,
+			Reading:     ev.Measure(next),
+			Flipped:     chosen,
+			Transitions: next.TransitionCount(),
+		})
+
+		// Superposition screen of the accepted adjacent pair as well.
+		pa := ev.AnalyzePair(cur, next)
+		if mag := abs(pa.SRPD); mag > opt.DropThreshold {
+			res.Pairs = append(res.Pairs, PairCandidate{
+				A: cur, B: next, Critical: chosen,
+				SRPD: pa.SRPD, Significance: pa.Significance(),
+			})
+		}
+		cur = next
+	}
+
+	for i, s := range res.Steps {
+		if s.Reading.RPD > res.Steps[res.Best].Reading.RPD {
+			res.Best = i
+		}
+	}
+	return res
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// topIndices returns the indices of the k largest values, in descending
+// value order (simple selection — k is small).
+func topIndices(vals []float64, k int) []int {
+	if k > len(vals) {
+		k = len(vals)
+	}
+	out := make([]int, 0, k)
+	used := make(map[int]bool, k)
+	for len(out) < k {
+		best := -1
+		for i, v := range vals {
+			if used[i] {
+				continue
+			}
+			if best < 0 || v > vals[best] {
+				best = i
+			}
+		}
+		used[best] = true
+		out = append(out, best)
+	}
+	return out
+}

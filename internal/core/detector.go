@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+
+	"superpose/internal/atpg"
+	"superpose/internal/netlist"
+	"superpose/internal/power"
+	"superpose/internal/scan"
+)
+
+// Config drives the end-to-end detection pipeline.
+type Config struct {
+	// NumChains is the scan configuration (default 4).
+	NumChains int
+	// Mode is the pattern application technique; the methodology is built
+	// for LOS (default). LOC is supported for the ablation study.
+	Mode scan.Mode
+	// SeedPatterns, when non-empty, replaces ATPG as the seed source
+	// (§IV-B: "the adaptive methodology is agnostic as to the source of
+	// the test pattern, provided LOS is used").
+	SeedPatterns []*scan.Pattern
+	// ATPG configures seed generation when SeedPatterns is empty.
+	ATPG atpg.Options
+	// MaxSeeds bounds how many of the strongest seed patterns get a full
+	// adaptive run (default 3).
+	MaxSeeds int
+	// Adaptive and Strategic tune the two search stages.
+	Adaptive  AdaptiveOptions
+	Strategic StrategicOptions
+	// Varsigma is the assumed intra-die variation magnitude (3σ_intra)
+	// used for the final verdict: a signal is a detection when it exceeds
+	// what ς can explain. Default 0.25, the paper's most extreme case.
+	Varsigma float64
+	// ZThreshold, when positive, adds a second detection criterion: the
+	// final residual in σ_intra-propagated standard deviations of the
+	// pair's unique activity. Disabled by default — the adaptive climb
+	// actively concentrates activity on the die's most PV-positive gates,
+	// so on a clean die the mined maximum z runs well above blind
+	// extreme-value estimates (≈5–6σ observed); the paper's ς bound on
+	// the ratio metric is the safe verdict. The z value is still reported
+	// for diagnostics.
+	ZThreshold float64
+	// MaxPairs is how many of the top flagged pairs (by significance)
+	// receive the full strategic-modification treatment (default 3).
+	MaxPairs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumChains == 0 {
+		c.NumChains = 4
+	}
+	if c.MaxSeeds == 0 {
+		c.MaxSeeds = 3
+	}
+	if c.Varsigma == 0 {
+		c.Varsigma = 0.25
+	}
+	if c.MaxPairs == 0 {
+		c.MaxPairs = 3
+	}
+	return c
+}
+
+// Report is the outcome of a certification run on one device.
+type Report struct {
+	// Seed stage.
+	ATPGSummary string
+	SeedReading Reading // the strongest seed pattern's reading
+	SeedPattern *scan.Pattern
+
+	// Adaptive stage (best across seeds).
+	Adaptive        *AdaptiveResult
+	AdaptiveReading Reading
+
+	// Superposition stage. HasPair is false when no suspicious drop was
+	// ever flagged — the expected outcome on a Trojan-free device.
+	HasPair       bool
+	Superposition PairAnalysis // the flagged pair, as found (§IV-C)
+	Strategic     StrategicResult
+
+	// Verdict.
+	FinalSRPD float64
+	// FinalZ is the final pair's residual in benign standard deviations
+	// (Significance / σ_intra with σ_intra = Varsigma/3).
+	FinalZ   float64
+	Varsigma float64
+	Detected bool
+}
+
+// DetectionProbabilityAt evaluates the Eq. 3 bound for the report's final
+// signal at a given 3σ_intra.
+func (r *Report) DetectionProbabilityAt(varsigma float64) float64 {
+	return DetectionProbability(r.FinalSRPD, varsigma)
+}
+
+// Summary renders a human-readable digest.
+func (r *Report) Summary() string {
+	verdict := "CLEAN (no signal beyond process variation)"
+	if r.Detected {
+		verdict = fmt.Sprintf("TROJAN DETECTED (|S-RPD| %.4f vs benign bound %.4f, z=%.1f)",
+			abs(r.FinalSRPD), r.Varsigma, r.FinalZ)
+	}
+	s := fmt.Sprintf("seed RPD %.5f; adaptive RPD %.5f", r.SeedReading.RPD, r.AdaptiveReading.RPD)
+	if r.HasPair {
+		s += fmt.Sprintf("; superposition S-RPD %.5f; strategic S-RPD %.5f",
+			r.Superposition.SRPD, r.Strategic.Final.SRPD)
+	}
+	return s + "; " + verdict
+}
+
+// Detect runs the full pipeline of the paper against one device:
+//
+//  1. obtain LOS TDF seed patterns (ATPG on the golden netlist),
+//  2. rank seeds by suspicious signal and run the adaptive
+//     transition-reduction flow on the strongest ones,
+//  3. when a suspiciously large adjacent-pattern drop appears, analyze the
+//     pair through superposition,
+//  4. align the pair further with the strategic modification suite,
+//  5. compare the final S-RPD against what intra-die variation can explain.
+func Detect(golden *netlist.Netlist, lib *power.Library, dev *Device, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	ev := NewEvaluator(golden, lib, dev, cfg.NumChains, cfg.Mode)
+
+	seeds := cfg.SeedPatterns
+	rep := &Report{Varsigma: cfg.Varsigma}
+	if len(seeds) == 0 {
+		gen, err := atpg.Generate(ev.Chains(), cfg.ATPG)
+		if err != nil {
+			return nil, fmt.Errorf("core: seed generation: %w", err)
+		}
+		if len(gen.Patterns) == 0 {
+			return nil, fmt.Errorf("core: ATPG produced no seed patterns")
+		}
+		seeds = gen.Patterns
+		rep.ATPGSummary = gen.String()
+	}
+
+	// Per-die characterization: estimate the global (inter-die) power
+	// scale from the seed set so the self-referencing analysis only faces
+	// intra-die variation, as §V-D assumes.
+	ev.Calibrate(seeds)
+
+	// Rank seeds by RPD.
+	type ranked struct {
+		p *scan.Pattern
+		r Reading
+	}
+	var rankedSeeds []ranked
+	for start := 0; start < len(seeds); start += 64 {
+		end := start + 64
+		if end > len(seeds) {
+			end = len(seeds)
+		}
+		rs := ev.MeasureBatch(seeds[start:end])
+		for i, r := range rs {
+			rankedSeeds = append(rankedSeeds, ranked{seeds[start+i], r})
+		}
+	}
+	for i := 1; i < len(rankedSeeds); i++ { // insertion sort by RPD desc
+		for j := i; j > 0 && rankedSeeds[j].r.RPD > rankedSeeds[j-1].r.RPD; j-- {
+			rankedSeeds[j], rankedSeeds[j-1] = rankedSeeds[j-1], rankedSeeds[j]
+		}
+	}
+	rep.SeedPattern = rankedSeeds[0].p
+	rep.SeedReading = rankedSeeds[0].r
+
+	// Adaptive runs on the strongest seeds.
+	nSeeds := cfg.MaxSeeds
+	if nSeeds > len(rankedSeeds) {
+		nSeeds = len(rankedSeeds)
+	}
+	var flagged []PairCandidate
+	for i := 0; i < nSeeds; i++ {
+		ar := ev.Adaptive(rankedSeeds[i].p, cfg.Adaptive)
+		best := ar.Steps[ar.Best]
+		if rep.Adaptive == nil || best.Reading.RPD > rep.AdaptiveReading.RPD {
+			rep.Adaptive = ar
+			rep.AdaptiveReading = best.Reading
+		}
+		flagged = append(flagged, ar.Pairs...)
+	}
+	// Rank flagged pairs by significance and give the strongest few the
+	// full strategic treatment; a genuine Trojan residual is magnified as
+	// the alignment walk shrinks the unique activity, while a mined
+	// process-variation residual shrinks together with the unique gates
+	// that produced it.
+	for i := 1; i < len(flagged); i++ { // insertion sort, descending
+		for j := i; j > 0 && flagged[j].Significance > flagged[j-1].Significance; j-- {
+			flagged[j], flagged[j-1] = flagged[j-1], flagged[j]
+		}
+	}
+	nPairs := cfg.MaxPairs
+	if nPairs > len(flagged) {
+		nPairs = len(flagged)
+	}
+
+	var finalSig float64
+	if nPairs > 0 {
+		rep.HasPair = true
+		for i := 0; i < nPairs; i++ {
+			pc := flagged[i]
+			sup := ev.AnalyzePair(pc.A, pc.B)
+			st := ev.StrategicModify(pc.A, pc.B, pc.Critical, cfg.Strategic)
+			if i == 0 || abs(st.Final.SRPD) > abs(rep.Strategic.Final.SRPD) {
+				rep.Superposition = sup
+				rep.Strategic = st
+			}
+		}
+		rep.FinalSRPD = rep.Strategic.Final.SRPD
+		finalSig = rep.Strategic.Final.Significance()
+		if s := rep.Superposition.Significance(); s > finalSig {
+			finalSig = s
+		}
+	} else {
+		// No pair: fall back to the best adjacent pair of the adaptive
+		// trajectory so the verdict still has a superposition reading.
+		if len(rep.Adaptive.Steps) >= 2 {
+			bi := rep.Adaptive.Best
+			if bi == 0 {
+				bi = 1
+			}
+			rep.Superposition = ev.AnalyzePair(rep.Adaptive.Steps[bi-1].Pattern, rep.Adaptive.Steps[bi].Pattern)
+			rep.FinalSRPD = rep.Superposition.SRPD
+			finalSig = rep.Superposition.Significance()
+		}
+	}
+
+	// Dual-criterion verdict: the Eq. 3 bound on the ratio metric, or a
+	// residual too many benign standard deviations out for this pair's
+	// actual variation exposure.
+	sigmaIntra := cfg.Varsigma / 3
+	if sigmaIntra > 0 {
+		rep.FinalZ = finalSig / sigmaIntra
+	}
+	rep.Detected = abs(rep.FinalSRPD) > MaxBenignSRPD(cfg.Varsigma) ||
+		(cfg.ZThreshold > 0 && rep.FinalZ > cfg.ZThreshold)
+	return rep, nil
+}

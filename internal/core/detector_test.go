@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"superpose/internal/atpg"
+	"superpose/internal/power"
+	"superpose/internal/scan"
+	"superpose/internal/trojan"
+	"superpose/internal/trust"
+)
+
+// buildTestbench materializes a small benchmark case, manufactures an
+// infected chip and a clean chip with identical variation parameters, and
+// returns everything the pipeline needs.
+func buildTestbench(t testing.TB, c trust.Case, scale float64, varsigma float64, seed uint64) (
+	inst *trojan.Instance, lib *power.Library, infected, clean *Device) {
+	t.Helper()
+	ti, err := trust.Build(c, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib = power.SAED90Like()
+	v := power.ThreeSigmaIntra(varsigma)
+	chipBad := power.Manufacture(ti.Infected, lib, v, seed)
+	chipGood := power.Manufacture(ti.Host, lib, v, seed+1)
+	const chains = 4
+	return ti, lib, NewDevice(chipBad, chains, scan.LOS), NewDevice(chipGood, chains, scan.LOS)
+}
+
+func TestDetectEndToEnd(t *testing.T) {
+	// s35932-T200 at scale 0.04 gives the pipeline a comfortable margin:
+	// infected S-RPD ≈ 0.23, clean ≈ 0.08 against a ς = 0.10 verdict
+	// threshold. (At this reduced scale the unique activity cones are
+	// proportionally larger than at published size, so the margin is
+	// tighter than the full-scale experiments; the weakest case,
+	// s38417-T100, is exercised separately without a hard verdict.)
+	inst, lib, infected, clean := buildTestbench(t, trust.Case{Benchmark: "s35932", Trojan: "T200"}, 0.04, 0.15, 42)
+	cfg := Config{
+		NumChains: 4,
+		ATPG:      atpg.Options{Seed: 7, RandomPatterns: 32, MaxFaults: 40, FaultSample: 120},
+		Varsigma:  0.10,
+	}
+
+	repBad, err := Detect(inst.Host, lib, infected, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("infected: %s", repBad.Summary())
+	if !repBad.Detected {
+		t.Errorf("Trojan not detected: %s", repBad.Summary())
+	}
+	if !repBad.HasPair {
+		t.Error("no superposition pair flagged on infected device")
+	}
+	// The adaptive flow must magnify the seed signal.
+	if repBad.AdaptiveReading.RPD <= repBad.SeedReading.RPD {
+		t.Errorf("adaptive RPD %.5f did not improve on seed %.5f",
+			repBad.AdaptiveReading.RPD, repBad.SeedReading.RPD)
+	}
+	// Strategic modification must not degrade the superposition signal.
+	if repBad.HasPair {
+		if absf(repBad.Strategic.Final.SRPD) < absf(repBad.Superposition.SRPD)-1e-9 {
+			t.Errorf("strategic S-RPD %.5f worse than plain superposition %.5f",
+				repBad.Strategic.Final.SRPD, repBad.Superposition.SRPD)
+		}
+	}
+
+	repGood, err := Detect(inst.Host, lib, clean, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("clean: %s", repGood.Summary())
+	if repGood.Detected {
+		t.Errorf("false positive on clean device: %s", repGood.Summary())
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

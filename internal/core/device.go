@@ -1,0 +1,101 @@
+package core
+
+import (
+	"superpose/internal/logic"
+	"superpose/internal/netlist"
+	"superpose/internal/power"
+	"superpose/internal/scan"
+)
+
+// Device is the IC-under-certification sitting on the tester. Applying a
+// batch of LOS patterns yields one power reading per pattern — nothing
+// else about the physical die is observable to the detection flow.
+//
+// Internally the device simulates the *physical* netlist (which may carry
+// a Trojan the defender's golden model lacks) and prices the launch
+// activity on the chip's process-variation-afflicted gates. The ground
+// truth accessors are clearly marked evaluation-only.
+type Device struct {
+	physical *netlist.Netlist
+	eng      *scan.Engine
+	chip     *power.Chip
+	mode     scan.Mode
+	repeats  int
+	masks    []logic.Word // scratch
+}
+
+// NewDevice mounts a chip built over the physical netlist. numChains must
+// match the scan configuration the defender uses on the golden model; the
+// scan cells of both netlists must agree (Trojan insertion preserves
+// them).
+func NewDevice(chip *power.Chip, numChains int, mode scan.Mode) *Device {
+	physical := chip.Netlist()
+	return newDevice(chip, scan.Configure(physical, numChains), mode)
+}
+
+// NewDeviceFromChains mounts a chip using an explicit scan configuration
+// (typically one built on the golden netlist, e.g. by
+// scan.ReorderByConnectivity, transplanted via its cell order — flip-flop
+// IDs agree between golden and infected netlists).
+func NewDeviceFromChains(chip *power.Chip, goldenChains *scan.Chains, mode scan.Mode) (*Device, error) {
+	ch, err := scan.FromOrder(chip.Netlist(), goldenChains.Order())
+	if err != nil {
+		return nil, err
+	}
+	return newDevice(chip, ch, mode), nil
+}
+
+func newDevice(chip *power.Chip, ch *scan.Chains, mode scan.Mode) *Device {
+	return &Device{
+		physical: chip.Netlist(),
+		eng:      scan.NewEngine(ch),
+		chip:     chip,
+		mode:     mode,
+		repeats:  1,
+	}
+}
+
+// SetRepeats makes every reading the average of k pattern applications —
+// standard tester practice to suppress measurement noise (process
+// variation, being fixed per die, is unaffected). k < 1 is clamped to 1.
+func (d *Device) SetRepeats(k int) {
+	if k < 1 {
+		k = 1
+	}
+	d.repeats = k
+}
+
+// MeasureBatch applies up to 64 patterns and returns the power readings.
+func (d *Device) MeasureBatch(pats []*scan.Pattern) []float64 {
+	d.eng.Launch(pats, d.mode)
+	d.masks = d.eng.ToggleMasks(d.masks)
+	out := d.chip.MeasureLanes(d.masks, len(pats))
+	for r := 1; r < d.repeats; r++ {
+		for i, v := range d.chip.MeasureLanes(d.masks, len(pats)) {
+			out[i] += v
+		}
+	}
+	if d.repeats > 1 {
+		for i := range out {
+			out[i] /= float64(d.repeats)
+		}
+	}
+	return out
+}
+
+// Measure applies a single pattern.
+func (d *Device) Measure(p *scan.Pattern) float64 {
+	return d.MeasureBatch([]*scan.Pattern{p})[0]
+}
+
+// GroundTruthToggles returns the physical toggle set of a pattern
+// (infected-netlist gate IDs). EVALUATION ONLY: a real tester cannot
+// observe per-gate activity; the metrics harness uses this to compute TCA
+// against the inserted Trojan's ground truth.
+func (d *Device) GroundTruthToggles(p *scan.Pattern) []int {
+	d.eng.Launch([]*scan.Pattern{p}, d.mode)
+	return d.eng.Toggles(0)
+}
+
+// PhysicalNetlist exposes the physical netlist. EVALUATION ONLY.
+func (d *Device) PhysicalNetlist() *netlist.Netlist { return d.physical }

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"superpose/internal/logic"
+	"superpose/internal/netlist"
+	"superpose/internal/power"
+	"superpose/internal/scan"
+)
+
+// Evaluator is the defender's workbench: the golden (Trojan-free) netlist
+// with its nominal power model on one side, the physical Device on the
+// other. Everything the detection flow knows is computed here.
+type Evaluator struct {
+	golden *netlist.Netlist
+	chains *scan.Chains
+	eng    *scan.Engine // golden-model activity prediction
+	model  *power.Model
+	dev    *Device
+	mode   scan.Mode
+
+	// scale is the per-die calibration factor (see Calibrate): observed
+	// powers are divided by it, which is what makes the methodology
+	// self-referential with respect to inter-die variation.
+	scale float64
+
+	masks []logic.Word // scratch for batch pricing
+}
+
+// NewEvaluator assembles the workbench. The scan configuration is built on
+// the golden netlist with numChains chains; the device must have been
+// created with the same chain count.
+func NewEvaluator(golden *netlist.Netlist, lib *power.Library, dev *Device, numChains int, mode scan.Mode) *Evaluator {
+	return NewEvaluatorFromChains(golden, lib, dev, scan.Configure(golden, numChains), mode)
+}
+
+// NewEvaluatorFromChains assembles the workbench over an explicit scan
+// configuration (which must structurally match the device's — see
+// NewDeviceFromChains).
+func NewEvaluatorFromChains(golden *netlist.Netlist, lib *power.Library, dev *Device, ch *scan.Chains, mode scan.Mode) *Evaluator {
+	return &Evaluator{
+		golden: golden,
+		chains: ch,
+		eng:    scan.NewEngine(ch),
+		model:  power.NewModel(golden, lib),
+		dev:    dev,
+		mode:   mode,
+		scale:  1,
+	}
+}
+
+// Calibrate estimates this die's global power scale — the inter-die
+// variation component, which multiplies every gate of the chip equally —
+// as the median of observed/nominal over a set of patterns, and corrects
+// all subsequent measurements by it. This is the "dissecting and
+// understanding the characteristics of a given manufactured IC" step of
+// the paper's self-referential methodology (§V-D: inter-die variation has
+// no opportunity to disrupt behaviour). The median is robust to the tiny
+// Trojan contamination of individual readings. It returns the estimated
+// scale.
+func (ev *Evaluator) Calibrate(pats []*scan.Pattern) float64 {
+	var ratios []float64
+	for start := 0; start < len(pats); start += 64 {
+		end := start + 64
+		if end > len(pats) {
+			end = len(pats)
+		}
+		batch := pats[start:end]
+		observed := ev.dev.MeasureBatch(batch)
+		ev.eng.Launch(batch, ev.mode)
+		for i := range batch {
+			nom := ev.model.Nominal(ev.eng.Toggles(uint(i)))
+			if nom > 0 {
+				ratios = append(ratios, observed[i]/nom)
+			}
+		}
+	}
+	if len(ratios) == 0 {
+		return ev.scale
+	}
+	sort.Float64s(ratios)
+	med := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		med = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+	}
+	if med > 0 {
+		ev.scale = med
+	}
+	return ev.scale
+}
+
+// Scale returns the current calibration factor (1 when uncalibrated).
+func (ev *Evaluator) Scale() float64 { return ev.scale }
+
+// Chains returns the scan configuration (for pattern construction).
+func (ev *Evaluator) Chains() *scan.Chains { return ev.chains }
+
+// Golden returns the defender's netlist.
+func (ev *Evaluator) Golden() *netlist.Netlist { return ev.golden }
+
+// Device returns the IC under certification.
+func (ev *Evaluator) Device() *Device { return ev.dev }
+
+// Reading is one defender-visible measurement of a pattern.
+type Reading struct {
+	Observed float64 // chip power
+	Nominal  float64 // golden-model nominal power of the predicted activity
+	RPD      float64 // Eq. 1
+}
+
+// MeasureBatch evaluates up to 64 patterns: chip observation plus
+// golden-model nominal expectation for each.
+func (ev *Evaluator) MeasureBatch(pats []*scan.Pattern) []Reading {
+	observed := ev.dev.MeasureBatch(pats)
+	ev.eng.Launch(pats, ev.mode)
+	ev.masks = ev.eng.ToggleMasks(ev.masks)
+	nominals := ev.model.NominalLanes(ev.masks, len(pats))
+	out := make([]Reading, len(pats))
+	for i := range pats {
+		obs := observed[i] / ev.scale
+		out[i] = Reading{
+			Observed: obs,
+			Nominal:  nominals[i],
+			RPD:      RPD(obs, nominals[i]),
+		}
+	}
+	return out
+}
+
+// Measure evaluates a single pattern.
+func (ev *Evaluator) Measure(p *scan.Pattern) Reading {
+	return ev.MeasureBatch([]*scan.Pattern{p})[0]
+}
+
+// GoldenToggles returns the golden-model toggle set of a pattern — the
+// defender's prediction of which gates switch.
+func (ev *Evaluator) GoldenToggles(p *scan.Pattern) []int {
+	ev.eng.Launch([]*scan.Pattern{p}, ev.mode)
+	return append([]int(nil), ev.eng.Toggles(0)...)
+}
+
+// PairAnalysis is the superposition view of a pattern pair (§IV-C): the
+// observed and nominal powers, the golden-model activity decomposition,
+// and the resulting S-RPD.
+type PairAnalysis struct {
+	A, B *scan.Pattern
+
+	ObservedA, ObservedB float64
+	NominalA, NominalB   float64
+
+	// Golden-model activity decomposition (gate counts) and the nominal
+	// power of the unique parts — the Eq. 2 denominator.
+	CommonCount, AUniqueCount, BUniqueCount int
+	NominalAUnique, NominalBUnique          float64
+
+	// UniqueEnergySq is Σe² over both unique sets: the squared scale of
+	// the intra-die variation the pair is exposed to (σ·√UniqueEnergySq
+	// is the residual's standard deviation under the benign hypothesis).
+	UniqueEnergySq float64
+
+	SRPD float64
+}
+
+// Residual returns the Eq. 2 numerator: the observed power difference not
+// explained by the nominal model.
+func (pa *PairAnalysis) Residual() float64 {
+	return (pa.ObservedA - pa.ObservedB) - (pa.NominalA - pa.NominalB)
+}
+
+// Significance returns |Residual| / √(Σe² of the unique sets) — the number
+// of per-unit-σ standard deviations the residual stands above benign
+// intra-die variation. Unlike S-RPD it is scale-free in σ, so it ranks
+// candidate pairs without assuming a variation magnitude.
+func (pa *PairAnalysis) Significance() float64 {
+	if pa.UniqueEnergySq <= 0 {
+		return 0
+	}
+	r := pa.Residual()
+	if r < 0 {
+		r = -r
+	}
+	return r / math.Sqrt(pa.UniqueEnergySq)
+}
+
+// AnalyzePair applies superposition to a pattern pair.
+func (ev *Evaluator) AnalyzePair(a, b *scan.Pattern) PairAnalysis {
+	readings := ev.MeasureBatch([]*scan.Pattern{a, b})
+
+	ev.eng.Launch([]*scan.Pattern{a, b}, ev.mode)
+	ta := append([]int(nil), ev.eng.Toggles(0)...)
+	tb := ev.eng.Toggles(1)
+	common, aU, bU := SplitToggles(ta, tb)
+
+	pa := PairAnalysis{
+		A: a, B: b,
+		ObservedA: readings[0].Observed, ObservedB: readings[1].Observed,
+		NominalA: readings[0].Nominal, NominalB: readings[1].Nominal,
+		CommonCount:  len(common),
+		AUniqueCount: len(aU), BUniqueCount: len(bU),
+		NominalAUnique: ev.model.Nominal(aU),
+		NominalBUnique: ev.model.Nominal(bU),
+		UniqueEnergySq: ev.model.NominalSumSquares(aU) + ev.model.NominalSumSquares(bU),
+	}
+	pa.SRPD = SRPD(pa.ObservedA, pa.ObservedB, pa.NominalA, pa.NominalB,
+		pa.NominalAUnique, pa.NominalBUnique)
+	return pa
+}

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"fmt"
+
+	"superpose/internal/atpg"
+	"superpose/internal/netlist"
+	"superpose/internal/power"
+	"superpose/internal/scan"
+	"superpose/internal/trojan"
+	"superpose/internal/trust"
+)
+
+// ExperimentConfig parameterizes the reproduction of the paper's
+// evaluation (§V).
+type ExperimentConfig struct {
+	// Scale sizes the benchmark hosts (1.0 = published gate counts;
+	// smaller values trade fidelity of the ancillary-activity ratios for
+	// runtime). Default 0.25.
+	Scale float64
+	// Varsigma is the manufacturing intra-die variation (3σ_intra) of the
+	// simulated dies. Default 0.15.
+	Varsigma float64
+	// ChipSeed selects the die; fixed by default for reproducibility.
+	ChipSeed uint64
+	// NumChains is the scan configuration. Default 4.
+	NumChains int
+	// ATPG tunes seed-pattern generation. The default samples the fault
+	// list (seed patterns, not manufacturing coverage, are the goal).
+	ATPG atpg.Options
+	// MaxSeeds bounds the adaptive stage (default 3).
+	MaxSeeds int
+}
+
+func (c ExperimentConfig) withDefaults() ExperimentConfig {
+	if c.Scale == 0 {
+		c.Scale = 0.25
+	}
+	if c.Varsigma == 0 {
+		c.Varsigma = 0.15
+	}
+	if c.ChipSeed == 0 {
+		c.ChipSeed = 0xC0FFEE
+	}
+	if c.NumChains == 0 {
+		c.NumChains = 4
+	}
+	if c.ATPG.RandomPatterns == 0 {
+		c.ATPG.RandomPatterns = 32
+	}
+	if c.ATPG.MaxFaults == 0 {
+		c.ATPG.MaxFaults = 40
+	}
+	if c.ATPG.FaultSample == 0 {
+		c.ATPG.FaultSample = 120
+	}
+	if c.ATPG.Seed == 0 {
+		c.ATPG.Seed = 7
+	}
+	if c.MaxSeeds == 0 {
+		c.MaxSeeds = 3
+	}
+	return c
+}
+
+// TableIRow is one benchmark's row of Table I: the Trojan signal magnitude
+// (RPD / S-RPD) and Trojan-to-Circuit Activity at each stage of the
+// methodology, plus the magnification ratios.
+type TableIRow struct {
+	Case string
+
+	ATPGRPD, ATPGTCA            float64
+	AdaptiveRPD, AdaptiveTCA    float64
+	SuperSRPD, SuperTCA         float64
+	StrategicSRPD, StrategicTCA float64
+
+	MagOverATPG, MagOverAdaptive float64
+}
+
+// RunTableICase reproduces one row of Table I.
+func RunTableICase(c trust.Case, cfg ExperimentConfig) (TableIRow, error) {
+	cfg = cfg.withDefaults()
+	inst, err := trust.Build(c, cfg.Scale)
+	if err != nil {
+		return TableIRow{}, err
+	}
+	lib := power.SAED90Like()
+	chip := power.Manufacture(inst.Infected, lib, power.ThreeSigmaIntra(cfg.Varsigma), cfg.ChipSeed)
+	dev := NewDevice(chip, cfg.NumChains, scan.LOS)
+
+	rep, err := Detect(inst.Host, lib, dev, Config{
+		NumChains: cfg.NumChains,
+		ATPG:      cfg.ATPG,
+		MaxSeeds:  cfg.MaxSeeds,
+		Varsigma:  cfg.Varsigma,
+	})
+	if err != nil {
+		return TableIRow{}, err
+	}
+
+	isTroj := inst.IsTrojanGate
+	row := TableIRow{
+		Case:        c.String(),
+		ATPGRPD:     abs(rep.SeedReading.RPD),
+		ATPGTCA:     TCA(dev.GroundTruthToggles(rep.SeedPattern), isTroj),
+		AdaptiveRPD: abs(rep.AdaptiveReading.RPD),
+		AdaptiveTCA: TCA(dev.GroundTruthToggles(rep.Adaptive.BestPattern()), isTroj),
+	}
+	if rep.HasPair {
+		row.SuperSRPD = abs(rep.Superposition.SRPD)
+		row.SuperTCA = PairTCA(
+			dev.GroundTruthToggles(rep.Superposition.A),
+			dev.GroundTruthToggles(rep.Superposition.B), isTroj)
+		row.StrategicSRPD = abs(rep.Strategic.Final.SRPD)
+		row.StrategicTCA = PairTCA(
+			dev.GroundTruthToggles(rep.Strategic.Final.A),
+			dev.GroundTruthToggles(rep.Strategic.Final.B), isTroj)
+	}
+	if row.ATPGRPD > 0 {
+		row.MagOverATPG = row.StrategicSRPD / row.ATPGRPD
+	}
+	if row.AdaptiveRPD > 0 {
+		row.MagOverAdaptive = row.StrategicSRPD / row.AdaptiveRPD
+	}
+	return row, nil
+}
+
+// RunTableI reproduces all five rows of Table I.
+func RunTableI(cfg ExperimentConfig) ([]TableIRow, error) {
+	var rows []TableIRow
+	for _, c := range trust.Cases() {
+		row, err := RunTableICase(c, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("case %s: %w", c, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ControlRow is one clean-device control measurement: the pipeline run
+// against an uninfected die of the same benchmark, reporting the spurious
+// signal level the method reaches on nothing. Not part of the paper's
+// evaluation, but the false-positive side of its claims.
+type ControlRow struct {
+	Case      string
+	FinalSRPD float64
+	Detected  bool
+}
+
+// RunCleanControls runs the full pipeline against clean dies of every
+// benchmark host with the same configuration as RunTableI.
+func RunCleanControls(cfg ExperimentConfig) ([]ControlRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []ControlRow
+	seen := map[string]bool{}
+	for _, c := range trust.Cases() {
+		if seen[c.Benchmark] {
+			continue // one clean control per host
+		}
+		seen[c.Benchmark] = true
+		inst, err := trust.Build(c, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		lib := power.SAED90Like()
+		chip := power.Manufacture(inst.Host, lib, power.ThreeSigmaIntra(cfg.Varsigma), cfg.ChipSeed+1)
+		dev := NewDevice(chip, cfg.NumChains, scan.LOS)
+		rep, err := Detect(inst.Host, lib, dev, Config{
+			NumChains: cfg.NumChains,
+			ATPG:      cfg.ATPG,
+			MaxSeeds:  cfg.MaxSeeds,
+			Varsigma:  cfg.Varsigma,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("control %s: %w", c.Benchmark, err)
+		}
+		rows = append(rows, ControlRow{
+			Case:      c.Benchmark + "-clean",
+			FinalSRPD: abs(rep.FinalSRPD),
+			Detected:  rep.Detected,
+		})
+	}
+	return rows, nil
+}
+
+// TableIIVarsigmas are the intra-die magnitudes of Table II's columns.
+var TableIIVarsigmas = []float64{0.05, 0.10, 0.15, 0.20, 0.25}
+
+// TableIIRow is one benchmark's detection likelihood under each intra-die
+// variation magnitude, given its achieved S-RPD.
+type TableIIRow struct {
+	Case          string
+	AchievedSRPD  float64
+	Probabilities []float64 // parallel to TableIIVarsigmas
+}
+
+// TableIIFromSRPD evaluates one Table II row from an achieved S-RPD.
+func TableIIFromSRPD(caseName string, srpd float64) TableIIRow {
+	row := TableIIRow{Case: caseName, AchievedSRPD: srpd}
+	for _, v := range TableIIVarsigmas {
+		row.Probabilities = append(row.Probabilities, DetectionProbability(srpd, v))
+	}
+	return row
+}
+
+// RunTableII reproduces Table II from a set of Table I rows (the achieved
+// S-RPD of the strategic stage).
+func RunTableII(rows []TableIRow) []TableIIRow {
+	var out []TableIIRow
+	for _, r := range rows {
+		out = append(out, TableIIFromSRPD(r.Case, r.StrategicSRPD))
+	}
+	return out
+}
+
+// PaperTableII returns Table II exactly as printed in the paper (achieved
+// S-RPD per case), for direct comparison of the analytic machinery.
+func PaperTableII() []TableIIRow {
+	paper := []struct {
+		name string
+		srpd float64
+	}{
+		{"s35932-T200", 0.195},
+		{"s35932-T300", 0.259},
+		{"s38417-T100", 0.136},
+		{"s38417-T200", 0.218},
+		{"s38584-T100", 0.210},
+	}
+	var out []TableIIRow
+	for _, p := range paper {
+		out = append(out, TableIIFromSRPD(p.name, p.srpd))
+	}
+	return out
+}
+
+// Figure1Demo is the worked example of Fig. 1: a launch transition
+// propagating through nine non-Trojan gates into a Trojan AND whose other
+// input is a static scan-cell value. The pattern pair differs only in
+// that static value — TPa activates the Trojan gate, TPb deactivates it —
+// so the benign activity overlaps perfectly and the superposition residual
+// equals the full Trojan switching energy.
+type Figure1Demo struct {
+	Instance *trojan.Instance
+	TPa, TPb *scan.Pattern
+
+	ObservedA, ObservedB float64
+	NominalA, NominalB   float64
+	Residual             float64 // (POa-POb)-(PNa-PNb): the exposed Trojan signal
+	TrojanEnergy         float64 // ground truth: energy of the Trojan gate toggles under TPa
+	InducedEnergy        float64 // benign gates toggled only because the payload fired
+	UniqueBenign         int     // golden-model unique gates (0 in the ideal case)
+}
+
+// BuildFigure1 constructs and evaluates the Fig. 1 demonstration with no
+// process variation (the figure illustrates the mechanism, not the noise).
+func BuildFigure1() (*Figure1Demo, error) {
+	b := netlist.NewBuilder("figure1")
+	// Launch cell chain: x0 (scan-in, pinned) then x1; loading "01" fires
+	// a transition from x1.
+	if _, err := b.AddDFF("x0", "dx0"); err != nil {
+		return nil, err
+	}
+	if _, err := b.AddDFF("x1", "dx1"); err != nil {
+		return nil, err
+	}
+	// The non-transitioning cell, alone on its own chain: its loaded value
+	// is static through the launch.
+	if _, err := b.AddDFF("y", "dy"); err != nil {
+		return nil, err
+	}
+	// Nine non-Trojan gates between the launching cell and the Trojan.
+	prev := "x1"
+	for i := 1; i <= 9; i++ {
+		name := fmt.Sprintf("p%d", i)
+		typ := netlist.Buf
+		if i%2 == 0 {
+			typ = netlist.Not
+		}
+		if _, err := b.AddGate(name, typ, prev); err != nil {
+			return nil, err
+		}
+		prev = name
+	}
+	// A static net for the payload to sit on, plus D-pin closures.
+	if _, err := b.AddGate("w", netlist.Or, "y", "x0"); err != nil {
+		return nil, err
+	}
+	if _, err := b.AddGate("dx0", netlist.Buf, "p9"); err != nil {
+		return nil, err
+	}
+	if _, err := b.AddGate("dx1", netlist.Buf, "w"); err != nil {
+		return nil, err
+	}
+	if _, err := b.AddGate("dy", netlist.Buf, "y"); err != nil {
+		return nil, err
+	}
+	b.MarkOutput("p9")
+	b.MarkOutput("w")
+	host, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	inst, err := trojan.Insert(host, trojan.Spec{
+		Name:            "fig1",
+		TriggerNets:     []string{"p5", "y"},
+		TriggerPolarity: []bool{true, true},
+		VictimNet:       "w",
+		TreeArity:       2,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	lib := power.SAED90Like()
+	chip := power.Manufacture(inst.Infected, lib, power.Variation{}, 1)
+	dev := NewDevice(chip, 2, scan.LOS)
+	ev := NewEvaluator(host, lib, dev, 2, scan.LOS)
+
+	// Chains: chain 0 = {x0, x1}, chain 1 = {y}.
+	tpa := ev.Chains().NewPattern()
+	tpa.Scan[0][0] = false
+	tpa.Scan[0][1] = true // load "01": launch from x1
+	tpa.Scan[1][0] = true // y = 1: Trojan AND sensitized
+	tpb := tpa.Clone()
+	tpb.Scan[1][0] = false // y = 0: Trojan AND blocked
+
+	pa := ev.AnalyzePair(tpa, tpb)
+	demo := &Figure1Demo{
+		Instance:  inst,
+		TPa:       tpa,
+		TPb:       tpb,
+		ObservedA: pa.ObservedA, ObservedB: pa.ObservedB,
+		NominalA: pa.NominalA, NominalB: pa.NominalB,
+		Residual:     (pa.ObservedA - pa.ObservedB) - (pa.NominalA - pa.NominalB),
+		UniqueBenign: pa.AUniqueCount + pa.BUniqueCount,
+	}
+	// Ground truth decomposition: Trojan gates, plus benign gates that
+	// toggle only because the payload corrupted their input (the golden
+	// model predicts them silent) — both are Trojan-caused signal.
+	goldenSet := make(map[int]bool)
+	for _, id := range ev.GoldenToggles(tpa) {
+		goldenSet[id] = true
+	}
+	for _, id := range dev.GroundTruthToggles(tpa) {
+		switch {
+		case inst.IsTrojanGate(id):
+			demo.TrojanEnergy += chip.EffectiveOf(id)
+		case !goldenSet[id]:
+			demo.InducedEnergy += chip.EffectiveOf(id)
+		}
+	}
+	return demo, nil
+}
+
+// Figure2Row is one line of the Fig. 2 modification suite.
+type Figure2Row struct {
+	Num      int
+	Name     string
+	Original string
+	Updated  string
+	Kind     ModKind
+}
+
+// Figure2Rows reproduces the Fig. 2 table: each strategic modification
+// demonstrated on the paper's own bit strings, with the classification
+// computed by ClassifyFlip (not hard-coded).
+func Figure2Rows() []Figure2Row {
+	demo := []struct {
+		num      int
+		name     string
+		original string
+		flip     int
+	}{
+		{1, "Introduce Two Transitions", "00000", 2},
+		{1, "Eliminate Two Transitions", "11011", 2},
+		{2, "Move Transition Right", "000111", 3},
+		{2, "Move Transition Left", "000111", 2},
+		{3, "Introduce Single Transition", "11111", 0},
+		{3, "Eliminate Single Transition", "00001", 4},
+	}
+	var rows []Figure2Row
+	for _, d := range demo {
+		p := &scan.Pattern{Scan: [][]bool{bitsOf(d.original)}}
+		kind := ClassifyFlip(p, 0, d.flip)
+		updated := []byte(d.original)
+		if updated[d.flip] == '0' {
+			updated[d.flip] = '1'
+		} else {
+			updated[d.flip] = '0'
+		}
+		rows = append(rows, Figure2Row{
+			Num: d.num, Name: d.name,
+			Original: d.original, Updated: string(updated),
+			Kind: kind,
+		})
+	}
+	return rows
+}
+
+func bitsOf(s string) []bool {
+	out := make([]bool, len(s))
+	for i, c := range s {
+		out[i] = c == '1'
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"superpose/internal/atpg"
+	"superpose/internal/trust"
+)
+
+func TestFigure1Demo(t *testing.T) {
+	demo, err := BuildFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ideal case of §III-C: benign activity overlaps perfectly, so the
+	// golden model predicts identical power for both patterns...
+	if demo.UniqueBenign != 0 {
+		t.Errorf("unique benign gates = %d, want 0 (perfect overlap)", demo.UniqueBenign)
+	}
+	if demo.NominalA != demo.NominalB {
+		t.Errorf("nominal powers differ: %v vs %v", demo.NominalA, demo.NominalB)
+	}
+	// ...and the observed difference is exactly the Trojan-caused energy —
+	// the Trojan gates themselves plus the benign reader the payload
+	// corruption toggles — exposed at full magnitude.
+	if demo.TrojanEnergy <= 0 {
+		t.Fatal("TPa must activate the Trojan")
+	}
+	if math.Abs(demo.Residual-(demo.TrojanEnergy+demo.InducedEnergy)) > 1e-9 {
+		t.Errorf("residual %v != Trojan %v + induced %v",
+			demo.Residual, demo.TrojanEnergy, demo.InducedEnergy)
+	}
+	// TPa and TPb share the same launch activity (same transitions).
+	if demo.TPa.TransitionCount() != demo.TPb.TransitionCount() {
+		t.Error("pair must have identical transition counts")
+	}
+}
+
+func TestFigure2Rows(t *testing.T) {
+	rows := Figure2Rows()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	wantKinds := []ModKind{IntroduceTwo, EliminateTwo, MoveTransition, MoveTransition, IntroduceOne, EliminateOne}
+	wantUpdated := []string{"00100", "11111", "000011", "001111", "01111", "00000"}
+	for i, r := range rows {
+		if r.Kind != wantKinds[i] {
+			t.Errorf("row %d (%s): kind = %v, want %v", i, r.Name, r.Kind, wantKinds[i])
+		}
+		if r.Updated != wantUpdated[i] {
+			t.Errorf("row %d (%s): updated = %s, want %s", i, r.Name, r.Updated, wantUpdated[i])
+		}
+	}
+}
+
+func TestPaperTableII(t *testing.T) {
+	rows := PaperTableII()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Spot-check the most discriminating cell of the printed table:
+	// s38417-T100 at 25% is 94.84%.
+	var t100 TableIIRow
+	for _, r := range rows {
+		if r.Case == "s38417-T100" {
+			t100 = r
+		}
+	}
+	if math.Abs(t100.Probabilities[4]-0.9484) > 5e-4 {
+		t.Errorf("s38417-T100 @ 25%% = %v, want 0.9484", t100.Probabilities[4])
+	}
+	// Monotone decreasing across the columns for every row.
+	for _, r := range rows {
+		for i := 1; i < len(r.Probabilities); i++ {
+			if r.Probabilities[i] > r.Probabilities[i-1] {
+				t.Errorf("%s: probabilities not monotone", r.Case)
+			}
+		}
+		// The paper's headline: at least 94%% everywhere, even at 25%%.
+		if r.Probabilities[4] < 0.94 {
+			t.Errorf("%s: %v < 94%% at 25%%", r.Case, r.Probabilities[4])
+		}
+	}
+}
+
+func TestRunTableICaseShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline experiment")
+	}
+	cfg := ExperimentConfig{
+		Scale:    0.04,
+		Varsigma: 0.10,
+		ATPG:     atpg.Options{Seed: 7, RandomPatterns: 32, MaxFaults: 40, FaultSample: 120},
+	}
+	row, err := RunTableICase(trust.Case{Benchmark: "s35932", Trojan: "T200"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("row: %+v", row)
+	// The paper's shape claims (§V-C): superposition lifts the signal past
+	// the adaptive flow, strategic modification improves on superposition
+	// alone, and the final signal clears 10%.
+	if row.StrategicSRPD < 0.10 {
+		t.Errorf("strategic S-RPD = %v, want >= 0.10", row.StrategicSRPD)
+	}
+	if row.StrategicSRPD < row.SuperSRPD {
+		t.Errorf("strategic %v below superposition alone %v", row.StrategicSRPD, row.SuperSRPD)
+	}
+	if row.SuperSRPD <= row.ATPGRPD {
+		t.Errorf("superposition %v did not magnify ATPG %v", row.SuperSRPD, row.ATPGRPD)
+	}
+	if row.MagOverATPG <= 1 {
+		t.Errorf("magnification over ATPG = %v", row.MagOverATPG)
+	}
+	// TCA improves along the flow (activity concentrates on the Trojan).
+	if row.StrategicTCA <= row.ATPGTCA {
+		t.Errorf("TCA did not improve: %v -> %v", row.ATPGTCA, row.StrategicTCA)
+	}
+}
+
+func TestRunTableIIFromRows(t *testing.T) {
+	rows := []TableIRow{{Case: "x", StrategicSRPD: 0.2}}
+	t2 := RunTableII(rows)
+	if len(t2) != 1 || t2[0].Case != "x" {
+		t.Fatal("shape")
+	}
+	if len(t2[0].Probabilities) != len(TableIIVarsigmas) {
+		t.Fatal("columns")
+	}
+	if t2[0].Probabilities[0] < 0.999999 {
+		t.Error("0.2 at 5% must be a near-certain detection")
+	}
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"superpose/internal/stats"
+)
+
+func TestRPD(t *testing.T) {
+	if got := RPD(110, 100); math.Abs(got-0.10) > 1e-12 {
+		t.Errorf("RPD = %v", got)
+	}
+	if got := RPD(90, 100); math.Abs(got+0.10) > 1e-12 {
+		t.Errorf("RPD = %v", got)
+	}
+	if RPD(5, 0) != 0 {
+		t.Error("zero nominal must yield 0, not Inf")
+	}
+}
+
+func TestSplitToggles(t *testing.T) {
+	common, aU, bU := SplitToggles([]int{5, 1, 3, 7}, []int{3, 2, 7, 9})
+	want := func(got, want []int) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("got %v want %v", got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("got %v want %v", got, want)
+			}
+		}
+	}
+	want(common, []int{3, 7})
+	want(aU, []int{1, 5})
+	want(bU, []int{2, 9})
+}
+
+func TestSplitTogglesPartitionProperty(t *testing.T) {
+	f := func(araw, braw []uint8) bool {
+		// Deduplicate inputs (toggle sets are sets).
+		dedup := func(xs []uint8) []int {
+			m := map[int]bool{}
+			for _, x := range xs {
+				m[int(x)] = true
+			}
+			var out []int
+			for x := range m {
+				out = append(out, x)
+			}
+			return out
+		}
+		a, b := dedup(araw), dedup(braw)
+		common, aU, bU := SplitToggles(a, b)
+		// Reconstruction: common+aU == a, common+bU == b (as sets).
+		rebuildA := append(append([]int{}, common...), aU...)
+		rebuildB := append(append([]int{}, common...), bU...)
+		sort.Ints(rebuildA)
+		sort.Ints(rebuildB)
+		sa := append([]int{}, a...)
+		sb := append([]int{}, b...)
+		sort.Ints(sa)
+		sort.Ints(sb)
+		if len(rebuildA) != len(sa) || len(rebuildB) != len(sb) {
+			return false
+		}
+		for i := range sa {
+			if rebuildA[i] != sa[i] {
+				return false
+			}
+		}
+		for i := range sb {
+			if rebuildB[i] != sb[i] {
+				return false
+			}
+		}
+		// Uniques are disjoint from each other.
+		inB := map[int]bool{}
+		for _, x := range bU {
+			inB[x] = true
+		}
+		for _, x := range aU {
+			if inB[x] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEquation3Identity checks the closed-form derivation of Eq. 3: with
+// the common activity at nominal, unique-A gates uniformly at (1+ς) and
+// unique-B gates at (1-ς), the S-RPD evaluates to exactly ς regardless of
+// the set sizes.
+func TestEquation3Identity(t *testing.T) {
+	f := func(cmnRaw, auRaw, buRaw uint16, sigRaw uint8) bool {
+		pnCmn := float64(cmnRaw)/100 + 1
+		pnAu := float64(auRaw)/100 + 0.5
+		pnBu := float64(buRaw)/100 + 0.5
+		varsigma := float64(sigRaw%50)/100 + 0.01 // 0.01 .. 0.51
+
+		poA := pnCmn + (1+varsigma)*pnAu
+		poB := pnCmn + (1-varsigma)*pnBu
+		pnA := pnCmn + pnAu
+		pnB := pnCmn + pnBu
+
+		got := SRPD(poA, poB, pnA, pnB, pnAu, pnBu)
+		return math.Abs(got-varsigma) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSRPDCancelsCommonActivity(t *testing.T) {
+	// Any perturbation confined to the common set cancels exactly.
+	f := func(noiseRaw int16) bool {
+		noise := float64(noiseRaw) / 100
+		pnCmn, pnAu, pnBu := 50.0, 3.0, 2.0
+		poA := (pnCmn + noise) + pnAu
+		poB := (pnCmn + noise) + pnBu
+		got := SRPD(poA, poB, pnCmn+pnAu, pnCmn+pnBu, pnAu, pnBu)
+		return math.Abs(got) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSRPDZeroDenominator(t *testing.T) {
+	if SRPD(10, 9, 10, 9, 0, 0) != 0 {
+		t.Error("identical activity must yield 0, not NaN")
+	}
+}
+
+func TestTCA(t *testing.T) {
+	isTroj := func(id int) bool { return id >= 100 }
+	if got := TCA([]int{1, 2, 100, 101}, isTroj); got != 0.5 {
+		t.Errorf("TCA = %v", got)
+	}
+	if TCA(nil, isTroj) != 0 {
+		t.Error("empty toggle set")
+	}
+	if got := PairTCA([]int{1, 2, 100}, []int{1, 2, 101}, isTroj); got != 1.0 {
+		t.Errorf("PairTCA = %v (common benign must cancel)", got)
+	}
+}
+
+// TestDetectionProbabilityTableII reproduces Table II's closed-form rows
+// from the paper's achieved S-RPD values.
+func TestDetectionProbabilityTableII(t *testing.T) {
+	cases := []struct {
+		srpd, varsigma, want float64
+	}{
+		{0.195, 0.20, 0.9983}, // s35932-T200 @ 20%
+		{0.195, 0.25, 0.9904}, // s35932-T200 @ 25%
+		{0.259, 0.25, 0.9991}, // s35932-T300 @ 25%
+		{0.136, 0.15, 0.9967}, // s38417-T100 @ 15%
+		{0.136, 0.20, 0.9793}, // s38417-T100 @ 20%
+		{0.136, 0.25, 0.9484}, // s38417-T100 @ 25%
+		{0.218, 0.20, 0.9995}, // s38417-T200 @ 20%
+		{0.218, 0.25, 0.9956}, // s38417-T200 @ 25%
+		{0.210, 0.25, 0.9941}, // s38584-T100 @ 25%
+	}
+	for _, c := range cases {
+		got := DetectionProbability(c.srpd, c.varsigma)
+		if math.Abs(got-c.want) > 6e-4 {
+			t.Errorf("P(srpd=%v, ς=%v) = %.4f, want %.4f", c.srpd, c.varsigma, got, c.want)
+		}
+	}
+	// Negative signals count by magnitude.
+	if DetectionProbability(-0.2, 0.2) != DetectionProbability(0.2, 0.2) {
+		t.Error("sign must not matter")
+	}
+	// Degenerate variation.
+	if DetectionProbability(0.1, 0) != 1 || DetectionProbability(0, 0) != 0 {
+		t.Error("zero-variation edge cases")
+	}
+}
+
+func TestFormatProbability(t *testing.T) {
+	if got := FormatProbability(0.99999); got != "> 99.99%" {
+		t.Errorf("got %q", got)
+	}
+	if got := FormatProbability(0.9484); got != "94.84%" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestMaxBenignSRPD(t *testing.T) {
+	if MaxBenignSRPD(0.25) != 0.25 {
+		t.Error("Eq. 3: max benign S-RPD is ς itself")
+	}
+}
+
+// TestBenignSRPDBoundMonteCarlo validates the Eq. 3 bound statistically:
+// across many manufactured benign dies, a pattern pair's |S-RPD| should
+// exceed ς only with the small probability the Gaussian tail allows.
+func TestBenignSRPDBoundMonteCarlo(t *testing.T) {
+	// Direct model-level Monte Carlo of the Eq. 2 estimator: unique sets
+	// of 10 and 8 gates with unit nominal energy, per-gate N(1, σ²) PV.
+	varsigma := 0.25
+	sigma := varsigma / 3
+	rng := stats.NewRNG(99)
+	const dies = 5000
+	exceed := 0
+	for d := 0; d < dies; d++ {
+		var poA, poB, pnA, pnB float64
+		pnCmn := 100.0
+		poA, poB = pnCmn, pnCmn // common part cancels even with shared PV
+		var pnAu, pnBu float64
+		for i := 0; i < 10; i++ {
+			e := 1 + sigma*rng.Norm()
+			poA += e
+			pnAu++
+		}
+		for i := 0; i < 8; i++ {
+			e := 1 + sigma*rng.Norm()
+			poB += e
+			pnBu++
+		}
+		pnA, pnB = pnCmn+pnAu, pnCmn+pnBu
+		s := SRPD(poA, poB, pnA, pnB, pnAu, pnBu)
+		if math.Abs(s) > varsigma {
+			exceed++
+		}
+	}
+	// The estimator's std is σ·sqrt(nA+nB)/(nA+nB) = σ/sqrt(18) ≈ 0.0196,
+	// so exceeding ς=0.25 (≈12.7 std) is essentially impossible; allow a
+	// minuscule tolerance for the bound check.
+	if exceed > 0 {
+		t.Errorf("benign |S-RPD| exceeded ς on %d/%d dies", exceed, dies)
+	}
+}

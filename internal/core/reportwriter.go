@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteReport renders a complete human-readable certification report: the
+// document a lab would archive with the die. It covers every stage of the
+// flow with the quantities the verdict rests on.
+func WriteReport(w io.Writer, rep *Report) error {
+	p := func(format string, args ...interface{}) {}
+	var err error
+	p = func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p("CERTIFICATION REPORT — test pattern superposition\n")
+	p("=================================================\n\n")
+
+	p("1. Seed stage\n")
+	if rep.ATPGSummary != "" {
+		p("   %s\n", rep.ATPGSummary)
+	}
+	p("   strongest seed: RPD %+.5f (observed %.3f vs nominal %.3f)\n\n",
+		rep.SeedReading.RPD, rep.SeedReading.Observed, rep.SeedReading.Nominal)
+
+	p("2. Adaptive flow\n")
+	if rep.Adaptive != nil {
+		steps := rep.Adaptive.Steps
+		p("   %d accepted steps, transitions %d -> %d\n",
+			len(steps)-1, steps[0].Transitions, steps[len(steps)-1].Transitions)
+		p("   best suspicious signal: RPD %+.5f at step %d\n",
+			rep.AdaptiveReading.RPD, rep.Adaptive.Best)
+		p("   drop screen flagged %d pattern pairs\n\n", len(rep.Adaptive.Pairs))
+	}
+
+	p("3. Superposition\n")
+	if rep.HasPair {
+		pa := rep.Superposition
+		p("   selected pair: unique activity %d + %d gates (common %d)\n",
+			pa.AUniqueCount, pa.BUniqueCount, pa.CommonCount)
+		p("   residual %+.3f over unique nominal %.3f -> S-RPD %+.5f\n",
+			pa.Residual(), pa.NominalAUnique+pa.NominalBUnique, pa.SRPD)
+		p("   significance: %.3f per unit sigma_intra -> z = %.1f at the assumed process\n\n",
+			pa.Significance(), rep.FinalZ)
+
+		p("4. Strategic modifications\n")
+		p("   %d alignment moves applied:\n", len(rep.Strategic.Applied))
+		for _, m := range rep.Strategic.Applied {
+			loc := fmt.Sprintf("chain %d bit %d", m.Cell.Chain, m.Cell.Index)
+			if m.Cell.IsPI() {
+				loc = fmt.Sprintf("primary input %d", m.Cell.Index)
+			}
+			p("     %-16s %-22s S-RPD %+.5f -> %+.5f\n", m.Kind, loc, m.SRPDBefore, m.SRPDAfter)
+		}
+		fin := rep.Strategic.Final
+		p("   final pair: unique %d + %d gates, S-RPD %+.5f\n\n",
+			fin.AUniqueCount, fin.BUniqueCount, fin.SRPD)
+	} else {
+		p("   no suspicious drop flagged; fallback pair S-RPD %+.5f\n\n", rep.FinalSRPD)
+	}
+
+	p("5. Verdict\n")
+	p("   assumed intra-die variation: 3 sigma = %.0f%%\n", 100*rep.Varsigma)
+	p("   max benign S-RPD (Eq. 3):    %.4f\n", MaxBenignSRPD(rep.Varsigma))
+	p("   achieved |S-RPD|:            %.4f\n", abs(rep.FinalSRPD))
+	if rep.Detected {
+		p("   >> TROJAN DETECTED\n\n")
+	} else {
+		p("   >> no signal beyond process variation\n\n")
+	}
+
+	p("6. Detection likelihood vs intra-die variation (Eq. 3)\n")
+	for _, v := range TableIIVarsigmas {
+		p("   3 sigma = %4.0f%%: %s\n", 100*v,
+			FormatProbability(DetectionProbability(rep.FinalSRPD, v)))
+	}
+	return err
+}

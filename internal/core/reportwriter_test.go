@@ -1,0 +1,65 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"superpose/internal/atpg"
+	"superpose/internal/trust"
+)
+
+func TestWriteReportSections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline run")
+	}
+	inst, lib, infected, _ := buildTestbench(t, trust.Case{Benchmark: "s35932", Trojan: "T200"}, 0.04, 0.15, 42)
+	rep, err := Detect(inst.Host, lib, infected, Config{
+		NumChains: 4, Varsigma: 0.10,
+		ATPG: atpg.Options{Seed: 7, RandomPatterns: 32, MaxFaults: 40, FaultSample: 120},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteReport(&b, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"CERTIFICATION REPORT",
+		"Seed stage",
+		"Adaptive flow",
+		"Superposition",
+		"Strategic modifications",
+		"Verdict",
+		"TROJAN DETECTED",
+		"Detection likelihood",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteReportPropagatesWriteError(t *testing.T) {
+	rep := &Report{Varsigma: 0.1}
+	if err := WriteReport(&shortWriter{}, rep); err == nil {
+		t.Error("write errors must propagate")
+	}
+}
+
+type shortWriter struct{ n int }
+
+func (s *shortWriter) Write(p []byte) (int, error) {
+	s.n += len(p)
+	if s.n > 40 {
+		return 0, errShort
+	}
+	return len(p), nil
+}
+
+var errShort = &shortErr{}
+
+type shortErr struct{}
+
+func (*shortErr) Error() string { return "short write" }

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"superpose/internal/atpg"
+	"superpose/internal/power"
+	"superpose/internal/trust"
+)
+
+func syntheticLot(mags []float64, detectAbove float64) *LotReport {
+	lr := &LotReport{}
+	for i, m := range mags {
+		lr.Dies = append(lr.Dies, DieResult{Die: i, FinalMag: m})
+		if m > detectAbove {
+			lr.Detected++
+		}
+	}
+	return lr
+}
+
+func TestROCSeparation(t *testing.T) {
+	infected := syntheticLot([]float64{0.20, 0.25, 0.18}, 0.1)
+	clean := syntheticLot([]float64{0.05, 0.08, 0.06}, 0.1)
+	roc := ROC(infected, clean)
+	if len(roc) == 0 {
+		t.Fatal("empty ROC")
+	}
+	// A perfect-separation point must exist.
+	perfect := false
+	for _, p := range roc {
+		if p.TPR == 1 && p.FPR == 0 {
+			perfect = true
+		}
+	}
+	if !perfect {
+		t.Errorf("no perfect operating point in %v", roc)
+	}
+	// Monotone: as threshold rises, rates fall.
+	for i := 1; i < len(roc); i++ {
+		if roc[i].Threshold < roc[i-1].Threshold {
+			t.Fatal("thresholds not sorted")
+		}
+		if roc[i].TPR > roc[i-1].TPR+1e-12 || roc[i].FPR > roc[i-1].FPR+1e-12 {
+			t.Fatal("rates must be non-increasing in the threshold")
+		}
+	}
+	// Margin = 0.18 - 0.08.
+	if m := SeparationMargin(infected, clean); m < 0.099 || m > 0.101 {
+		t.Errorf("margin = %v", m)
+	}
+	// Overlapping lots have negative margin.
+	if m := SeparationMargin(clean, infected); m >= 0 {
+		t.Errorf("reversed lots must overlap: %v", m)
+	}
+	if SeparationMargin(&LotReport{}, clean) != 0 {
+		t.Error("empty lot margin")
+	}
+}
+
+func TestRunROCEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-die pipeline run")
+	}
+	inst, err := trust.Build(trust.Case{Benchmark: "s35932", Trojan: "T200"}, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := power.SAED90Like()
+	roc, infected, clean, err := RunROC(inst.Host, lib, inst.Infected,
+		Config{NumChains: 4, Varsigma: 0.10,
+			ATPG: atpg.Options{Seed: 7, RandomPatterns: 32, MaxFaults: 40, FaultSample: 120}},
+		LotOptions{Dies: 3, Variation: power.ThreeSigmaIntra(0.10), Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	margin := SeparationMargin(infected, clean)
+	t.Logf("margin=%.4f infected=%s clean=%s", margin, infected, clean)
+	if margin <= 0 {
+		t.Errorf("lots overlap: margin %v", margin)
+	}
+	perfect := false
+	for _, p := range roc {
+		if p.TPR == 1 && p.FPR == 0 {
+			perfect = true
+		}
+	}
+	if !perfect {
+		t.Error("no perfect operating point")
+	}
+}

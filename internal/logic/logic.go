@@ -1,0 +1,169 @@
+// Package logic provides the logic-value domains used throughout the
+// superposition toolchain: plain two-valued logic packed 64 patterns to a
+// word for pattern-parallel simulation, and the five-valued D-algebra
+// (0, 1, X, D, D̄) used by the PODEM test generator.
+package logic
+
+import "fmt"
+
+// Word is a 64-way pattern-parallel two-valued logic word: bit i of the
+// word holds the value of the signal under pattern i.
+type Word uint64
+
+// AllZero and AllOne are the constant words.
+const (
+	AllZero Word = 0
+	AllOne  Word = ^Word(0)
+)
+
+// V is a five-valued logic value from the D-algebra.
+//
+// The encoding uses two two-valued components: the value in the good
+// (fault-free) circuit and the value in the faulty circuit. D means
+// good=1/faulty=0, Dbar means good=0/faulty=1, X means unknown in both.
+type V uint8
+
+// The five logic values. The numeric encoding packs (good, faulty) pairs:
+// bit 0 = good value set, bit 1 = good value, bit 2 = faulty value set,
+// bit 3 = faulty value. We instead use a compact enum and table-driven
+// evaluation, which profiles faster for PODEM's implication step.
+const (
+	Zero V = iota // 0 in both good and faulty circuit
+	One           // 1 in both good and faulty circuit
+	X             // unknown
+	D             // 1 in good circuit, 0 in faulty circuit
+	Dbar          // 0 in good circuit, 1 in faulty circuit
+	nV            // number of values (table dimension)
+)
+
+// String returns the conventional D-algebra notation.
+func (v V) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case X:
+		return "X"
+	case D:
+		return "D"
+	case Dbar:
+		return "D'"
+	default:
+		return fmt.Sprintf("V(%d)", uint8(v))
+	}
+}
+
+// Known reports whether v is a fully determined value (not X).
+func (v V) Known() bool { return v != X }
+
+// Good returns the good-circuit two-valued component and whether it is known.
+func (v V) Good() (bit bool, known bool) {
+	switch v {
+	case Zero, Dbar:
+		return false, true
+	case One, D:
+		return true, true
+	default:
+		return false, false
+	}
+}
+
+// Faulty returns the faulty-circuit two-valued component and whether it is known.
+func (v V) Faulty() (bit bool, known bool) {
+	switch v {
+	case Zero, D:
+		return false, true
+	case One, Dbar:
+		return true, true
+	default:
+		return false, false
+	}
+}
+
+// Not returns the five-valued complement.
+func (v V) Not() V {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	case D:
+		return Dbar
+	case Dbar:
+		return D
+	default:
+		return X
+	}
+}
+
+// IsD reports whether v carries a fault effect (D or D̄).
+func (v V) IsD() bool { return v == D || v == Dbar }
+
+// FromBit converts a two-valued bit to a five-valued constant.
+func FromBit(b bool) V {
+	if b {
+		return One
+	}
+	return Zero
+}
+
+// compose builds a five-valued value from (good, faulty) components where
+// each component may be unknown. If either side is unknown the result is X:
+// the D-algebra does not represent partially-known values.
+func compose(g, f bool, gk, fk bool) V {
+	if !gk || !fk {
+		return X
+	}
+	switch {
+	case g && f:
+		return One
+	case !g && !f:
+		return Zero
+	case g && !f:
+		return D
+	default:
+		return Dbar
+	}
+}
+
+// and5/or5/xor5 are the five-valued primitive tables, computed once at init.
+var and5, or5, xor5 [nV][nV]V
+
+func init() {
+	for a := V(0); a < nV; a++ {
+		for b := V(0); b < nV; b++ {
+			ag, agk := a.Good()
+			af, afk := a.Faulty()
+			bg, bgk := b.Good()
+			bf, bfk := b.Faulty()
+
+			// AND: a controlling 0 on either side forces 0 even if the
+			// other side is X, separately in the good and faulty circuit.
+			gOK := (agk && !ag) || (bgk && !bg) || (agk && bgk)
+			fOK := (afk && !af) || (bfk && !bf) || (afk && bfk)
+			and5[a][b] = compose(ag && bg, af && bf, gOK, fOK)
+
+			// OR: controlling 1.
+			gOK = (agk && ag) || (bgk && bg) || (agk && bgk)
+			fOK = (afk && af) || (bfk && bf) || (afk && bfk)
+			or5[a][b] = compose(ag || bg, af || bf, gOK, fOK)
+
+			// XOR has no controlling value: both inputs must be known.
+			xor5[a][b] = compose(ag != bg, af != bf, agk && bgk, afk && bfk)
+		}
+	}
+	// Note on controlling values with an X side: compose receives the
+	// unknown component as false, which is already the correct result for
+	// AND controlled by 0 and (via the || in g/f) for OR controlled by 1.
+	// Covered by TestFiveValuedControllingValues.
+}
+
+// And5 returns the five-valued AND of a and b.
+func And5(a, b V) V { return and5[a][b] }
+
+// Or5 returns the five-valued OR of a and b.
+func Or5(a, b V) V { return or5[a][b] }
+
+// Xor5 returns the five-valued XOR of a and b.
+func Xor5(a, b V) V { return xor5[a][b] }

@@ -1,0 +1,223 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStringNames(t *testing.T) {
+	cases := map[V]string{Zero: "0", One: "1", X: "X", D: "D", Dbar: "D'"}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("V(%d).String() = %q, want %q", v, got, want)
+		}
+	}
+	if got := V(99).String(); got != "V(99)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestNotInvolution(t *testing.T) {
+	for v := V(0); v < nV; v++ {
+		if v.Not().Not() != v {
+			t.Errorf("Not(Not(%v)) = %v", v, v.Not().Not())
+		}
+	}
+}
+
+func TestNotSwapsD(t *testing.T) {
+	if D.Not() != Dbar || Dbar.Not() != D {
+		t.Error("Not must swap D and D'")
+	}
+	if Zero.Not() != One || One.Not() != Zero {
+		t.Error("Not must swap 0 and 1")
+	}
+	if X.Not() != X {
+		t.Error("Not(X) must be X")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	type want struct {
+		g, f   bool
+		gk, fk bool
+	}
+	cases := map[V]want{
+		Zero: {false, false, true, true},
+		One:  {true, true, true, true},
+		D:    {true, false, true, true},
+		Dbar: {false, true, true, true},
+		X:    {false, false, false, false},
+	}
+	for v, w := range cases {
+		g, gk := v.Good()
+		f, fk := v.Faulty()
+		if g != w.g || gk != w.gk || f != w.f || fk != w.fk {
+			t.Errorf("%v components: good=(%v,%v) faulty=(%v,%v)", v, g, gk, f, fk)
+		}
+	}
+}
+
+// ref2 converts a five-valued value to its two-valued (good, faulty) pair
+// for exhaustive reference checking; only called for known values.
+func ref2(v V) (g, f bool) {
+	g, _ = v.Good()
+	f, _ = v.Faulty()
+	return g, f
+}
+
+func TestFiveValuedExhaustiveAgainstTwoValued(t *testing.T) {
+	known := []V{Zero, One, D, Dbar}
+	for _, a := range known {
+		for _, b := range known {
+			ag, af := ref2(a)
+			bg, bf := ref2(b)
+
+			if got := And5(a, b); got != compose(ag && bg, af && bf, true, true) {
+				t.Errorf("And5(%v,%v) = %v", a, b, got)
+			}
+			if got := Or5(a, b); got != compose(ag || bg, af || bf, true, true) {
+				t.Errorf("Or5(%v,%v) = %v", a, b, got)
+			}
+			if got := Xor5(a, b); got != compose(ag != bg, af != bf, true, true) {
+				t.Errorf("Xor5(%v,%v) = %v", a, b, got)
+			}
+		}
+	}
+}
+
+func TestFiveValuedControllingValues(t *testing.T) {
+	// A controlling 0 dominates X for AND; a controlling 1 dominates X for OR.
+	if And5(Zero, X) != Zero || And5(X, Zero) != Zero {
+		t.Error("AND with controlling 0 and X must be 0")
+	}
+	if Or5(One, X) != One || Or5(X, One) != One {
+		t.Error("OR with controlling 1 and X must be 1")
+	}
+	// Non-controlling value with X stays X.
+	if And5(One, X) != X || Or5(Zero, X) != X {
+		t.Error("non-controlling with X must stay X")
+	}
+	// XOR with any X side is X.
+	for v := V(0); v < nV; v++ {
+		if Xor5(v, X) != X || Xor5(X, v) != X {
+			t.Errorf("Xor5 with X operand must be X (got %v,%v)", Xor5(v, X), Xor5(X, v))
+		}
+	}
+	// D interacting with controlling values.
+	if And5(D, Zero) != Zero {
+		t.Error("And5(D,0) must be 0")
+	}
+	if And5(D, One) != D {
+		t.Error("And5(D,1) must be D")
+	}
+	if And5(D, Dbar) != Zero {
+		t.Error("And5(D,D') must be 0 (good 1&0=0, faulty 0&1=0)")
+	}
+	if Or5(D, Dbar) != One {
+		t.Error("Or5(D,D') must be 1")
+	}
+	if Xor5(D, Dbar) != One {
+		t.Error("Xor5(D,D') must be 1 (1^0=1, 0^1=1)")
+	}
+	if Xor5(D, D) != Zero {
+		t.Error("Xor5(D,D) must be 0")
+	}
+}
+
+func TestCommutativity(t *testing.T) {
+	for a := V(0); a < nV; a++ {
+		for b := V(0); b < nV; b++ {
+			if And5(a, b) != And5(b, a) {
+				t.Errorf("And5 not commutative at (%v,%v)", a, b)
+			}
+			if Or5(a, b) != Or5(b, a) {
+				t.Errorf("Or5 not commutative at (%v,%v)", a, b)
+			}
+			if Xor5(a, b) != Xor5(b, a) {
+				t.Errorf("Xor5 not commutative at (%v,%v)", a, b)
+			}
+		}
+	}
+}
+
+func TestAssociativityProperty(t *testing.T) {
+	// Associativity holds on fully known values. It deliberately does NOT
+	// hold with X operands: the flat five-valued encoding collapses
+	// partially known values (e.g. good-known/faulty-unknown) to X, so
+	// And5(And5(X,D'),D) = X while And5(X,And5(D',D)) = 0. That pessimism
+	// is safe for PODEM (X may only ever be refined toward a known value).
+	vals := []V{Zero, One, D, Dbar}
+	f := func(ai, bi, ci uint8) bool {
+		a, b, c := vals[ai%4], vals[bi%4], vals[ci%4]
+		return And5(And5(a, b), c) == And5(a, And5(b, c)) &&
+			Or5(Or5(a, b), c) == Or5(a, Or5(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXPessimismDocumented(t *testing.T) {
+	// The flat encoding loses the good-circuit 0 of And5(X, Dbar); the
+	// result is X rather than a "good=0, faulty=?" hybrid. This test pins
+	// the behaviour so a future encoding change is a conscious decision.
+	if got := And5(X, Dbar); got != X {
+		t.Errorf("And5(X,D') = %v, want X (pessimistic)", got)
+	}
+	if got := And5(And5(X, Dbar), D); got != X {
+		t.Errorf("pessimistic chain = %v, want X", got)
+	}
+	if got := And5(X, And5(Dbar, D)); got != Zero {
+		t.Errorf("And5(X, And5(D',D)) = %v, want 0", got)
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	vals := []V{Zero, One, X, D, Dbar}
+	f := func(ai, bi uint8) bool {
+		a, b := vals[ai%5], vals[bi%5]
+		return And5(a, b).Not() == Or5(a.Not(), b.Not())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsDAndKnown(t *testing.T) {
+	if !D.IsD() || !Dbar.IsD() {
+		t.Error("D and D' must report IsD")
+	}
+	if Zero.IsD() || One.IsD() || X.IsD() {
+		t.Error("0/1/X must not report IsD")
+	}
+	if X.Known() {
+		t.Error("X must not be Known")
+	}
+	for _, v := range []V{Zero, One, D, Dbar} {
+		if !v.Known() {
+			t.Errorf("%v must be Known", v)
+		}
+	}
+}
+
+func TestFromBit(t *testing.T) {
+	if FromBit(true) != One || FromBit(false) != Zero {
+		t.Error("FromBit mapping wrong")
+	}
+}
+
+func TestXorIdentities(t *testing.T) {
+	// a ^ 0 == a, a ^ 1 == Not(a), a ^ a == 0 for known a.
+	for _, a := range []V{Zero, One, D, Dbar} {
+		if Xor5(a, Zero) != a {
+			t.Errorf("Xor5(%v,0) = %v", a, Xor5(a, Zero))
+		}
+		if Xor5(a, One) != a.Not() {
+			t.Errorf("Xor5(%v,1) = %v", a, Xor5(a, One))
+		}
+		if Xor5(a, a) != Zero {
+			t.Errorf("Xor5(%v,%v) = %v", a, a, Xor5(a, a))
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package netio loads and saves netlists by file extension, dispatching
+// between the ISCAS .bench format and structural Verilog (.v): the glue
+// the command-line tools share.
+package netio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"superpose/internal/bench"
+	"superpose/internal/netlist"
+	"superpose/internal/verilog"
+)
+
+// ReadFile parses a netlist file; the format is chosen by extension
+// (.bench, .v/.verilog).
+func ReadFile(path string) (*netlist.Netlist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".bench":
+		return bench.Parse(f, name)
+	case ".v", ".verilog":
+		return verilog.Parse(f, name)
+	default:
+		return nil, fmt.Errorf("netio: unknown netlist format %q (want .bench or .v)", filepath.Ext(path))
+	}
+}
+
+// WriteFile serializes a netlist; the format is chosen by extension.
+func WriteFile(path string, n *netlist.Netlist) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".bench":
+		return bench.Write(f, n)
+	case ".v", ".verilog":
+		return verilog.Write(f, n)
+	default:
+		return fmt.Errorf("netio: unknown netlist format %q (want .bench or .v)", filepath.Ext(path))
+	}
+}

@@ -1,0 +1,54 @@
+package netio
+
+import (
+	"path/filepath"
+	"testing"
+
+	"superpose/internal/trust"
+)
+
+func TestRoundTripBothFormats(t *testing.T) {
+	host, err := trust.Generate(trust.Params{
+		Name: "io", PIs: 3, POs: 3, FFs: 8, Comb: 60, Levels: 4, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, ext := range []string{".bench", ".v"} {
+		path := filepath.Join(dir, "c"+ext)
+		if err := WriteFile(path, host); err != nil {
+			t.Fatalf("%s: %v", ext, err)
+		}
+		back, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", ext, err)
+		}
+		if back.NumGates() != host.NumGates() {
+			t.Errorf("%s: %d gates, want %d", ext, back.NumGates(), host.NumGates())
+		}
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	host, err := trust.Generate(trust.Params{
+		Name: "io", PIs: 2, POs: 2, FFs: 4, Comb: 30, Levels: 3, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteFile(filepath.Join(dir, "x.json"), host); err == nil {
+		t.Error("unknown write format must error")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.bench")); err == nil {
+		t.Error("missing file must error")
+	}
+	bad := filepath.Join(dir, "x.txt")
+	if err := WriteFile(filepath.Join(dir, "x.bench"), host); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil {
+		t.Error("unknown read format must error")
+	}
+}

@@ -1,0 +1,368 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildSmall constructs the small reference circuit used across the tests:
+//
+//	INPUT(a) INPUT(b)
+//	ff = DFF(d)
+//	n1 = NAND(a, b)
+//	n2 = NOT(ff)
+//	d  = AND(n1, n2)
+//	OUTPUT(d)
+func buildSmall(t *testing.T) *Netlist {
+	t.Helper()
+	b := NewBuilder("small")
+	mustAdd := func(_ int, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(b.AddInput("a"))
+	mustAdd(b.AddInput("b"))
+	mustAdd(b.AddDFF("ff", "d")) // forward reference to d
+	mustAdd(b.AddGate("n1", Nand, "a", "b"))
+	mustAdd(b.AddGate("n2", Not, "ff"))
+	mustAdd(b.AddGate("d", And, "n1", "n2"))
+	b.MarkOutput("d")
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestBuildSmall(t *testing.T) {
+	n := buildSmall(t)
+	if got := n.NumGates(); got != 6 {
+		t.Errorf("NumGates = %d, want 6", got)
+	}
+	if got := n.NumCombinational(); got != 3 {
+		t.Errorf("NumCombinational = %d, want 3", got)
+	}
+	if len(n.PIs) != 2 || len(n.FFs) != 1 || len(n.POs) != 1 {
+		t.Errorf("PIs/FFs/POs = %d/%d/%d, want 2/1/1", len(n.PIs), len(n.FFs), len(n.POs))
+	}
+	d, ok := n.GateID("d")
+	if !ok {
+		t.Fatal("net d missing")
+	}
+	if !n.IsPO(d) {
+		t.Error("d must be a PO")
+	}
+	a, _ := n.GateID("a")
+	if n.IsPO(a) {
+		t.Error("a must not be a PO")
+	}
+	if n.NameOf(d) != "d" {
+		t.Errorf("NameOf(d) = %q", n.NameOf(d))
+	}
+}
+
+func TestTopoOrderRespectsDependencies(t *testing.T) {
+	n := buildSmall(t)
+	seen := make(map[int]bool)
+	for _, id := range n.TopoOrder() {
+		for _, f := range n.Gates[id].Fanin {
+			if !n.Gates[f].Type.IsSource() && !seen[f] {
+				t.Errorf("gate %s evaluated before fanin %s", n.NameOf(id), n.NameOf(f))
+			}
+		}
+		seen[id] = true
+	}
+	if len(seen) != n.NumCombinational() {
+		t.Errorf("topo order covers %d gates, want %d", len(seen), n.NumCombinational())
+	}
+}
+
+func TestLevels(t *testing.T) {
+	n := buildSmall(t)
+	id := func(name string) int {
+		g, ok := n.GateID(name)
+		if !ok {
+			t.Fatalf("missing net %s", name)
+		}
+		return g
+	}
+	if n.Level(id("a")) != 0 || n.Level(id("ff")) != 0 {
+		t.Error("sources must be level 0")
+	}
+	if n.Level(id("n1")) != 1 || n.Level(id("n2")) != 1 {
+		t.Errorf("n1/n2 levels = %d/%d, want 1/1", n.Level(id("n1")), n.Level(id("n2")))
+	}
+	if n.Level(id("d")) != 2 {
+		t.Errorf("d level = %d, want 2", n.Level(id("d")))
+	}
+	if n.Depth() != 2 {
+		t.Errorf("Depth = %d, want 2", n.Depth())
+	}
+}
+
+func TestFanouts(t *testing.T) {
+	n := buildSmall(t)
+	a, _ := n.GateID("a")
+	n1, _ := n.GateID("n1")
+	fo := n.Fanouts(a)
+	if len(fo) != 1 || fo[0] != n1 {
+		t.Errorf("Fanouts(a) = %v, want [%d]", fo, n1)
+	}
+	d, _ := n.GateID("d")
+	ff, _ := n.GateID("ff")
+	foD := n.Fanouts(d)
+	if len(foD) != 1 || foD[0] != ff {
+		t.Errorf("Fanouts(d) = %v, want DFF reader [%d]", foD, ff)
+	}
+}
+
+func TestCombinationalCycleDetected(t *testing.T) {
+	b := NewBuilder("cyc")
+	if _, err := b.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("x", And, "a", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("y", Or, "x", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected cycle error")
+	} else if !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("error = %v, want cycle mention", err)
+	}
+}
+
+func TestDFFBreaksCycle(t *testing.T) {
+	// Feedback through a flip-flop is sequential, not a combinational cycle.
+	b := NewBuilder("seq")
+	if _, err := b.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddDFF("q", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("d", Xor, "a", "q"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("sequential feedback must build: %v", err)
+	}
+}
+
+func TestUndefinedNetRejected(t *testing.T) {
+	b := NewBuilder("undef")
+	if _, err := b.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("x", And, "a", "ghost"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected undefined-net error")
+	}
+}
+
+func TestDoubleDefinitionRejected(t *testing.T) {
+	b := NewBuilder("dup")
+	if _, err := b.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddInput("a"); err == nil {
+		t.Fatal("expected duplicate-definition error")
+	}
+}
+
+func TestUnknownOutputRejected(t *testing.T) {
+	b := NewBuilder("badout")
+	if _, err := b.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	b.MarkOutput("nope")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected unknown-output error")
+	}
+}
+
+func TestFaninArityChecks(t *testing.T) {
+	b := NewBuilder("arity")
+	if _, err := b.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("x", And, "a"); err != nil {
+		t.Fatal(err) // arity is checked at Build/Freeze, not declaration
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected arity error for 1-input AND")
+	}
+
+	b2 := NewBuilder("arity2")
+	if _, err := b2.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.AddInput("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.AddGate("x", Not, "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("expected arity error for 2-input NOT")
+	}
+}
+
+func TestSourceViaAddGateRejected(t *testing.T) {
+	b := NewBuilder("src")
+	if _, err := b.AddGate("x", Input); err == nil {
+		t.Fatal("AddGate must reject source types")
+	}
+	if _, err := b.AddGate("y", DFF, "x"); err == nil {
+		t.Fatal("AddGate must reject DFF")
+	}
+}
+
+func TestParseGateType(t *testing.T) {
+	for typ := GateType(0); typ < numGateTypes; typ++ {
+		got, ok := ParseGateType(typ.String())
+		if !ok || got != typ {
+			t.Errorf("ParseGateType(%q) = %v,%v", typ.String(), got, ok)
+		}
+	}
+	if _, ok := ParseGateType("FROB"); ok {
+		t.Error("ParseGateType must reject unknown names")
+	}
+	if s := GateType(200).String(); !strings.Contains(s, "200") {
+		t.Errorf("unknown type String = %q", s)
+	}
+}
+
+func TestCloneAndRewire(t *testing.T) {
+	n := buildSmall(t)
+	b := Clone(n)
+
+	// Splice an XOR between d and its readers (the DFF), Trojan-payload style.
+	if _, err := b.AddInput("trig"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("d_troj", Xor, "d", "trig"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RewireReaders("d", "d_troj", "d_troj"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The DFF must now read d_troj; the XOR must still read d.
+	ff, _ := m.GateID("ff")
+	dt, _ := m.GateID("d_troj")
+	d, _ := m.GateID("d")
+	if m.Gates[ff].Fanin[0] != dt {
+		t.Errorf("DFF reads %s, want d_troj", m.NameOf(m.Gates[ff].Fanin[0]))
+	}
+	if m.Gates[dt].Fanin[0] != d {
+		t.Errorf("payload XOR reads %s, want d", m.NameOf(m.Gates[dt].Fanin[0]))
+	}
+	// POs preserved on the original net.
+	if !m.IsPO(d) {
+		t.Error("original PO marking must survive clone+rewire")
+	}
+	// Original netlist untouched.
+	origFF, _ := n.GateID("ff")
+	origD, _ := n.GateID("d")
+	if n.Gates[origFF].Fanin[0] != origD {
+		t.Error("Clone must not mutate the original netlist")
+	}
+}
+
+func TestRewireErrors(t *testing.T) {
+	n := buildSmall(t)
+	b := Clone(n)
+	if err := b.RewireReaders("ghost", "d"); err == nil {
+		t.Error("unknown from-net must error")
+	}
+	if err := b.RewireReaders("d", "ghost"); err == nil {
+		t.Error("unknown to-net must error")
+	}
+	if err := b.RewireReaders("d", "n1", "ghost"); err == nil {
+		t.Error("unknown excluded net must error")
+	}
+}
+
+func TestFreshName(t *testing.T) {
+	n := buildSmall(t)
+	b := Clone(n)
+	if got := b.FreshName("zz"); got != "zz" {
+		t.Errorf("FreshName(zz) = %q", got)
+	}
+	if got := b.FreshName("d"); got == "d" || b.Has(got) {
+		t.Errorf("FreshName(d) = %q must be new", got)
+	}
+}
+
+func TestDoubleFreezeRejected(t *testing.T) {
+	n := buildSmall(t)
+	if err := n.Freeze(); err == nil {
+		t.Fatal("second Freeze must error")
+	}
+}
+
+func TestStats(t *testing.T) {
+	n := buildSmall(t)
+	s := n.ComputeStats()
+	if s.Gates != 6 || s.Combinational != 3 || s.PIs != 2 || s.FFs != 1 || s.POs != 1 || s.Depth != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.ByType[Nand] != 1 || s.ByType[And] != 1 || s.ByType[Not] != 1 {
+		t.Errorf("ByType = %v", s.ByType)
+	}
+	if str := s.String(); !strings.Contains(str, "6 gates") {
+		t.Errorf("Stats.String = %q", str)
+	}
+}
+
+func TestLevelizationProperty(t *testing.T) {
+	// Property over the reference circuit: every combinational gate's
+	// level strictly exceeds all its fanins' levels.
+	n := buildSmall(t)
+	for _, id := range n.TopoOrder() {
+		for _, f := range n.Gates[id].Fanin {
+			if n.Level(id) <= n.Level(f) && !n.Gates[f].Type.IsSource() {
+				t.Errorf("level(%s)=%d <= level(%s)=%d",
+					n.NameOf(id), n.Level(id), n.NameOf(f), n.Level(f))
+			}
+		}
+	}
+}
+
+func TestFanoutsConsistentWithFanins(t *testing.T) {
+	// Property: fanout lists are the exact inverse of the fanin relation.
+	n := buildSmall(t)
+	count := 0
+	for id := range n.Gates {
+		for _, fo := range n.Fanouts(id) {
+			found := false
+			for _, f := range n.Gates[fo].Fanin {
+				if f == id {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("fanout edge %d->%d has no fanin counterpart", id, fo)
+			}
+			count++
+		}
+	}
+	want := 0
+	for _, g := range n.Gates {
+		want += len(g.Fanin)
+	}
+	if count != want {
+		t.Errorf("edge count %d != fanin total %d", count, want)
+	}
+}

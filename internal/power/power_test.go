@@ -1,0 +1,300 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"superpose/internal/logic"
+	"superpose/internal/netlist"
+	"superpose/internal/stats"
+)
+
+func buildTiny(t testing.TB) *netlist.Netlist {
+	t.Helper()
+	b := netlist.NewBuilder("tiny")
+	for _, in := range []string{"a", "b", "c", "d"} {
+		if _, err := b.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	adds := []struct {
+		name string
+		typ  netlist.GateType
+		in   []string
+	}{
+		{"n1", netlist.Nand, []string{"a", "b"}},
+		{"n2", netlist.Nor, []string{"c", "d"}},
+		{"n3", netlist.Xor, []string{"n1", "n2"}},
+		{"w4", netlist.And, []string{"a", "b", "c", "d"}}, // 4-input
+	}
+	for _, g := range adds {
+		if _, err := b.AddGate(g.name, g.typ, g.in...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.MarkOutput("n3")
+	b.MarkOutput("w4")
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestLibraryRelativeOrder(t *testing.T) {
+	lib := SAED90Like()
+	e := func(typ netlist.GateType) float64 { return lib.Energy(typ, 2) }
+	if !(e(netlist.Not) < e(netlist.Nand) && e(netlist.Nand) < e(netlist.And) &&
+		e(netlist.And) < e(netlist.Xor) && e(netlist.Xor) < e(netlist.DFF)) {
+		t.Error("library ordering must be INV < NAND < AND < XOR < DFF")
+	}
+	if lib.Energy(netlist.Input, 0) != 0 {
+		t.Error("PI energy must be 0")
+	}
+	if lib.Name() == "" {
+		t.Error("library must have a name")
+	}
+}
+
+func TestWideGateEnergy(t *testing.T) {
+	lib := SAED90Like()
+	e2 := lib.Energy(netlist.And, 2)
+	e4 := lib.Energy(netlist.And, 4)
+	if e4 <= e2 {
+		t.Errorf("4-input AND (%v) must cost more than 2-input (%v)", e4, e2)
+	}
+	if got, want := e4-e2, 2*0.18; math.Abs(got-want) > 1e-12 {
+		t.Errorf("fanin adder = %v, want %v", got, want)
+	}
+	// Unary gates ignore the adder.
+	if lib.Energy(netlist.Not, 1) != lib.Energy(netlist.Not, 5) {
+		t.Error("NOT energy must not depend on fanin count")
+	}
+}
+
+func TestModelNominal(t *testing.T) {
+	n := buildTiny(t)
+	lib := SAED90Like()
+	m := NewModel(n, lib)
+	n1, _ := n.GateID("n1")
+	n3, _ := n.GateID("n3")
+	if m.NominalOf(n1) != lib.Energy(netlist.Nand, 2) {
+		t.Error("NominalOf mismatch")
+	}
+	want := m.NominalOf(n1) + m.NominalOf(n3)
+	if got := m.Nominal([]int{n1, n3}); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Nominal = %v, want %v", got, want)
+	}
+	if m.Nominal(nil) != 0 {
+		t.Error("empty toggle set must be 0")
+	}
+	if m.Netlist() != n {
+		t.Error("Netlist accessor")
+	}
+}
+
+func TestManufactureDeterministic(t *testing.T) {
+	n := buildTiny(t)
+	lib := SAED90Like()
+	v := ThreeSigmaIntra(0.15)
+	c1 := Manufacture(n, lib, v, 42)
+	c2 := Manufacture(n, lib, v, 42)
+	for id := 0; id < n.NumGates(); id++ {
+		if c1.EffectiveOf(id) != c2.EffectiveOf(id) {
+			t.Fatal("same seed must give identical dies")
+		}
+	}
+	c3 := Manufacture(n, lib, v, 43)
+	diff := false
+	for id := 0; id < n.NumGates(); id++ {
+		if c1.EffectiveOf(id) != c3.EffectiveOf(id) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds must give different dies")
+	}
+}
+
+func TestVariationStatistics(t *testing.T) {
+	// Across many dies, a gate's effective energy should have mean ≈
+	// nominal and relative spread ≈ sqrt(σ_inter² + σ_intra²).
+	n := buildTiny(t)
+	lib := SAED90Like()
+	v := ThreeSigmaIntra(0.24) // σ_inter = 0.24, σ_intra = 0.08
+	m := NewModel(n, lib)
+	n3, _ := n.GateID("n3")
+
+	const dies = 4000
+	vals := make([]float64, dies)
+	for i := 0; i < dies; i++ {
+		c := Manufacture(n, lib, v, uint64(1000+i))
+		vals[i] = c.EffectiveOf(n3)
+	}
+	s := stats.Summarize(vals)
+	nom := m.NominalOf(n3)
+	if math.Abs(s.Mean/nom-1) > 0.02 {
+		t.Errorf("mean effective/nominal = %v, want ~1", s.Mean/nom)
+	}
+	wantStd := math.Sqrt(v.SigmaInter*v.SigmaInter+v.SigmaIntra*v.SigmaIntra) * nom
+	if math.Abs(s.Std/wantStd-1) > 0.10 {
+		t.Errorf("std = %v, want ~%v", s.Std, wantStd)
+	}
+}
+
+func TestIntraDieIndependence(t *testing.T) {
+	// Within one die, two same-type gates should generally differ
+	// (independent intra-die draws) even though inter-die scale is shared.
+	n := buildTiny(t)
+	lib := SAED90Like()
+	c := Manufacture(n, lib, ThreeSigmaIntra(0.3), 7)
+	n1, _ := n.GateID("n1")
+	n2, _ := n.GateID("n2")
+	r1 := c.EffectiveOf(n1) / lib.Energy(netlist.Nand, 2)
+	r2 := c.EffectiveOf(n2) / lib.Energy(netlist.Nor, 2)
+	if r1 == r2 {
+		t.Error("intra-die factors must be independent per gate")
+	}
+}
+
+func TestZeroVariationIsNominal(t *testing.T) {
+	n := buildTiny(t)
+	lib := SAED90Like()
+	m := NewModel(n, lib)
+	c := Manufacture(n, lib, Variation{}, 5)
+	for id := 0; id < n.NumGates(); id++ {
+		if math.Abs(c.EffectiveOf(id)-m.NominalOf(id)) > 1e-12 {
+			t.Fatalf("gate %d: effective %v != nominal %v", id, c.EffectiveOf(id), m.NominalOf(id))
+		}
+	}
+	n1, _ := n.GateID("n1")
+	n3, _ := n.GateID("n3")
+	toggles := []int{n1, n3}
+	if math.Abs(c.Measure(toggles)-m.Nominal(toggles)) > 1e-12 {
+		t.Error("zero-variation measurement must equal nominal")
+	}
+}
+
+func TestMeasurementNoise(t *testing.T) {
+	n := buildTiny(t)
+	lib := SAED90Like()
+	c := Manufacture(n, lib, Variation{}, 5)
+	n3, _ := n.GateID("n3")
+	toggles := []int{n3}
+	base := c.Measure(toggles)
+
+	c.SetMeasurementNoise(0.05)
+	var differs bool
+	for i := 0; i < 10; i++ {
+		if c.Measure(toggles) != base {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("measurement noise must perturb readings")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("negative noise must panic")
+		}
+	}()
+	c.SetMeasurementNoise(-1)
+}
+
+func TestFactorClamping(t *testing.T) {
+	// Absurd sigma must not produce negative energies.
+	n := buildTiny(t)
+	lib := SAED90Like()
+	for seed := uint64(0); seed < 50; seed++ {
+		c := Manufacture(n, lib, Variation{SigmaInter: 5, SigmaIntra: 5}, seed)
+		for id := 0; id < n.NumGates(); id++ {
+			if n.Gates[id].Type == netlist.Input {
+				continue
+			}
+			if c.EffectiveOf(id) < 0 {
+				t.Fatalf("seed %d gate %d: negative energy %v", seed, id, c.EffectiveOf(id))
+			}
+		}
+	}
+}
+
+func TestThreeSigmaIntraConvention(t *testing.T) {
+	v := ThreeSigmaIntra(0.25)
+	if math.Abs(v.SigmaIntra-0.25/3) > 1e-12 {
+		t.Errorf("SigmaIntra = %v", v.SigmaIntra)
+	}
+	if v.SigmaInter != 0.25 {
+		t.Errorf("SigmaInter = %v", v.SigmaInter)
+	}
+}
+
+func TestLanePricingMatchesPerLaneSets(t *testing.T) {
+	n := buildTiny(t)
+	lib := SAED90Like()
+	m := NewModel(n, lib)
+	c := Manufacture(n, lib, ThreeSigmaIntra(0.2), 9)
+	rng := stats.NewRNG(4)
+
+	masks := make([]logic.Word, n.NumGates())
+	for id := range masks {
+		masks[id] = logic.Word(rng.Uint64())
+	}
+	const lanes = 37 // non-multiple of 8, exercises the lane clamp
+	nomLanes := m.NominalLanes(masks, lanes)
+	obsLanes := c.MeasureLanes(masks, lanes)
+	if len(nomLanes) != lanes || len(obsLanes) != lanes {
+		t.Fatal("lane count")
+	}
+	for lane := 0; lane < lanes; lane++ {
+		var toggles []int
+		for id := range masks {
+			if masks[id]&(1<<uint(lane)) != 0 {
+				toggles = append(toggles, id)
+			}
+		}
+		if want := m.Nominal(toggles); math.Abs(nomLanes[lane]-want) > 1e-9 {
+			t.Fatalf("lane %d nominal: %v != %v", lane, nomLanes[lane], want)
+		}
+		if want := c.Measure(toggles); math.Abs(obsLanes[lane]-want) > 1e-9 {
+			t.Fatalf("lane %d observed: %v != %v", lane, obsLanes[lane], want)
+		}
+	}
+	// Lanes beyond numLanes are ignored even when masks set them.
+	empty := m.NominalLanes(masks, 1)
+	if len(empty) != 1 {
+		t.Fatal("clamp")
+	}
+}
+
+func TestMeasureLanesNoise(t *testing.T) {
+	n := buildTiny(t)
+	lib := SAED90Like()
+	c := Manufacture(n, lib, Variation{}, 9)
+	c.SetMeasurementNoise(0.05)
+	masks := make([]logic.Word, n.NumGates())
+	for id := range masks {
+		masks[id] = 1
+	}
+	a := c.MeasureLanes(masks, 1)[0]
+	b := c.MeasureLanes(masks, 1)[0]
+	if a == b {
+		t.Error("noise must vary between readings")
+	}
+}
+
+func TestNangateLibraryOrdering(t *testing.T) {
+	lib := Nangate45Like()
+	e := func(typ netlist.GateType) float64 { return lib.Energy(typ, 2) }
+	if !(e(netlist.Not) < e(netlist.Nand) && e(netlist.Nand) < e(netlist.And) &&
+		e(netlist.And) < e(netlist.Xor) && e(netlist.Xor) < e(netlist.DFF)) {
+		t.Error("library ordering must be INV < NAND < AND < XOR < DFF")
+	}
+	if lib.Name() != "nangate45-like" {
+		t.Error("name")
+	}
+	// Distinct from the 90nm set.
+	if lib.Energy(netlist.DFF, 1) == SAED90Like().Energy(netlist.DFF, 1) {
+		t.Error("libraries must differ")
+	}
+}

@@ -1,0 +1,118 @@
+// Package report renders aligned plain-text tables, the output format of
+// the experiment harness (cmd/experiments) and the CLI tools.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Align selects a column's alignment.
+type Align uint8
+
+const (
+	// Left-aligned column (labels).
+	Left Align = iota
+	// Right-aligned column (numbers).
+	Right
+)
+
+// Table accumulates rows and renders them with per-column widths.
+type Table struct {
+	title   string
+	headers []string
+	aligns  []Align
+	rows    [][]string
+}
+
+// New creates a table with the given column headers. All columns default
+// to right alignment except the first.
+func New(title string, headers ...string) *Table {
+	t := &Table{title: title, headers: headers, aligns: make([]Align, len(headers))}
+	for i := range t.aligns {
+		if i == 0 {
+			t.aligns[i] = Left
+		} else {
+			t.aligns[i] = Right
+		}
+	}
+	return t
+}
+
+// SetAlign overrides a column's alignment.
+func (t *Table) SetAlign(col int, a Align) *Table {
+	t.aligns[col] = a
+	return t
+}
+
+// Row appends a row; cells are stringified with %v. Rows shorter than the
+// header are padded with empty cells; longer rows panic (a programming
+// error in the caller).
+func (t *Table) Row(cells ...interface{}) *Table {
+	if len(cells) > len(t.headers) {
+		panic(fmt.Sprintf("report: row with %d cells in a %d-column table", len(cells), len(t.headers)))
+	}
+	row := make([]string, len(t.headers))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := widths[i] - len(c)
+			if t.aligns[i] == Right {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(c)
+			} else {
+				b.WriteString(c)
+				if i < len(cells)-1 {
+					b.WriteString(strings.Repeat(" ", pad))
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		return fmt.Sprintf("report: %v", err)
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBasicRendering(t *testing.T) {
+	tbl := New("Title", "Name", "Value")
+	tbl.Row("alpha", 42)
+	tbl.Row("b", 7)
+	got := tbl.String()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), got)
+	}
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// Right-aligned numeric column: "42" and " 7" end-aligned under "Value".
+	if !strings.HasSuffix(lines[2], "   42") && !strings.HasSuffix(lines[2], "42") {
+		t.Errorf("row 1 = %q", lines[2])
+	}
+	idx42 := strings.Index(lines[2], "42") + 2
+	idx7 := strings.Index(lines[3], "7") + 1
+	if idx42 != idx7 {
+		t.Errorf("numeric column not end-aligned:\n%s", got)
+	}
+}
+
+func TestAlignmentAndPadding(t *testing.T) {
+	tbl := New("", "A", "B", "C")
+	tbl.SetAlign(1, Left)
+	tbl.Row("x") // short row padded
+	out := tbl.String()
+	if strings.Contains(out, "\n\n") {
+		t.Errorf("blank title must not add a line:\n%q", out)
+	}
+	if tbl.NumRows() != 1 {
+		t.Error("NumRows")
+	}
+}
+
+func TestWideCellsGrowColumns(t *testing.T) {
+	tbl := New("", "H", "V")
+	tbl.Row("a-very-long-label", 1)
+	lines := strings.Split(strings.TrimRight(tbl.String(), "\n"), "\n")
+	if len(lines[0]) < len("a-very-long-label") {
+		t.Error("header row must be padded to the widest cell")
+	}
+}
+
+func TestTooManyCellsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New("", "only").Row(1, 2)
+}

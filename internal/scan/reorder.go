@@ -1,0 +1,139 @@
+package scan
+
+import (
+	"sort"
+
+	"superpose/internal/netlist"
+)
+
+// ReorderByConnectivity builds a scan configuration whose chains group
+// structurally adjacent flip-flops, in the spirit of Salmani &
+// Tehranipoor's layout-aware scan-cell reordering (the paper's [15]): when
+// the cells of one chain sit in one logic region, per-region activation
+// (one chain at a time) quiets the rest of the design more effectively.
+//
+// Connectivity is approximated structurally: two flip-flops are close when
+// one's output cone feeds the other's D-cone within `radius` combinational
+// levels. Chains are grown greedily from unvisited cells in declaration
+// order, so the result is deterministic.
+func ReorderByConnectivity(n *netlist.Netlist, numChains int, radius int) *Chains {
+	ffs := n.ScanFFs()
+	if len(ffs) == 0 || numChains < 1 {
+		return Configure(n, numChains)
+	}
+	if numChains > len(ffs) {
+		numChains = len(ffs)
+	}
+	if radius < 1 {
+		radius = 2
+	}
+
+	// adjacency[i][j]: cells i and j share combinational structure.
+	index := make(map[int]int, len(ffs)) // gate ID -> ffs index
+	for i, ff := range ffs {
+		index[ff] = i
+	}
+	adj := make([][]int, len(ffs))
+	for i, ff := range ffs {
+		// Forward cone of the cell's output, bounded by radius levels.
+		reached := coneForward(n, ff, radius)
+		seen := map[int]bool{}
+		for _, id := range reached {
+			// A reached gate feeding some cell's D pin links the cells.
+			for _, fo := range n.Fanouts(id) {
+				if n.Gates[fo].Type == netlist.DFF {
+					if j, ok := index[fo]; ok && j != i && !seen[j] {
+						seen[j] = true
+						adj[i] = append(adj[i], j)
+					}
+				}
+			}
+		}
+		sort.Ints(adj[i])
+	}
+
+	// Greedy chain growth: start at the first unvisited cell, repeatedly
+	// append the lowest-numbered unvisited neighbour (BFS order), falling
+	// back to the next unvisited cell when the frontier dries up.
+	target := (len(ffs) + numChains - 1) / numChains
+	visited := make([]bool, len(ffs))
+	var chainsOut [][]int
+	var current []int
+
+	flush := func() {
+		if len(current) > 0 {
+			chainsOut = append(chainsOut, current)
+			current = nil
+		}
+	}
+	var queue []int
+	push := func(i int) {
+		if !visited[i] {
+			visited[i] = true
+			queue = append(queue, i)
+		}
+	}
+	for next := 0; next < len(ffs); {
+		if len(queue) == 0 {
+			for next < len(ffs) && visited[next] {
+				next++
+			}
+			if next == len(ffs) {
+				break
+			}
+			push(next)
+		}
+		i := queue[0]
+		queue = queue[1:]
+		current = append(current, ffs[i])
+		if len(current) == target {
+			// Region full: release the queued-but-unplaced cells back to
+			// the pool and start a fresh chain elsewhere.
+			for _, k := range queue {
+				visited[k] = false
+			}
+			queue = nil
+			flush()
+		}
+		for _, j := range adj[i] {
+			push(j)
+		}
+	}
+	flush()
+
+	// Assemble a Chains directly (Configure would re-partition by
+	// declaration order).
+	c := &Chains{n: n, pos: make(map[int]CellPos, len(ffs))}
+	for ci, chain := range chainsOut {
+		c.chains = append(c.chains, chain)
+		for j, ff := range chain {
+			c.pos[ff] = CellPos{Chain: ci, Index: j}
+		}
+	}
+	return c
+}
+
+// coneForward collects gate IDs reachable from start within `levels`
+// combinational steps (not crossing flip-flops).
+func coneForward(n *netlist.Netlist, start, levels int) []int {
+	type item struct{ id, depth int }
+	var out []int
+	seen := map[int]bool{start: true}
+	queue := []item{{start, 0}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		out = append(out, it.id)
+		if it.depth == levels {
+			continue
+		}
+		for _, fo := range n.Fanouts(it.id) {
+			if n.Gates[fo].Type.IsSource() || seen[fo] {
+				continue
+			}
+			seen[fo] = true
+			queue = append(queue, item{fo, it.depth + 1})
+		}
+	}
+	return out
+}

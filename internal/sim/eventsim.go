@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"superpose/internal/logic"
+	"superpose/internal/netlist"
+)
+
+// EventSimulator is a unit-delay event-driven simulator for a single
+// pattern at a time. Unlike the zero-delay levelized Simulator, it counts
+// every output event a gate produces during the settling of a launch —
+// including glitches (hazards), which the zero-delay model collapses into
+// at most one toggle per gate.
+//
+// The detection methodology itself uses the zero-delay model (consistent
+// with the paper's gate-activity accounting); this simulator exists to
+// quantify the glitch power the simplification ignores (see the
+// BenchmarkAblationGlitch harness and EXPERIMENTS.md).
+type EventSimulator struct {
+	n      *netlist.Netlist
+	value  []bool
+	events []int // per-gate event count of the last Settle
+	// scheduling scratch
+	inQueue []bool
+	queue   []int
+	next    []int
+}
+
+// NewEventSimulator returns an event-driven simulator for n.
+func NewEventSimulator(n *netlist.Netlist) *EventSimulator {
+	return &EventSimulator{
+		n:       n,
+		value:   make([]bool, n.NumGates()),
+		events:  make([]int, n.NumGates()),
+		inQueue: make([]bool, n.NumGates()),
+	}
+}
+
+// evalBool computes gate id over the current boolean values.
+func (e *EventSimulator) evalBool(id int) bool {
+	g := &e.n.Gates[id]
+	switch g.Type {
+	case netlist.Buf:
+		return e.value[g.Fanin[0]]
+	case netlist.Not:
+		return !e.value[g.Fanin[0]]
+	case netlist.And, netlist.Nand:
+		v := true
+		for _, f := range g.Fanin {
+			v = v && e.value[f]
+		}
+		if g.Type == netlist.Nand {
+			v = !v
+		}
+		return v
+	case netlist.Or, netlist.Nor:
+		v := false
+		for _, f := range g.Fanin {
+			v = v || e.value[f]
+		}
+		if g.Type == netlist.Nor {
+			v = !v
+		}
+		return v
+	case netlist.Xor, netlist.Xnor:
+		v := false
+		for _, f := range g.Fanin {
+			v = v != e.value[f]
+		}
+		if g.Type == netlist.Xnor {
+			v = !v
+		}
+		return v
+	default:
+		panic("sim: source gate evaluated")
+	}
+}
+
+// Initialize settles the circuit from a source assignment with no event
+// counting (the pre-launch steady state). sources[id] lane 0 is used.
+func (e *EventSimulator) Initialize(sources []logic.Word) {
+	for _, pi := range e.n.PIs {
+		e.value[pi] = sources[pi]&1 != 0
+	}
+	for _, ff := range e.n.FFs {
+		e.value[ff] = sources[ff]&1 != 0
+	}
+	for _, id := range e.n.TopoOrder() {
+		e.value[id] = e.evalBool(id)
+	}
+	for i := range e.events {
+		e.events[i] = 0
+	}
+}
+
+// Settle applies new source values (the launch) and propagates events
+// under a unit gate delay until quiescence, counting every output change
+// of every gate — launches, functional toggles and glitches alike. It
+// returns the total event count. Per-gate counts are available through
+// Events.
+func (e *EventSimulator) Settle(sources []logic.Word) int {
+	n := e.n
+	for i := range e.events {
+		e.events[i] = 0
+	}
+	// Time step 0: source changes.
+	e.queue = e.queue[:0]
+	schedule := func(id int, into *[]int) {
+		if !e.inQueue[id] {
+			e.inQueue[id] = true
+			*into = append(*into, id)
+		}
+	}
+	applySource := func(id int, v bool) {
+		if e.value[id] != v {
+			e.value[id] = v
+			e.events[id]++
+			for _, fo := range n.Fanouts(id) {
+				if !n.Gates[fo].Type.IsSource() {
+					schedule(fo, &e.queue)
+				}
+			}
+		}
+	}
+	for _, pi := range n.PIs {
+		applySource(pi, sources[pi]&1 != 0)
+	}
+	for _, ff := range n.FFs {
+		applySource(ff, sources[ff]&1 != 0)
+	}
+
+	total := 0
+	for id := range e.events {
+		total += e.events[id]
+	}
+
+	// Unit-delay waves: all gates scheduled at time t evaluate against the
+	// values of time t, producing events at t+1.
+	const maxWaves = 1 << 16 // combinational circuits settle in <= depth waves
+	for wave := 0; len(e.queue) > 0; wave++ {
+		if wave > maxWaves {
+			panic("sim: event simulation did not settle (oscillation?)")
+		}
+		e.next = e.next[:0]
+		// Evaluate all queued gates against current values first, then
+		// commit, so gates within one wave see a consistent snapshot.
+		type change struct {
+			id int
+			v  bool
+		}
+		var changes []change
+		for _, id := range e.queue {
+			e.inQueue[id] = false
+			if v := e.evalBool(id); v != e.value[id] {
+				changes = append(changes, change{id, v})
+			}
+		}
+		e.queue = e.queue[:0]
+		for _, c := range changes {
+			e.value[c.id] = c.v
+			e.events[c.id]++
+			total++
+			for _, fo := range n.Fanouts(c.id) {
+				if !n.Gates[fo].Type.IsSource() {
+					schedule(fo, &e.next)
+				}
+			}
+		}
+		e.queue, e.next = e.next, e.queue
+	}
+	return total
+}
+
+// Events returns the per-gate event counts of the last Settle. The slice
+// is owned by the simulator.
+func (e *EventSimulator) Events() []int { return e.events }
+
+// Value returns the settled boolean value of net id.
+func (e *EventSimulator) Value(id int) bool { return e.value[id] }
+
+// GlitchReport compares the unit-delay event activity of a launch with the
+// zero-delay toggle model.
+type GlitchReport struct {
+	ZeroDelayToggles int // gates that differ between initial and settled state
+	UnitDelayEvents  int // all events, including glitches
+	GlitchEvents     int // events beyond the zero-delay count
+}
+
+// AnalyzeLaunch runs a two-frame launch through the event simulator and
+// reports the glitch activity. src1 and src2 are the frame source
+// assignments (lane 0).
+func (e *EventSimulator) AnalyzeLaunch(src1, src2 []logic.Word) GlitchReport {
+	e.Initialize(src1)
+	initial := append([]bool(nil), e.value...)
+	events := e.Settle(src2)
+	zero := 0
+	for id, v := range e.value {
+		if v != initial[id] {
+			zero++
+		}
+	}
+	return GlitchReport{
+		ZeroDelayToggles: zero,
+		UnitDelayEvents:  events,
+		GlitchEvents:     events - zero,
+	}
+}

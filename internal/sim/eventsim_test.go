@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"testing"
+
+	"superpose/internal/logic"
+	"superpose/internal/netlist"
+	"superpose/internal/stats"
+)
+
+// buildHazard constructs the classic static-1 hazard circuit:
+//
+//	y = OR(a, na), na = NOT(a)
+//
+// Under unit delay, a 0->1 transition on `a` makes y glitch 1->0->1 (the
+// OR sees a=1 only after na has already fallen... actually the inverter
+// lags: when a rises, the OR momentarily sees a=1,na=1 (no glitch on
+// rise); when a falls, the OR sees a=0,na=0 for one unit — a 1->0->1
+// glitch). The zero-delay model sees no toggle at all (y is constant 1).
+func buildHazard(t testing.TB) *netlist.Netlist {
+	t.Helper()
+	b := netlist.NewBuilder("hazard")
+	if _, err := b.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("na", netlist.Not, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("y", netlist.Or, "a", "na"); err != nil {
+		t.Fatal(err)
+	}
+	b.MarkOutput("y")
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestEventSimStaticHazard(t *testing.T) {
+	n := buildHazard(t)
+	e := NewEventSimulator(n)
+	a, _ := n.GateID("a")
+	y, _ := n.GateID("y")
+	na, _ := n.GateID("na")
+
+	src := make([]logic.Word, n.NumGates())
+	// Falling input: a 1 -> 0. na lags by one unit, so the OR sees (0,0)
+	// for one wave: a 1->0->1 glitch on y.
+	src[a] = 1
+	e.Initialize(src)
+	if !e.Value(y) {
+		t.Fatal("y must be 1 initially")
+	}
+	src[a] = 0
+	rep := e.AnalyzeLaunch(mkSrc(n, a, 1), mkSrc(n, a, 0))
+	// Zero delay: y unchanged, na toggles, a toggles -> 2 toggles.
+	if rep.ZeroDelayToggles != 2 {
+		t.Errorf("zero-delay toggles = %d, want 2 (a, na)", rep.ZeroDelayToggles)
+	}
+	// Unit delay: a(1) + na(1) + y glitch(2 events) = 4.
+	if rep.UnitDelayEvents != 4 {
+		t.Errorf("unit-delay events = %d, want 4", rep.UnitDelayEvents)
+	}
+	if rep.GlitchEvents != 2 {
+		t.Errorf("glitch events = %d, want 2", rep.GlitchEvents)
+	}
+	_ = na
+}
+
+func TestEventSimNoGlitchOnRise(t *testing.T) {
+	// Rising input on the hazard circuit: the OR sees a=1 before na falls,
+	// so y holds 1 throughout — no glitch, only a and na toggle.
+	n := buildHazard(t)
+	e := NewEventSimulator(n)
+	a, _ := n.GateID("a")
+	rep := e.AnalyzeLaunch(mkSrc(n, a, 0), mkSrc(n, a, 1))
+	if rep.GlitchEvents != 0 {
+		t.Errorf("glitch events = %d, want 0 on rising edge", rep.GlitchEvents)
+	}
+	if rep.ZeroDelayToggles != 2 || rep.UnitDelayEvents != 2 {
+		t.Errorf("toggles = %d/%d, want 2/2", rep.ZeroDelayToggles, rep.UnitDelayEvents)
+	}
+}
+
+func mkSrc(n *netlist.Netlist, id int, v logic.Word) []logic.Word {
+	src := make([]logic.Word, n.NumGates())
+	src[id] = v
+	return src
+}
+
+// TestEventSimAgreesWithZeroDelayOnSettledState: after settling, the
+// event simulator's values must equal the levelized simulator's.
+func TestEventSimAgreesWithZeroDelayOnSettledState(t *testing.T) {
+	n := buildGateZoo(t)
+	e := NewEventSimulator(n)
+	s := New(n)
+	rng := stats.NewRNG(31)
+
+	for trial := 0; trial < 50; trial++ {
+		src1 := s.SourceWords()
+		src2 := s.SourceWords()
+		for _, pi := range n.PIs {
+			if rng.Bool() {
+				src1[pi] = 1
+			}
+			if rng.Bool() {
+				src2[pi] = 1
+			}
+		}
+		e.Initialize(src1)
+		e.Settle(src2)
+		vals := s.Run(src2)
+		for id := range vals {
+			want := vals[id]&1 != 0
+			if e.Value(id) != want {
+				t.Fatalf("trial %d: net %s settled to %v, levelized says %v",
+					trial, n.NameOf(id), e.Value(id), want)
+			}
+		}
+	}
+}
+
+// TestEventSimEventParity: every gate's event count must have the parity
+// of its net value change (even events iff the value returned to start).
+func TestEventSimEventParity(t *testing.T) {
+	n := buildGateZoo(t)
+	e := NewEventSimulator(n)
+	rng := stats.NewRNG(7)
+	s := New(n)
+	for trial := 0; trial < 50; trial++ {
+		src1 := s.SourceWords()
+		src2 := s.SourceWords()
+		for _, pi := range n.PIs {
+			if rng.Bool() {
+				src1[pi] = 1
+			}
+			if rng.Bool() {
+				src2[pi] = 1
+			}
+		}
+		e.Initialize(src1)
+		before := append([]bool(nil), e.value...)
+		e.Settle(src2)
+		for id, ev := range e.Events() {
+			changed := e.value[id] != before[id]
+			if (ev%2 == 1) != changed {
+				t.Fatalf("net %s: %d events but changed=%v", n.NameOf(id), ev, changed)
+			}
+		}
+	}
+}
+
+func TestEventSimGlitchesOnRealCircuit(t *testing.T) {
+	// On a multi-level circuit with reconvergence, unit-delay events must
+	// be >= zero-delay toggles; equality would mean no hazards anywhere,
+	// which XOR-rich reconvergent logic makes very unlikely over many
+	// trials.
+	b := netlist.NewBuilder("reconv")
+	if _, err := b.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddInput("bb"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("n1", netlist.Not, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("n2", netlist.And, "a", "bb"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("n3", netlist.Xor, "n1", "n2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("n4", netlist.Or, "n3", "a"); err != nil {
+		t.Fatal(err)
+	}
+	b.MarkOutput("n4")
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := NewEventSimulator(n)
+	a, _ := n.GateID("a")
+	bb, _ := n.GateID("bb")
+	glitchSeen := false
+	for v1 := 0; v1 < 4; v1++ {
+		for v2 := 0; v2 < 4; v2++ {
+			src1 := make([]logic.Word, n.NumGates())
+			src2 := make([]logic.Word, n.NumGates())
+			src1[a] = logic.Word(v1 & 1)
+			src1[bb] = logic.Word(v1 >> 1)
+			src2[a] = logic.Word(v2 & 1)
+			src2[bb] = logic.Word(v2 >> 1)
+			rep := e.AnalyzeLaunch(src1, src2)
+			if rep.UnitDelayEvents < rep.ZeroDelayToggles {
+				t.Fatalf("unit-delay events %d < zero-delay toggles %d",
+					rep.UnitDelayEvents, rep.ZeroDelayToggles)
+			}
+			if rep.GlitchEvents > 0 {
+				glitchSeen = true
+			}
+		}
+	}
+	if !glitchSeen {
+		t.Error("expected at least one hazard in reconvergent logic")
+	}
+}

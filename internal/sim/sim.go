@@ -1,0 +1,220 @@
+// Package sim provides levelized, 64-way pattern-parallel two-valued logic
+// simulation of full-scan netlists, plus the derived analyses the
+// superposition flow needs: toggle sets between two evaluations (the launch
+// activity of a transition test) and Monte-Carlo signal probabilities (the
+// rare-net analysis behind Trojan trigger selection).
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"superpose/internal/logic"
+	"superpose/internal/netlist"
+	"superpose/internal/stats"
+)
+
+// Simulator evaluates the combinational logic of one netlist. A Simulator
+// holds per-net value storage and is not safe for concurrent use; create
+// one per goroutine (construction is cheap).
+type Simulator struct {
+	n      *netlist.Netlist
+	values []logic.Word
+}
+
+// New returns a Simulator for n.
+func New(n *netlist.Netlist) *Simulator {
+	return &Simulator{n: n, values: make([]logic.Word, n.NumGates())}
+}
+
+// Netlist returns the simulated netlist.
+func (s *Simulator) Netlist() *netlist.Netlist { return s.n }
+
+// Run evaluates the combinational logic for up to 64 patterns at once.
+// sources maps each primary input and flip-flop gate ID to its word; all
+// other entries are ignored. The returned slice holds one word per net and
+// is owned by the Simulator: it is valid until the next Run.
+func (s *Simulator) Run(sources []logic.Word) []logic.Word {
+	n := s.n
+	for _, pi := range n.PIs {
+		s.values[pi] = sources[pi]
+	}
+	for _, ff := range n.FFs {
+		s.values[ff] = sources[ff]
+	}
+	for _, id := range n.TopoOrder() {
+		s.values[id] = s.eval(id)
+	}
+	return s.values
+}
+
+// eval computes the word of combinational gate id from the current values
+// of its fanins.
+func (s *Simulator) eval(id int) logic.Word {
+	g := &s.n.Gates[id]
+	switch g.Type {
+	case netlist.Buf:
+		return s.values[g.Fanin[0]]
+	case netlist.Not:
+		return ^s.values[g.Fanin[0]]
+	case netlist.And, netlist.Nand:
+		w := logic.AllOne
+		for _, f := range g.Fanin {
+			w &= s.values[f]
+		}
+		if g.Type == netlist.Nand {
+			w = ^w
+		}
+		return w
+	case netlist.Or, netlist.Nor:
+		w := logic.AllZero
+		for _, f := range g.Fanin {
+			w |= s.values[f]
+		}
+		if g.Type == netlist.Nor {
+			w = ^w
+		}
+		return w
+	case netlist.Xor, netlist.Xnor:
+		w := logic.AllZero
+		for _, f := range g.Fanin {
+			w ^= s.values[f]
+		}
+		if g.Type == netlist.Xnor {
+			w = ^w
+		}
+		return w
+	default:
+		panic(fmt.Sprintf("sim: unexpected gate type %v in topo order", g.Type))
+	}
+}
+
+// RunForced evaluates like Run but forces net `forced` to the word `val`
+// regardless of its driver — the faulty-machine evaluation used by fault
+// simulation (a transition fault behaves as the net stuck at its initial
+// value in the launch-to-capture frame). Forcing works for source and
+// combinational nets alike.
+func (s *Simulator) RunForced(sources []logic.Word, forced int, val logic.Word) []logic.Word {
+	n := s.n
+	for _, pi := range n.PIs {
+		s.values[pi] = sources[pi]
+	}
+	for _, ff := range n.FFs {
+		s.values[ff] = sources[ff]
+	}
+	if n.Gates[forced].Type.IsSource() {
+		s.values[forced] = val
+	}
+	for _, id := range n.TopoOrder() {
+		if id == forced {
+			s.values[id] = val
+			continue
+		}
+		s.values[id] = s.eval(id)
+	}
+	return s.values
+}
+
+// Snapshot copies the current value array (e.g. to keep a launch frame
+// while simulating the capture frame).
+func (s *Simulator) Snapshot() []logic.Word {
+	return append([]logic.Word(nil), s.values...)
+}
+
+// SourceWords allocates a source array sized for the netlist.
+func (s *Simulator) SourceWords() []logic.Word {
+	return make([]logic.Word, s.n.NumGates())
+}
+
+// ToggleSet returns the IDs of all gates (including scan cells and primary
+// inputs) whose value differs between the two evaluations a and b at
+// pattern lane `bit`. This is the switching-activity set of a launch.
+func ToggleSet(a, b []logic.Word, bit uint) []int {
+	mask := logic.Word(1) << bit
+	var out []int
+	for id := range a {
+		if (a[id]^b[id])&mask != 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ToggleMask returns, per net, the lanes in which the two evaluations
+// differ.
+func ToggleMask(a, b []logic.Word, dst []logic.Word) []logic.Word {
+	if dst == nil {
+		dst = make([]logic.Word, len(a))
+	}
+	for id := range a {
+		dst[id] = a[id] ^ b[id]
+	}
+	return dst
+}
+
+// ToggleSetsAll extracts the toggle sets of the first numLanes lanes in a
+// single pass over the nets (O(nets + total toggles), against O(nets ×
+// lanes) for per-lane ToggleSet calls).
+func ToggleSetsAll(a, b []logic.Word, numLanes int) [][]int {
+	out := make([][]int, numLanes)
+	laneMask := logic.Word(1)<<uint(numLanes) - 1
+	if numLanes >= 64 {
+		laneMask = ^logic.Word(0)
+	}
+	for id := range a {
+		m := (a[id] ^ b[id]) & laneMask
+		for m != 0 {
+			lane := bits.TrailingZeros64(uint64(m))
+			out[lane] = append(out[lane], id)
+			m &= m - 1
+		}
+	}
+	return out
+}
+
+// CountToggles returns the number of toggling nets at pattern lane bit.
+func CountToggles(a, b []logic.Word, bit uint) int {
+	mask := logic.Word(1) << bit
+	c := 0
+	for id := range a {
+		if (a[id]^b[id])&mask != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// SignalProbabilities estimates, for every net, the probability that the
+// net evaluates to 1 under uniformly random primary-input and scan-cell
+// values. numPatterns is rounded up to a multiple of 64. The result feeds
+// the rare-net analysis used for Trojan trigger placement.
+func SignalProbabilities(n *netlist.Netlist, numPatterns int, seed uint64) []float64 {
+	if numPatterns <= 0 {
+		numPatterns = 64
+	}
+	words := (numPatterns + 63) / 64
+	rng := stats.NewRNG(seed)
+	s := New(n)
+	sources := s.SourceWords()
+	ones := make([]int, n.NumGates())
+	for w := 0; w < words; w++ {
+		for _, pi := range n.PIs {
+			sources[pi] = logic.Word(rng.Uint64())
+		}
+		for _, ff := range n.FFs {
+			sources[ff] = logic.Word(rng.Uint64())
+		}
+		vals := s.Run(sources)
+		for id, v := range vals {
+			ones[id] += popcount(v)
+		}
+	}
+	total := float64(words * 64)
+	probs := make([]float64, n.NumGates())
+	for id, c := range ones {
+		probs[id] = float64(c) / total
+	}
+	return probs
+}
+
+func popcount(w logic.Word) int { return bits.OnesCount64(uint64(w)) }

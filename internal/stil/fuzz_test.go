@@ -1,0 +1,37 @@
+package stil
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the pattern parser with arbitrary input: no panics,
+// and accepted inputs must round-trip.
+func FuzzRead(f *testing.F) {
+	f.Add("STILLITE 1;\nShape { chains 1; lengths 3; pis 2; }\nPattern 0 { scan \"010\"; pi \"11\"; }\n")
+	f.Add("STILLITE 1;\nShape { chains 0; lengths ; pis 0; }\n")
+	f.Add("STILLITE 1;\nShape { chains 2; lengths 2 2; pis 0; }\nPattern 0 { scan \"00|11\"; pi \"\"; }\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		pats, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, pats); err != nil {
+			t.Fatalf("accepted patterns failed to serialize: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back) != len(pats) {
+			t.Fatalf("round trip changed count %d -> %d", len(pats), len(back))
+		}
+		for i := range pats {
+			if !pats[i].Equal(back[i]) {
+				t.Fatal("round trip changed a pattern")
+			}
+		}
+	})
+}

@@ -1,0 +1,248 @@
+// Package stil reads and writes test patterns in a minimal STIL-like text
+// format, playing the role of the STIL files the paper's custom scripts
+// manipulate between the ATPG and analysis stages (§V-B).
+//
+// The format is line-oriented and self-describing:
+//
+//	STILLITE 1;
+//	Shape { chains 2; lengths 8 8; pis 4; }
+//	Pattern 0 { scan "01001100|11100011"; pi "1010"; }
+//	Pattern 1 { scan "00001100|11100000"; pi "0110"; }
+//
+// It intentionally covers only what the toolchain needs: pattern shape
+// validation and lossless round-tripping of scan/PI bits.
+package stil
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"superpose/internal/scan"
+)
+
+// Write serializes patterns. All patterns must share the same shape.
+func Write(w io.Writer, pats []*scan.Pattern) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "STILLITE 1;")
+	if len(pats) == 0 {
+		fmt.Fprintln(bw, "Shape { chains 0; lengths ; pis 0; }")
+		return bw.Flush()
+	}
+	first := pats[0]
+	lengths := make([]string, len(first.Scan))
+	for i, c := range first.Scan {
+		lengths[i] = strconv.Itoa(len(c))
+	}
+	fmt.Fprintf(bw, "Shape { chains %d; lengths %s; pis %d; }\n",
+		len(first.Scan), strings.Join(lengths, " "), len(first.PI))
+	for i, p := range pats {
+		if err := checkShape(first, p); err != nil {
+			return fmt.Errorf("stil: pattern %d: %w", i, err)
+		}
+		var chains []string
+		for _, c := range p.Scan {
+			chains = append(chains, bitString(c))
+		}
+		fmt.Fprintf(bw, "Pattern %d { scan \"%s\"; pi \"%s\"; }\n",
+			i, strings.Join(chains, "|"), bitString(p.PI))
+	}
+	return bw.Flush()
+}
+
+func checkShape(ref, p *scan.Pattern) error {
+	if len(p.Scan) != len(ref.Scan) || len(p.PI) != len(ref.PI) {
+		return fmt.Errorf("shape mismatch")
+	}
+	for i := range p.Scan {
+		if len(p.Scan[i]) != len(ref.Scan[i]) {
+			return fmt.Errorf("chain %d length mismatch", i)
+		}
+	}
+	return nil
+}
+
+func bitString(bits []bool) string {
+	var b strings.Builder
+	for _, v := range bits {
+		if v {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+func parseBits(s string) ([]bool, error) {
+	out := make([]bool, len(s))
+	for i, c := range s {
+		switch c {
+		case '0':
+			out[i] = false
+		case '1':
+			out[i] = true
+		default:
+			return nil, fmt.Errorf("invalid bit %q", c)
+		}
+	}
+	return out, nil
+}
+
+// Read parses a pattern file written by Write.
+func Read(r io.Reader) ([]*scan.Pattern, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineno := 0
+
+	var (
+		sawHeader bool
+		sawShape  bool
+		chains    int
+		lengths   []int
+		pis       int
+		pats      []*scan.Pattern
+	)
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "STILLITE"):
+			if !strings.HasSuffix(line, "1;") {
+				return nil, fmt.Errorf("stil:%d: unsupported version %q", lineno, line)
+			}
+			sawHeader = true
+
+		case strings.HasPrefix(line, "Shape"):
+			if !sawHeader {
+				return nil, fmt.Errorf("stil:%d: Shape before header", lineno)
+			}
+			var err error
+			chains, lengths, pis, err = parseShape(line)
+			if err != nil {
+				return nil, fmt.Errorf("stil:%d: %w", lineno, err)
+			}
+			sawShape = true
+
+		case strings.HasPrefix(line, "Pattern"):
+			if !sawShape {
+				return nil, fmt.Errorf("stil:%d: Pattern before Shape", lineno)
+			}
+			p, err := parsePattern(line, chains, lengths, pis)
+			if err != nil {
+				return nil, fmt.Errorf("stil:%d: %w", lineno, err)
+			}
+			pats = append(pats, p)
+
+		default:
+			return nil, fmt.Errorf("stil:%d: unrecognized line %q", lineno, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("stil: missing header")
+	}
+	return pats, nil
+}
+
+func field(line, key string) (string, error) {
+	i := strings.Index(line, key+" ")
+	if i < 0 {
+		return "", fmt.Errorf("missing field %q", key)
+	}
+	rest := line[i+len(key)+1:]
+	j := strings.IndexByte(rest, ';')
+	if j < 0 {
+		return "", fmt.Errorf("unterminated field %q", key)
+	}
+	return strings.TrimSpace(rest[:j]), nil
+}
+
+func parseShape(line string) (chains int, lengths []int, pis int, err error) {
+	cs, err := field(line, "chains")
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if chains, err = strconv.Atoi(cs); err != nil {
+		return 0, nil, 0, fmt.Errorf("chains: %w", err)
+	}
+	ls, err := field(line, "lengths")
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	for _, tok := range strings.Fields(ls) {
+		l, err := strconv.Atoi(tok)
+		if err != nil {
+			return 0, nil, 0, fmt.Errorf("lengths: %w", err)
+		}
+		lengths = append(lengths, l)
+	}
+	if len(lengths) != chains {
+		return 0, nil, 0, fmt.Errorf("%d lengths for %d chains", len(lengths), chains)
+	}
+	ps, err := field(line, "pis")
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if pis, err = strconv.Atoi(ps); err != nil {
+		return 0, nil, 0, fmt.Errorf("pis: %w", err)
+	}
+	return chains, lengths, pis, nil
+}
+
+func parsePattern(line string, chains int, lengths []int, pis int) (*scan.Pattern, error) {
+	scanField, err := quoted(line, "scan")
+	if err != nil {
+		return nil, err
+	}
+	piField, err := quoted(line, "pi")
+	if err != nil {
+		return nil, err
+	}
+	parts := []string{}
+	if scanField != "" {
+		parts = strings.Split(scanField, "|")
+	}
+	if len(parts) != chains {
+		return nil, fmt.Errorf("%d chains in pattern, want %d", len(parts), chains)
+	}
+	p := &scan.Pattern{Scan: make([][]bool, chains)}
+	for i, part := range parts {
+		if len(part) != lengths[i] {
+			return nil, fmt.Errorf("chain %d has %d bits, want %d", i, len(part), lengths[i])
+		}
+		bits, err := parseBits(part)
+		if err != nil {
+			return nil, err
+		}
+		p.Scan[i] = bits
+	}
+	if len(piField) != pis {
+		return nil, fmt.Errorf("%d PI bits, want %d", len(piField), pis)
+	}
+	p.PI, err = parseBits(piField)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func quoted(line, key string) (string, error) {
+	i := strings.Index(line, key+" \"")
+	if i < 0 {
+		return "", fmt.Errorf("missing field %q", key)
+	}
+	rest := line[i+len(key)+2:]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return "", fmt.Errorf("unterminated field %q", key)
+	}
+	return rest[:j], nil
+}

@@ -1,0 +1,123 @@
+package stil
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"superpose/internal/scan"
+	"superpose/internal/stats"
+)
+
+func makePattern(chains []int, pis int, rng *stats.RNG) *scan.Pattern {
+	p := &scan.Pattern{Scan: make([][]bool, len(chains)), PI: make([]bool, pis)}
+	for i, l := range chains {
+		p.Scan[i] = make([]bool, l)
+		for j := range p.Scan[i] {
+			p.Scan[i][j] = rng.Bool()
+		}
+	}
+	for i := range p.PI {
+		p.PI[i] = rng.Bool()
+	}
+	return p
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(1)
+	var pats []*scan.Pattern
+	for i := 0; i < 10; i++ {
+		pats = append(pats, makePattern([]int{8, 5}, 4, rng))
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, pats); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if len(back) != len(pats) {
+		t.Fatalf("count %d != %d", len(back), len(pats))
+	}
+	for i := range pats {
+		if !pats[i].Equal(back[i]) {
+			t.Fatalf("pattern %d mismatch", i)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	rng := stats.NewRNG(2)
+	f := func(l1raw, l2raw, pisraw uint8) bool {
+		chains := []int{int(l1raw%12) + 1, int(l2raw%12) + 1}
+		pis := int(pisraw % 8)
+		pats := []*scan.Pattern{makePattern(chains, pis, rng), makePattern(chains, pis, rng)}
+		var buf bytes.Buffer
+		if err := Write(&buf, pats); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return len(back) == 2 && pats[0].Equal(back[0]) && pats[1].Equal(back[1])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyPatternSet(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Errorf("got %d patterns", len(back))
+	}
+}
+
+func TestShapeMismatchRejectedOnWrite(t *testing.T) {
+	rng := stats.NewRNG(3)
+	pats := []*scan.Pattern{
+		makePattern([]int{4}, 2, rng),
+		makePattern([]int{5}, 2, rng),
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, pats); err == nil {
+		t.Error("shape mismatch must be rejected")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":        "Shape { chains 0; lengths ; pis 0; }\n",
+		"bad version":      "STILLITE 2;\n",
+		"pattern early":    "STILLITE 1;\nPattern 0 { scan \"\"; pi \"\"; }\n",
+		"garbage line":     "STILLITE 1;\nfrobnicate;\n",
+		"bad bit":          "STILLITE 1;\nShape { chains 1; lengths 2; pis 0; }\nPattern 0 { scan \"0X\"; pi \"\"; }\n",
+		"chain mismatch":   "STILLITE 1;\nShape { chains 2; lengths 2 2; pis 0; }\nPattern 0 { scan \"00\"; pi \"\"; }\n",
+		"length mismatch":  "STILLITE 1;\nShape { chains 1; lengths 3; pis 0; }\nPattern 0 { scan \"00\"; pi \"\"; }\n",
+		"pi mismatch":      "STILLITE 1;\nShape { chains 1; lengths 2; pis 2; }\nPattern 0 { scan \"00\"; pi \"0\"; }\n",
+		"lengths mismatch": "STILLITE 1;\nShape { chains 2; lengths 2; pis 0; }\n",
+		"missing scan":     "STILLITE 1;\nShape { chains 1; lengths 2; pis 0; }\nPattern 0 { pi \"\"; }\n",
+		"bad chains num":   "STILLITE 1;\nShape { chains x; lengths ; pis 0; }\n",
+	}
+	for label, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", label)
+		}
+	}
+}
+
+func TestMissingHeaderEmptyFile(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty file must error")
+	}
+}

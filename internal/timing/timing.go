@@ -1,0 +1,259 @@
+// Package timing provides static timing analysis over the gate-level
+// netlist and a path-delay-fingerprint detector in the spirit of Jin &
+// Makris (the paper's [1]) — the delay side of the side-channel family the
+// paper's related work surveys. It serves as a comparison baseline: delay
+// fingerprinting sees a Trojan only through the timing shifts its gates
+// and loads induce on measured paths, while the power superposition method
+// sees its switching directly.
+//
+// The model is deliberately simple and mirrors the power substrate: a
+// per-cell nominal delay library, per-die Gaussian variation on every
+// gate's delay, and an additional capacitive penalty on nets that fan out
+// to many readers (which is how a Trojan's trigger taps load their hosts).
+package timing
+
+import (
+	"fmt"
+
+	"superpose/internal/netlist"
+	"superpose/internal/stats"
+)
+
+// Library maps gate types to nominal propagation delays (arbitrary
+// consistent units, think ps).
+type Library struct {
+	name  string
+	delay map[netlist.GateType]float64
+	// loadPenalty is the extra delay a driver pays per reader beyond the
+	// first — the lever through which invisible Trojan taps become
+	// visible to delay analysis.
+	loadPenalty float64
+}
+
+// SAED90LikeDelays returns a delay library with relative magnitudes
+// matching the power library's cells.
+func SAED90LikeDelays() *Library {
+	return &Library{
+		name: "saed90-like-delay",
+		delay: map[netlist.GateType]float64{
+			netlist.Input: 0,
+			netlist.DFF:   120, // clk-to-Q
+			netlist.Buf:   35,
+			netlist.Not:   25,
+			netlist.And:   55,
+			netlist.Nand:  40,
+			netlist.Or:    60,
+			netlist.Nor:   45,
+			netlist.Xor:   85,
+			netlist.Xnor:  90,
+		},
+		loadPenalty: 6,
+	}
+}
+
+// Name returns the library name.
+func (l *Library) Name() string { return l.name }
+
+// Delay returns the nominal propagation delay of one gate instance given
+// its fanout count.
+func (l *Library) Delay(typ netlist.GateType, fanout int) float64 {
+	d := l.delay[typ]
+	if extra := fanout - 1; extra > 0 {
+		d += float64(extra) * l.loadPenalty
+	}
+	return d
+}
+
+// Model is the defender's pre-silicon timing expectation: nominal
+// per-gate delays over the golden netlist.
+type Model struct {
+	n     *netlist.Netlist
+	delay []float64
+}
+
+// NewModel builds the nominal delay model of n under lib.
+func NewModel(n *netlist.Netlist, lib *Library) *Model {
+	m := &Model{n: n, delay: make([]float64, n.NumGates())}
+	for id, g := range n.Gates {
+		m.delay[id] = lib.Delay(g.Type, len(n.Fanouts(id)))
+	}
+	return m
+}
+
+// DelayOf returns the nominal delay of gate id.
+func (m *Model) DelayOf(id int) float64 { return m.delay[id] }
+
+// STA holds arrival times from a static timing analysis pass.
+type STA struct {
+	n       *netlist.Netlist
+	Arrival []float64 // per net: worst-case arrival at the net's output
+}
+
+// Analyze runs topological worst-case arrival propagation: sources launch
+// at their own delay (clk-to-Q for cells, 0 for PIs), every combinational
+// gate adds its delay to the latest fanin arrival.
+func Analyze(n *netlist.Netlist, delays []float64) *STA {
+	s := &STA{n: n, Arrival: make([]float64, n.NumGates())}
+	for _, pi := range n.PIs {
+		s.Arrival[pi] = delays[pi]
+	}
+	for _, ff := range n.FFs {
+		s.Arrival[ff] = delays[ff]
+	}
+	for _, id := range n.TopoOrder() {
+		worst := 0.0
+		for _, f := range n.Gates[id].Fanin {
+			if s.Arrival[f] > worst {
+				worst = s.Arrival[f]
+			}
+		}
+		s.Arrival[id] = worst + delays[id]
+	}
+	return s
+}
+
+// CriticalPath returns the gate IDs of the worst path ending at net `end`,
+// from source to end.
+func (s *STA) CriticalPath(end int) []int {
+	var rev []int
+	id := end
+	for {
+		rev = append(rev, id)
+		g := s.n.Gates[id]
+		if g.Type.IsSource() {
+			break
+		}
+		worst, worstID := -1.0, -1
+		for _, f := range g.Fanin {
+			if s.Arrival[f] > worst {
+				worst, worstID = s.Arrival[f], f
+			}
+		}
+		if worstID < 0 {
+			break
+		}
+		id = worstID
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// ObservationArrivals returns the arrival times at the observation points
+// (primary outputs then flip-flop D pins), the measurable quantities of a
+// delay-test fingerprint.
+func (s *STA) ObservationArrivals() []float64 {
+	var out []float64
+	for _, po := range s.n.POs {
+		out = append(out, s.Arrival[po])
+	}
+	for _, ff := range s.n.FFs {
+		out = append(out, s.Arrival[s.n.Gates[ff].Fanin[0]])
+	}
+	return out
+}
+
+// Chip is one manufactured die's timing reality: per-gate delays with
+// process variation, over the physical (possibly infected) netlist.
+type Chip struct {
+	n      *netlist.Netlist
+	delays []float64
+	inter  float64
+}
+
+// Manufacture draws a die. Variation semantics match the power model:
+// one inter-die scale plus independent per-gate intra-die factors.
+func Manufacture(n *netlist.Netlist, lib *Library, sigmaInter, sigmaIntra float64, seed uint64) *Chip {
+	rng := stats.NewRNG(seed ^ 0x7137)
+	inter := 1 + sigmaInter*rng.Norm()
+	if inter < 0.05 {
+		inter = 0.05
+	}
+	c := &Chip{n: n, delays: make([]float64, n.NumGates()), inter: inter}
+	for id, g := range n.Gates {
+		intra := 1 + sigmaIntra*rng.Norm()
+		if intra < 0.05 {
+			intra = 0.05
+		}
+		c.delays[id] = lib.Delay(g.Type, len(n.Fanouts(id))) * inter * intra
+	}
+	return c
+}
+
+// Measure runs STA over the die's true delays: the tester's view of the
+// chip's path timing (delay testing measures arrival times at observation
+// points; per-gate delays are not directly visible).
+func (c *Chip) Measure() []float64 {
+	return Analyze(c.n, c.delays).ObservationArrivals()
+}
+
+// FingerprintResult is the outcome of a delay-fingerprint comparison.
+type FingerprintResult struct {
+	// MaxResidual is the largest calibrated relative deviation of an
+	// observation arrival from its nominal expectation.
+	MaxResidual float64
+	// Residuals holds the per-observation relative deviations.
+	Residuals []float64
+	// Scale is the calibrated inter-die factor.
+	Scale float64
+	// Detected is true when MaxResidual exceeds the threshold.
+	Detected bool
+}
+
+// Fingerprint compares a die's measured observation arrivals against the
+// golden model's expectations, after calibrating out the global (inter-
+// die) delay scale with the median ratio — the delay analogue of the
+// power flow's self-referencing calibration. A residual beyond
+// `threshold` (relative) flags the die.
+//
+// The nominal expectations must come from a Model over the GOLDEN
+// netlist; the measurement comes from the physical die. Observation
+// points are index-aligned because Trojan insertion preserves host PO/FF
+// identities.
+func Fingerprint(golden *netlist.Netlist, m *Model, measured []float64, threshold float64) (*FingerprintResult, error) {
+	nominal := Analyze(golden, m.delay).ObservationArrivals()
+	if len(nominal) != len(measured) {
+		return nil, fmt.Errorf("timing: %d nominal vs %d measured observation points", len(nominal), len(measured))
+	}
+	var ratios []float64
+	for i := range nominal {
+		if nominal[i] > 0 {
+			ratios = append(ratios, measured[i]/nominal[i])
+		}
+	}
+	if len(ratios) == 0 {
+		return nil, fmt.Errorf("timing: no usable observation points")
+	}
+	scale := median(ratios)
+	res := &FingerprintResult{Scale: scale}
+	for i := range nominal {
+		if nominal[i] <= 0 {
+			res.Residuals = append(res.Residuals, 0)
+			continue
+		}
+		r := measured[i]/(nominal[i]*scale) - 1
+		if r < 0 {
+			r = -r
+		}
+		res.Residuals = append(res.Residuals, r)
+		if r > res.MaxResidual {
+			res.MaxResidual = r
+		}
+	}
+	res.Detected = res.MaxResidual > threshold
+	return res, nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ { // insertion sort; observation lists are short
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}

@@ -1,0 +1,267 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"superpose/internal/netlist"
+	"superpose/internal/trojan"
+	"superpose/internal/trust"
+)
+
+// buildPathCircuit: pi -> b1 -> b2 -> b3 -> PO, plus a short side path.
+func buildPathCircuit(t testing.TB) *netlist.Netlist {
+	t.Helper()
+	b := netlist.NewBuilder("paths")
+	if _, err := b.AddInput("pi"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddDFF("q", "d"); err != nil {
+		t.Fatal(err)
+	}
+	chain := []string{"pi", "b1", "b2", "b3"}
+	for i := 1; i < len(chain); i++ {
+		if _, err := b.AddGate(chain[i], netlist.Buf, chain[i-1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.AddGate("short", netlist.Not, "q"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("d", netlist.And, "b3", "short"); err != nil {
+		t.Fatal(err)
+	}
+	b.MarkOutput("b3")
+	b.MarkOutput("short")
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestSTAArrivals(t *testing.T) {
+	n := buildPathCircuit(t)
+	lib := SAED90LikeDelays()
+	m := NewModel(n, lib)
+	sta := Analyze(n, m.delay)
+
+	id := func(name string) int {
+		g, ok := n.GateID(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		return g
+	}
+	// b1,b2 each have 1 reader; b3 has 2 readers (PO listing is not a
+	// reader; d reads b3). Fanouts: b1->b2, b2->b3, b3->d.
+	buf := lib.Delay(netlist.Buf, 1)
+	if got := sta.Arrival[id("b1")]; math.Abs(got-buf) > 1e-9 {
+		t.Errorf("arrival(b1) = %v, want %v", got, buf)
+	}
+	if got := sta.Arrival[id("b3")]; math.Abs(got-3*buf) > 1e-9 {
+		t.Errorf("arrival(b3) = %v, want %v", got, 3*buf)
+	}
+	// d = AND(b3, short): worst fanin is b3's 3-buf path vs DFF+NOT
+	// (the DFF q drives only `short`, so its fanout is 1).
+	dffNot := lib.Delay(netlist.DFF, 1) + lib.Delay(netlist.Not, 1)
+	worst := math.Max(3*buf, dffNot)
+	want := worst + lib.Delay(netlist.And, 1)
+	if got := sta.Arrival[id("d")]; math.Abs(got-want) > 1e-9 {
+		t.Errorf("arrival(d) = %v, want %v", got, want)
+	}
+
+	// Critical path to d runs through the worst branch.
+	path := sta.CriticalPath(id("d"))
+	if path[len(path)-1] != id("d") {
+		t.Error("critical path must end at the target")
+	}
+	if !n.Gates[path[0]].Type.IsSource() {
+		t.Error("critical path must start at a source")
+	}
+	// Arrivals strictly increase along the path.
+	for i := 1; i < len(path); i++ {
+		if sta.Arrival[path[i]] <= sta.Arrival[path[i-1]] {
+			t.Error("arrivals must increase along the critical path")
+		}
+	}
+}
+
+func TestLoadPenalty(t *testing.T) {
+	lib := SAED90LikeDelays()
+	if lib.Delay(netlist.Nand, 3) <= lib.Delay(netlist.Nand, 1) {
+		t.Error("fanout load must add delay")
+	}
+	if lib.Name() == "" {
+		t.Error("library name")
+	}
+}
+
+func TestObservationArrivalsShape(t *testing.T) {
+	n := buildPathCircuit(t)
+	m := NewModel(n, SAED90LikeDelays())
+	obs := Analyze(n, m.delay).ObservationArrivals()
+	if len(obs) != len(n.POs)+len(n.FFs) {
+		t.Fatalf("observations = %d", len(obs))
+	}
+}
+
+func TestFingerprintCleanDiePasses(t *testing.T) {
+	n := buildPathCircuit(t)
+	lib := SAED90LikeDelays()
+	m := NewModel(n, lib)
+	for seed := uint64(0); seed < 20; seed++ {
+		chip := Manufacture(n, lib, 0.15, 0.03, seed)
+		res, err := Fingerprint(n, m, chip.Measure(), 0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Detected {
+			t.Errorf("seed %d: clean die flagged (max residual %v)", seed, res.MaxResidual)
+		}
+		// Calibration recovers the inter-die scale to within intra noise.
+		if math.Abs(res.Scale-chip.inter) > 0.12 {
+			t.Errorf("seed %d: scale %v vs true %v", seed, res.Scale, chip.inter)
+		}
+	}
+}
+
+func TestFingerprintCatchesCriticalPathPayload(t *testing.T) {
+	// A payload in series on the WORST path into an observation point
+	// shifts that arrival by a full XOR delay — the case delay
+	// fingerprinting was designed for.
+	host := buildPathCircuit(t)
+	inst, err := trojan.Insert(host, trojan.Spec{
+		Name:            "onpath",
+		TriggerNets:     []string{"short"},
+		TriggerPolarity: []bool{true},
+		VictimNet:       "b3", // b3 feeds d... and d's worst fanin becomes b3+XOR
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := SAED90LikeDelays()
+	m := NewModel(host, lib)
+	detected := 0
+	const dies = 10
+	for seed := uint64(0); seed < dies; seed++ {
+		chip := Manufacture(inst.Infected, lib, 0.15, 0.03, seed)
+		res, err := Fingerprint(host, m, chip.Measure(), 0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Detected {
+			detected++
+		}
+	}
+	if detected < dies/2 {
+		t.Errorf("critical-path payload caught on only %d/%d dies", detected, dies)
+	}
+}
+
+// TestFingerprintMissesBenchmarkTrojans documents the comparison that
+// motivates the paper: on the benchmark Trojans — whose payloads sit on
+// busy but non-critical nets — the delay fingerprint's residual is
+// indistinguishable from a clean die's process variation, while the power
+// superposition pipeline detects every one of these cases
+// (TestAllCasesSmallScale). This negative result is the baseline's
+// expected behaviour, not a bug.
+func TestFingerprintMissesBenchmarkTrojans(t *testing.T) {
+	inst, err := trust.Build(trust.Case{Benchmark: "s35932", Trojan: "T200"}, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := SAED90LikeDelays()
+	m := NewModel(inst.Host, lib)
+	var worstInfected, worstClean float64
+	const dies = 10
+	for seed := uint64(0); seed < dies; seed++ {
+		ri, err := Fingerprint(inst.Host, m, Manufacture(inst.Infected, lib, 0.15, 0.03, seed).Measure(), 0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := Fingerprint(inst.Host, m, Manufacture(inst.Host, lib, 0.15, 0.03, seed).Measure(), 0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ri.MaxResidual > worstInfected {
+			worstInfected = ri.MaxResidual
+		}
+		if rc.MaxResidual > worstClean {
+			worstClean = rc.MaxResidual
+		}
+	}
+	t.Logf("max residual across %d dies: infected %.4f vs clean %.4f", dies, worstInfected, worstClean)
+	// The infected residual must NOT stand clear of the clean one: if this
+	// starts failing, the benchmark Trojans have become delay-visible and
+	// the comparison narrative in EXPERIMENTS.md needs revisiting.
+	if worstInfected > 2*worstClean {
+		t.Errorf("benchmark Trojan unexpectedly delay-visible: %.4f vs clean %.4f",
+			worstInfected, worstClean)
+	}
+}
+
+func TestFingerprintErrors(t *testing.T) {
+	n := buildPathCircuit(t)
+	m := NewModel(n, SAED90LikeDelays())
+	if _, err := Fingerprint(n, m, []float64{1}, 0.1); err == nil {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median")
+	}
+	if median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Error("even median")
+	}
+}
+
+// TestTapLoadVisibility quantifies the subtler case: trigger taps load
+// their host nets (one extra reader each), adding only a load penalty per
+// tap — a far smaller delay signature than a series payload.
+func TestTapLoadVisibility(t *testing.T) {
+	host := buildPathCircuit(t)
+	inst, err := trojan.Insert(host, trojan.Spec{
+		Name:            "tap",
+		TriggerNets:     []string{"b1", "b2"},
+		TriggerPolarity: []bool{true, true},
+		VictimNet:       "short",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := SAED90LikeDelays()
+	mGold := NewModel(host, lib)
+	mInf := NewModel(inst.Infected, lib)
+	b1, _ := host.GateID("b1")
+	// The tap adds one reader to b1: its effective delay grows by exactly
+	// the load penalty in the infected model.
+	if mInf.DelayOf(b1) <= mGold.DelayOf(b1) {
+		t.Error("tap load must increase the tapped net's delay")
+	}
+}
+
+func TestSTAMonotoneUnderDelayIncrease(t *testing.T) {
+	// Property: increasing any single gate's delay can only increase (or
+	// leave unchanged) every arrival time.
+	n := buildPathCircuit(t)
+	lib := SAED90LikeDelays()
+	m := NewModel(n, lib)
+	base := Analyze(n, m.delay).ObservationArrivals()
+	for id := range n.Gates {
+		if n.Gates[id].Type == netlist.Input {
+			continue
+		}
+		bumped := append([]float64(nil), m.delay...)
+		bumped[id] += 10
+		got := Analyze(n, bumped).ObservationArrivals()
+		for i := range base {
+			if got[i] < base[i]-1e-9 {
+				t.Fatalf("bumping gate %s decreased arrival %d: %v -> %v",
+					n.NameOf(id), i, base[i], got[i])
+			}
+		}
+	}
+}

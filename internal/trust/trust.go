@@ -1,0 +1,405 @@
+// Package trust provides the benchmark suite of the paper's evaluation:
+// the five ISCAS gate-level combinational Trojan benchmarks of Trust-Hub
+// (s35932-T200/T300, s38417-T100/T200, s38584-T100).
+//
+// The original netlists are not redistributable, so the hosts here are
+// deterministic synthetic circuits matched to the published scale of the
+// real designs (flip-flop, primary-input/output and gate counts, shallow
+// ISCAS-like logic depth) and the Trojans follow the Trust-Hub structure:
+// an AND-tree trigger over rare-valued internal nets plus an XOR payload.
+// DESIGN.md §2 documents why this substitution preserves the behaviour the
+// method depends on. Every construction is seeded and reproducible.
+package trust
+
+import (
+	"fmt"
+	"sort"
+
+	"superpose/internal/netlist"
+	"superpose/internal/stats"
+	"superpose/internal/trojan"
+)
+
+// Params describes a synthetic full-scan host circuit.
+type Params struct {
+	Name   string
+	PIs    int
+	POs    int
+	FFs    int
+	Comb   int // combinational gate count
+	Levels int // logic depth target
+	Seed   uint64
+	// Scale multiplies PIs/POs/FFs/Comb; 0 means 1.0. Use small scales for
+	// fast tests, 1.0 for the published-size experiments.
+	Scale float64
+}
+
+func (p Params) scaled() Params {
+	s := p.Scale
+	if s == 0 {
+		s = 1
+	}
+	scale := func(v int) int {
+		w := int(float64(v) * s)
+		if w < 1 {
+			w = 1
+		}
+		return w
+	}
+	p.PIs, p.POs, p.FFs, p.Comb = scale(p.PIs), scale(p.POs), scale(p.FFs), scale(p.Comb)
+	if p.Levels < 2 {
+		p.Levels = 2
+	}
+	return p
+}
+
+// gate mix loosely matched to the ISCAS-89 circuits: NAND/NOR-dominant
+// with a sprinkling of wide AND/OR, inverters and a little XOR.
+var mix = []struct {
+	typ    netlist.GateType
+	weight int
+	fanin  int // 0: choose 2..4
+}{
+	{netlist.Nand, 24, 0},
+	{netlist.Nor, 18, 0},
+	{netlist.And, 16, 0},
+	{netlist.Or, 14, 0},
+	{netlist.Not, 16, 1},
+	{netlist.Buf, 4, 1},
+	{netlist.Xor, 5, 2},
+	{netlist.Xnor, 3, 2},
+}
+
+var mixTotal = func() int {
+	t := 0
+	for _, m := range mix {
+		t += m.weight
+	}
+	return t
+}()
+
+// Generate builds a deterministic synthetic full-scan circuit.
+//
+// Gates are laid out in Levels ranks. Each gate draws its fanins from the
+// immediately preceding ranks (with a small long-range fraction), giving
+// the shallow, locally connected structure of the ISCAS scan designs.
+// Flip-flop D pins and primary outputs are driven from the last ranks.
+func Generate(p Params) (*netlist.Netlist, error) {
+	p = p.scaled()
+	if p.Comb < p.Levels {
+		return nil, fmt.Errorf("trust: %q: %d gates cannot fill %d levels", p.Name, p.Comb, p.Levels)
+	}
+	rng := stats.NewRNG(p.Seed)
+	b := netlist.NewBuilder(p.Name)
+
+	var sources []string // PI and FF output names
+	for i := 0; i < p.PIs; i++ {
+		name := fmt.Sprintf("pi%d", i)
+		if _, err := b.AddInput(name); err != nil {
+			return nil, err
+		}
+		sources = append(sources, name)
+	}
+	dPin := func(i int) string { return fmt.Sprintf("d%d", i) }
+	for i := 0; i < p.FFs; i++ {
+		name := fmt.Sprintf("ff%d", i)
+		if _, err := b.AddDFF(name, dPin(i)); err != nil {
+			return nil, err
+		}
+		sources = append(sources, name)
+	}
+
+	// Rank sizes: spread Comb gates evenly, leaving the remainder on the
+	// earliest ranks (wider near the inputs, like the real circuits).
+	rankSize := make([]int, p.Levels)
+	for i := range rankSize {
+		rankSize[i] = p.Comb / p.Levels
+	}
+	for i := 0; i < p.Comb%p.Levels; i++ {
+		rankSize[i]++
+	}
+
+	ranks := make([][]string, p.Levels)
+	gateNum := 0
+	for lvl := 0; lvl < p.Levels; lvl++ {
+		// Candidate fanin pool: previous two ranks plus the sources, with
+		// sources dominating early and fading later.
+		for g := 0; g < rankSize[lvl]; g++ {
+			m := pickMix(rng)
+			nin := m.fanin
+			if nin == 0 {
+				nin = 2 + rng.Intn(3) // 2..4
+			}
+			fanins := make([]string, 0, nin)
+			used := make(map[string]bool, nin)
+			for len(fanins) < nin {
+				f := pickFanin(rng, sources, ranks, lvl)
+				if used[f] {
+					// Duplicate fanins are legal but uninteresting; retry a
+					// few times, then accept to guarantee termination.
+					f = pickFanin(rng, sources, ranks, lvl)
+					if used[f] {
+						continue
+					}
+				}
+				used[f] = true
+				fanins = append(fanins, f)
+			}
+			name := fmt.Sprintf("n%d_%d", lvl, gateNum)
+			gateNum++
+			if _, err := b.AddGate(name, m.typ, fanins...); err != nil {
+				return nil, err
+			}
+			ranks[lvl] = append(ranks[lvl], name)
+		}
+	}
+
+	// Drive the D pins from the last third of the ranks.
+	late := lateGates(ranks)
+	for i := 0; i < p.FFs; i++ {
+		src := late[rng.Intn(len(late))]
+		if _, err := b.AddGate(dPin(i), netlist.Buf, src); err != nil {
+			return nil, err
+		}
+	}
+	// Primary outputs from late gates too.
+	for i := 0; i < p.POs; i++ {
+		b.MarkOutput(late[rng.Intn(len(late))])
+	}
+
+	return b.Build()
+}
+
+func pickMix(rng *stats.RNG) struct {
+	typ    netlist.GateType
+	weight int
+	fanin  int
+} {
+	r := rng.Intn(mixTotal)
+	for _, m := range mix {
+		if r < m.weight {
+			return m
+		}
+		r -= m.weight
+	}
+	return mix[0]
+}
+
+// pickFanin selects a fanin net for a gate at rank lvl: mostly the
+// previous rank, sometimes two back, sometimes a source — matching the
+// local-cloud structure between scan cells that Figure 1 of the paper
+// sketches.
+func pickFanin(rng *stats.RNG, sources []string, ranks [][]string, lvl int) string {
+	roll := rng.Intn(100)
+	switch {
+	case lvl == 0 || roll < 15+60/(lvl+1): // rank 0 and a fading fraction: sources
+		return sources[rng.Intn(len(sources))]
+	case lvl >= 2 && roll >= 85 && len(ranks[lvl-2]) > 0:
+		return ranks[lvl-2][rng.Intn(len(ranks[lvl-2]))]
+	default:
+		prev := ranks[lvl-1]
+		if len(prev) == 0 {
+			return sources[rng.Intn(len(sources))]
+		}
+		return prev[rng.Intn(len(prev))]
+	}
+}
+
+func lateGates(ranks [][]string) []string {
+	start := (2 * len(ranks)) / 3
+	var out []string
+	for _, r := range ranks[start:] {
+		out = append(out, r...)
+	}
+	if len(out) == 0 {
+		for _, r := range ranks {
+			out = append(out, r...)
+		}
+	}
+	return out
+}
+
+// Benchmark is one suite entry: a host plus its Trojan variants.
+type Benchmark struct {
+	Name    string
+	Params  Params
+	Trojans map[string]TrojanParams
+}
+
+// TrojanParams sizes a Trust-Hub-style Trojan: the trigger tap count and
+// tree arity set the Trojan gate count, matching the published variants'
+// approximate footprints.
+type TrojanParams struct {
+	Taps      int
+	TreeArity int
+	// Payloads is the number of victim nets corrupted (default 1; the
+	// larger Trust-Hub variants tap several).
+	Payloads int
+	// RareProbCap bounds the tap signal probability; taps come from the
+	// rarest nets below the cap.
+	RareProbCap float64
+	Seed        uint64
+}
+
+// Suite returns the five-benchmark evaluation suite at the given scale
+// (1.0 = published size; small values for fast tests). Host parameters
+// follow the real circuits' published statistics: s35932 (1728 FFs, 35
+// PIs, 320 POs, ~16k gates), s38417 (1636 FFs, 28 PIs, 106 POs, ~22k
+// gates), s38584 (1426 FFs, 38 PIs, 304 POs, ~19k gates).
+func Suite(scale float64) []Benchmark {
+	return []Benchmark{
+		{
+			Name:   "s35932",
+			Params: Params{Name: "s35932", PIs: 35, POs: 320, FFs: 1728, Comb: 16065, Levels: 10, Seed: 0x35932, Scale: scale},
+			Trojans: map[string]TrojanParams{
+				// T200: compact comparator trigger (~12 Trojan gates).
+				"T200": {Taps: 8, TreeArity: 2, RareProbCap: 0.2, Seed: 0x200},
+				// T300: wider trigger, two payload bits (~28 Trojan gates).
+				"T300": {Taps: 16, TreeArity: 2, Payloads: 2, RareProbCap: 0.25, Seed: 0x300},
+			},
+		},
+		{
+			Name:   "s38417",
+			Params: Params{Name: "s38417", PIs: 28, POs: 106, FFs: 1636, Comb: 22179, Levels: 12, Seed: 0x38417, Scale: scale},
+			Trojans: map[string]TrojanParams{
+				// T100: the smallest Trojan of the suite (~4 gates).
+				"T100": {Taps: 3, TreeArity: 2, RareProbCap: 0.15, Seed: 0x100},
+				// T200: mid-size (~8 gates).
+				"T200": {Taps: 6, TreeArity: 2, RareProbCap: 0.2, Seed: 0x201},
+			},
+		},
+		{
+			Name:   "s38584",
+			Params: Params{Name: "s38584", PIs: 38, POs: 304, FFs: 1426, Comb: 19253, Levels: 11, Seed: 0x38584, Scale: scale},
+			Trojans: map[string]TrojanParams{
+				// T100: mid-size (~7 gates).
+				"T100": {Taps: 5, TreeArity: 2, RareProbCap: 0.2, Seed: 0x101},
+			},
+		},
+	}
+}
+
+// Case identifies one benchmark-Trojan pair, e.g. "s35932-T200".
+type Case struct {
+	Benchmark string
+	Trojan    string
+}
+
+// String renders the Trust-Hub style name.
+func (c Case) String() string { return c.Benchmark + "-" + c.Trojan }
+
+// Cases lists the five evaluation cases in the paper's Table I order.
+func Cases() []Case {
+	return []Case{
+		{"s35932", "T200"},
+		{"s35932", "T300"},
+		{"s38417", "T100"},
+		{"s38417", "T200"},
+		{"s38584", "T100"},
+	}
+}
+
+// Build materializes one case at the given scale: generates the host,
+// performs rare-net analysis, and inserts the Trojan.
+func Build(c Case, scale float64) (*trojan.Instance, error) {
+	var bm *Benchmark
+	for _, b := range Suite(scale) {
+		if b.Name == c.Benchmark {
+			bm = &b
+			break
+		}
+	}
+	if bm == nil {
+		return nil, fmt.Errorf("trust: unknown benchmark %q", c.Benchmark)
+	}
+	tp, ok := bm.Trojans[c.Trojan]
+	if !ok {
+		return nil, fmt.Errorf("trust: unknown trojan %q for %q", c.Trojan, c.Benchmark)
+	}
+	host, err := Generate(bm.Params)
+	if err != nil {
+		return nil, err
+	}
+	return insertTrojan(host, c.String(), tp)
+}
+
+// insertTrojan performs the rare-net analysis and insertion for one case.
+func insertTrojan(host *netlist.Netlist, name string, tp TrojanParams) (*trojan.Instance, error) {
+	rare := trojan.FindRareNets(host, 64*64, tp.Seed, tp.RareProbCap)
+	if len(rare) < tp.Taps+1 {
+		// Loosen the cap rather than fail: small scaled-down hosts have
+		// fewer deep cones and thus fewer very rare nets.
+		rare = trojan.FindRareNets(host, 64*64, tp.Seed, 0.5)
+	}
+	if len(rare) < tp.Taps+1 {
+		return nil, fmt.Errorf("trust: %s: only %d rare nets for %d taps", name, len(rare), tp.Taps)
+	}
+	// Tentative taps: the tp.Taps rarest nets (victim filtering below may
+	// not remove taps, so collect them first).
+	var taps []string
+	for _, r := range rare {
+		if len(taps) == tp.Taps {
+			break
+		}
+		taps = append(taps, r.Name)
+	}
+	if len(taps) < tp.Taps {
+		return nil, fmt.Errorf("trust: %s: only %d rare nets for %d taps", name, len(taps), tp.Taps)
+	}
+
+	// Victims: active nets OUTSIDE the combinational fan-in cone of the
+	// taps (a victim inside it would loop the payload back into the
+	// trigger). Prefer the most active (least rare) candidates — the
+	// Trust-Hub payloads sit on busy paths.
+	anc, err := trojan.TapAncestors(host, taps)
+	if err != nil {
+		return nil, err
+	}
+	wantVictims := tp.Payloads
+	if wantVictims < 1 {
+		wantVictims = 1
+	}
+	var victims []string
+	for i := len(rare) - 1; i >= 0 && len(victims) < wantVictims; i-- {
+		if !anc[rare[i].ID] {
+			victims = append(victims, rare[i].Name)
+		}
+	}
+	if len(victims) < wantVictims {
+		// Fall back to any non-ancestor combinational nets.
+		taken := make(map[string]bool, len(victims))
+		for _, v := range victims {
+			taken[v] = true
+		}
+		for id := host.NumGates() - 1; id >= 0 && len(victims) < wantVictims; id-- {
+			if !anc[id] && !host.Gates[id].Type.IsSource() && !taken[host.NameOf(id)] {
+				victims = append(victims, host.NameOf(id))
+			}
+		}
+	}
+	if len(victims) < wantVictims {
+		return nil, fmt.Errorf("trust: %s: only %d cycle-free victims for %d payloads",
+			name, len(victims), wantVictims)
+	}
+
+	spec, err := trojan.BuildSpec(name, rare, tp.Taps, victims[0])
+	if err != nil {
+		return nil, err
+	}
+	spec.ExtraVictims = victims[1:]
+	spec.TreeArity = tp.TreeArity
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return trojan.Insert(host, spec)
+}
+
+// Names returns the case names in Table I order (for CLI help).
+func Names() []string {
+	var out []string
+	for _, c := range Cases() {
+		out = append(out, c.String())
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,190 @@
+package verilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"superpose/internal/logic"
+	"superpose/internal/netlist"
+	"superpose/internal/sim"
+	"superpose/internal/trust"
+)
+
+const miniSrc = `
+// A miniature Trust-Hub-style netlist.
+module mini(a, b, clk, z);
+  input a, b, clk;
+  output z;
+  wire w1, w2, q;
+  nand g1 (w1, a, b);
+  not  g2 (w2, w1);
+  dff  r1 (.CK(clk), .Q(q), .D(w2));
+  /* block comment
+     spanning lines */
+  buf  g3 (z, q);
+endmodule
+`
+
+func TestParseMini(t *testing.T) {
+	n, err := Parse(strings.NewReader(miniSrc), "mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := n.ComputeStats()
+	if s.PIs != 2 { // clk excluded
+		t.Errorf("PIs = %d, want 2", s.PIs)
+	}
+	if s.FFs != 1 || s.POs != 1 {
+		t.Errorf("FFs/POs = %d/%d", s.FFs, s.POs)
+	}
+	w1, ok := n.GateID("w1")
+	if !ok || n.Gates[w1].Type != netlist.Nand {
+		t.Error("nand gate missing")
+	}
+	q, _ := n.GateID("q")
+	if n.Gates[q].Type != netlist.DFF {
+		t.Error("dff missing")
+	}
+	w2, _ := n.GateID("w2")
+	if n.Gates[q].Fanin[0] != w2 {
+		t.Error("dff D pin wrong")
+	}
+}
+
+func TestParsePositionalDFFAndUnnamedGates(t *testing.T) {
+	src := `
+module m(a, z);
+  input a;
+  output z;
+  wire d, q;
+  not (d, q);
+  dff r (q, d);
+  buf (z, q);
+endmodule
+`
+	// "not (d, q)" has no instance label — legal Verilog for primitives.
+	n, err := Parse(strings.NewReader(src), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := n.GateID("q")
+	if n.Gates[q].Type != netlist.DFF {
+		t.Fatal("positional dff not recognized")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing endmodule": "module m(a);\ninput a;\n",
+		"unknown cell":      "module m(a);\ninput a;\nfrob g1 (a, a);\nendmodule\n",
+		"double drive":      "module m(a, z);\ninput a;\noutput z;\nwire w;\nnot g1 (w, a);\nnot g2 (w, a);\nbuf g3 (z, w);\nendmodule\n",
+		"no ports on dff":   "module m(a);\ninput a;\ndff r ();\nendmodule\n",
+		"one-term gate":     "module m(a);\ninput a;\nnot g1 (a);\nendmodule\n",
+		"named primitive":   "module m(a, z);\ninput a;\noutput z;\nnot g1 (.O(z), .I(a));\nendmodule\n",
+		"undriven output":   "module m(a, z);\ninput a;\noutput z;\nendmodule\n",
+	}
+	for label, src := range cases {
+		if _, err := Parse(strings.NewReader(src), label); err == nil {
+			t.Errorf("%s: expected error", label)
+		}
+	}
+}
+
+func TestRoundTripThroughVerilog(t *testing.T) {
+	host, err := trust.Generate(trust.Params{
+		Name: "vrt", PIs: 4, POs: 5, FFs: 12, Comb: 120, Levels: 5, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, host); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(bytes.NewReader(buf.Bytes()), "vrt")
+	if err != nil {
+		t.Fatalf("%v\nsource:\n%s", err, buf.String())
+	}
+	if back.NumGates() != host.NumGates() {
+		t.Fatalf("gate count %d != %d", back.NumGates(), host.NumGates())
+	}
+	// Behavioural equivalence under identical stimuli.
+	sa, sb := sim.New(host), sim.New(back)
+	srcA, srcB := sa.SourceWords(), sb.SourceWords()
+	seed := uint64(99)
+	for _, id := range append(append([]int{}, host.PIs...), host.FFs...) {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		srcA[id] = logic.Word(seed)
+		idB, ok := back.GateID(host.NameOf(id))
+		if !ok {
+			t.Fatalf("net %s missing after round trip", host.NameOf(id))
+		}
+		srcB[idB] = logic.Word(seed)
+	}
+	va, vb := sa.Run(srcA), sb.Run(srcB)
+	for id := range va {
+		idB, ok := back.GateID(host.NameOf(id))
+		if !ok || va[id] != vb[idB] {
+			t.Fatalf("net %s differs after round trip", host.NameOf(id))
+		}
+	}
+}
+
+func TestWriteMentionsEveryGateKind(t *testing.T) {
+	b := netlist.NewBuilder("kinds")
+	ins := []string{"a", "b"}
+	for _, in := range ins {
+		if _, err := b.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kinds := []struct {
+		name string
+		typ  netlist.GateType
+	}{
+		{"k_and", netlist.And}, {"k_nand", netlist.Nand},
+		{"k_or", netlist.Or}, {"k_nor", netlist.Nor},
+		{"k_xor", netlist.Xor}, {"k_xnor", netlist.Xnor},
+	}
+	for _, k := range kinds {
+		if _, err := b.AddGate(k.name, k.typ, "a", "b"); err != nil {
+			t.Fatal(err)
+		}
+		b.MarkOutput(k.name)
+	}
+	if _, err := b.AddGate("k_not", netlist.Not, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddGate("k_buf", netlist.Buf, "b"); err != nil {
+		t.Fatal(err)
+	}
+	b.MarkOutput("k_not")
+	b.MarkOutput("k_buf")
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, kw := range []string{"and ", "nand ", "or ", "nor ", "xor ", "xnor ", "not ", "buf "} {
+		if !strings.Contains(out, kw) {
+			t.Errorf("output missing %q:\n%s", kw, out)
+		}
+	}
+	if _, err := Parse(strings.NewReader(out), "kinds"); err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("a.b[3]"); got != "a_b_3_" {
+		t.Errorf("sanitize = %q", got)
+	}
+	if got := sanitize("3x"); got != "_x" {
+		t.Errorf("leading digit: %q", got)
+	}
+}

@@ -1,0 +1,284 @@
+// Package superpose is a power side-channel hardware Trojan detection
+// toolkit built around test pattern superposition, reproducing
+// C. Nigh and A. Orailoglu, "Test Pattern Superposition to Detect Hardware
+// Trojans", DATE 2020.
+//
+// The library spans the full flow a certification lab would run:
+//
+//   - gate-level netlists (ISCAS .bench format) with full-scan DFT,
+//   - Launch-on-Shift transition-delay ATPG for seed patterns,
+//   - a power model with inter-/intra-die process variation,
+//   - the self-referencing detection pipeline: per-die calibration, the
+//     adaptive transition flow, superposition (S-RPD) pair analysis and
+//     the strategic modification suite,
+//   - the Trust-Hub-style benchmark suite and the Table I / Table II
+//     experiment harness.
+//
+// Quick start:
+//
+//	inst, _ := superpose.BuildBenchmark(superpose.Case{Benchmark: "s38417", Trojan: "T100"}, 0.05)
+//	lib := superpose.StandardCellLibrary()
+//	chip := superpose.Manufacture(inst.Infected, lib, superpose.ThreeSigmaIntra(0.15), 1)
+//	dev := superpose.NewDevice(chip, 4, superpose.LOS)
+//	report, _ := superpose.Detect(inst.Host, lib, dev, superpose.Config{})
+//	fmt.Println(report.Summary())
+package superpose
+
+import (
+	"io"
+
+	"superpose/internal/atpg"
+	"superpose/internal/bench"
+	"superpose/internal/core"
+	"superpose/internal/netlist"
+	"superpose/internal/power"
+	"superpose/internal/scan"
+	"superpose/internal/stil"
+	"superpose/internal/trojan"
+	"superpose/internal/trust"
+	"superpose/internal/verilog"
+)
+
+// Netlist and construction.
+type (
+	// Netlist is a frozen gate-level circuit.
+	Netlist = netlist.Netlist
+	// NetlistBuilder constructs netlists incrementally.
+	NetlistBuilder = netlist.Builder
+	// GateType enumerates cell types.
+	GateType = netlist.GateType
+)
+
+// NewNetlistBuilder returns a builder for a netlist with the given name.
+func NewNetlistBuilder(name string) *NetlistBuilder { return netlist.NewBuilder(name) }
+
+// ParseBench reads an ISCAS .bench netlist.
+func ParseBench(r io.Reader, name string) (*Netlist, error) { return bench.Parse(r, name) }
+
+// WriteBench serializes a netlist in .bench format.
+func WriteBench(w io.Writer, n *Netlist) error { return bench.Write(w, n) }
+
+// ParseVerilog reads a gate-level structural Verilog module (the
+// Trust-Hub distribution format).
+func ParseVerilog(r io.Reader, name string) (*Netlist, error) { return verilog.Parse(r, name) }
+
+// WriteVerilog serializes a netlist as a structural Verilog module.
+func WriteVerilog(w io.Writer, n *Netlist) error { return verilog.Write(w, n) }
+
+// Scan infrastructure.
+type (
+	// Chains is a scan-chain configuration.
+	Chains = scan.Chains
+	// Pattern is one LOS/LOC test pattern.
+	Pattern = scan.Pattern
+	// Mode selects LOS or LOC application.
+	Mode = scan.Mode
+)
+
+// Pattern application modes.
+const (
+	LOS = scan.LOS
+	LOC = scan.LOC
+)
+
+// ConfigureScan partitions a netlist's flip-flops into numChains chains.
+func ConfigureScan(n *Netlist, numChains int) *Chains { return scan.Configure(n, numChains) }
+
+// Power and process variation.
+type (
+	// CellLibrary holds per-cell switching energies.
+	CellLibrary = power.Library
+	// Chip is a manufactured die with fixed process variation.
+	Chip = power.Chip
+	// Variation parameterizes process noise.
+	Variation = power.Variation
+)
+
+// StandardCellLibrary returns the SAED-90nm-like cell energy library.
+func StandardCellLibrary() *CellLibrary { return power.SAED90Like() }
+
+// AltCellLibrary returns the Nangate-45nm-like alternative energy library
+// (the cross-library robustness ablation of EXPERIMENTS.md).
+func AltCellLibrary() *CellLibrary { return power.Nangate45Like() }
+
+// ThreeSigmaIntra builds a Variation from the paper's 3σ_intra convention.
+func ThreeSigmaIntra(varsigma float64) Variation { return power.ThreeSigmaIntra(varsigma) }
+
+// Manufacture creates one die of the physical netlist.
+func Manufacture(physical *Netlist, lib *CellLibrary, v Variation, seed uint64) *Chip {
+	return power.Manufacture(physical, lib, v, seed)
+}
+
+// Trojans and benchmarks.
+type (
+	// TrojanSpec describes a trigger/payload Trojan.
+	TrojanSpec = trojan.Spec
+	// TrojanInstance is an inserted Trojan with ground truth.
+	TrojanInstance = trojan.Instance
+	// RareNet is a trigger-tap candidate.
+	RareNet = trojan.RareNet
+	// Case names a benchmark-Trojan pair.
+	Case = trust.Case
+	// BenchmarkParams sizes a synthetic host circuit.
+	BenchmarkParams = trust.Params
+)
+
+// InsertTrojan builds the infected netlist for a spec.
+func InsertTrojan(host *Netlist, spec TrojanSpec) (*TrojanInstance, error) {
+	return trojan.Insert(host, spec)
+}
+
+// FindRareNets runs the rare-net trigger analysis.
+func FindRareNets(n *Netlist, numPatterns int, seed uint64, maxProb float64) []RareNet {
+	return trojan.FindRareNets(n, numPatterns, seed, maxProb)
+}
+
+// TapAncestors marks the combinational fan-in cone of the named tap nets;
+// a payload victim inside the cone would create a combinational loop.
+func TapAncestors(n *Netlist, taps []string) ([]bool, error) {
+	return trojan.TapAncestors(n, taps)
+}
+
+// GenerateBenchmarkHost builds a synthetic full-scan circuit.
+func GenerateBenchmarkHost(p BenchmarkParams) (*Netlist, error) { return trust.Generate(p) }
+
+// BuildBenchmark materializes one Trust-Hub-style evaluation case.
+func BuildBenchmark(c Case, scale float64) (*TrojanInstance, error) { return trust.Build(c, scale) }
+
+// BenchmarkCases lists the five Table I cases.
+func BenchmarkCases() []Case { return trust.Cases() }
+
+// ATPG.
+type (
+	// ATPGOptions tunes LOS TDF test generation.
+	ATPGOptions = atpg.Options
+	// ATPGResult reports a generation run.
+	ATPGResult = atpg.Result
+)
+
+// GenerateTests runs the LOS transition-delay ATPG.
+func GenerateTests(ch *Chains, opt ATPGOptions) (*ATPGResult, error) { return atpg.Generate(ch, opt) }
+
+// CompactTests drops patterns whose fault detections are subsumed by the
+// rest of the set (reverse-order static compaction).
+func CompactTests(ch *Chains, patterns []*Pattern) []*Pattern {
+	return atpg.Compact(ch, patterns)
+}
+
+// Fault diagnosis.
+type (
+	// Fault is a transition-delay fault.
+	Fault = atpg.Fault
+	// FaultDictionary maps faults to detecting patterns for diagnosis.
+	FaultDictionary = atpg.Dictionary
+	// DiagnosisCandidate is one ranked diagnosis hypothesis.
+	DiagnosisCandidate = atpg.Candidate
+)
+
+// TransitionFaults builds the collapsed transition fault list of a netlist.
+func TransitionFaults(n *Netlist) []Fault {
+	reps, _ := atpg.Collapse(n, atpg.FaultList(n))
+	return reps
+}
+
+// BuildFaultDictionary fault-simulates every (fault, pattern) pair.
+func BuildFaultDictionary(ch *Chains, faults []Fault, patterns []*Pattern) *FaultDictionary {
+	return atpg.BuildDictionary(ch, faults, patterns)
+}
+
+// Detection pipeline.
+type (
+	// Device is the IC-under-certification on the tester.
+	Device = core.Device
+	// Evaluator is the defender's measurement workbench.
+	Evaluator = core.Evaluator
+	// Config drives the Detect pipeline.
+	Config = core.Config
+	// Report is a certification outcome.
+	Report = core.Report
+	// PairAnalysis is a superposition view of a pattern pair.
+	PairAnalysis = core.PairAnalysis
+	// AdaptiveOptions tunes the adaptive flow.
+	AdaptiveOptions = core.AdaptiveOptions
+	// StrategicOptions tunes the strategic modification search.
+	StrategicOptions = core.StrategicOptions
+)
+
+// NewDevice mounts a manufactured chip for measurement.
+func NewDevice(chip *Chip, numChains int, mode Mode) *Device {
+	return core.NewDevice(chip, numChains, mode)
+}
+
+// NewEvaluator assembles the defender's workbench.
+func NewEvaluator(golden *Netlist, lib *CellLibrary, dev *Device, numChains int, mode Mode) *Evaluator {
+	return core.NewEvaluator(golden, lib, dev, numChains, mode)
+}
+
+// Detect runs the full superposition detection pipeline on one device.
+func Detect(golden *Netlist, lib *CellLibrary, dev *Device, cfg Config) (*Report, error) {
+	return core.Detect(golden, lib, dev, cfg)
+}
+
+// Lot certification.
+type (
+	// LotOptions describes a manufacturing lot to certify.
+	LotOptions = core.LotOptions
+	// LotReport aggregates per-die certification outcomes.
+	LotReport = core.LotReport
+)
+
+// CertifyLot manufactures and certifies a lot of dies of the physical
+// netlist against the golden reference.
+func CertifyLot(golden *Netlist, lib *CellLibrary, physical *Netlist, cfg Config, lot LotOptions) (*LotReport, error) {
+	return core.CertifyLot(golden, lib, physical, cfg, lot)
+}
+
+// WithSharedSeeds generates ATPG seed patterns once for reuse across a
+// lot's dies.
+func WithSharedSeeds(golden *Netlist, cfg Config) (Config, error) {
+	return core.WithSharedSeeds(golden, cfg)
+}
+
+// Metrics.
+
+// RPD computes the Relative Power Difference (Eq. 1).
+func RPD(observed, nominal float64) float64 { return core.RPD(observed, nominal) }
+
+// SRPD computes the Super-RPD of a pattern pair (Eq. 2).
+func SRPD(obsA, obsB, nomA, nomB, nomAUnique, nomBUnique float64) float64 {
+	return core.SRPD(obsA, obsB, nomA, nomB, nomAUnique, nomBUnique)
+}
+
+// DetectionProbability evaluates the Eq. 3 bound.
+func DetectionProbability(srpd, varsigma float64) float64 {
+	return core.DetectionProbability(srpd, varsigma)
+}
+
+// Experiments.
+type (
+	// ExperimentConfig parameterizes the evaluation reproduction.
+	ExperimentConfig = core.ExperimentConfig
+	// TableIRow is one row of Table I.
+	TableIRow = core.TableIRow
+	// TableIIRow is one row of Table II.
+	TableIIRow = core.TableIIRow
+)
+
+// RunTableI reproduces Table I (all five benchmark cases).
+func RunTableI(cfg ExperimentConfig) ([]TableIRow, error) { return core.RunTableI(cfg) }
+
+// RunTableICase reproduces one Table I row.
+func RunTableICase(c Case, cfg ExperimentConfig) (TableIRow, error) {
+	return core.RunTableICase(c, cfg)
+}
+
+// RunTableII reproduces Table II from Table I rows.
+func RunTableII(rows []TableIRow) []TableIIRow { return core.RunTableII(rows) }
+
+// Pattern persistence.
+
+// WritePatterns serializes patterns in the STIL-like format.
+func WritePatterns(w io.Writer, pats []*Pattern) error { return stil.Write(w, pats) }
+
+// ReadPatterns parses a pattern file.
+func ReadPatterns(r io.Reader) ([]*Pattern, error) { return stil.Read(r) }

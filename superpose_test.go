@@ -1,0 +1,157 @@
+package superpose_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"superpose"
+)
+
+// TestPublicAPIEndToEnd exercises the full flow a library user would run,
+// entirely through the root package: build, persist, reload, generate
+// tests, manufacture, detect.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	inst, err := superpose.BuildBenchmark(
+		superpose.Case{Benchmark: "s35932", Trojan: "T200"}, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Netlist round trip through .bench.
+	var buf bytes.Buffer
+	if err := superpose.WriteBench(&buf, inst.Host); err != nil {
+		t.Fatal(err)
+	}
+	golden, err := superpose.ParseBench(&buf, "golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden.NumGates() != inst.Host.NumGates() {
+		t.Fatal("bench round trip changed the netlist")
+	}
+
+	// ATPG through the facade.
+	ch := superpose.ConfigureScan(golden, 4)
+	tests, err := superpose.GenerateTests(ch, superpose.ATPGOptions{
+		Seed: 7, RandomPatterns: 16, MaxFaults: 20, FaultSample: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tests.Patterns) == 0 {
+		t.Fatal("no patterns")
+	}
+
+	// Pattern persistence round trip.
+	buf.Reset()
+	if err := superpose.WritePatterns(&buf, tests.Patterns); err != nil {
+		t.Fatal(err)
+	}
+	back, err := superpose.ReadPatterns(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(tests.Patterns) {
+		t.Fatal("pattern round trip lost patterns")
+	}
+
+	// Manufacture + detect, supplying the persisted patterns as seeds.
+	lib := superpose.StandardCellLibrary()
+	chip := superpose.Manufacture(inst.Infected, lib, superpose.ThreeSigmaIntra(0.15), 42)
+	dev := superpose.NewDevice(chip, 4, superpose.LOS)
+	rep, err := superpose.Detect(golden, lib, dev, superpose.Config{
+		SeedPatterns: back,
+		NumChains:    4,
+		Varsigma:     0.10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Detected {
+		t.Errorf("Trojan missed through the public API: %s", rep.Summary())
+	}
+	if !strings.Contains(rep.Summary(), "TROJAN") {
+		t.Errorf("summary = %q", rep.Summary())
+	}
+}
+
+func TestPublicMetrics(t *testing.T) {
+	if got := superpose.RPD(110, 100); got != 0.1 {
+		t.Errorf("RPD = %v", got)
+	}
+	if got := superpose.SRPD(12, 10, 11, 10, 1, 1); got != 0.5 {
+		t.Errorf("SRPD = %v", got)
+	}
+	if p := superpose.DetectionProbability(0.2, 0.2); p < 0.998 {
+		t.Errorf("DetectionProbability = %v", p)
+	}
+}
+
+func TestPublicRareNetAnalysis(t *testing.T) {
+	host, err := superpose.GenerateBenchmarkHost(superpose.BenchmarkParams{
+		Name: "api", PIs: 4, POs: 4, FFs: 16, Comb: 150, Levels: 5, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rare := superpose.FindRareNets(host, 64*16, 1, 0.5)
+	if len(rare) == 0 {
+		t.Fatal("no rare nets")
+	}
+	var taps []string
+	for _, r := range rare {
+		if r.Rareness > 0 && len(taps) < 2 {
+			taps = append(taps, r.Name)
+		}
+	}
+	anc, err := superpose.TapAncestors(host, taps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := ""
+	for i := len(rare) - 1; i >= 0; i-- {
+		if !anc[rare[i].ID] {
+			victim = rare[i].Name
+			break
+		}
+	}
+	if victim == "" {
+		t.Skip("no safe victim in this tiny host")
+	}
+	spec := superpose.TrojanSpec{
+		Name:            "api",
+		TriggerNets:     taps,
+		TriggerPolarity: []bool{true, true},
+		VictimNet:       victim,
+	}
+	inst, err := superpose.InsertTrojan(host, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.TrojanGates) == 0 {
+		t.Error("no trojan gates inserted")
+	}
+}
+
+func TestBenchmarkCases(t *testing.T) {
+	if len(superpose.BenchmarkCases()) != 5 {
+		t.Error("expected the five Table I cases")
+	}
+}
+
+func TestTableRunnersThroughFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline experiment")
+	}
+	row, err := superpose.RunTableICase(
+		superpose.Case{Benchmark: "s38584", Trojan: "T100"},
+		superpose.ExperimentConfig{Scale: 0.04, Varsigma: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := superpose.RunTableII([]superpose.TableIRow{row})
+	if len(t2) != 1 || len(t2[0].Probabilities) != 5 {
+		t.Fatal("table II shape")
+	}
+}
