@@ -368,7 +368,10 @@ func BenchmarkAblationGlitch(b *testing.B) {
 		for k := 0; k < 16; k++ {
 			p := ch.RandomPattern(rng)
 			f1, f2 := ch.LOSSources(p)
-			rep := ev.AnalyzeLaunch(f1, f2)
+			rep, err := ev.AnalyzeLaunch(f1, f2)
+			if err != nil {
+				b.Fatal(err)
+			}
 			totalEvents += rep.UnitDelayEvents
 			totalGlitch += rep.GlitchEvents
 		}

@@ -11,6 +11,10 @@
 //	experiments -table fig2           # Figure 2: the strategic modification suite
 //	experiments -table all            # everything
 //
+//	# tester-fault robustness table (naive vs robust acquisition); the
+//	# configuration of the recorded EXPERIMENTS.md run:
+//	experiments -table robust -scale 0.04 -varsigma 0.08 -chip-seed 99
+//
 // Absolute numbers depend on the synthetic benchmark substitution (see
 // DESIGN.md §2); the shape — who wins, by what order of magnitude — is the
 // reproduction target, recorded in EXPERIMENTS.md.
@@ -30,7 +34,7 @@ import (
 
 func main() {
 	var (
-		table    = flag.String("table", "all", "which artifact: 1, 2, fig1, fig2, control, all")
+		table    = flag.String("table", "all", "which artifact: 1, 2, fig1, fig2, control, robust, all")
 		scale    = flag.Float64("scale", 0.25, "benchmark scale (1.0 = published size)")
 		varsigma = flag.Float64("varsigma", 0.15, "manufacturing intra-die 3σ")
 		chipSeed = flag.Uint64("chip-seed", 0xC0FFEE, "die selection seed")
@@ -88,6 +92,18 @@ func main() {
 			tbl.Row(r.Case, fmt.Sprintf("%.4f", r.FinalSRPD), fmt.Sprintf("%v", r.Detected))
 		}
 		fmt.Print(tbl)
+	case "robust":
+		rcfg := cfg
+		// Fault-perturbed significance rankings need a wider strategic
+		// net (see ExperimentConfig.MaxPairs).
+		rcfg.MaxPairs = 6
+		fmt.Fprintf(os.Stderr, "running robustness table (4 regimes x 2 policies)...\n")
+		rrows, err := core.RunRobustnessTable(rcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		printRobustness(rrows)
 	case "2":
 		if *paper {
 			printTableII(core.PaperTableII(), "paper-printed S-RPD")
@@ -172,6 +188,20 @@ func printTableII(rows []core.TableIIRow, source string) {
 			cells = append(cells, core.FormatProbability(p))
 		}
 		tbl.Row(cells...)
+	}
+	fmt.Print(tbl)
+}
+
+func printRobustness(rows []core.RobustnessRow) {
+	tbl := report.New("ROBUSTNESS: tester fault regimes x acquisition policies",
+		"Regime", "Policy", "TPR", "FPR", "Unstable", "mean |S-RPD|", "Acquisition (per lot-pair)")
+	for _, r := range rows {
+		tbl.Row(r.Regime, r.Policy,
+			fmt.Sprintf("%d/%d", r.Detected, r.Infected),
+			fmt.Sprintf("%d/%d", r.FalsePos, r.Clean),
+			fmt.Sprintf("%d", r.Unstable),
+			fmt.Sprintf("%.4f", r.MeanSRPD),
+			fmt.Sprintf("%v", r.Acquisition))
 	}
 	fmt.Print(tbl)
 }

@@ -14,6 +14,8 @@
 //	trojanscan -case s35932-T200 -lot 5              # whole-lot certification
 //	trojanscan -case s35932-T200 -mode delay         # delay-fingerprint baseline
 //	trojanscan -case s35932-T200 -report             # full report document
+//	trojanscan -case s35932-T200 -tester combined    # faulty tester, robust acquisition
+//	trojanscan -case s35932-T200 -tester spikes -acq naive   # show the naive collapse
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"superpose/internal/netlist"
 	"superpose/internal/power"
 	"superpose/internal/scan"
+	"superpose/internal/tester"
 	"superpose/internal/timing"
 	"superpose/internal/trojan"
 	"superpose/internal/trust"
@@ -49,6 +52,10 @@ func main() {
 		lot      = flag.Int("lot", 0, "certify a lot of this many dies instead of a single die")
 		mode     = flag.String("mode", "power", "side channel: power (superposition) or delay (fingerprint baseline)")
 		report   = flag.Bool("report", false, "print the full certification report document")
+
+		testerPreset = flag.String("tester", "clean", "tester fault model preset: "+strings.Join(tester.PresetNames(), ", "))
+		testerSeed   = flag.Uint64("tester-seed", 1, "fault realization seed (with -tester)")
+		acqName      = flag.String("acq", "", "measurement-acquisition policy: naive or robust (default: naive, or robust when -tester is set)")
 	)
 	flag.Parse()
 
@@ -70,12 +77,22 @@ func main() {
 		fail(fmt.Errorf("unknown -mode %q (power or delay)", *mode))
 	}
 
+	faultCfg, err := tester.Preset(*testerPreset, *testerSeed)
+	if err != nil {
+		fail(err)
+	}
+	acq, err := resolveAcquisition(*acqName, faultCfg.Enabled())
+	if err != nil {
+		fail(err)
+	}
+
 	lib := power.SAED90Like()
 	cfg := core.Config{
-		NumChains: *chains,
-		MaxSeeds:  *seeds,
-		Varsigma:  *varsigma,
-		ATPG:      atpg.Options{Seed: 7, RandomPatterns: 32, MaxFaults: 40, FaultSample: 120},
+		NumChains:   *chains,
+		MaxSeeds:    *seeds,
+		Varsigma:    *varsigma,
+		ATPG:        atpg.Options{Seed: 7, RandomPatterns: 32, MaxFaults: 40, FaultSample: 120},
+		Acquisition: acq,
 	}
 
 	if *lot > 0 {
@@ -84,9 +101,11 @@ func main() {
 			fail(err)
 		}
 		lr, err := core.CertifyLot(golden, lib, physical, cfg, core.LotOptions{
-			Dies:      *lot,
-			Variation: power.ThreeSigmaIntra(*varsigma),
-			Seed:      *chipSeed,
+			Dies:        *lot,
+			Variation:   power.ThreeSigmaIntra(*varsigma),
+			Seed:        *chipSeed,
+			Tester:      faultCfg,
+			Acquisition: acq,
 		})
 		if err != nil {
 			fail(err)
@@ -107,6 +126,9 @@ func main() {
 
 	chip := power.Manufacture(physical, lib, power.ThreeSigmaIntra(*varsigma), *chipSeed)
 	dev := core.NewDevice(chip, *chains, scan.LOS)
+	if faultCfg.Enabled() {
+		dev.SetFaultModel(tester.New(faultCfg))
+	}
 
 	rep, err := core.Detect(golden, lib, dev, cfg)
 	if err != nil {
@@ -140,6 +162,9 @@ func main() {
 			rep.Strategic.Final.SRPD, len(rep.Strategic.Applied))
 	} else {
 		fmt.Println("superposition: no suspicious drop flagged")
+	}
+	if faultCfg.Enabled() {
+		fmt.Printf("acquisition (%s tester, %s policy): %v\n", *testerPreset, acq.Aggregation, rep.Acquisition)
 	}
 	fmt.Printf("verdict: ")
 	if rep.Detected {
@@ -251,6 +276,25 @@ func runDelayFingerprint(golden, physical *netlist.Netlist, truth *trojan.Instan
 		fmt.Printf("ground truth: die is attacked (%d Trojan gates)\n", len(truth.TrojanGates))
 	} else {
 		fmt.Println("ground truth: die is clean")
+	}
+}
+
+// resolveAcquisition maps the -acq flag to a policy. With no explicit
+// choice the policy follows the tester: robust under a fault model,
+// naive on an ideal tester.
+func resolveAcquisition(name string, faulty bool) (core.AcquisitionPolicy, error) {
+	switch name {
+	case "naive":
+		return core.NaiveAcquisition(), nil
+	case "robust":
+		return core.RobustAcquisition(), nil
+	case "":
+		if faulty {
+			return core.RobustAcquisition(), nil
+		}
+		return core.NaiveAcquisition(), nil
+	default:
+		return core.AcquisitionPolicy{}, fmt.Errorf("unknown -acq %q (naive or robust)", name)
 	}
 }
 

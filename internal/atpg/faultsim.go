@@ -36,7 +36,12 @@ func NewFaultSimulator(ch *scan.Chains) *FaultSimulator {
 // `faults`, the lanes on which the fault is detected (launched at the site
 // and observed at a PO or scan-cell D pin).
 func (fs *FaultSimulator) DetectBatch(pats []*scan.Pattern, faults []Fault) []logic.Word {
-	f1, f2 := fs.eng.Launch(pats, scan.LOS)
+	f1, f2, err := fs.eng.Launch(pats, scan.LOS)
+	if err != nil {
+		// Callers chunk into 1..64-pattern batches by construction; an
+		// oversized batch here is an internal invariant violation.
+		panic(err.Error())
+	}
 	good1 := append([]logic.Word(nil), f1...)
 	good2 := append([]logic.Word(nil), f2...)
 	src2 := fs.eng.Frame2Sources()

@@ -1,6 +1,10 @@
 package core
 
-import "superpose/internal/scan"
+import (
+	"math"
+
+	"superpose/internal/scan"
+)
 
 // CellRef addresses one stimulus bit: a scan bit (Chain >= 0) or a primary
 // input (Chain == PIChain, Index = PI position).
@@ -211,7 +215,10 @@ func (ev *Evaluator) Adaptive(seed *scan.Pattern, opt AdaptiveOptions) *Adaptive
 				patterns[start+i] = q
 			}
 			for i, rd := range ev.MeasureBatch(batch) {
-				if bestIdx < 0 || rd.RPD > bestRPD {
+				// Readings the acquisition layer could not stabilize
+				// (NaN) are excluded from the climb: a phantom reading
+				// must never steer the search.
+				if !math.IsNaN(rd.RPD) && (bestIdx < 0 || rd.RPD > bestRPD) {
 					bestIdx, bestRPD = start+i, rd.RPD
 				}
 				// Superposition numerator of (cur, candidate): observed
@@ -243,9 +250,20 @@ func (ev *Evaluator) Adaptive(seed *scan.Pattern, opt AdaptiveOptions) *Adaptive
 
 		chosen := cands[bestIdx]
 		next := patterns[bestIdx]
+
+		// The batch reading proposed the step; the confirmation reading
+		// has the final word. On an ideal tester the two are identical
+		// and the veto can never fire; under tester faults a single
+		// inflated batch lane would otherwise steer the entire search
+		// toward a phantom maximum. A vetoed (or unstable) confirmation
+		// rejects the step and re-runs the round on fresh measurements.
+		confirm := ev.Measure(next)
+		if math.IsNaN(confirm.RPD) || confirm.RPD <= curReading.RPD+opt.MinGain {
+			continue
+		}
 		res.Steps = append(res.Steps, AdaptiveStep{
 			Pattern:     next,
-			Reading:     ev.Measure(next),
+			Reading:     confirm,
 			Flipped:     chosen,
 			Transitions: next.TransitionCount(),
 		})

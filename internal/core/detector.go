@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"superpose/internal/atpg"
 	"superpose/internal/netlist"
@@ -44,6 +45,11 @@ type Config struct {
 	// MaxPairs is how many of the top flagged pairs (by significance)
 	// receive the full strategic-modification treatment (default 3).
 	MaxPairs int
+	// Acquisition, when non-zero, replaces the device's measurement-
+	// acquisition policy before the run (see AcquisitionPolicy,
+	// NaiveAcquisition, RobustAcquisition). The zero value leaves the
+	// device's configured policy untouched.
+	Acquisition AcquisitionPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +84,24 @@ type Report struct {
 	HasPair       bool
 	Superposition PairAnalysis // the flagged pair, as found (§IV-C)
 	Strategic     StrategicResult
+	// Confirmed is the verdict pair re-measured fresh: the strategic
+	// winner was *selected* as a maximum over measured states, so its
+	// recorded reading carries selection bias — and under tester faults a
+	// single inflated reading can be that maximum. The verdict uses the
+	// median-magnitude confirmation instead; on an ideal tester every
+	// re-measurement is identical and Confirmed equals Strategic.Final.
+	Confirmed PairAnalysis
+
+	// Acquisition summarizes this run's measurement-acquisition work:
+	// passes, retries, samples dropped by the tester or rejected as
+	// outliers, and readings that never stabilized. UnstableSeeds counts
+	// seed patterns excluded from ranking because their reading came
+	// back NaN; UnstablePairs counts flagged pairs excluded from the
+	// verdict for the same reason — the graceful-degradation path under
+	// severe tester faults.
+	Acquisition   AcquisitionStats
+	UnstableSeeds int
+	UnstablePairs int
 
 	// Verdict.
 	FinalSRPD float64
@@ -120,6 +144,10 @@ func (r *Report) Summary() string {
 //  5. compare the final S-RPD against what intra-die variation can explain.
 func Detect(golden *netlist.Netlist, lib *power.Library, dev *Device, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Acquisition != (AcquisitionPolicy{}) {
+		dev.SetAcquisition(cfg.Acquisition)
+	}
+	acqStart := dev.AcquisitionStats()
 	ev := NewEvaluator(golden, lib, dev, cfg.NumChains, cfg.Mode)
 
 	seeds := cfg.SeedPatterns
@@ -138,24 +166,32 @@ func Detect(golden *netlist.Netlist, lib *power.Library, dev *Device, cfg Config
 
 	// Per-die characterization: estimate the global (inter-die) power
 	// scale from the seed set so the self-referencing analysis only faces
-	// intra-die variation, as §V-D assumes.
+	// intra-die variation, as §V-D assumes. With a drift window
+	// configured, the first seed becomes the reference pattern whose
+	// periodic re-measurement tracks slow tester drift on top of the
+	// one-time calibration.
 	ev.Calibrate(seeds)
+	if dev.Acquisition().DriftWindow > 0 {
+		ev.SetDriftReference(seeds[0])
+	}
 
-	// Rank seeds by RPD.
+	// Rank seeds by RPD. Seeds whose reading the acquisition layer could
+	// not stabilize (NaN) are excluded from ranking and annotated in the
+	// report rather than silently steering it.
 	type ranked struct {
 		p *scan.Pattern
 		r Reading
 	}
 	var rankedSeeds []ranked
-	for start := 0; start < len(seeds); start += 64 {
-		end := start + 64
-		if end > len(seeds) {
-			end = len(seeds)
+	for i, r := range ev.MeasureBatch(seeds) {
+		if math.IsNaN(r.RPD) || math.IsNaN(r.Observed) {
+			rep.UnstableSeeds++
+			continue
 		}
-		rs := ev.MeasureBatch(seeds[start:end])
-		for i, r := range rs {
-			rankedSeeds = append(rankedSeeds, ranked{seeds[start+i], r})
-		}
+		rankedSeeds = append(rankedSeeds, ranked{seeds[i], r})
+	}
+	if len(rankedSeeds) == 0 {
+		return nil, fmt.Errorf("core: no seed pattern produced a stable reading (%d unstable; tester faults beyond the acquisition policy's reach)", rep.UnstableSeeds)
 	}
 	for i := 1; i < len(rankedSeeds); i++ { // insertion sort by RPD desc
 		for j := i; j > 0 && rankedSeeds[j].r.RPD > rankedSeeds[j-1].r.RPD; j-- {
@@ -197,20 +233,38 @@ func Detect(golden *netlist.Netlist, lib *power.Library, dev *Device, cfg Config
 
 	var finalSig float64
 	if nPairs > 0 {
-		rep.HasPair = true
+		kept := false
 		for i := 0; i < nPairs; i++ {
 			pc := flagged[i]
 			sup := ev.AnalyzePair(pc.A, pc.B)
 			st := ev.StrategicModify(pc.A, pc.B, pc.Critical, cfg.Strategic)
-			if i == 0 || abs(st.Final.SRPD) > abs(rep.Strategic.Final.SRPD) {
+			// A pair whose strategic walk never produced a stable
+			// reading is excluded from the verdict and annotated,
+			// rather than letting its NaN poison the comparison (NaN
+			// wins every `>` by making it false).
+			if math.IsNaN(st.Final.SRPD) {
+				rep.UnstablePairs++
+				continue
+			}
+			if !kept || abs(st.Final.SRPD) > abs(rep.Strategic.Final.SRPD) {
 				rep.Superposition = sup
 				rep.Strategic = st
+				kept = true
 			}
 		}
-		rep.FinalSRPD = rep.Strategic.Final.SRPD
-		finalSig = rep.Strategic.Final.Significance()
-		if s := rep.Superposition.Significance(); s > finalSig {
-			finalSig = s
+		if kept {
+			rep.HasPair = true
+			rep.Confirmed = confirmPair(ev, rep.Strategic.Final)
+			rep.FinalSRPD = rep.Confirmed.SRPD
+			finalSig = rep.Confirmed.Significance()
+			if s := rep.Superposition.Significance(); s > finalSig {
+				finalSig = s
+			}
+		} else {
+			// Every flagged pair was unstable: the die cannot be
+			// certified under this tester. Deliver NaN so lot
+			// accounting reports it as unstable instead of clean.
+			rep.FinalSRPD = math.NaN()
 		}
 	} else {
 		// No pair: fall back to the best adjacent pair of the adaptive
@@ -221,8 +275,9 @@ func Detect(golden *netlist.Netlist, lib *power.Library, dev *Device, cfg Config
 				bi = 1
 			}
 			rep.Superposition = ev.AnalyzePair(rep.Adaptive.Steps[bi-1].Pattern, rep.Adaptive.Steps[bi].Pattern)
-			rep.FinalSRPD = rep.Superposition.SRPD
-			finalSig = rep.Superposition.Significance()
+			rep.Confirmed = confirmPair(ev, rep.Superposition)
+			rep.FinalSRPD = rep.Confirmed.SRPD
+			finalSig = rep.Confirmed.Significance()
 		}
 	}
 
@@ -235,5 +290,30 @@ func Detect(golden *netlist.Netlist, lib *power.Library, dev *Device, cfg Config
 	}
 	rep.Detected = abs(rep.FinalSRPD) > MaxBenignSRPD(cfg.Varsigma) ||
 		(cfg.ZThreshold > 0 && rep.FinalZ > cfg.ZThreshold)
+	rep.Acquisition = dev.AcquisitionStats().Sub(acqStart)
 	return rep, nil
+}
+
+// confirmPair re-measures a verdict pair fresh and returns the analysis
+// of median |S-RPD| among the stable re-measurements, falling back to
+// the recorded state when none re-measures stably. With an even number
+// of stable readings the smaller-magnitude middle is chosen — the
+// conservative verdict. On an ideal tester every re-measurement is
+// bit-identical, so confirmation never changes a clean-path verdict.
+func confirmPair(ev *Evaluator, fin PairAnalysis) PairAnalysis {
+	var stable []PairAnalysis
+	for k := 0; k < 3; k++ {
+		if pa := ev.AnalyzePair(fin.A, fin.B); !math.IsNaN(pa.SRPD) {
+			stable = append(stable, pa)
+		}
+	}
+	if len(stable) == 0 {
+		return fin
+	}
+	for i := 1; i < len(stable); i++ { // insertion sort by |S-RPD|
+		for j := i; j > 0 && abs(stable[j].SRPD) < abs(stable[j-1].SRPD); j-- {
+			stable[j], stable[j-1] = stable[j-1], stable[j]
+		}
+	}
+	return stable[(len(stable)-1)/2]
 }

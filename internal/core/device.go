@@ -1,10 +1,14 @@
 package core
 
 import (
+	"math"
+
 	"superpose/internal/logic"
 	"superpose/internal/netlist"
 	"superpose/internal/power"
 	"superpose/internal/scan"
+	"superpose/internal/stats"
+	"superpose/internal/tester"
 )
 
 // Device is the IC-under-certification sitting on the tester. Applying a
@@ -15,13 +19,29 @@ import (
 // a Trojan the defender's golden model lacks) and prices the launch
 // activity on the chip's process-variation-afflicted gates. The ground
 // truth accessors are clearly marked evaluation-only.
+//
+// Between the chip and the flow sits the measurement-acquisition layer:
+// an optional tester fault model (internal/tester) perturbs the raw
+// reading stream, and the configured AcquisitionPolicy decides how many
+// samples to take per pattern, which to reject, and how to aggregate the
+// survivors. A reading the policy cannot stabilize is delivered as NaN
+// and the flow degrades gracefully around it.
 type Device struct {
 	physical *netlist.Netlist
 	eng      *scan.Engine
 	chip     *power.Chip
 	mode     scan.Mode
-	repeats  int
+	policy   AcquisitionPolicy
+	faults   *tester.FaultModel
+	acq      AcquisitionStats
 	masks    []logic.Word // scratch
+
+	// Stuck-guard state: the last raw reading seen, the pattern it was
+	// taken from, and whether it was flagged as a latch repeat. The run
+	// spans sweep and batch boundaries, as a stuck window does.
+	prevRaw     float64
+	prevPat     *scan.Pattern
+	prevSuspect bool
 }
 
 // NewDevice mounts a chip built over the physical netlist. numChains must
@@ -51,33 +71,181 @@ func newDevice(chip *power.Chip, ch *scan.Chains, mode scan.Mode) *Device {
 		eng:      scan.NewEngine(ch),
 		chip:     chip,
 		mode:     mode,
-		repeats:  1,
+		policy:   NaiveAcquisition(),
+		prevRaw:  math.NaN(), // never matches the first reading
 	}
 }
 
-// SetRepeats makes every reading the average of k pattern applications —
+// SetRepeats makes every reading the aggregate of k pattern applications —
 // standard tester practice to suppress measurement noise (process
 // variation, being fixed per die, is unaffected). k < 1 is clamped to 1.
+// It is a shorthand for adjusting only the Repeats of the acquisition
+// policy.
 func (d *Device) SetRepeats(k int) {
 	if k < 1 {
 		k = 1
 	}
-	d.repeats = k
+	d.policy.Repeats = k
 }
 
-// MeasureBatch applies up to 64 patterns and returns the power readings.
+// SetAcquisition replaces the measurement-acquisition policy.
+func (d *Device) SetAcquisition(p AcquisitionPolicy) { d.policy = p }
+
+// Acquisition returns the current acquisition policy.
+func (d *Device) Acquisition() AcquisitionPolicy { return d.policy }
+
+// SetFaultModel interposes a tester fault model on the raw reading
+// stream (nil restores the ideal tester).
+func (d *Device) SetFaultModel(fm *tester.FaultModel) { d.faults = fm }
+
+// FaultModel returns the interposed tester fault model (nil when ideal).
+func (d *Device) FaultModel() *tester.FaultModel { return d.faults }
+
+// AcquisitionStats returns the cumulative acquisition counters.
+func (d *Device) AcquisitionStats() AcquisitionStats { return d.acq }
+
+// MeasureBatch applies a set of patterns and returns one power reading
+// per pattern, acquired under the configured policy. Any batch size is
+// accepted; the engine's 64-lane launches are chunked internally. A
+// reading the policy could not stabilize is NaN.
 func (d *Device) MeasureBatch(pats []*scan.Pattern) []float64 {
-	d.eng.Launch(pats, d.mode)
+	out := make([]float64, 0, len(pats))
+	for start := 0; start < len(pats); start += 64 {
+		end := start + 64
+		if end > len(pats) {
+			end = len(pats)
+		}
+		out = append(out, d.measureChunk(pats[start:end])...)
+	}
+	return out
+}
+
+// measureChunk acquires readings for 1..64 patterns (one launch).
+func (d *Device) measureChunk(pats []*scan.Pattern) []float64 {
+	if _, _, err := d.eng.Launch(pats, d.mode); err != nil {
+		// MeasureBatch chunks into 1..64-pattern batches by construction.
+		panic(err.Error())
+	}
 	d.masks = d.eng.ToggleMasks(d.masks)
-	out := d.chip.MeasureLanes(d.masks, len(pats))
-	for r := 1; r < d.repeats; r++ {
-		for i, v := range d.chip.MeasureLanes(d.masks, len(pats)) {
-			out[i] += v
+	n := len(pats)
+
+	// Fast path: a noiseless chip behind an ideal tester returns the
+	// identical value on every repeat, so one sweep is exact regardless
+	// of the configured repeat count.
+	if d.chip.NoiseSigma() == 0 && d.faults == nil {
+		d.acq.Passes++
+		d.acq.Raw += uint64(n)
+		d.acq.Readings += uint64(n)
+		return d.chip.MeasureLanes(d.masks, n)
+	}
+
+	p := d.policy.withDefaults()
+	samples := make([][]float64, n)
+
+	// One sweep reads every lane of the batch once, in lane order, so
+	// the fault model's reading index advances identically for identical
+	// batch sequences — the acquisition layer stays bit-reproducible.
+	// record filters which lanes keep their sample (retry sweeps only
+	// top up deficient lanes; the tester still reads all of them).
+	sweep := func(record []bool) {
+		d.acq.Passes++
+		vals := d.chip.MeasureLanes(d.masks, n)
+		for i, v := range vals {
+			if d.faults != nil {
+				v = d.faults.Apply(v)
+			}
+			d.acq.Raw++
+
+			// A latched ADC repeats its value bit-for-bit, so a sample
+			// that exactly equals the previous reading of a *different*
+			// pattern — or that extends such a run — is a latch repeat.
+			// Same-pattern repeats are legitimate (a noiseless chip
+			// returns identical values), so they are exempt unless the
+			// run is already suspect. The run state advances on every
+			// reading, recorded or not, to stay aligned with the stream.
+			suspect := false
+			if p.StuckGuard {
+				suspect = v == d.prevRaw && (pats[i] != d.prevPat || d.prevSuspect)
+				d.prevRaw, d.prevPat, d.prevSuspect = v, pats[i], suspect
+			}
+
+			if record != nil && !record[i] {
+				continue
+			}
+			if math.IsNaN(v) {
+				d.acq.Dropped++
+				continue
+			}
+			if suspect {
+				d.acq.Latched++
+				continue
+			}
+			samples[i] = append(samples[i], v)
 		}
 	}
-	if d.repeats > 1 {
-		for i := range out {
-			out[i] /= float64(d.repeats)
+	for r := 0; r < p.Repeats; r++ {
+		sweep(nil)
+	}
+
+	surviving := func(i int) []float64 {
+		if p.MADThreshold > 0 {
+			return stats.RejectOutliersMAD(samples[i], p.MADThreshold)
+		}
+		return samples[i]
+	}
+	// unsettled reports whether a reading still needs re-measurement:
+	// too few surviving samples, or survivors that disagree beyond the
+	// spread gate (a burst window can outlast every repeat of a small
+	// batch, leaving samples that are individually plausible but
+	// mutually inconsistent).
+	unsettled := func(kept []float64) bool {
+		if len(kept) < p.MinValid {
+			return true
+		}
+		if p.SpreadGate <= 0 {
+			return false
+		}
+		med, mad := stats.MAD(kept)
+		return mad > p.SpreadGate*math.Abs(med)
+	}
+	for retry := 0; retry < p.RetryBudget; retry++ {
+		deficient := make([]bool, n)
+		any := false
+		for i := range samples {
+			if unsettled(surviving(i)) {
+				deficient[i] = true
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
+		d.acq.Retries++
+		sweep(deficient)
+	}
+
+	out := make([]float64, n)
+	for i := range samples {
+		kept := surviving(i)
+		d.acq.Rejected += uint64(len(samples[i]) - len(kept))
+		d.acq.Readings++
+		if unsettled(kept) {
+			// The retry budget ran out without stabilizing this reading.
+			d.acq.Unstable++
+			out[i] = math.NaN()
+			continue
+		}
+		switch p.Aggregation {
+		case AggMedian:
+			out[i] = stats.Median(kept)
+		case AggTrimmedMean:
+			out[i] = stats.TrimmedMean(kept, p.TrimFrac)
+		default:
+			var sum float64
+			for _, v := range kept {
+				sum += v
+			}
+			out[i] = sum / float64(len(kept))
 		}
 	}
 	return out
@@ -93,7 +261,9 @@ func (d *Device) Measure(p *scan.Pattern) float64 {
 // observe per-gate activity; the metrics harness uses this to compute TCA
 // against the inserted Trojan's ground truth.
 func (d *Device) GroundTruthToggles(p *scan.Pattern) []int {
-	d.eng.Launch([]*scan.Pattern{p}, d.mode)
+	if _, _, err := d.eng.Launch([]*scan.Pattern{p}, d.mode); err != nil {
+		panic(err.Error()) // single-pattern launch cannot be out of range
+	}
 	return d.eng.Toggles(0)
 }
 

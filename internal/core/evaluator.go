@@ -26,6 +26,16 @@ type Evaluator struct {
 	// self-referential with respect to inter-die variation.
 	scale float64
 
+	// Drift compensation (see SetDriftReference): every driftWindow
+	// delivered readings the reference pattern is re-measured and the
+	// running driftScale updated, so a slow thermal ramp in the tester
+	// divides out of all subsequent observations.
+	driftRef    *scan.Pattern
+	driftBase   float64
+	driftScale  float64
+	driftWindow int
+	sinceRef    int
+
 	masks []logic.Word // scratch for batch pricing
 }
 
@@ -41,13 +51,23 @@ func NewEvaluator(golden *netlist.Netlist, lib *power.Library, dev *Device, numC
 // NewDeviceFromChains).
 func NewEvaluatorFromChains(golden *netlist.Netlist, lib *power.Library, dev *Device, ch *scan.Chains, mode scan.Mode) *Evaluator {
 	return &Evaluator{
-		golden: golden,
-		chains: ch,
-		eng:    scan.NewEngine(ch),
-		model:  power.NewModel(golden, lib),
-		dev:    dev,
-		mode:   mode,
-		scale:  1,
+		golden:     golden,
+		chains:     ch,
+		eng:        scan.NewEngine(ch),
+		model:      power.NewModel(golden, lib),
+		dev:        dev,
+		mode:       mode,
+		scale:      1,
+		driftScale: 1,
+	}
+}
+
+// launch runs a golden-model simulation of 1..64 patterns. Callers chunk
+// larger sets; an out-of-range batch here is an internal invariant
+// violation, not a user error.
+func (ev *Evaluator) launch(pats []*scan.Pattern) {
+	if _, _, err := ev.eng.Launch(pats, ev.mode); err != nil {
+		panic(err.Error())
 	}
 }
 
@@ -69,10 +89,13 @@ func (ev *Evaluator) Calibrate(pats []*scan.Pattern) float64 {
 		}
 		batch := pats[start:end]
 		observed := ev.dev.MeasureBatch(batch)
-		ev.eng.Launch(batch, ev.mode)
+		ev.launch(batch)
 		for i := range batch {
 			nom := ev.model.Nominal(ev.eng.Toggles(uint(i)))
-			if nom > 0 {
+			// Readings the acquisition layer could not stabilize (NaN)
+			// carry no calibration information; the median over the
+			// survivors stays robust to losing a few.
+			if nom > 0 && !math.IsNaN(observed[i]) {
 				ratios = append(ratios, observed[i]/nom)
 			}
 		}
@@ -110,16 +133,75 @@ type Reading struct {
 	RPD      float64 // Eq. 1
 }
 
-// MeasureBatch evaluates up to 64 patterns: chip observation plus
-// golden-model nominal expectation for each.
+// SetDriftReference enables drift compensation against a reference
+// pattern: its reading is taken now as the baseline, and every
+// DriftWindow delivered readings (from the device's acquisition policy)
+// it is re-measured; the ratio of current to baseline is divided out of
+// all subsequent observations. A tester's slow thermal ramp — which a
+// per-die calibration taken once at the start cannot see — is thereby
+// compensated at the cost of one extra reading per window. A
+// non-positive or unstable baseline disables compensation.
+func (ev *Evaluator) SetDriftReference(ref *scan.Pattern) {
+	ev.driftRef = nil
+	ev.driftScale = 1
+	ev.driftWindow = ev.dev.Acquisition().DriftWindow
+	if ev.driftWindow <= 0 || ref == nil {
+		return
+	}
+	base := ev.dev.MeasureBatch([]*scan.Pattern{ref})[0]
+	if math.IsNaN(base) || base <= 0 {
+		return
+	}
+	ev.driftRef = ref
+	ev.driftBase = base
+	ev.sinceRef = 0
+}
+
+// DriftScale returns the current drift-compensation factor (1 when
+// compensation is disabled or no drift has been observed).
+func (ev *Evaluator) DriftScale() float64 { return ev.driftScale }
+
+// maybeTrackDrift re-measures the drift reference once per window and
+// updates the running drift scale. An unstable re-measurement keeps the
+// previous estimate.
+func (ev *Evaluator) maybeTrackDrift() {
+	if ev.driftRef == nil || ev.sinceRef < ev.driftWindow {
+		return
+	}
+	ev.sinceRef = 0
+	cur := ev.dev.MeasureBatch([]*scan.Pattern{ev.driftRef})[0]
+	if !math.IsNaN(cur) && cur > 0 {
+		ev.driftScale = cur / ev.driftBase
+	}
+}
+
+// MeasureBatch evaluates a set of patterns: chip observation plus
+// golden-model nominal expectation for each. Any batch size is accepted
+// (64-lane launches are chunked internally). Observations are corrected
+// by the calibration scale and the running drift estimate; a reading the
+// acquisition layer could not stabilize propagates as NaN.
 func (ev *Evaluator) MeasureBatch(pats []*scan.Pattern) []Reading {
+	out := make([]Reading, 0, len(pats))
+	for start := 0; start < len(pats); start += 64 {
+		end := start + 64
+		if end > len(pats) {
+			end = len(pats)
+		}
+		out = append(out, ev.measureChunk(pats[start:end])...)
+	}
+	return out
+}
+
+func (ev *Evaluator) measureChunk(pats []*scan.Pattern) []Reading {
+	ev.maybeTrackDrift()
 	observed := ev.dev.MeasureBatch(pats)
-	ev.eng.Launch(pats, ev.mode)
+	ev.sinceRef += len(pats)
+	ev.launch(pats)
 	ev.masks = ev.eng.ToggleMasks(ev.masks)
 	nominals := ev.model.NominalLanes(ev.masks, len(pats))
 	out := make([]Reading, len(pats))
 	for i := range pats {
-		obs := observed[i] / ev.scale
+		obs := observed[i] / (ev.scale * ev.driftScale)
 		out[i] = Reading{
 			Observed: obs,
 			Nominal:  nominals[i],
@@ -137,7 +219,7 @@ func (ev *Evaluator) Measure(p *scan.Pattern) Reading {
 // GoldenToggles returns the golden-model toggle set of a pattern — the
 // defender's prediction of which gates switch.
 func (ev *Evaluator) GoldenToggles(p *scan.Pattern) []int {
-	ev.eng.Launch([]*scan.Pattern{p}, ev.mode)
+	ev.launch([]*scan.Pattern{p})
 	return append([]int(nil), ev.eng.Toggles(0)...)
 }
 
@@ -188,7 +270,7 @@ func (pa *PairAnalysis) Significance() float64 {
 func (ev *Evaluator) AnalyzePair(a, b *scan.Pattern) PairAnalysis {
 	readings := ev.MeasureBatch([]*scan.Pattern{a, b})
 
-	ev.eng.Launch([]*scan.Pattern{a, b}, ev.mode)
+	ev.launch([]*scan.Pattern{a, b})
 	ta := append([]int(nil), ev.eng.Toggles(0)...)
 	tb := ev.eng.Toggles(1)
 	common, aU, bU := SplitToggles(ta, tb)

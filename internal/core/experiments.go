@@ -7,6 +7,7 @@ import (
 	"superpose/internal/netlist"
 	"superpose/internal/power"
 	"superpose/internal/scan"
+	"superpose/internal/tester"
 	"superpose/internal/trojan"
 	"superpose/internal/trust"
 )
@@ -30,6 +31,11 @@ type ExperimentConfig struct {
 	ATPG atpg.Options
 	// MaxSeeds bounds the adaptive stage (default 3).
 	MaxSeeds int
+	// MaxPairs bounds the strategic stage (0 = detector default). The
+	// robustness table widens it: tester faults perturb the pair
+	// significance ranking, so a narrow top-k can drop the genuinely
+	// strongest pair that a clean tester would have ranked first.
+	MaxPairs int
 }
 
 func (c ExperimentConfig) withDefaults() ExperimentConfig {
@@ -405,4 +411,169 @@ func bitsOf(s string) []bool {
 		out[i] = c == '1'
 	}
 	return out
+}
+
+// RobustnessRegimes are the tester fault regimes of the robustness table
+// (EXPERIMENTS.md): named tester.Preset configurations of increasing
+// hostility.
+var RobustnessRegimes = []string{"clean", "spikes", "drift", "combined"}
+
+// RobustnessPolicies pairs the acquisition policies the robustness table
+// compares under each fault regime.
+func RobustnessPolicies() []struct {
+	Name   string
+	Policy AcquisitionPolicy
+} {
+	return []struct {
+		Name   string
+		Policy AcquisitionPolicy
+	}{
+		{"naive", NaiveAcquisition()},
+		{"robust", RobustAcquisition()},
+	}
+}
+
+// RobustnessRow is one (fault regime × acquisition policy) cell of the
+// robustness table: the detection rate over the five infected benchmark
+// cases, the false-positive rate over the clean hosts, and the
+// acquisition layer's accounting.
+type RobustnessRow struct {
+	Regime string
+	Policy string
+
+	Detected int // infected dies flagged
+	Infected int // infected dies run
+	FalsePos int // clean dies flagged
+	Clean    int // clean dies run
+	Unstable int // dies whose final signal never stabilized
+
+	MeanSRPD    float64 // mean |S-RPD| over stable infected dies
+	Acquisition AcquisitionStats
+}
+
+// String renders the row compactly.
+func (r RobustnessRow) String() string {
+	return fmt.Sprintf("%-8s %-6s  TPR %d/%d  FPR %d/%d  unstable %d  |S-RPD| %.4f",
+		r.Regime, r.Policy, r.Detected, r.Infected, r.FalsePos, r.Clean, r.Unstable, r.MeanSRPD)
+}
+
+// robustnessDetect runs one die under a tester fault regime and policy.
+func robustnessDetect(golden *netlist.Netlist, lib *power.Library, chip *power.Chip,
+	regime string, faultSeed uint64, policy AcquisitionPolicy, cfg ExperimentConfig) (*Report, error) {
+	dev := NewDevice(chip, cfg.NumChains, scan.LOS)
+	dev.SetAcquisition(policy)
+	tc, err := tester.Preset(regime, faultSeed)
+	if err != nil {
+		return nil, err
+	}
+	if tc.Enabled() {
+		dev.SetFaultModel(tester.New(tc))
+	}
+	return Detect(golden, lib, dev, Config{
+		NumChains:   cfg.NumChains,
+		ATPG:        cfg.ATPG,
+		MaxSeeds:    cfg.MaxSeeds,
+		MaxPairs:    cfg.MaxPairs,
+		Varsigma:    cfg.Varsigma,
+		Acquisition: policy,
+	})
+}
+
+// RunRobustnessRow evaluates one fault regime under one acquisition
+// policy: every infected benchmark case on its own die, plus one clean
+// die per benchmark host. Fault realizations are derived deterministically
+// from the regime, the policy and the case index, so the table is
+// bit-reproducible.
+func RunRobustnessRow(regime, policyName string, policy AcquisitionPolicy, cfg ExperimentConfig) (RobustnessRow, error) {
+	cfg = cfg.withDefaults()
+	lib := power.SAED90Like()
+	row := RobustnessRow{Regime: regime, Policy: policyName}
+
+	var srpdSum float64
+	var srpdN int
+	for i, c := range trust.Cases() {
+		inst, err := trust.Build(c, cfg.Scale)
+		if err != nil {
+			return row, fmt.Errorf("case %s: %w", c, err)
+		}
+		chip := power.Manufacture(inst.Infected, lib, power.ThreeSigmaIntra(cfg.Varsigma), cfg.ChipSeed)
+		faultSeed := cfg.ChipSeed ^ (uint64(i+1) * 0x9E3779B97F4A7C15)
+		rep, err := robustnessDetect(inst.Host, lib, chip, regime, faultSeed, policy, cfg)
+		if err != nil {
+			return row, fmt.Errorf("case %s: %w", c, err)
+		}
+		row.Infected++
+		if rep.Detected {
+			row.Detected++
+		}
+		if mag := abs(rep.FinalSRPD); mag != mag { // NaN: unstable die
+			row.Unstable++
+		} else {
+			srpdSum += mag
+			srpdN++
+		}
+		row.Acquisition = row.Acquisition.add(rep.Acquisition)
+	}
+	if srpdN > 0 {
+		row.MeanSRPD = srpdSum / float64(srpdN)
+	}
+
+	seen := map[string]bool{}
+	for i, c := range trust.Cases() {
+		if seen[c.Benchmark] {
+			continue
+		}
+		seen[c.Benchmark] = true
+		inst, err := trust.Build(c, cfg.Scale)
+		if err != nil {
+			return row, fmt.Errorf("control %s: %w", c.Benchmark, err)
+		}
+		chip := power.Manufacture(inst.Host, lib, power.ThreeSigmaIntra(cfg.Varsigma), cfg.ChipSeed+1)
+		faultSeed := cfg.ChipSeed ^ (uint64(i+101) * 0x9E3779B97F4A7C15)
+		rep, err := robustnessDetect(inst.Host, lib, chip, regime, faultSeed, policy, cfg)
+		if err != nil {
+			return row, fmt.Errorf("control %s: %w", c.Benchmark, err)
+		}
+		row.Clean++
+		if rep.Detected {
+			row.FalsePos++
+		}
+		if mag := abs(rep.FinalSRPD); mag != mag {
+			row.Unstable++
+		}
+		row.Acquisition = row.Acquisition.add(rep.Acquisition)
+	}
+	return row, nil
+}
+
+// add accumulates acquisition counters (helper for the robustness table).
+func (s AcquisitionStats) add(o AcquisitionStats) AcquisitionStats {
+	return AcquisitionStats{
+		Readings: s.Readings + o.Readings,
+		Passes:   s.Passes + o.Passes,
+		Raw:      s.Raw + o.Raw,
+		Dropped:  s.Dropped + o.Dropped,
+		Rejected: s.Rejected + o.Rejected,
+		Latched:  s.Latched + o.Latched,
+		Retries:  s.Retries + o.Retries,
+		Unstable: s.Unstable + o.Unstable,
+	}
+}
+
+// RunRobustnessTable evaluates every fault regime under both acquisition
+// policies: the table showing naive single-shot averaging collapsing
+// under tester pathologies while the robust policy restores the
+// clean-tester verdicts.
+func RunRobustnessTable(cfg ExperimentConfig) ([]RobustnessRow, error) {
+	var rows []RobustnessRow
+	for _, regime := range RobustnessRegimes {
+		for _, p := range RobustnessPolicies() {
+			row, err := RunRobustnessRow(regime, p.Name, p.Policy, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("robustness %s/%s: %w", regime, p.Name, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
 }

@@ -2,12 +2,14 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"superpose/internal/atpg"
 	"superpose/internal/netlist"
 	"superpose/internal/power"
 	"superpose/internal/scan"
 	"superpose/internal/stats"
+	"superpose/internal/tester"
 )
 
 // LotOptions describes a manufacturing lot to certify.
@@ -24,7 +26,18 @@ type LotOptions struct {
 	MeasurementNoise float64
 	// MeasurementRepeats averages this many applications per reading
 	// (tester averaging; meaningful with MeasurementNoise). Default 1.
+	// Ignored when Acquisition is set (whose Repeats then governs).
 	MeasurementRepeats int
+	// Tester, when enabled, interposes a tester fault model (outlier
+	// spikes, dropped readings, drift, burst noise, stuck latches) on
+	// every die's reading stream; see tester.Config and tester.Preset.
+	// Each die gets an independent, reproducible fault realization
+	// derived from Tester.Seed and the die index.
+	Tester tester.Config
+	// Acquisition, when non-zero, sets every die device's measurement-
+	// acquisition policy (see AcquisitionPolicy); it also propagates to
+	// Config.Acquisition so Detect does not reset it.
+	Acquisition AcquisitionPolicy
 }
 
 func (o LotOptions) withDefaults() LotOptions {
@@ -46,7 +59,13 @@ type DieResult struct {
 type LotReport struct {
 	Dies     []DieResult
 	Detected int
-	SRPD     stats.Summary // of |FinalSRPD| across dies
+	SRPD     stats.Summary // of |FinalSRPD| across dies (stable dies only)
+	// Unstable counts dies whose final signal never stabilized under the
+	// tester fault model (NaN |S-RPD|); they are excluded from the SRPD
+	// summary and can never be Detected.
+	Unstable int
+	// Acquisition accumulates the acquisition counters across dies.
+	Acquisition AcquisitionStats
 }
 
 // DetectionRate returns the fraction of dies flagged.
@@ -59,8 +78,12 @@ func (lr *LotReport) DetectionRate() float64 {
 
 // String summarizes the lot.
 func (lr *LotReport) String() string {
-	return fmt.Sprintf("lot: %d/%d dies flagged; |S-RPD| mean %.4f [%.4f, %.4f]",
+	s := fmt.Sprintf("lot: %d/%d dies flagged; |S-RPD| mean %.4f [%.4f, %.4f]",
 		lr.Detected, len(lr.Dies), lr.SRPD.Mean, lr.SRPD.Min, lr.SRPD.Max)
+	if lr.Unstable > 0 {
+		s += fmt.Sprintf("; %d unstable", lr.Unstable)
+	}
+	return s
 }
 
 // CertifyLot manufactures `Dies` instances of the physical netlist (which
@@ -89,6 +112,17 @@ func CertifyLot(golden *netlist.Netlist, lib *power.Library, physical *netlist.N
 		if lot.MeasurementRepeats > 1 {
 			dev.SetRepeats(lot.MeasurementRepeats)
 		}
+		if lot.Acquisition != (AcquisitionPolicy{}) {
+			dev.SetAcquisition(lot.Acquisition)
+			cfg.Acquisition = lot.Acquisition
+		}
+		if lot.Tester.Enabled() {
+			tc := lot.Tester
+			// Per-die fault realization, decorrelated from the process
+			// draw but reproducible from the lot seed.
+			tc.Seed ^= seed * 0x9E3779B97F4A7C15
+			dev.SetFaultModel(tester.New(tc))
+		}
 		rep, err := Detect(golden, lib, dev, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: die %d: %w", die, err)
@@ -98,7 +132,12 @@ func CertifyLot(golden *netlist.Netlist, lib *power.Library, physical *netlist.N
 		if rep.Detected {
 			lr.Detected++
 		}
-		mags = append(mags, mag)
+		if math.IsNaN(mag) {
+			lr.Unstable++
+		} else {
+			mags = append(mags, mag)
+		}
+		lr.Acquisition = lr.Acquisition.add(rep.Acquisition)
 	}
 	lr.SRPD = stats.Summarize(mags)
 	return lr, nil

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"superpose/internal/scan"
 )
@@ -94,7 +95,7 @@ func (ev *Evaluator) AnalyzePairs(pairs [][2]*scan.Pattern) []PairAnalysis {
 			flat = append(flat, pr[0], pr[1])
 		}
 		readings := ev.MeasureBatch(flat)
-		ev.eng.Launch(flat, ev.mode)
+		ev.launch(flat)
 		sets := ev.eng.TogglesAll(len(flat))
 		for i, pr := range group {
 			ta := sets[2*i]
@@ -235,7 +236,9 @@ func (ev *Evaluator) StrategicModify(a, b *scan.Pattern, critical CellRef, opt S
 		})
 		curA, curB = cands[bestIdx][0], cands[bestIdx][1]
 		cur = analyses[bestIdx]
-		if abs(cur.SRPD) > abs(best.SRPD) {
+		// NaN-aware max: an unstable Initial (NaN SRPD) must not pin
+		// `best` forever — any stable state along the walk replaces it.
+		if math.IsNaN(best.SRPD) || abs(cur.SRPD) > abs(best.SRPD) {
 			best = cur
 		}
 	}

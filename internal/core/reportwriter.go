@@ -63,6 +63,10 @@ func WriteReport(w io.Writer, rep *Report) error {
 		p("   no suspicious drop flagged; fallback pair S-RPD %+.5f\n\n", rep.FinalSRPD)
 	}
 
+	if rep.HasPair && rep.Confirmed.A != nil {
+		p("   verdict confirmation: re-measured S-RPD %+.5f\n\n", rep.Confirmed.SRPD)
+	}
+
 	p("5. Verdict\n")
 	p("   assumed intra-die variation: 3 sigma = %.0f%%\n", 100*rep.Varsigma)
 	p("   max benign S-RPD (Eq. 3):    %.4f\n", MaxBenignSRPD(rep.Varsigma))
@@ -77,6 +81,23 @@ func WriteReport(w io.Writer, rep *Report) error {
 	for _, v := range TableIIVarsigmas {
 		p("   3 sigma = %4.0f%%: %s\n", 100*v,
 			FormatProbability(DetectionProbability(rep.FinalSRPD, v)))
+	}
+
+	// The acquisition section only appears when the measurement layer
+	// actually did robust work (repeats, rejection, retries) or had to
+	// degrade gracefully — an ideal single-shot run stays a 6-section
+	// report.
+	acq := rep.Acquisition
+	if acq.Raw > acq.Readings || acq.Dropped+acq.Rejected+acq.Latched+acq.Unstable > 0 ||
+		rep.UnstableSeeds+rep.UnstablePairs > 0 {
+		p("\n7. Measurement acquisition\n")
+		p("   %s\n", acq)
+		if rep.UnstableSeeds > 0 {
+			p("   %d seed pattern(s) excluded from ranking (unstable readings)\n", rep.UnstableSeeds)
+		}
+		if rep.UnstablePairs > 0 {
+			p("   %d flagged pair(s) excluded from the verdict (unstable readings)\n", rep.UnstablePairs)
+		}
 	}
 	return err
 }

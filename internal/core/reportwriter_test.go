@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"superpose/internal/atpg"
+	"superpose/internal/tester"
 	"superpose/internal/trust"
 )
 
@@ -38,6 +39,39 @@ func TestWriteReportSections(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
+	}
+	// An ideal single-shot run must not grow the acquisition section.
+	if strings.Contains(out, "Measurement acquisition") {
+		t.Errorf("acquisition section present on an ideal-tester run:\n%s", out)
+	}
+}
+
+// TestWriteReportAcquisitionSection: a run under a tester fault model
+// with the robust policy annotates its acquisition work in the report.
+func TestWriteReportAcquisitionSection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline run")
+	}
+	inst, lib, infected, _ := buildTestbench(t, trust.Case{Benchmark: "s35932", Trojan: "T200"}, 0.04, 0.15, 42)
+	tc, err := tester.Preset("spikes", 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infected.SetFaultModel(tester.New(tc))
+	rep, err := Detect(inst.Host, lib, infected, Config{
+		NumChains: 4, Varsigma: 0.10,
+		ATPG:        atpg.Options{Seed: 7, RandomPatterns: 32, MaxFaults: 40, FaultSample: 120},
+		Acquisition: RobustAcquisition(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteReport(&b, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Measurement acquisition") {
+		t.Errorf("report missing acquisition section under tester faults:\n%s", b.String())
 	}
 }
 

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+)
+
+// quickRobustnessConfig mirrors the flow-test convention: tiny hosts
+// with a ς = 0.08 verdict on a die (ChipSeed 99) where the clean-tester
+// pipeline detects all five benchmark cases with margin and no clean-die
+// false positives — the baseline the robust policy must restore under
+// faults. MaxPairs is widened to 6 because fault-perturbed significance
+// rankings can push the genuinely strongest pair out of a narrow top-3.
+func quickRobustnessConfig() ExperimentConfig {
+	return ExperimentConfig{Scale: 0.04, Varsigma: 0.08, ChipSeed: 99, MaxPairs: 6}
+}
+
+// TestRobustnessTableQuick is the acceptance criterion of the tester
+// robustness work: under the combined fault regime (≥1% spikes at 10×
+// plus drift) the naive single-shot policy must demonstrably degrade,
+// while the robust policy restores the clean-tester verdicts on every
+// benchmark case.
+func TestRobustnessTableQuick(t *testing.T) {
+	cfg := quickRobustnessConfig()
+
+	row := func(regime, policy string) RobustnessRow {
+		t.Helper()
+		var pol AcquisitionPolicy
+		switch policy {
+		case "naive":
+			pol = NaiveAcquisition()
+		case "robust":
+			pol = RobustAcquisition()
+		}
+		r, err := RunRobustnessRow(regime, policy, pol, cfg)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", regime, policy, err)
+		}
+		return r
+	}
+
+	// Reference: the clean-tester verdicts. On a noiseless chip behind an
+	// ideal tester both policies hit the fast path, so they must agree
+	// exactly.
+	cleanNaive := row("clean", "naive")
+	cleanRobust := row("clean", "robust")
+	if cleanNaive.Detected != cleanNaive.Infected || cleanNaive.FalsePos != 0 {
+		t.Fatalf("clean-tester baseline broken: %s", cleanNaive)
+	}
+	if cleanRobust.Detected != cleanNaive.Detected || cleanRobust.FalsePos != cleanNaive.FalsePos ||
+		cleanRobust.MeanSRPD != cleanNaive.MeanSRPD {
+		t.Errorf("policies disagree on an ideal tester:\n  naive  %s\n  robust %s", cleanNaive, cleanRobust)
+	}
+
+	combNaive := row("combined", "naive")
+	combRobust := row("combined", "robust")
+	t.Logf("clean/naive:     %s", cleanNaive)
+	t.Logf("combined/naive:  %s", combNaive)
+	t.Logf("combined/robust: %s", combRobust)
+
+	// The robust policy must restore the clean-tester verdicts.
+	if combRobust.Detected != combRobust.Infected {
+		t.Errorf("robust acquisition missed detections under combined faults: %s", combRobust)
+	}
+	if combRobust.FalsePos != 0 {
+		t.Errorf("robust acquisition raised false positives under combined faults: %s", combRobust)
+	}
+	if combRobust.Unstable != 0 {
+		t.Errorf("robust acquisition left unstable dies under combined faults: %s", combRobust)
+	}
+
+	// The naive policy must demonstrably degrade: wrong verdicts or
+	// unstable dies somewhere in the row.
+	if combNaive.Detected == combNaive.Infected && combNaive.FalsePos == 0 && combNaive.Unstable == 0 {
+		t.Errorf("naive acquisition did not degrade under combined faults: %s", combNaive)
+	}
+
+	// The robust policy's extra work must be visible in the accounting:
+	// at least Repeats raw samples per delivered reading (total sample
+	// counts are not comparable across policies — the two runs walk
+	// different search trajectories).
+	if combRobust.Acquisition.Raw < 5*combRobust.Acquisition.Readings {
+		t.Errorf("robust policy under-sampled: %v", combRobust.Acquisition)
+	}
+	if combRobust.Acquisition.Rejected == 0 {
+		t.Errorf("robust policy rejected no outliers under combined faults: %v", combRobust.Acquisition)
+	}
+}
+
+// TestRobustnessRowReproducible pins bit-identical regeneration: the
+// fault realizations and the acquisition layer are fully seeded.
+func TestRobustnessRowReproducible(t *testing.T) {
+	cfg := quickRobustnessConfig()
+	a, err := RunRobustnessRow("combined", "robust", RobustAcquisition(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRobustnessRow("combined", "robust", RobustAcquisition(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("robustness row not reproducible:\n  first  %+v\n  second %+v", a, b)
+	}
+}

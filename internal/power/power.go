@@ -208,6 +208,11 @@ func (c *Chip) SetMeasurementNoise(sigma float64) {
 	c.noiseSigma = sigma
 }
 
+// NoiseSigma returns the configured relative measurement-noise level
+// (zero when disabled). The acquisition layer uses it to skip redundant
+// repeat measurements on a noiseless chip.
+func (c *Chip) NoiseSigma() float64 { return c.noiseSigma }
+
 // Netlist returns the chip's physical netlist.
 func (c *Chip) Netlist() *netlist.Netlist { return c.n }
 

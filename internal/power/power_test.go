@@ -298,3 +298,52 @@ func TestNangateLibraryOrdering(t *testing.T) {
 		t.Error("libraries must differ")
 	}
 }
+
+func TestMeasurementNoiseSigmaStatistics(t *testing.T) {
+	// The empirical relative sigma of repeated readings must match the
+	// configured sigma, and averaging k readings must shrink it by ~√k.
+	n := buildTiny(t)
+	lib := SAED90Like()
+	const sigma = 0.05
+	c := Manufacture(n, lib, Variation{}, 99)
+	c.SetMeasurementNoise(sigma)
+	if got := c.NoiseSigma(); got != sigma {
+		t.Fatalf("NoiseSigma = %v, want %v", got, sigma)
+	}
+
+	toggles := []int{4, 5, 6, 7} // the four combinational gates
+	clean := Manufacture(n, lib, Variation{}, 99).Measure(toggles)
+
+	const trials = 4000
+	empirical := func(k int) float64 {
+		var ss float64
+		for i := 0; i < trials; i++ {
+			var sum float64
+			for r := 0; r < k; r++ {
+				sum += c.Measure(toggles)
+			}
+			d := sum/float64(k) - clean
+			ss += d * d
+		}
+		return math.Sqrt(ss/trials) / clean
+	}
+
+	s1 := empirical(1)
+	if s1 < sigma*0.95 || s1 > sigma*1.05 {
+		t.Errorf("empirical sigma %.5f, configured %.5f", s1, sigma)
+	}
+	const k = 9
+	sk := empirical(k)
+	shrink := s1 / sk
+	want := math.Sqrt(k)
+	if shrink < want*0.9 || shrink > want*1.1 {
+		t.Errorf("averaging %d repeats shrank sigma by %.2f×, want ≈ %.2f×", k, shrink, want)
+	}
+}
+
+func TestNoiseSigmaDefaultZero(t *testing.T) {
+	c := Manufacture(buildTiny(t), SAED90Like(), Variation{}, 1)
+	if c.NoiseSigma() != 0 {
+		t.Error("noise must default to disabled")
+	}
+}

@@ -344,10 +344,12 @@ func (e *Engine) SetHiddenState(ff int, w logic.Word) {
 // Launch simulates the two frames of up to 64 patterns at once (pattern i
 // on lane i) under the given mode and returns the per-net frame values.
 // The returned slices are owned by the engine and valid until the next
-// Launch.
-func (e *Engine) Launch(pats []*Pattern, mode Mode) (f1, f2 []logic.Word) {
+// Launch. Batches outside 1..64 patterns (the lane width of the
+// bit-parallel simulator) are reported as an error; higher layers chunk
+// arbitrary pattern counts for callers.
+func (e *Engine) Launch(pats []*Pattern, mode Mode) (f1, f2 []logic.Word, err error) {
 	if len(pats) == 0 || len(pats) > 64 {
-		panic(fmt.Sprintf("scan: Launch with %d patterns (want 1..64)", len(pats)))
+		return nil, nil, fmt.Errorf("scan: Launch with %d patterns (want 1..64)", len(pats))
 	}
 	n := e.ch.n
 
@@ -417,7 +419,7 @@ func (e *Engine) Launch(pats []*Pattern, mode Mode) (f1, f2 []logic.Word) {
 	copy(e.f2, e.sim.Run(e.src))
 
 	e.valid = true
-	return e.f1, e.f2
+	return e.f1, e.f2, nil
 }
 
 // Frame2Sources returns a copy of the frame-2 source assignment of the

@@ -258,7 +258,7 @@ func TestBatchLanesMatchSingle(t *testing.T) {
 	}
 }
 
-func TestLaunchPanics(t *testing.T) {
+func TestLaunchErrorsAndStatePanics(t *testing.T) {
 	n := buildShiftCircuit(t, 4)
 	c := Configure(n, 1)
 	e := NewEngine(c)
@@ -271,14 +271,18 @@ func TestLaunchPanics(t *testing.T) {
 		}()
 		f()
 	}
-	mustPanic(func() { e.Launch(nil, LOS) })
+	if _, _, err := e.Launch(nil, LOS); err == nil {
+		t.Error("Launch(nil) should return an error")
+	}
 	mustPanic(func() { e.Toggles(0) })
 	mustPanic(func() { e.ToggleCount(0) })
 	pats := make([]*Pattern, 65)
 	for i := range pats {
 		pats[i] = c.NewPattern()
 	}
-	mustPanic(func() { e.Launch(pats, LOS) })
+	if _, _, err := e.Launch(pats, LOS); err == nil {
+		t.Error("Launch with 65 patterns should return an error")
+	}
 }
 
 func TestTransitionCountFlipProperty(t *testing.T) {
@@ -404,13 +408,19 @@ func TestHiddenStatePinning(t *testing.T) {
 
 	p := c.NewPattern()
 	p.Scan[0][0] = true
-	f1, f2 := e.Launch([]*Pattern{p}, LOS)
+	f1, f2, err := e.Launch([]*Pattern{p}, LOS)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Default hidden state 0: d0 = XOR(s0, 0) = s0 in both frames.
 	if f1[d0] != f1[s0] || f2[d0] != f2[s0] {
 		t.Error("hidden state must default to 0")
 	}
 	e.SetHiddenState(h, 1)
-	f1, f2 = e.Launch([]*Pattern{p}, LOS)
+	f1, f2, err = e.Launch([]*Pattern{p}, LOS)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if f1[h]&1 != 1 || f2[h]&1 != 1 {
 		t.Error("hidden state must pin across both frames")
 	}

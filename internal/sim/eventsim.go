@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"superpose/internal/logic"
 	"superpose/internal/netlist"
 )
@@ -97,7 +99,12 @@ func (e *EventSimulator) Initialize(sources []logic.Word) {
 // of every gate — launches, functional toggles and glitches alike. It
 // returns the total event count. Per-gate counts are available through
 // Events.
-func (e *EventSimulator) Settle(sources []logic.Word) int {
+//
+// A circuit that has not settled after the wave bound (far beyond any
+// combinational depth) is oscillating — possible when a user netlist
+// carries a zero-latency feedback structure — and is reported as an
+// error rather than a crash.
+func (e *EventSimulator) Settle(sources []logic.Word) (int, error) {
 	n := e.n
 	for i := range e.events {
 		e.events[i] = 0
@@ -138,7 +145,7 @@ func (e *EventSimulator) Settle(sources []logic.Word) int {
 	const maxWaves = 1 << 16 // combinational circuits settle in <= depth waves
 	for wave := 0; len(e.queue) > 0; wave++ {
 		if wave > maxWaves {
-			panic("sim: event simulation did not settle (oscillation?)")
+			return total, fmt.Errorf("sim: event simulation did not settle after %d waves (oscillation?)", maxWaves)
 		}
 		e.next = e.next[:0]
 		// Evaluate all queued gates against current values first, then
@@ -167,7 +174,7 @@ func (e *EventSimulator) Settle(sources []logic.Word) int {
 		}
 		e.queue, e.next = e.next, e.queue
 	}
-	return total
+	return total, nil
 }
 
 // Events returns the per-gate event counts of the last Settle. The slice
@@ -188,10 +195,13 @@ type GlitchReport struct {
 // AnalyzeLaunch runs a two-frame launch through the event simulator and
 // reports the glitch activity. src1 and src2 are the frame source
 // assignments (lane 0).
-func (e *EventSimulator) AnalyzeLaunch(src1, src2 []logic.Word) GlitchReport {
+func (e *EventSimulator) AnalyzeLaunch(src1, src2 []logic.Word) (GlitchReport, error) {
 	e.Initialize(src1)
 	initial := append([]bool(nil), e.value...)
-	events := e.Settle(src2)
+	events, err := e.Settle(src2)
+	if err != nil {
+		return GlitchReport{}, err
+	}
 	zero := 0
 	for id, v := range e.value {
 		if v != initial[id] {
@@ -202,5 +212,5 @@ func (e *EventSimulator) AnalyzeLaunch(src1, src2 []logic.Word) GlitchReport {
 		ZeroDelayToggles: zero,
 		UnitDelayEvents:  events,
 		GlitchEvents:     events - zero,
-	}
+	}, nil
 }

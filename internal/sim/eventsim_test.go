@@ -53,7 +53,10 @@ func TestEventSimStaticHazard(t *testing.T) {
 		t.Fatal("y must be 1 initially")
 	}
 	src[a] = 0
-	rep := e.AnalyzeLaunch(mkSrc(n, a, 1), mkSrc(n, a, 0))
+	rep, err := e.AnalyzeLaunch(mkSrc(n, a, 1), mkSrc(n, a, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Zero delay: y unchanged, na toggles, a toggles -> 2 toggles.
 	if rep.ZeroDelayToggles != 2 {
 		t.Errorf("zero-delay toggles = %d, want 2 (a, na)", rep.ZeroDelayToggles)
@@ -74,7 +77,10 @@ func TestEventSimNoGlitchOnRise(t *testing.T) {
 	n := buildHazard(t)
 	e := NewEventSimulator(n)
 	a, _ := n.GateID("a")
-	rep := e.AnalyzeLaunch(mkSrc(n, a, 0), mkSrc(n, a, 1))
+	rep, err := e.AnalyzeLaunch(mkSrc(n, a, 0), mkSrc(n, a, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.GlitchEvents != 0 {
 		t.Errorf("glitch events = %d, want 0 on rising edge", rep.GlitchEvents)
 	}
@@ -109,7 +115,9 @@ func TestEventSimAgreesWithZeroDelayOnSettledState(t *testing.T) {
 			}
 		}
 		e.Initialize(src1)
-		e.Settle(src2)
+		if _, err := e.Settle(src2); err != nil {
+			t.Fatal(err)
+		}
 		vals := s.Run(src2)
 		for id := range vals {
 			want := vals[id]&1 != 0
@@ -141,7 +149,9 @@ func TestEventSimEventParity(t *testing.T) {
 		}
 		e.Initialize(src1)
 		before := append([]bool(nil), e.value...)
-		e.Settle(src2)
+		if _, err := e.Settle(src2); err != nil {
+			t.Fatal(err)
+		}
 		for id, ev := range e.Events() {
 			changed := e.value[id] != before[id]
 			if (ev%2 == 1) != changed {
@@ -193,7 +203,10 @@ func TestEventSimGlitchesOnRealCircuit(t *testing.T) {
 			src1[bb] = logic.Word(v1 >> 1)
 			src2[a] = logic.Word(v2 & 1)
 			src2[bb] = logic.Word(v2 >> 1)
-			rep := e.AnalyzeLaunch(src1, src2)
+			rep, err := e.AnalyzeLaunch(src1, src2)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if rep.UnitDelayEvents < rep.ZeroDelayToggles {
 				t.Fatalf("unit-delay events %d < zero-delay toggles %d",
 					rep.UnitDelayEvents, rep.ZeroDelayToggles)

@@ -3,7 +3,10 @@
 // detection-probability computations (Eq. 3 / Table II of the paper).
 package stats
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // RNG is a small, fast, deterministic generator (splitmix64). Every
 // stochastic component of the toolchain takes an explicit seed so that
@@ -109,6 +112,78 @@ func PhiInv(p float64) float64 {
 		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
 			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
 	}
+}
+
+// Median returns the sample median (mean of the central pair for even
+// sizes). It returns NaN for an empty sample. The input is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 0 {
+		return (s[mid-1] + s[mid]) / 2
+	}
+	return s[mid]
+}
+
+// MAD returns the sample median and the median absolute deviation around
+// it — the robust location/scale pair used for outlier rejection in the
+// measurement-acquisition layer. Zero MAD means at least half the sample
+// is identical to the median.
+func MAD(xs []float64) (med, mad float64) {
+	med = Median(xs)
+	if len(xs) == 0 {
+		return med, math.NaN()
+	}
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - med)
+	}
+	return med, Median(devs)
+}
+
+// RejectOutliersMAD returns the samples within k MADs of the median, in
+// input order. With zero MAD (a majority-identical sample) only samples
+// equal to the median survive — the correct verdict when a stuck tester
+// repeats one value. Samples the filter would empty out entirely are
+// impossible: the median itself always survives.
+func RejectOutliersMAD(xs []float64, k float64) []float64 {
+	if len(xs) < 3 {
+		return xs
+	}
+	med, mad := MAD(xs)
+	kept := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if math.Abs(x-med) <= k*mad {
+			kept = append(kept, x)
+		}
+	}
+	return kept
+}
+
+// TrimmedMean returns the mean of the sample with the lowest and highest
+// frac fraction of values removed (frac in [0, 0.5); 0.25 gives the
+// interquartile mean). Small samples that would trim away everything fall
+// back to the median.
+func TrimmedMean(xs []float64, frac float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	cut := int(frac * float64(len(s)))
+	if 2*cut >= len(s) {
+		return Median(s)
+	}
+	var sum float64
+	trimmed := s[cut : len(s)-cut]
+	for _, x := range trimmed {
+		sum += x
+	}
+	return sum / float64(len(trimmed))
 }
 
 // Summary holds basic sample statistics.

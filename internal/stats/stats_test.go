@@ -177,3 +177,62 @@ func TestBoolBalanced(t *testing.T) {
 		t.Errorf("Bool produced %d trues of %d", trues, n)
 	}
 }
+
+func TestMedianAndMAD(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %v", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("empty median should be NaN")
+	}
+	med, mad := MAD([]float64{1, 1, 1, 1, 9})
+	if med != 1 || mad != 0 {
+		t.Errorf("MAD of majority-identical sample = (%v, %v), want (1, 0)", med, mad)
+	}
+	med, mad = MAD([]float64{1, 2, 3, 4, 5})
+	if med != 3 || mad != 1 {
+		t.Errorf("MAD = (%v, %v), want (3, 1)", med, mad)
+	}
+}
+
+func TestRejectOutliersMAD(t *testing.T) {
+	// A 10× spike among consistent readings must be rejected; the order
+	// of survivors is preserved.
+	kept := RejectOutliersMAD([]float64{1.01, 0.99, 10.0, 1.0, 1.02}, 4)
+	want := []float64{1.01, 0.99, 1.0, 1.02}
+	if len(kept) != len(want) {
+		t.Fatalf("kept %v", kept)
+	}
+	for i := range want {
+		if kept[i] != want[i] {
+			t.Fatalf("kept %v, want %v", kept, want)
+		}
+	}
+	// Zero MAD (stuck tester): only the latched value survives.
+	kept = RejectOutliersMAD([]float64{5, 5, 5, 7}, 4)
+	if len(kept) != 3 || kept[0] != 5 {
+		t.Errorf("stuck-sample rejection kept %v", kept)
+	}
+	// Tiny samples pass through untouched.
+	if got := RejectOutliersMAD([]float64{1, 100}, 4); len(got) != 2 {
+		t.Errorf("pair should pass through, got %v", got)
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	// Interquartile mean of 1..8 with 25% trim: mean of 3..6.
+	xs := []float64{8, 1, 7, 2, 6, 3, 5, 4}
+	if m := TrimmedMean(xs, 0.25); m != 4.5 {
+		t.Errorf("trimmed mean = %v, want 4.5", m)
+	}
+	// A trim that would empty the sample falls back to the median.
+	if m := TrimmedMean([]float64{1, 9}, 0.5); m != 5 {
+		t.Errorf("fallback = %v, want 5", m)
+	}
+	if !math.IsNaN(TrimmedMean(nil, 0.25)) {
+		t.Error("empty trimmed mean should be NaN")
+	}
+}

@@ -1,0 +1,179 @@
+package tester
+
+import (
+	"math"
+	"testing"
+)
+
+func applyStream(f *FaultModel, n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = f.Apply(v)
+	}
+	return out
+}
+
+func TestZeroConfigIsIdentity(t *testing.T) {
+	f := New(Config{})
+	for i, v := range applyStream(f, 1000, 3.25) {
+		if v != 3.25 {
+			t.Fatalf("reading %d: ideal tester changed %v", i, v)
+		}
+	}
+	if f.Stats().Readings != 1000 {
+		t.Errorf("Readings = %d", f.Stats().Readings)
+	}
+	if (Config{}).Enabled() {
+		t.Error("zero Config reports Enabled")
+	}
+}
+
+func TestBitReproducible(t *testing.T) {
+	cfg, err := Preset("combined", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := applyStream(New(cfg), 5000, 1.0)
+	b := applyStream(New(cfg), 5000, 1.0)
+	for i := range a {
+		an, bn := math.IsNaN(a[i]), math.IsNaN(b[i])
+		if an != bn || (!an && a[i] != b[i]) {
+			t.Fatalf("reading %d: %v != %v (same seed)", i, a[i], b[i])
+		}
+	}
+	// A different seed must give a different realization.
+	cfg.Seed = 43
+	c := applyStream(New(cfg), 5000, 1.0)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical fault streams")
+	}
+}
+
+func TestSpikeAndDropRates(t *testing.T) {
+	f := New(Config{Seed: 7, SpikeRate: 0.02, SpikeMag: 10, DropRate: 0.01})
+	const n = 50000
+	spikes, drops := 0, 0
+	for i := 0; i < n; i++ {
+		v := f.Apply(1.0)
+		switch {
+		case math.IsNaN(v):
+			drops++
+		case v >= 10: // spikes are at least SpikeMag×
+			spikes++
+		case v != 1.0:
+			t.Fatalf("reading %d: unexpected value %v", i, v)
+		}
+	}
+	if got := float64(spikes) / n; got < 0.015 || got > 0.025 {
+		t.Errorf("spike rate %.4f, want ≈ 0.02", got)
+	}
+	if got := float64(drops) / n; got < 0.006 || got > 0.014 {
+		t.Errorf("drop rate %.4f, want ≈ 0.01", got)
+	}
+	st := f.Stats()
+	if int(st.Spiked) != spikes || int(st.Dropped) != drops {
+		t.Errorf("stats (%d, %d) disagree with observed (%d, %d)",
+			st.Spiked, st.Dropped, spikes, drops)
+	}
+}
+
+func TestDriftRampAndSinusoid(t *testing.T) {
+	f := New(Config{Seed: 1, DriftPerReading: 1e-4})
+	vals := applyStream(f, 1001, 2.0)
+	if vals[0] != 2.0 {
+		t.Errorf("reading 0 should be undrifted, got %v", vals[0])
+	}
+	want := 2.0 * (1 + 1e-4*1000)
+	if math.Abs(vals[1000]-want) > 1e-12 {
+		t.Errorf("reading 1000 = %v, want %v", vals[1000], want)
+	}
+
+	// Sinusoid alone: bounded by the amplitude, mean ≈ clean value.
+	f = New(Config{Seed: 1, DriftAmplitude: 0.05, DriftPeriod: 100})
+	sum := 0.0
+	for _, v := range applyStream(f, 1000, 1.0) {
+		if v < 0.95-1e-12 || v > 1.05+1e-12 {
+			t.Fatalf("sinusoidal drift out of bounds: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / 1000; math.Abs(mean-1) > 0.001 {
+		t.Errorf("sinusoid mean %v, want ≈ 1", mean)
+	}
+}
+
+func TestStuckWindowRepeatsValue(t *testing.T) {
+	f := New(Config{Seed: 3, StuckRate: 1, StuckLen: 4})
+	// First reading latches; the next 4 repeat it regardless of input.
+	first := f.Apply(5.0)
+	if first != 5.0 {
+		t.Fatalf("first reading %v", first)
+	}
+	for i := 0; i < 4; i++ {
+		if v := f.Apply(100.0); v != 5.0 {
+			t.Fatalf("stuck reading %d = %v, want 5", i, v)
+		}
+	}
+	if f.Stats().Stuck != 4 {
+		t.Errorf("Stuck = %d, want 4", f.Stats().Stuck)
+	}
+}
+
+func TestBurstWindowAddsNoise(t *testing.T) {
+	f := New(Config{Seed: 9, BurstRate: 1, BurstLen: 8, BurstSigma: 0.3})
+	changed := 0
+	for i := 0; i < 8; i++ {
+		if f.Apply(1.0) != 1.0 {
+			changed++
+		}
+	}
+	if changed < 7 {
+		t.Errorf("only %d/8 burst readings perturbed", changed)
+	}
+	if f.Stats().Burst != 8 {
+		t.Errorf("Burst = %d, want 8", f.Stats().Burst)
+	}
+}
+
+func TestPresetsValidateAndCombinedMeetsContamination(t *testing.T) {
+	for _, name := range PresetNames() {
+		cfg, err := Preset(name, 1)
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("preset %s invalid: %v", name, err)
+		}
+		New(cfg) // must not panic
+	}
+	combined, _ := Preset("combined", 1)
+	if combined.SpikeRate < 0.01 || combined.SpikeMag < 10 {
+		t.Errorf("combined preset %+v below the ≥1%% at 10× contamination floor", combined)
+	}
+	if combined.DriftPerReading <= 0 {
+		t.Error("combined preset carries no drift")
+	}
+	if _, err := Preset("bogus", 1); err == nil {
+		t.Error("unknown preset should error")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{SpikeRate: -0.1},
+		{DropRate: 1.5},
+		{SpikeRate: 0.1, SpikeMag: 0.5},
+		{BurstRate: 0.1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should fail validation: %+v", i, cfg)
+		}
+	}
+}

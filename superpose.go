@@ -34,6 +34,7 @@ import (
 	"superpose/internal/power"
 	"superpose/internal/scan"
 	"superpose/internal/stil"
+	"superpose/internal/tester"
 	"superpose/internal/trojan"
 	"superpose/internal/trust"
 	"superpose/internal/verilog"
@@ -227,6 +228,44 @@ type (
 	LotReport = core.LotReport
 )
 
+// Tester fault model and measurement acquisition.
+type (
+	// TesterConfig parameterizes the realistic tester fault model.
+	TesterConfig = tester.Config
+	// FaultModel is a seeded stream of measurement faults.
+	FaultModel = tester.FaultModel
+	// AcquisitionPolicy drives the robust measurement-acquisition layer.
+	AcquisitionPolicy = core.AcquisitionPolicy
+	// AcquisitionStats counts the acquisition layer's work.
+	AcquisitionStats = core.AcquisitionStats
+	// Aggregation selects how repeated samples collapse into a reading.
+	Aggregation = core.Aggregation
+)
+
+// Sample aggregation strategies.
+const (
+	AggMean        = core.AggMean
+	AggMedian      = core.AggMedian
+	AggTrimmedMean = core.AggTrimmedMean
+)
+
+// NewFaultModel builds a seeded, bit-reproducible tester fault model.
+func NewFaultModel(cfg TesterConfig) *FaultModel { return tester.New(cfg) }
+
+// TesterPreset returns a named fault-model configuration (see
+// TesterPresetNames) with the given realization seed.
+func TesterPreset(name string, seed uint64) (TesterConfig, error) { return tester.Preset(name, seed) }
+
+// TesterPresetNames lists the available fault-model presets.
+func TesterPresetNames() []string { return tester.PresetNames() }
+
+// NaiveAcquisition is the single-shot, trust-everything policy.
+func NaiveAcquisition() AcquisitionPolicy { return core.NaiveAcquisition() }
+
+// RobustAcquisition is the repeat/reject/retry policy that restores
+// clean-tester verdicts under the fault model.
+func RobustAcquisition() AcquisitionPolicy { return core.RobustAcquisition() }
+
 // CertifyLot manufactures and certifies a lot of dies of the physical
 // netlist against the golden reference.
 func CertifyLot(golden *Netlist, lib *CellLibrary, physical *Netlist, cfg Config, lot LotOptions) (*LotReport, error) {
@@ -262,6 +301,8 @@ type (
 	TableIRow = core.TableIRow
 	// TableIIRow is one row of Table II.
 	TableIIRow = core.TableIIRow
+	// RobustnessRow is one regime x policy row of the robustness table.
+	RobustnessRow = core.RobustnessRow
 )
 
 // RunTableI reproduces Table I (all five benchmark cases).
@@ -274,6 +315,17 @@ func RunTableICase(c Case, cfg ExperimentConfig) (TableIRow, error) {
 
 // RunTableII reproduces Table II from Table I rows.
 func RunTableII(rows []TableIRow) []TableIIRow { return core.RunTableII(rows) }
+
+// RunRobustnessTable sweeps tester fault regimes x acquisition policies
+// over the benchmark suite plus clean controls.
+func RunRobustnessTable(cfg ExperimentConfig) ([]RobustnessRow, error) {
+	return core.RunRobustnessTable(cfg)
+}
+
+// RunRobustnessRow runs one fault regime under one acquisition policy.
+func RunRobustnessRow(regime, policy string, p AcquisitionPolicy, cfg ExperimentConfig) (RobustnessRow, error) {
+	return core.RunRobustnessRow(regime, policy, p, cfg)
+}
 
 // Pattern persistence.
 
