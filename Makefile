@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench cover experiments experiments-full clean
+.PHONY: all build test vet bench bench-parallel test-race cover experiments experiments-full clean
 
 all: vet test build
 
@@ -22,6 +22,17 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Parallel-engine speedup curve (workers 1 / 4 / NumCPU), archived as a
+# machine-readable artifact. Speedup ≈ 1.0 on a single-core runner.
+bench-parallel:
+	$(GO) test -run '^$$' -bench BenchmarkCertifyLotParallel -benchtime 3x . \
+		| $(GO) run ./cmd/benchjson > BENCH_parallel.json
+	cat BENCH_parallel.json
+
+# The determinism guarantee under the race detector: shuffled, twice.
+test-race:
+	$(GO) test -race -count=2 -shuffle=on ./...
 
 cover:
 	$(GO) test -cover ./...

@@ -12,8 +12,10 @@
 package superpose_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"superpose"
 	"superpose/internal/atpg"
@@ -325,6 +327,77 @@ func BenchmarkBaselineDelayFingerprint(b *testing.B) {
 	}
 	b.ReportMetric(infectedRes, "residual-infected")
 	b.ReportMetric(cleanRes, "residual-clean")
+}
+
+// BenchmarkCertifyLotParallel measures the deterministic parallel engine
+// on whole-lot certification at fixed worker counts, reporting each
+// count's wall-clock speedup over the serial path as a custom metric
+// (speedup ≈ 1.0 is expected on a single-core runner; the engine's value
+// there is determinism, not throughput). The serial baseline is timed
+// once, lazily, so any sub-benchmark can run in isolation.
+func BenchmarkCertifyLotParallel(b *testing.B) {
+	c := trust.Cases()[0]
+	inst, err := trust.Build(c, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := superpose.StandardCellLibrary()
+	cfg, err := superpose.WithSharedSeeds(inst.Host, superpose.Config{
+		NumChains: 4, Varsigma: 0.10, ATPG: benchATPG(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const lotDies = 8
+	runLot := func(workers int) error {
+		_, err := superpose.CertifyLot(inst.Host, lib, inst.Infected, cfg, superpose.LotOptions{
+			Dies:      lotDies,
+			Variation: superpose.ThreeSigmaIntra(benchVarsigma),
+			Seed:      5,
+			Workers:   workers,
+		})
+		return err
+	}
+
+	var baselineOnce sync.Once
+	var baselineNs float64
+	serialNs := func(b *testing.B) float64 {
+		baselineOnce.Do(func() {
+			const reps = 2
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				if err := runLot(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			baselineNs = float64(time.Since(start).Nanoseconds()) / reps
+		})
+		return baselineNs
+	}
+
+	counts := []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=4", 4},
+		{"workers=NumCPU", runtime.NumCPU()},
+	}
+	for _, wc := range counts {
+		wc := wc
+		b.Run(wc.name, func(b *testing.B) {
+			base := serialNs(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := runLot(wc.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(base/perOp, "speedup")
+			b.ReportMetric(float64(wc.workers), "workers")
+		})
+	}
 }
 
 // BenchmarkATPG measures seed-pattern generation throughput.

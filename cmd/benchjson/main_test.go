@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkCertifyLotParallel/workers=4-8   \t 3\t 237634786 ns/op\t 0.9305 speedup\t 4.000 workers")
+	if !ok {
+		t.Fatal("bench line not recognized")
+	}
+	if b.Name != "CertifyLotParallel/workers=4" || b.Procs != 8 {
+		t.Errorf("name/procs: %q %d", b.Name, b.Procs)
+	}
+	if b.Iterations != 3 || b.NsPerOp != 237634786 {
+		t.Errorf("iterations/ns: %d %g", b.Iterations, b.NsPerOp)
+	}
+	if b.Metrics["speedup"] != 0.9305 || b.Metrics["workers"] != 4 {
+		t.Errorf("metrics: %v", b.Metrics)
+	}
+
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tsuperpose\t1.234s",
+		"BenchmarkBroken notanumber",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("non-bench line %q parsed as benchmark", line)
+		}
+	}
+}

@@ -15,6 +15,13 @@
 //	# configuration of the recorded EXPERIMENTS.md run:
 //	experiments -table robust -scale 0.04 -varsigma 0.08 -chip-seed 99
 //
+//	# σ-sweep: detection probability vs intra-die variation, run for real
+//	experiments -table sweep -case s38584-T100 -dies 5
+//
+// Every table fans out across -workers goroutines (default: one per CPU)
+// with bit-identical output at any worker count; -workers 1 is the exact
+// serial path.
+//
 // Absolute numbers depend on the synthetic benchmark substitution (see
 // DESIGN.md §2); the shape — who wins, by what order of magnitude — is the
 // reproduction target, recorded in EXPERIMENTS.md.
@@ -25,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"superpose/internal/core"
@@ -34,17 +42,24 @@ import (
 
 func main() {
 	var (
-		table    = flag.String("table", "all", "which artifact: 1, 2, fig1, fig2, control, robust, all")
+		table    = flag.String("table", "all", "which artifact: 1, 2, fig1, fig2, control, robust, sweep, all")
 		scale    = flag.Float64("scale", 0.25, "benchmark scale (1.0 = published size)")
 		varsigma = flag.Float64("varsigma", 0.15, "manufacturing intra-die 3σ")
 		chipSeed = flag.Uint64("chip-seed", 0xC0FFEE, "die selection seed")
 		paper    = flag.Bool("paper", false, "table 2: use the paper's printed S-RPD values")
-		caseName = flag.String("case", "", "restrict Table I to one case, e.g. s35932-T200")
+		caseName = flag.String("case", "", "restrict Table I (or pick the sweep case), e.g. s35932-T200")
 		csvPath  = flag.String("csv", "", "also write Table I rows as CSV to this file")
+		dies     = flag.Int("dies", 5, "table sweep: dies per variation magnitude")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = one per CPU, 1 = serial); output is bit-identical at any count")
 	)
 	flag.Parse()
 
-	cfg := core.ExperimentConfig{Scale: *scale, Varsigma: *varsigma, ChipSeed: *chipSeed}
+	nw, err := resolveWorkers(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	cfg := core.ExperimentConfig{Scale: *scale, Varsigma: *varsigma, ChipSeed: *chipSeed, Workers: nw}
 
 	var rows []core.TableIRow
 	needTableI := *table == "1" || *table == "all" || (*table == "2" && !*paper)
@@ -54,12 +69,12 @@ func main() {
 			*scale, 100**varsigma)
 		var err error
 		if *caseName != "" {
-			parts := strings.SplitN(*caseName, "-", 2)
-			if len(parts) != 2 {
-				fmt.Fprintf(os.Stderr, "experiments: bad case %q\n", *caseName)
+			c, err := parseCase(*caseName)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
 				os.Exit(2)
 			}
-			row, err := core.RunTableICase(trust.Case{Benchmark: parts[0], Trojan: parts[1]}, cfg)
+			row, err := core.RunTableICase(c, cfg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
 				os.Exit(1)
@@ -104,6 +119,22 @@ func main() {
 			os.Exit(1)
 		}
 		printRobustness(rrows)
+	case "sweep":
+		c := trust.Case{Benchmark: "s38584", Trojan: "T100"}
+		if *caseName != "" {
+			var err error
+			if c, err = parseCase(*caseName); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(2)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "running sigma sweep for %s (%d dies per magnitude)...\n", c, *dies)
+		srows, err := core.RunSigmaSweep(c, cfg, nil, *dies)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		printSweep(c, srows)
 	case "2":
 		if *paper {
 			printTableII(core.PaperTableII(), "paper-printed S-RPD")
@@ -128,6 +159,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: unknown table %q\n", *table)
 		os.Exit(2)
 	}
+}
+
+// parseCase resolves a <bench>-<trojan> flag value.
+func parseCase(s string) (trust.Case, error) {
+	parts := strings.SplitN(s, "-", 2)
+	if len(parts) != 2 {
+		return trust.Case{}, fmt.Errorf("bad case %q: want <bench>-<trojan>, e.g. s35932-T200", s)
+	}
+	return trust.Case{Benchmark: parts[0], Trojan: parts[1]}, nil
+}
+
+// resolveWorkers validates the -workers flag: 0 means one worker per CPU,
+// positive counts are taken as-is, negative counts are rejected.
+func resolveWorkers(w int) (int, error) {
+	if w < 0 {
+		return 0, fmt.Errorf("-workers must be >= 0, got %d", w)
+	}
+	if w == 0 {
+		return runtime.NumCPU(), nil
+	}
+	return w, nil
 }
 
 func writeCSV(path string, rows []core.TableIRow) error {
@@ -188,6 +240,20 @@ func printTableII(rows []core.TableIIRow, source string) {
 			cells = append(cells, core.FormatProbability(p))
 		}
 		tbl.Row(cells...)
+	}
+	fmt.Print(tbl)
+}
+
+func printSweep(c trust.Case, rows []core.SigmaSweepRow) {
+	tbl := report.New(fmt.Sprintf("SWEEP: detection vs intra-die variation, %s (measured dies)", c),
+		"3sigma_intra", "Dies", "Detected", "Unstable", "mean |S-RPD|", "min", "max", "P(detect)")
+	for _, r := range rows {
+		tbl.Row(fmt.Sprintf("%.0f%%", 100*r.Varsigma),
+			fmt.Sprintf("%d", r.Dies), fmt.Sprintf("%d", r.Detected),
+			fmt.Sprintf("%d", r.Unstable),
+			fmt.Sprintf("%.4f", r.SRPD.Mean), fmt.Sprintf("%.4f", r.SRPD.Min),
+			fmt.Sprintf("%.4f", r.SRPD.Max),
+			core.FormatProbability(r.PDetect))
 	}
 	fmt.Print(tbl)
 }

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestResolveWorkers(t *testing.T) {
+	if got, err := resolveWorkers(0); err != nil || got != runtime.NumCPU() {
+		t.Errorf("-workers 0: got (%d, %v), want one per CPU (%d)", got, err, runtime.NumCPU())
+	}
+	if got, err := resolveWorkers(7); err != nil || got != 7 {
+		t.Errorf("-workers 7: got (%d, %v)", got, err)
+	}
+	if _, err := resolveWorkers(-4); err == nil {
+		t.Error("-workers -4 must error")
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	c, err := parseCase("s35932-T200")
+	if err != nil || c.Benchmark != "s35932" || c.Trojan != "T200" {
+		t.Errorf("parseCase: got (%v, %v)", c, err)
+	}
+	if _, err := parseCase("malformed"); err == nil {
+		t.Error("malformed case must error")
+	}
+}

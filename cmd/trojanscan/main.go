@@ -12,6 +12,7 @@
 //	trojanscan -case s38417-T100 -clean              # certify a clean die
 //	trojanscan -bench my.bench -infect 4             # custom host, 4-tap Trojan
 //	trojanscan -case s35932-T200 -lot 5              # whole-lot certification
+//	trojanscan -case s35932-T200 -lot 5 -workers 8   # parallel lot (bit-identical output)
 //	trojanscan -case s35932-T200 -mode delay         # delay-fingerprint baseline
 //	trojanscan -case s35932-T200 -report             # full report document
 //	trojanscan -case s35932-T200 -tester combined    # faulty tester, robust acquisition
@@ -21,7 +22,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"superpose/internal/atpg"
@@ -56,6 +59,7 @@ func main() {
 		testerPreset = flag.String("tester", "clean", "tester fault model preset: "+strings.Join(tester.PresetNames(), ", "))
 		testerSeed   = flag.Uint64("tester-seed", 1, "fault realization seed (with -tester)")
 		acqName      = flag.String("acq", "", "measurement-acquisition policy: naive or robust (default: naive, or robust when -tester is set)")
+		workersFlag  = flag.Int("workers", 0, "parallel workers for lot dies and fault simulation (0 = one per CPU, 1 = serial); results are bit-identical at any count")
 	)
 	flag.Parse()
 
@@ -77,6 +81,11 @@ func main() {
 		fail(fmt.Errorf("unknown -mode %q (power or delay)", *mode))
 	}
 
+	workers, err := resolveWorkers(*workersFlag)
+	if err != nil {
+		fail(err)
+	}
+
 	faultCfg, err := tester.Preset(*testerPreset, *testerSeed)
 	if err != nil {
 		fail(err)
@@ -91,35 +100,21 @@ func main() {
 		NumChains:   *chains,
 		MaxSeeds:    *seeds,
 		Varsigma:    *varsigma,
-		ATPG:        atpg.Options{Seed: 7, RandomPatterns: 32, MaxFaults: 40, FaultSample: 120},
+		ATPG:        atpg.Options{Seed: 7, RandomPatterns: 32, MaxFaults: 40, FaultSample: 120, Workers: workers},
 		Acquisition: acq,
 	}
 
 	if *lot > 0 {
-		cfg, err = core.WithSharedSeeds(golden, cfg)
-		if err != nil {
-			fail(err)
-		}
-		lr, err := core.CertifyLot(golden, lib, physical, cfg, core.LotOptions{
+		err := runLot(os.Stdout, golden, lib, physical, truth, cfg, core.LotOptions{
 			Dies:        *lot,
 			Variation:   power.ThreeSigmaIntra(*varsigma),
 			Seed:        *chipSeed,
 			Tester:      faultCfg,
 			Acquisition: acq,
+			Workers:     workers,
 		})
 		if err != nil {
 			fail(err)
-		}
-		fmt.Println("golden:", golden.ComputeStats())
-		fmt.Println(lr)
-		for _, d := range lr.Dies {
-			fmt.Printf("  die %d (seed %d): |S-RPD| %.4f  detected=%v\n",
-				d.Die, d.Seed, d.FinalMag, d.Report.Detected)
-		}
-		if truth != nil {
-			fmt.Printf("ground truth: lot is attacked (%d Trojan gates)\n", len(truth.TrojanGates))
-		} else {
-			fmt.Println("ground truth: lot is clean")
 		}
 		return
 	}
@@ -277,6 +272,45 @@ func runDelayFingerprint(golden, physical *netlist.Netlist, truth *trojan.Instan
 	} else {
 		fmt.Println("ground truth: die is clean")
 	}
+}
+
+// runLot certifies a whole lot and renders the report. The rendered text
+// is bit-identical at any worker count (see internal/parallel); the CLI
+// tests pin that by diffing -workers 1 against -workers 4 output.
+func runLot(out io.Writer, golden *netlist.Netlist, lib *power.Library, physical *netlist.Netlist,
+	truth *trojan.Instance, cfg core.Config, lot core.LotOptions) error {
+	cfg, err := core.WithSharedSeeds(golden, cfg)
+	if err != nil {
+		return err
+	}
+	lr, err := core.CertifyLot(golden, lib, physical, cfg, lot)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "golden:", golden.ComputeStats())
+	fmt.Fprintln(out, lr)
+	for _, d := range lr.Dies {
+		fmt.Fprintf(out, "  die %d (seed %d): |S-RPD| %.4f  detected=%v\n",
+			d.Die, d.Seed, d.FinalMag, d.Report.Detected)
+	}
+	if truth != nil {
+		fmt.Fprintf(out, "ground truth: lot is attacked (%d Trojan gates)\n", len(truth.TrojanGates))
+	} else {
+		fmt.Fprintln(out, "ground truth: lot is clean")
+	}
+	return nil
+}
+
+// resolveWorkers validates the -workers flag: 0 means one worker per CPU,
+// positive counts are taken as-is, negative counts are rejected.
+func resolveWorkers(w int) (int, error) {
+	if w < 0 {
+		return 0, fmt.Errorf("-workers must be >= 0, got %d", w)
+	}
+	if w == 0 {
+		return runtime.NumCPU(), nil
+	}
+	return w, nil
 }
 
 // resolveAcquisition maps the -acq flag to a policy. With no explicit

@@ -1,11 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
+	"superpose/internal/atpg"
 	"superpose/internal/bench"
+	"superpose/internal/core"
+	"superpose/internal/power"
 	"superpose/internal/trust"
 )
 
@@ -68,6 +73,54 @@ func TestMaterializeBenchFile(t *testing.T) {
 	}
 	if truth == nil || physical.NumGates() <= golden.NumGates() {
 		t.Error("auto-infection failed")
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if got, err := resolveWorkers(0); err != nil || got != runtime.NumCPU() {
+		t.Errorf("-workers 0: got (%d, %v), want one per CPU (%d)", got, err, runtime.NumCPU())
+	}
+	if got, err := resolveWorkers(3); err != nil || got != 3 {
+		t.Errorf("-workers 3: got (%d, %v)", got, err)
+	}
+	if _, err := resolveWorkers(-1); err == nil {
+		t.Error("-workers -1 must error")
+	}
+}
+
+// TestRunLotWorkersIdenticalReport pins the user-facing guarantee: the
+// report file written at -workers 1 and at -workers 4 is byte-identical.
+func TestRunLotWorkersIdenticalReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-die pipeline run")
+	}
+	golden, physical, truth, err := materialize("s35932-T200", "", 0, false, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := power.SAED90Like()
+	render := func(workers int) string {
+		cfg := core.Config{
+			NumChains: 4, Varsigma: 0.10,
+			ATPG: atpg.Options{Seed: 7, RandomPatterns: 32, MaxFaults: 40,
+				FaultSample: 120, Workers: workers},
+		}
+		var buf bytes.Buffer
+		err := runLot(&buf, golden, lib, physical, truth, cfg, core.LotOptions{
+			Dies:      3,
+			Variation: power.ThreeSigmaIntra(0.10),
+			Seed:      5,
+			Workers:   workers,
+		})
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		return buf.String()
+	}
+	serial, parallel := render(1), render(4)
+	if serial != parallel {
+		t.Errorf("-workers 1 and -workers 4 reports differ:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
 	}
 }
 

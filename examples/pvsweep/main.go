@@ -3,7 +3,10 @@
 // increasing intra-die variation magnitudes, and the achieved S-RPD and
 // the Eq. 3 detection probability are reported per magnitude.
 //
-//	go run ./examples/pvsweep [-dies 5] [-scale 0.05]
+// The sweep runs on the library's parallel experiment engine: dies fan
+// out across -workers goroutines with bit-identical rows at any count.
+//
+//	go run ./examples/pvsweep [-dies 5] [-scale 0.05] [-workers 4]
 package main
 
 import (
@@ -12,46 +15,34 @@ import (
 	"log"
 
 	"superpose"
-	"superpose/internal/stats"
 )
 
 func main() {
 	dies := flag.Int("dies", 5, "dies per variation magnitude")
 	scale := flag.Float64("scale", 0.05, "benchmark scale")
+	workers := flag.Int("workers", 0, "parallel workers (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
-	inst, err := superpose.BuildBenchmark(
-		superpose.Case{Benchmark: "s38584", Trojan: "T100"}, *scale)
+	c := superpose.Case{Benchmark: "s38584", Trojan: "T100"}
+	inst, err := superpose.BuildBenchmark(c, *scale)
 	if err != nil {
 		log.Fatal(err)
 	}
-	lib := superpose.StandardCellLibrary()
+	fmt.Printf("case %s: %s\n", c, inst.Host.ComputeStats())
 
-	fmt.Println("case s38584-T100:", inst.Host.ComputeStats())
+	rows, err := superpose.RunSigmaSweep(c, superpose.ExperimentConfig{
+		Scale:    *scale,
+		ChipSeed: 7,
+		Workers:  *workers,
+	}, []float64{0.05, 0.10, 0.15, 0.20, 0.25}, *dies)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("%-10s %12s %12s %12s %10s\n",
 		"3σ_intra", "mean |SRPD|", "min |SRPD|", "max |SRPD|", "P(detect)")
-
-	for _, varsigma := range []float64{0.05, 0.10, 0.15, 0.20, 0.25} {
-		var srpds []float64
-		for die := 0; die < *dies; die++ {
-			chip := superpose.Manufacture(inst.Infected, lib,
-				superpose.ThreeSigmaIntra(varsigma), uint64(1000*die+7))
-			dev := superpose.NewDevice(chip, 4, superpose.LOS)
-			rep, err := superpose.Detect(inst.Host, lib, dev, superpose.Config{Varsigma: varsigma})
-			if err != nil {
-				log.Fatal(err)
-			}
-			s := rep.FinalSRPD
-			if s < 0 {
-				s = -s
-			}
-			srpds = append(srpds, s)
-		}
-		sum := stats.Summarize(srpds)
-		// Detection probability of the mean achieved signal at this
-		// variation level (the Table II computation).
-		p := superpose.DetectionProbability(sum.Mean, varsigma)
+	for _, r := range rows {
 		fmt.Printf("%9.0f%% %12.4f %12.4f %12.4f %9.2f%%\n",
-			100*varsigma, sum.Mean, sum.Min, sum.Max, 100*p)
+			100*r.Varsigma, r.SRPD.Mean, r.SRPD.Min, r.SRPD.Max, 100*r.PDetect)
 	}
 }

@@ -37,6 +37,13 @@ type Options struct {
 	// chance of incidental Trojan activation, the reason side-channel
 	// methods (the paper's [9]) favour them over single-detect sets.
 	NDetect int
+	// Workers bounds the fault-simulation fan-out (per-fault faulty-
+	// machine evaluations shard across a pool of simulators; see
+	// internal/parallel): 0 means one worker per CPU, 1 the exact legacy
+	// serial path. Generation output is bit-identical at every worker
+	// count — each fault's detection mask depends only on the shared
+	// good-machine frames.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -121,6 +128,7 @@ func Generate(ch *scan.Chains, opt Options) (*Result, error) {
 
 	res := &Result{TotalFaults: len(reps)}
 	fsim := NewFaultSimulator(ch)
+	fsim.SetWorkers(opt.Workers)
 	rng := stats.NewRNG(opt.Seed)
 
 	// liveList materializes the faults still needing detections.

@@ -1,8 +1,11 @@
 package atpg
 
 import (
+	"context"
+
 	"superpose/internal/logic"
 	"superpose/internal/netlist"
+	"superpose/internal/parallel"
 	"superpose/internal/scan"
 	"superpose/internal/sim"
 )
@@ -11,12 +14,20 @@ import (
 // detects. It runs the good machine once per batch and one faulty capture
 // frame per live fault (serial fault simulation, 64 patterns in parallel
 // per run), which combined with fault dropping keeps total work modest.
+// The per-fault faulty-machine evaluations are independent given the
+// shared good-machine frames, so they shard across a pool of workers (see
+// SetWorkers), each owning its own Simulator; the detection masks are
+// bit-identical at every worker count.
+//
+// A FaultSimulator is not safe for concurrent use by multiple goroutines;
+// the parallelism is internal.
 type FaultSimulator struct {
-	n   *netlist.Netlist
-	ch  *scan.Chains
-	eng *scan.Engine
-	fs  *sim.Simulator // faulty-machine simulator
-	obs []int
+	n       *netlist.Netlist
+	ch      *scan.Chains
+	eng     *scan.Engine
+	obs     []int
+	workers int
+	sims    []*sim.Simulator // one faulty-machine simulator per worker
 }
 
 // NewFaultSimulator returns a simulator over the scan configuration.
@@ -27,9 +38,22 @@ func NewFaultSimulator(ch *scan.Chains) *FaultSimulator {
 		n:   n,
 		ch:  ch,
 		eng: scan.NewEngine(ch),
-		fs:  sim.New(n),
 		obs: e.obs,
 	}
+}
+
+// SetWorkers bounds the per-fault fan-out: 0 means one worker per CPU,
+// 1 the exact legacy serial path.
+func (fs *FaultSimulator) SetWorkers(w int) { fs.workers = w }
+
+// simulators returns at least w per-worker simulators, growing the pool
+// lazily (construction is cheap; the value arrays dominate and are
+// reused across batches).
+func (fs *FaultSimulator) simulators(w int) []*sim.Simulator {
+	for len(fs.sims) < w {
+		fs.sims = append(fs.sims, sim.New(fs.n))
+	}
+	return fs.sims[:w]
 }
 
 // DetectBatch simulates up to 64 patterns and reports, per fault in
@@ -52,27 +76,57 @@ func (fs *FaultSimulator) DetectBatch(pats []*scan.Pattern, faults []Fault) []lo
 	}
 
 	out := make([]logic.Word, len(faults))
-	for i, f := range faults {
-		initial := logic.AllZero
-		if f.Dir.initial() {
-			initial = logic.AllOne
+	w := parallel.Normalize(fs.workers)
+	if w > len(faults) {
+		w = len(faults)
+	}
+	if w <= 1 {
+		s := fs.simulators(1)[0]
+		for i, f := range faults {
+			out[i] = fs.detectOne(s, f, good1, good2, src2, laneMask)
 		}
-		// Launch lanes: frame-1 site value equals the initial value.
-		launch := ^(good1[f.Net] ^ initial) & laneMask
-		if launch == 0 {
-			continue
+		return out
+	}
+	// Contiguous shards, one worker and one private simulator each; every
+	// fault writes only its own out slot, from shared read-only frames.
+	sims := fs.simulators(w)
+	if err := parallel.ForEach(context.Background(), w, w, func(shard int) error {
+		s := sims[shard]
+		lo := shard * len(faults) / w
+		hi := (shard + 1) * len(faults) / w
+		for i := lo; i < hi; i++ {
+			out[i] = fs.detectOne(s, faults[i], good1, good2, src2, laneMask)
 		}
-		faulty2 := fs.fs.RunForced(src2, f.Net, initial)
-		var diff logic.Word
-		for _, o := range fs.obs {
-			diff |= good2[o] ^ faulty2[o]
-			if diff&launch == launch {
-				break // all launch lanes already detect
-			}
-		}
-		out[i] = diff & launch
+		return nil
+	}); err != nil {
+		// The shard body never errors; only a contained panic lands here.
+		panic(err.Error())
 	}
 	return out
+}
+
+// detectOne computes one fault's detection mask against the shared
+// good-machine frames, using the caller-owned faulty-machine simulator.
+func (fs *FaultSimulator) detectOne(s *sim.Simulator, f Fault,
+	good1, good2, src2 []logic.Word, laneMask logic.Word) logic.Word {
+	initial := logic.AllZero
+	if f.Dir.initial() {
+		initial = logic.AllOne
+	}
+	// Launch lanes: frame-1 site value equals the initial value.
+	launch := ^(good1[f.Net] ^ initial) & laneMask
+	if launch == 0 {
+		return 0
+	}
+	faulty2 := s.RunForced(src2, f.Net, initial)
+	var diff logic.Word
+	for _, o := range fs.obs {
+		diff |= good2[o] ^ faulty2[o]
+		if diff&launch == launch {
+			break // all launch lanes already detect
+		}
+	}
+	return diff & launch
 }
 
 // Detects reports whether a single pattern detects the fault.

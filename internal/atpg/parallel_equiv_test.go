@@ -1,0 +1,85 @@
+package atpg
+
+import (
+	"testing"
+
+	"superpose/internal/parallel"
+	"superpose/internal/scan"
+	"superpose/internal/stats"
+	"superpose/internal/trust"
+)
+
+// TestDetectBatchWorkerEquivalence proves the sharded fault simulation
+// bit-identical to the serial path: every fault's detection mask must
+// match for Workers ∈ {1, 2, 8}, across batch sizes including partial
+// final lanes.
+func TestDetectBatchWorkerEquivalence(t *testing.T) {
+	n := parseS27(t)
+	ch := scan.Configure(n, 2)
+	reps, _ := Collapse(n, FaultList(n))
+	rng := stats.NewRNG(11)
+	for _, size := range []int{1, 5, 64} {
+		pats := make([]*scan.Pattern, size)
+		for i := range pats {
+			pats[i] = ch.RandomPattern(rng)
+		}
+		var ref []uint64
+		for _, w := range []int{1, 2, 8} {
+			fs := NewFaultSimulator(ch)
+			fs.SetWorkers(w)
+			det := fs.DetectBatch(pats, reps)
+			masks := make([]uint64, len(det))
+			for i, m := range det {
+				masks[i] = uint64(m)
+			}
+			if w == 1 {
+				ref = masks
+				continue
+			}
+			if d := parallel.Diff(ref, masks); d != "" {
+				t.Errorf("batch %d workers %d: %s", size, w, d)
+			}
+		}
+	}
+}
+
+// TestGenerateWorkerEquivalence proves the full ATPG run — random phase,
+// PODEM targeting, fault dropping, n-detect bookkeeping — produces an
+// identical Result (patterns, coverage counters, per-pattern credits) at
+// every worker count, on both a tiny netlist and a benchmark-suite host.
+func TestGenerateWorkerEquivalence(t *testing.T) {
+	run := func(t *testing.T, ch *scan.Chains, opt Options) {
+		t.Helper()
+		var ref *Result
+		for _, w := range []int{1, 2, 8} {
+			o := opt
+			o.Workers = w
+			res, err := Generate(ch, o)
+			if err != nil {
+				t.Fatalf("workers %d: %v", w, err)
+			}
+			if w == 1 {
+				ref = res
+				continue
+			}
+			if d := parallel.Diff(ref, res); d != "" {
+				t.Errorf("workers %d: %s", w, d)
+			}
+		}
+	}
+
+	t.Run("s27", func(t *testing.T) {
+		run(t, scan.Configure(parseS27(t), 2), Options{Seed: 3, NDetect: 2})
+	})
+	t.Run("benchmark-host", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("benchmark-scale ATPG run")
+		}
+		inst, err := trust.Build(trust.Cases()[0], 0.04)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run(t, scan.Configure(inst.Host, 4),
+			Options{Seed: 7, RandomPatterns: 32, MaxFaults: 40, FaultSample: 120})
+	})
+}

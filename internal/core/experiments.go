@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"superpose/internal/atpg"
 	"superpose/internal/netlist"
+	"superpose/internal/parallel"
 	"superpose/internal/power"
 	"superpose/internal/scan"
+	"superpose/internal/stats"
 	"superpose/internal/tester"
 	"superpose/internal/trojan"
 	"superpose/internal/trust"
@@ -36,6 +39,12 @@ type ExperimentConfig struct {
 	// significance ranking, so a narrow top-k can drop the genuinely
 	// strongest pair that a clean tester would have ranked first.
 	MaxPairs int
+	// Workers bounds the fan-out of the experiment harness (per Table I
+	// case, per clean control, per robustness cell, per σ-sweep die) and
+	// propagates to the ATPG fault simulation: 0 means one worker per
+	// CPU, 1 the exact legacy serial path. Results are bit-identical at
+	// every worker count.
+	Workers int
 }
 
 func (c ExperimentConfig) withDefaults() ExperimentConfig {
@@ -65,6 +74,11 @@ func (c ExperimentConfig) withDefaults() ExperimentConfig {
 	}
 	if c.MaxSeeds == 0 {
 		c.MaxSeeds = 3
+	}
+	if c.ATPG.Workers == 0 {
+		// The harness's worker setting governs the ATPG fault simulation
+		// too, so Workers=1 pins the whole run to the legacy serial path.
+		c.ATPG.Workers = c.Workers
 	}
 	return c
 }
@@ -131,17 +145,20 @@ func RunTableICase(c trust.Case, cfg ExperimentConfig) (TableIRow, error) {
 	return row, nil
 }
 
-// RunTableI reproduces all five rows of Table I.
+// RunTableI reproduces all five rows of Table I, fanning the independent
+// cases out over cfg.Workers. Each case builds its own benchmark
+// instance, die and device, so rows are bit-identical at any worker
+// count and arrive in the canonical case order.
 func RunTableI(cfg ExperimentConfig) ([]TableIRow, error) {
-	var rows []TableIRow
-	for _, c := range trust.Cases() {
-		row, err := RunTableICase(c, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("case %s: %w", c, err)
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	cases := trust.Cases()
+	return parallel.Map(context.Background(), cfg.Workers, len(cases),
+		func(i int) (TableIRow, error) {
+			row, err := RunTableICase(cases[i], cfg)
+			if err != nil {
+				return TableIRow{}, fmt.Errorf("case %s: %w", cases[i], err)
+			}
+			return row, nil
+		})
 }
 
 // ControlRow is one clean-device control measurement: the pipeline run
@@ -155,39 +172,45 @@ type ControlRow struct {
 }
 
 // RunCleanControls runs the full pipeline against clean dies of every
-// benchmark host with the same configuration as RunTableI.
+// benchmark host with the same configuration as RunTableI. The host list
+// is deduplicated up front (one clean control per host, in canonical
+// case order), then fanned out over cfg.Workers.
 func RunCleanControls(cfg ExperimentConfig) ([]ControlRow, error) {
 	cfg = cfg.withDefaults()
-	var rows []ControlRow
+	var hosts []trust.Case
 	seen := map[string]bool{}
 	for _, c := range trust.Cases() {
 		if seen[c.Benchmark] {
-			continue // one clean control per host
+			continue
 		}
 		seen[c.Benchmark] = true
-		inst, err := trust.Build(c, cfg.Scale)
-		if err != nil {
-			return nil, err
-		}
-		lib := power.SAED90Like()
-		chip := power.Manufacture(inst.Host, lib, power.ThreeSigmaIntra(cfg.Varsigma), cfg.ChipSeed+1)
-		dev := NewDevice(chip, cfg.NumChains, scan.LOS)
-		rep, err := Detect(inst.Host, lib, dev, Config{
-			NumChains: cfg.NumChains,
-			ATPG:      cfg.ATPG,
-			MaxSeeds:  cfg.MaxSeeds,
-			Varsigma:  cfg.Varsigma,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("control %s: %w", c.Benchmark, err)
-		}
-		rows = append(rows, ControlRow{
-			Case:      c.Benchmark + "-clean",
-			FinalSRPD: abs(rep.FinalSRPD),
-			Detected:  rep.Detected,
-		})
+		hosts = append(hosts, c)
 	}
-	return rows, nil
+	return parallel.Map(context.Background(), cfg.Workers, len(hosts),
+		func(i int) (ControlRow, error) {
+			c := hosts[i]
+			inst, err := trust.Build(c, cfg.Scale)
+			if err != nil {
+				return ControlRow{}, err
+			}
+			lib := power.SAED90Like()
+			chip := power.Manufacture(inst.Host, lib, power.ThreeSigmaIntra(cfg.Varsigma), cfg.ChipSeed+1)
+			dev := NewDevice(chip, cfg.NumChains, scan.LOS)
+			rep, err := Detect(inst.Host, lib, dev, Config{
+				NumChains: cfg.NumChains,
+				ATPG:      cfg.ATPG,
+				MaxSeeds:  cfg.MaxSeeds,
+				Varsigma:  cfg.Varsigma,
+			})
+			if err != nil {
+				return ControlRow{}, fmt.Errorf("control %s: %w", c.Benchmark, err)
+			}
+			return ControlRow{
+				Case:      c.Benchmark + "-clean",
+				FinalSRPD: abs(rep.FinalSRPD),
+				Detected:  rep.Detected,
+			}, nil
+		})
 }
 
 // TableIIVarsigmas are the intra-die magnitudes of Table II's columns.
@@ -546,6 +569,91 @@ func RunRobustnessRow(regime, policyName string, policy AcquisitionPolicy, cfg E
 	return row, nil
 }
 
+// SigmaSweepRow is one intra-die-variation magnitude of the σ-sweep: the
+// same Trojan hunted on `Dies` fresh dies drawn at that magnitude.
+type SigmaSweepRow struct {
+	Varsigma float64
+	Dies     int
+	Detected int
+	Unstable int           // dies whose final signal never stabilized
+	SRPD     stats.Summary // |S-RPD| across stable dies
+	PDetect  float64       // Eq. 3 likelihood of the mean achieved signal
+}
+
+// RunSigmaSweep studies detection robustness across the process-variation
+// space (the Table II axis, run for real rather than analytically): the
+// case's Trojan is hunted on `dies` dies per magnitude in `varsigmas`,
+// with both the manufactured variation and the verdict bound set to that
+// magnitude. Seed patterns are generated once (they depend only on the
+// golden netlist); the σ×die grid then fans out over cfg.Workers. Every
+// die's chip seed is parallel.Mix(cfg.ChipSeed, grid index), so the sweep
+// is bit-identical at any worker count.
+func RunSigmaSweep(c trust.Case, cfg ExperimentConfig, varsigmas []float64, dies int) ([]SigmaSweepRow, error) {
+	cfg = cfg.withDefaults()
+	if len(varsigmas) == 0 {
+		varsigmas = TableIIVarsigmas
+	}
+	if dies < 1 {
+		dies = 1
+	}
+	inst, err := trust.Build(c, cfg.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("sweep %s: %w", c, err)
+	}
+	lib := power.SAED90Like()
+	base, err := WithSharedSeeds(inst.Host, Config{
+		NumChains: cfg.NumChains,
+		ATPG:      cfg.ATPG,
+		MaxSeeds:  cfg.MaxSeeds,
+		MaxPairs:  cfg.MaxPairs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sweep %s: seeds: %w", c, err)
+	}
+
+	type dieOutcome struct {
+		Mag      float64
+		Detected bool
+	}
+	outcomes, err := parallel.Map(context.Background(), cfg.Workers, len(varsigmas)*dies,
+		func(i int) (dieOutcome, error) {
+			v := varsigmas[i/dies]
+			dcfg := base
+			dcfg.Varsigma = v
+			chip := power.Manufacture(inst.Infected, lib, power.ThreeSigmaIntra(v), parallel.Mix(cfg.ChipSeed, i))
+			dev := NewDevice(chip, cfg.NumChains, scan.LOS)
+			rep, err := Detect(inst.Host, lib, dev, dcfg)
+			if err != nil {
+				return dieOutcome{}, fmt.Errorf("sweep %s σ=%g die %d: %w", c, v, i%dies, err)
+			}
+			return dieOutcome{Mag: abs(rep.FinalSRPD), Detected: rep.Detected}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []SigmaSweepRow
+	for vi, v := range varsigmas {
+		row := SigmaSweepRow{Varsigma: v, Dies: dies}
+		var stable []float64
+		for di := 0; di < dies; di++ {
+			o := outcomes[vi*dies+di]
+			if o.Detected {
+				row.Detected++
+			}
+			if o.Mag != o.Mag { // NaN: the die never stabilized
+				row.Unstable++
+				continue
+			}
+			stable = append(stable, o.Mag)
+		}
+		row.SRPD = stats.Summarize(stable)
+		row.PDetect = DetectionProbability(row.SRPD.Mean, v)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
 // add accumulates acquisition counters (helper for the robustness table).
 func (s AcquisitionStats) add(o AcquisitionStats) AcquisitionStats {
 	return AcquisitionStats{
@@ -563,17 +671,21 @@ func (s AcquisitionStats) add(o AcquisitionStats) AcquisitionStats {
 // RunRobustnessTable evaluates every fault regime under both acquisition
 // policies: the table showing naive single-shot averaging collapsing
 // under tester pathologies while the robust policy restores the
-// clean-tester verdicts.
+// clean-tester verdicts. The (regime × policy) cells are independent —
+// every cell builds its own dies and fault realizations from the regime
+// and case index alone — so they fan out over cfg.Workers in row-major
+// order.
 func RunRobustnessTable(cfg ExperimentConfig) ([]RobustnessRow, error) {
-	var rows []RobustnessRow
-	for _, regime := range RobustnessRegimes {
-		for _, p := range RobustnessPolicies() {
+	policies := RobustnessPolicies()
+	n := len(RobustnessRegimes) * len(policies)
+	return parallel.Map(context.Background(), cfg.Workers, n,
+		func(i int) (RobustnessRow, error) {
+			regime := RobustnessRegimes[i/len(policies)]
+			p := policies[i%len(policies)]
 			row, err := RunRobustnessRow(regime, p.Name, p.Policy, cfg)
 			if err != nil {
-				return nil, fmt.Errorf("robustness %s/%s: %w", regime, p.Name, err)
+				return RobustnessRow{}, fmt.Errorf("robustness %s/%s: %w", regime, p.Name, err)
 			}
-			rows = append(rows, row)
-		}
-	}
-	return rows, nil
+			return row, nil
+		})
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"superpose/internal/atpg"
 	"superpose/internal/netlist"
+	"superpose/internal/parallel"
 	"superpose/internal/power"
 	"superpose/internal/scan"
 	"superpose/internal/stats"
@@ -38,6 +40,11 @@ type LotOptions struct {
 	// acquisition policy (see AcquisitionPolicy); it also propagates to
 	// Config.Acquisition so Detect does not reset it.
 	Acquisition AcquisitionPolicy
+	// Workers bounds the per-die fan-out of the certification (see
+	// internal/parallel): 0 means one worker per CPU, 1 the exact legacy
+	// serial path. Every worker count produces bit-identical lot reports —
+	// each die's seeds derive from its index alone.
+	Workers int
 }
 
 func (o LotOptions) withDefaults() LotOptions {
@@ -99,45 +106,60 @@ func CertifyLot(golden *netlist.Netlist, lib *power.Library, physical *netlist.N
 	cfg Config, lot LotOptions) (*LotReport, error) {
 	lot = lot.withDefaults()
 	cfg = cfg.withDefaults()
+	if lot.Acquisition != (AcquisitionPolicy{}) {
+		// Hoisted out of the per-die work: cfg must be immutable while
+		// the dies fan out (it is captured by every worker).
+		cfg.Acquisition = lot.Acquisition
+	}
 
-	lr := &LotReport{}
+	// Fan out per die. Each die's entire state — chip, device, tester
+	// fault realization, evaluator — is constructed inside its own item
+	// from seeds derived purely from the die index, so the fan-out is
+	// bit-reproducible at any worker count; the fan-in below runs in die
+	// order, identically to the legacy serial loop.
+	dies, err := parallel.Map(context.Background(), lot.Workers, lot.Dies,
+		func(die int) (DieResult, error) {
+			seed := lot.Seed + uint64(die)*0x9E37
+			chip := power.Manufacture(physical, lib, lot.Variation, seed)
+			if lot.MeasurementNoise > 0 {
+				chip.SetMeasurementNoise(lot.MeasurementNoise)
+			}
+			dev := NewDevice(chip, cfg.NumChains, cfg.Mode)
+			if lot.MeasurementRepeats > 1 {
+				dev.SetRepeats(lot.MeasurementRepeats)
+			}
+			if lot.Acquisition != (AcquisitionPolicy{}) {
+				dev.SetAcquisition(lot.Acquisition)
+			}
+			if lot.Tester.Enabled() {
+				tc := lot.Tester
+				// Per-die fault realization, decorrelated from the process
+				// draw but reproducible from the lot seed.
+				tc.Seed ^= seed * 0x9E3779B97F4A7C15
+				dev.SetFaultModel(tester.New(tc))
+			}
+			rep, err := Detect(golden, lib, dev, cfg)
+			if err != nil {
+				return DieResult{}, fmt.Errorf("core: die %d: %w", die, err)
+			}
+			return DieResult{Die: die, Seed: seed, Report: rep, FinalMag: abs(rep.FinalSRPD)}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	lr := &LotReport{Dies: dies}
 	var mags []float64
-	for die := 0; die < lot.Dies; die++ {
-		seed := lot.Seed + uint64(die)*0x9E37
-		chip := power.Manufacture(physical, lib, lot.Variation, seed)
-		if lot.MeasurementNoise > 0 {
-			chip.SetMeasurementNoise(lot.MeasurementNoise)
-		}
-		dev := NewDevice(chip, cfg.NumChains, cfg.Mode)
-		if lot.MeasurementRepeats > 1 {
-			dev.SetRepeats(lot.MeasurementRepeats)
-		}
-		if lot.Acquisition != (AcquisitionPolicy{}) {
-			dev.SetAcquisition(lot.Acquisition)
-			cfg.Acquisition = lot.Acquisition
-		}
-		if lot.Tester.Enabled() {
-			tc := lot.Tester
-			// Per-die fault realization, decorrelated from the process
-			// draw but reproducible from the lot seed.
-			tc.Seed ^= seed * 0x9E3779B97F4A7C15
-			dev.SetFaultModel(tester.New(tc))
-		}
-		rep, err := Detect(golden, lib, dev, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: die %d: %w", die, err)
-		}
-		mag := abs(rep.FinalSRPD)
-		lr.Dies = append(lr.Dies, DieResult{Die: die, Seed: seed, Report: rep, FinalMag: mag})
-		if rep.Detected {
+	for _, d := range dies {
+		if d.Report.Detected {
 			lr.Detected++
 		}
-		if math.IsNaN(mag) {
+		if math.IsNaN(d.FinalMag) {
 			lr.Unstable++
 		} else {
-			mags = append(mags, mag)
+			mags = append(mags, d.FinalMag)
 		}
-		lr.Acquisition = lr.Acquisition.add(rep.Acquisition)
+		lr.Acquisition = lr.Acquisition.add(d.Report.Acquisition)
 	}
 	lr.SRPD = stats.Summarize(mags)
 	return lr, nil

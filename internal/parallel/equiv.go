@@ -1,0 +1,95 @@
+package parallel
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+)
+
+// Diff reports the first path at which two values are not bit-identical,
+// or "" when they are. It is the comparator behind the engine's
+// equivalence test suites: reflect.DeepEqual is unusable there because a
+// run degraded by tester faults legitimately carries NaN readings, and
+// DeepEqual treats NaN as unequal to itself. Diff compares floats by
+// their IEEE-754 bit patterns instead — the literal meaning of
+// "Workers=N output is bit-identical to Workers=1".
+//
+// Pointers are followed (two non-nil pointers compare by pointee), so
+// structurally equal reports built by independent runs compare equal.
+func Diff(a, b any) string {
+	return diff(reflect.ValueOf(a), reflect.ValueOf(b), "")
+}
+
+func diff(a, b reflect.Value, path string) string {
+	at := "value"
+	if path != "" {
+		at = path
+	}
+	if a.IsValid() != b.IsValid() {
+		return fmt.Sprintf("%s: one side missing", at)
+	}
+	if !a.IsValid() {
+		return ""
+	}
+	if a.Type() != b.Type() {
+		return fmt.Sprintf("%s: type %v vs %v", at, a.Type(), b.Type())
+	}
+	switch a.Kind() {
+	case reflect.Float32, reflect.Float64:
+		if math.Float64bits(a.Float()) != math.Float64bits(b.Float()) {
+			return fmt.Sprintf("%s: %v vs %v", at, a.Float(), b.Float())
+		}
+	case reflect.Ptr, reflect.Interface:
+		if a.IsNil() != b.IsNil() {
+			return fmt.Sprintf("%s: nil vs non-nil", at)
+		}
+		if !a.IsNil() {
+			return diff(a.Elem(), b.Elem(), path)
+		}
+	case reflect.Slice:
+		if a.IsNil() != b.IsNil() {
+			return fmt.Sprintf("%s: nil vs non-nil slice", at)
+		}
+		fallthrough
+	case reflect.Array:
+		if a.Len() != b.Len() {
+			return fmt.Sprintf("%s: len %d vs %d", at, a.Len(), b.Len())
+		}
+		for i := 0; i < a.Len(); i++ {
+			if d := diff(a.Index(i), b.Index(i), fmt.Sprintf("%s[%d]", path, i)); d != "" {
+				return d
+			}
+		}
+	case reflect.Struct:
+		for i := 0; i < a.NumField(); i++ {
+			name := a.Type().Field(i).Name
+			if !a.Type().Field(i).IsExported() {
+				// Unexported state (e.g. scratch buffers) is not part of
+				// a result's identity.
+				continue
+			}
+			if d := diff(a.Field(i), b.Field(i), path+"."+name); d != "" {
+				return d
+			}
+		}
+	case reflect.Map:
+		if a.Len() != b.Len() {
+			return fmt.Sprintf("%s: map len %d vs %d", at, a.Len(), b.Len())
+		}
+		for _, k := range a.MapKeys() {
+			bv := b.MapIndex(k)
+			if !bv.IsValid() {
+				return fmt.Sprintf("%s[%v]: missing key", at, k)
+			}
+			if d := diff(a.MapIndex(k), bv, fmt.Sprintf("%s[%v]", path, k)); d != "" {
+				return d
+			}
+		}
+	default:
+		ai, bi := a.Interface(), b.Interface()
+		if ai != bi {
+			return fmt.Sprintf("%s: %v vs %v", at, ai, bi)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,250 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize(0); got != runtime.NumCPU() {
+		t.Errorf("Normalize(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Normalize(-3); got != runtime.NumCPU() {
+		t.Errorf("Normalize(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Normalize(7); got != 7 {
+		t.Errorf("Normalize(7) = %d, want 7", got)
+	}
+}
+
+func TestMixIndexOnly(t *testing.T) {
+	// The same (base, index) always yields the same seed, distinct
+	// indices yield distinct seeds, and index 0 is not the identity.
+	seen := map[uint64]int{}
+	for i := 0; i < 1000; i++ {
+		s := Mix(42, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("Mix(42,%d) collides with index %d", i, prev)
+		}
+		seen[s] = i
+		if s != Mix(42, i) {
+			t.Fatalf("Mix not deterministic at index %d", i)
+		}
+	}
+	if Mix(42, 0) == 42 {
+		t.Error("Mix(base, 0) must not be the identity")
+	}
+}
+
+func TestMapOrderedFanIn(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8, 32} {
+		out, err := Map(context.Background(), w, 100, func(i int) (int, error) {
+			if i%7 == 0 {
+				time.Sleep(time.Millisecond) // skew completion order
+			}
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(int) error {
+		t.Fatal("fn must not run")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		err := ForEach(context.Background(), w, 10, func(i int) error {
+			if i == 3 {
+				panic("worker exploded")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: want *PanicError, got %v", w, err)
+		}
+		if pe.Index != 3 {
+			t.Errorf("workers=%d: panic index %d, want 3", w, pe.Index)
+		}
+	}
+}
+
+func TestFirstErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	// Serial: the lowest-index error is returned and later items never run.
+	var ran atomic.Int64
+	err := ForEach(context.Background(), 1, 10, func(i int) error {
+		ran.Add(1)
+		if i >= 2 {
+			return fmt.Errorf("item %d: %w", i, boom)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || err.Error() != "item 2: boom" {
+		t.Fatalf("serial: got %v", err)
+	}
+	if ran.Load() != 3 {
+		t.Errorf("serial: %d items ran, want 3", ran.Load())
+	}
+
+	// Parallel: an error cancels the remaining dispatch; the error with
+	// the lowest index among the items that ran is returned.
+	ran.Store(0)
+	err = ForEach(context.Background(), 4, 1000, func(i int) error {
+		ran.Add(1)
+		if i >= 2 {
+			return fmt.Errorf("item %d: %w", i, boom)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("parallel: got %v", err)
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Error("parallel: error did not cancel remaining dispatch")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		done := make(chan error, 1)
+		go func() {
+			done <- ForEach(ctx, w, 10000, func(i int) error {
+				if ran.Add(1) == 5 {
+					cancel()
+				}
+				return nil
+			})
+		}()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("workers=%d: got %v, want context.Canceled", w, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("workers=%d: cancellation did not stop the pool", w)
+		}
+		if n := ran.Load(); n == 10000 {
+			t.Errorf("workers=%d: cancellation did not curtail dispatch", w)
+		}
+		cancel()
+	}
+}
+
+// TestRaceStress hammers the pool with a mix of panicking, erroring,
+// slow and cancelled workers under the race detector: the pool must
+// neither crash, deadlock, nor corrupt the result slots. Run with
+// `go test -race -count=2 -shuffle=on` (the CI configuration).
+func TestRaceStress(t *testing.T) {
+	for round := 0; round < 30; round++ {
+		round := round
+		t.Run(fmt.Sprintf("round%d", round), func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			if round%5 == 4 {
+				// A fifth of the rounds cancel mid-flight.
+				go func() {
+					time.Sleep(time.Duration(round) * 100 * time.Microsecond)
+					cancel()
+				}()
+			}
+			n := 64 + round
+			out, err := Map(ctx, 1+round%9, n, func(i int) (uint64, error) {
+				switch {
+				case round%5 == 2 && i == n/2:
+					panic(fmt.Sprintf("round %d panic", round))
+				case round%5 == 3 && i == n/3:
+					return 0, errors.New("induced error")
+				}
+				// Touch the scheduler so interleavings vary.
+				runtime.Gosched()
+				return Mix(uint64(round), i), nil
+			})
+			switch round % 5 {
+			case 2:
+				var pe *PanicError
+				if !errors.As(err, &pe) {
+					t.Fatalf("want panic error, got %v", err)
+				}
+			case 3:
+				if err == nil {
+					t.Fatal("want induced error")
+				}
+			case 4:
+				// Cancellation may or may not land before completion;
+				// either a clean result or context.Canceled is legal.
+				if err != nil && !errors.Is(err, context.Canceled) {
+					t.Fatalf("want nil or context.Canceled, got %v", err)
+				}
+				if err == nil {
+					verify(t, out, round, n)
+				}
+			default:
+				if err != nil {
+					t.Fatal(err)
+				}
+				verify(t, out, round, n)
+			}
+		})
+	}
+}
+
+func verify(t *testing.T, out []uint64, round, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if out[i] != Mix(uint64(round), i) {
+			t.Fatalf("out[%d] corrupted", i)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	type inner struct {
+		F float64
+		S []int
+	}
+	type outer struct {
+		P *inner
+		M map[string]float64
+		b int // unexported: ignored
+	}
+	a := outer{P: &inner{F: math.NaN(), S: []int{1, 2}}, M: map[string]float64{"x": 1}, b: 1}
+	c := outer{P: &inner{F: math.NaN(), S: []int{1, 2}}, M: map[string]float64{"x": 1}, b: 2}
+	if d := Diff(a, c); d != "" {
+		t.Errorf("NaN-equal structs must be bit-identical, got %q", d)
+	}
+	c.P.S[1] = 3
+	if d := Diff(a, c); d == "" {
+		t.Error("differing slice element not reported")
+	}
+	c.P.S[1] = 2
+	c.M["x"] = math.Nextafter(1, 2)
+	if d := Diff(a, c); d == "" {
+		t.Error("one-ulp float difference not reported")
+	}
+	if d := Diff(&a, nil); d == "" {
+		t.Error("nil vs value not reported")
+	}
+}

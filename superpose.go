@@ -31,6 +31,7 @@ import (
 	"superpose/internal/bench"
 	"superpose/internal/core"
 	"superpose/internal/netlist"
+	"superpose/internal/parallel"
 	"superpose/internal/power"
 	"superpose/internal/scan"
 	"superpose/internal/stil"
@@ -278,6 +279,22 @@ func WithSharedSeeds(golden *Netlist, cfg Config) (Config, error) {
 	return core.WithSharedSeeds(golden, cfg)
 }
 
+// Parallel execution. CertifyLot, the experiment tables and the ATPG
+// fault simulation fan out across a bounded worker pool
+// (LotOptions.Workers / ExperimentConfig.Workers / ATPGOptions.Workers):
+// 0 means one worker per CPU, 1 the exact legacy serial path, and every
+// count produces bit-identical results — per-item seeds derive from the
+// item index alone, never from scheduling order.
+
+// DefaultWorkers is the worker count a Workers value of 0 resolves to
+// (one per CPU).
+func DefaultWorkers() int { return parallel.DefaultWorkers() }
+
+// DeriveSeed deterministically derives an independent per-item seed from
+// a base seed and an item index (a splitmix64 mix), the facility the
+// parallel engine uses to keep fanned-out randomness scheduling-free.
+func DeriveSeed(base uint64, index int) uint64 { return parallel.Mix(base, index) }
+
 // Metrics.
 
 // RPD computes the Relative Power Difference (Eq. 1).
@@ -303,6 +320,8 @@ type (
 	TableIIRow = core.TableIIRow
 	// RobustnessRow is one regime x policy row of the robustness table.
 	RobustnessRow = core.RobustnessRow
+	// SigmaSweepRow is one variation magnitude of the measured σ-sweep.
+	SigmaSweepRow = core.SigmaSweepRow
 )
 
 // RunTableI reproduces Table I (all five benchmark cases).
@@ -325,6 +344,13 @@ func RunRobustnessTable(cfg ExperimentConfig) ([]RobustnessRow, error) {
 // RunRobustnessRow runs one fault regime under one acquisition policy.
 func RunRobustnessRow(regime, policy string, p AcquisitionPolicy, cfg ExperimentConfig) (RobustnessRow, error) {
 	return core.RunRobustnessRow(regime, policy, p, cfg)
+}
+
+// RunSigmaSweep hunts a case's Trojan on dies manufactured at each
+// variation magnitude (the Table II axis run for real), fanning dies out
+// across cfg.Workers. A nil varsigmas uses the Table II magnitudes.
+func RunSigmaSweep(c Case, cfg ExperimentConfig, varsigmas []float64, dies int) ([]SigmaSweepRow, error) {
+	return core.RunSigmaSweep(c, cfg, varsigmas, dies)
 }
 
 // Pattern persistence.
