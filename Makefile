@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-parallel test-race cover experiments experiments-full clean
+.PHONY: all build test vet bench bench-parallel bench-adaptive test-race cover experiments experiments-full clean
 
 all: vet test build
 
@@ -29,6 +29,15 @@ bench-parallel:
 	$(GO) test -run '^$$' -bench BenchmarkCertifyLotParallel -benchtime 3x . \
 		| $(GO) run ./cmd/benchjson > BENCH_parallel.json
 	cat BENCH_parallel.json
+
+# Single-flip sweep engine vs legacy clone-and-measure on the adaptive
+# flow (published circuit size, workers=1), archived as a machine-
+# readable artifact. The sweep arm reports the paired wall-clock
+# speedup over the legacy path.
+bench-adaptive:
+	$(GO) test -run '^$$' -bench BenchmarkAdaptive -benchtime 3x . \
+		| $(GO) run ./cmd/benchjson > BENCH_adaptive.json
+	cat BENCH_adaptive.json
 
 # The determinism guarantee under the race detector: shuffled, twice.
 test-race:

@@ -400,6 +400,68 @@ func BenchmarkCertifyLotParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptive contrasts the two candidate-measurement paths of the
+// adaptive flow on the same climb: the legacy clone-and-measure loop
+// (every candidate materialized and launched through the full netlist)
+// against the single-flip sweep engine (base simulated once per step,
+// only flip cones re-evaluated, sparse pricing). Both produce
+// bit-identical results — the equivalence suite pins that — so the only
+// difference the benchmark shows is cost. The sweep arm interleaves an
+// untimed legacy run with every timed sweep run and reports the paired
+// wall-clock ratio as "speedup": both paths see the same machine
+// conditions, so the ratio is stable where a one-shot baseline is not.
+func BenchmarkAdaptive(b *testing.B) {
+	// The sweep's advantage is structural — single-flip cones small
+	// relative to the netlist — so this benchmark runs the headline case
+	// closer to published size than the toy fixture scale, where a
+	// 64-flip union cone covers the whole circuit.
+	const adaptiveBenchScale = 1.0
+	inst, err := trust.Build(trust.Cases()[0], adaptiveBenchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := superpose.StandardCellLibrary()
+	chip := superpose.Manufacture(inst.Infected, lib, superpose.ThreeSigmaIntra(benchVarsigma), 42)
+	dev := superpose.NewDevice(chip, 4, superpose.LOS)
+	ev := superpose.NewEvaluator(inst.Host, lib, dev, 4, superpose.LOS)
+	seed := ev.Chains().RandomPattern(stats.NewRNG(5))
+	ev.Calibrate([]*scan.Pattern{seed})
+	opt := core.AdaptiveOptions{MaxSteps: 4}
+	legacyOpt := opt
+	legacyOpt.LegacyMeasure = true
+
+	b.Run("legacy", func(b *testing.B) {
+		var best float64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ar := ev.Adaptive(seed, legacyOpt)
+			best = ar.Steps[ar.Best].Reading.RPD
+		}
+		b.ReportMetric(best, "rpd-adaptive")
+	})
+	b.Run("sweep", func(b *testing.B) {
+		ev.Adaptive(seed, opt) // warm caches (sweep plans on first call)
+		var best float64
+		var legacyTotal, sweepTotal time.Duration
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			t0 := time.Now()
+			ev.Adaptive(seed, legacyOpt)
+			legacyTotal += time.Since(t0)
+			b.StartTimer()
+			t1 := time.Now()
+			ar := ev.Adaptive(seed, opt)
+			sweepTotal += time.Since(t1)
+			best = ar.Steps[ar.Best].Reading.RPD
+		}
+		b.ReportMetric(float64(legacyTotal)/float64(sweepTotal), "speedup")
+		b.ReportMetric(best, "rpd-adaptive")
+	})
+}
+
 // BenchmarkATPG measures seed-pattern generation throughput.
 func BenchmarkATPG(b *testing.B) {
 	c := trust.Cases()[0]

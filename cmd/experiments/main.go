@@ -36,6 +36,7 @@ import (
 	"strings"
 
 	"superpose/internal/core"
+	"superpose/internal/profile"
 	"superpose/internal/report"
 	"superpose/internal/trust"
 )
@@ -51,8 +52,26 @@ func main() {
 		csvPath  = flag.String("csv", "", "also write Table I rows as CSV to this file")
 		dies     = flag.Int("dies", 5, "table sweep: dies per variation magnitude")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = one per CPU, 1 = serial); output is bit-identical at any count")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" || *memProfile != "" {
+		stopProfile, err := profile.Start(*cpuProfile, *memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		// Profiles are written on the normal return path only; the error
+		// exits below abandon them.
+		defer func() {
+			if err := stopProfile(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 
 	nw, err := resolveWorkers(*workers)
 	if err != nil {

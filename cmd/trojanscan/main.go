@@ -32,6 +32,7 @@ import (
 	"superpose/internal/netio"
 	"superpose/internal/netlist"
 	"superpose/internal/power"
+	"superpose/internal/profile"
 	"superpose/internal/scan"
 	"superpose/internal/tester"
 	"superpose/internal/timing"
@@ -60,8 +61,25 @@ func main() {
 		testerSeed   = flag.Uint64("tester-seed", 1, "fault realization seed (with -tester)")
 		acqName      = flag.String("acq", "", "measurement-acquisition policy: naive or robust (default: naive, or robust when -tester is set)")
 		workersFlag  = flag.Int("workers", 0, "parallel workers for lot dies and fault simulation (0 = one per CPU, 1 = serial); results are bit-identical at any count")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" || *memProfile != "" {
+		stopProfile, err := profile.Start(*cpuProfile, *memProfile)
+		if err != nil {
+			fail(err)
+		}
+		// Profiles are written on the normal return path only; fail()
+		// exits the process and abandons them.
+		defer func() {
+			if err := stopProfile(); err != nil {
+				fmt.Fprintln(os.Stderr, "trojanscan:", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("available cases:", strings.Join(trust.Names(), ", "))

@@ -76,6 +76,13 @@ type AdaptiveOptions struct {
 	// S-RPD — the Fig. 1 ideal is a static sensitization difference whose
 	// unique set is tiny.
 	ScreenTop int
+	// LegacyMeasure routes the candidate batches through the reference
+	// clone-and-measure path (one materialized pattern and a full
+	// 64-lane launch per chunk) instead of the incremental single-flip
+	// sweep engine. The two paths are bit-identical — the reference path
+	// exists as the correctness oracle the sweep equivalence suite runs
+	// against, not as a different algorithm.
+	LegacyMeasure bool
 }
 
 func (o AdaptiveOptions) withDefaults(p *scan.Pattern) AdaptiveOptions {
@@ -176,45 +183,105 @@ func (ev *Evaluator) Adaptive(seed *scan.Pattern, opt AdaptiveOptions) *Adaptive
 		}},
 	}
 
-	for step := 0; step < opt.MaxSteps; step++ {
-		// Every single-bit stimulus flip is a candidate: scan bits change
-		// launch activity, primary-input bits change sensitization at zero
-		// launch cost (PIs hold static across the LOS launch).
-		var cands []CellRef
-		for c := range cur.Scan {
-			for j := range cur.Scan[c] {
-				cands = append(cands, CellRef{c, j})
-			}
+	// The candidate set — every single-bit stimulus flip — is invariant
+	// across steps: scan bits change launch activity, primary-input bits
+	// change sensitization at zero launch cost (PIs hold static across
+	// the LOS launch). Build it, the residual buffer, and the measurement
+	// machinery once; the per-step loop reuses them all.
+	nbits := len(cur.PI)
+	for _, c := range cur.Scan {
+		nbits += len(c)
+	}
+	cands := make([]CellRef, 0, nbits)
+	for c := range cur.Scan {
+		for j := range cur.Scan[c] {
+			cands = append(cands, CellRef{c, j})
 		}
-		for i := range cur.PI {
-			cands = append(cands, CellRef{PIChain, i})
-		}
-		if len(cands) == 0 {
-			break
-		}
+	}
+	for i := range cur.PI {
+		cands = append(cands, CellRef{PIChain, i})
+	}
+	if len(cands) == 0 {
+		return res
+	}
+	residuals := make([]float64, len(cands))
 
-		// Measure all candidates, 64 per batch. Two results matter: the
+	// Candidate measurement: the single-flip sweep engine by default
+	// (base simulated once per step, only flip cones re-evaluated), or
+	// the clone-and-measure reference path. Both produce bit-identical
+	// readings; the reference path materializes every candidate, the
+	// sweep only the few a step actually needs (the accepted flip and
+	// the screened pairs).
+	var (
+		sweep    *Sweep
+		patterns []*scan.Pattern // reference path: per-candidate clones
+		batchBuf []*scan.Pattern
+	)
+	if opt.LegacyMeasure {
+		patterns = make([]*scan.Pattern, len(cands))
+		batchBuf = make([]*scan.Pattern, 64)
+	} else {
+		// The flip list depends only on the scan shape, so the cached
+		// session (with its structural cone plans) is reusable across
+		// climbs; the length check guards the invariant.
+		sweep = ev.adaptiveSweep
+		if sweep == nil || len(sweep.Candidates()) != len(cands) {
+			var err error
+			sweep, err = ev.NewSweep(cands)
+			if err != nil {
+				// cands are generated from the pattern shape; a mismatch with
+				// the scan configuration is an internal invariant violation.
+				panic("core: Adaptive sweep construction: " + err.Error())
+			}
+			ev.adaptiveSweep = sweep
+		}
+	}
+	// patternAt materializes candidate idx as a standalone pattern.
+	patternAt := func(idx int) *scan.Pattern {
+		if patterns != nil {
+			return patterns[idx]
+		}
+		q := cur.Clone()
+		applyFlip(q, cands[idx])
+		return q
+	}
+	// sweepBased tracks whether the sweep session's base state matches
+	// cur: accepted steps advance it incrementally (one flip-cone
+	// re-evaluation), so the full two-sided base launch happens only once
+	// per climb; a vetoed confirmation leaves cur — and the state —
+	// untouched.
+	sweepBased := false
+
+	for step := 0; step < opt.MaxSteps; step++ {
+		// Measure all candidates, 64 per chunk. Two results matter: the
 		// candidate with the strongest suspicious signal (the greedy step)
 		// and the candidate whose reading drops hardest below the current
 		// pattern's expectation — the §IV-C indicator that the flip just
 		// deactivated something the golden model does not know about.
 		curReading := res.Steps[len(res.Steps)-1].Reading
 		bestIdx, bestRPD := -1, 0.0
-		patterns := make([]*scan.Pattern, len(cands))
-		residuals := make([]float64, len(cands))
+		if sweep != nil && !sweepBased {
+			if err := sweep.Rebase(cur); err != nil {
+				panic("core: Adaptive sweep rebase: " + err.Error())
+			}
+			sweepBased = true
+		}
 		for start := 0; start < len(cands); start += 64 {
-			end := start + 64
-			if end > len(cands) {
-				end = len(cands)
+			end := min(start+64, len(cands))
+			var rds []Reading
+			if sweep != nil {
+				rds = sweep.MeasureChunk(start / 64)
+			} else {
+				batch := batchBuf[:end-start]
+				for i, cr := range cands[start:end] {
+					q := cur.Clone()
+					applyFlip(q, cr)
+					batch[i] = q
+					patterns[start+i] = q
+				}
+				rds = ev.MeasureBatch(batch)
 			}
-			batch := make([]*scan.Pattern, end-start)
-			for i, cr := range cands[start:end] {
-				q := cur.Clone()
-				applyFlip(q, cr)
-				batch[i] = q
-				patterns[start+i] = q
-			}
-			for i, rd := range ev.MeasureBatch(batch) {
+			for i, rd := range rds {
 				// Readings the acquisition layer could not stabilize
 				// (NaN) are excluded from the climb: a phantom reading
 				// must never steer the search.
@@ -228,28 +295,33 @@ func (ev *Evaluator) Adaptive(seed *scan.Pattern, opt AdaptiveOptions) *Adaptive
 			}
 		}
 
-		// Focused superposition analysis of the top residual droppers.
+		// Focused superposition analysis of the top residual droppers
+		// (NaN residuals — unstabilized readings — are never selected).
 		top := topIndices(residuals, opt.ScreenTop)
 		pairs := make([][2]*scan.Pattern, len(top))
+		topPats := make([]*scan.Pattern, len(top))
 		for i, idx := range top {
-			pairs[i] = [2]*scan.Pattern{cur, patterns[idx]}
+			topPats[i] = patternAt(idx)
+			pairs[i] = [2]*scan.Pattern{cur, topPats[i]}
 		}
 		for i, pa := range ev.AnalyzePairs(pairs) {
 			if abs(pa.SRPD) > opt.DropThreshold {
 				res.Pairs = append(res.Pairs, PairCandidate{
-					A: cur, B: patterns[top[i]], Critical: cands[top[i]],
+					A: cur, B: topPats[i], Critical: cands[top[i]],
 					SRPD: pa.SRPD, Significance: pa.Significance(),
 				})
 			}
 		}
 
-		// Local maximum: stop when no flip improves the signal.
-		if bestRPD <= curReading.RPD+opt.MinGain {
+		// Local maximum: stop when no flip improves the signal. bestIdx
+		// stays -1 when every reading of the round was unstable — treat
+		// that as no improvement rather than indexing a phantom winner.
+		if bestIdx < 0 || bestRPD <= curReading.RPD+opt.MinGain {
 			break
 		}
 
 		chosen := cands[bestIdx]
-		next := patterns[bestIdx]
+		next := patternAt(bestIdx)
 
 		// The batch reading proposed the step; the confirmation reading
 		// has the final word. On an ideal tester the two are identical
@@ -276,6 +348,11 @@ func (ev *Evaluator) Adaptive(seed *scan.Pattern, opt AdaptiveOptions) *Adaptive
 				SRPD: pa.SRPD, Significance: pa.Significance(),
 			})
 		}
+		if sweep != nil && sweepBased {
+			if err := sweep.Advance(chosen, next); err != nil {
+				panic("core: Adaptive sweep advance: " + err.Error())
+			}
+		}
 		cur = next
 	}
 
@@ -294,26 +371,38 @@ func abs(x float64) float64 {
 	return x
 }
 
-// topIndices returns the indices of the k largest values, in descending
-// value order (simple selection — k is small).
+// topIndices returns the indices of the k largest values in descending
+// value order (ties broken by ascending index). NaN values — residuals
+// of readings the acquisition layer could not stabilize — are never
+// selected, so the result may hold fewer than k entries. One pass with
+// a k-sized insertion buffer: k is small (the ScreenTop handful), so
+// the shift-down beats heap bookkeeping and allocates once.
 func topIndices(vals []float64, k int) []int {
 	if k > len(vals) {
 		k = len(vals)
 	}
+	if k <= 0 {
+		return nil
+	}
 	out := make([]int, 0, k)
-	used := make(map[int]bool, k)
-	for len(out) < k {
-		best := -1
-		for i, v := range vals {
-			if used[i] {
-				continue
-			}
-			if best < 0 || v > vals[best] {
-				best = i
-			}
+	for i, v := range vals {
+		if math.IsNaN(v) {
+			continue
 		}
-		used[best] = true
-		out = append(out, best)
+		// Find the insertion point: after every kept value >= v, so
+		// equal values stay in ascending-index order.
+		pos := len(out)
+		for pos > 0 && v > vals[out[pos-1]] {
+			pos--
+		}
+		if pos == k {
+			continue
+		}
+		if len(out) < k {
+			out = append(out, 0)
+		}
+		copy(out[pos+1:], out[pos:])
+		out[pos] = i
 	}
 	return out
 }

@@ -35,13 +35,28 @@ type Device struct {
 	faults   *tester.FaultModel
 	acq      AcquisitionStats
 	masks    []logic.Word // scratch
+	sweepRaw []float64    // scratch for sparse sweep pricing
 
-	// Stuck-guard state: the last raw reading seen, the pattern it was
-	// taken from, and whether it was flagged as a latch repeat. The run
-	// spans sweep and batch boundaries, as a stuck window does.
+	// Stuck-guard state: the last raw reading seen, the identity of the
+	// stimulus it was taken from, and whether it was flagged as a latch
+	// repeat. The run spans sweep and batch boundaries, as a stuck
+	// window does.
 	prevRaw     float64
-	prevPat     *scan.Pattern
+	prevKey     readingKey
 	prevSuspect bool
+}
+
+// readingKey identifies the stimulus behind one raw reading for the
+// stuck-latch guard. Batch measurements are identified by the pattern
+// pointer (repeat applications of the same *Pattern are legitimate
+// identical readings); sweep lanes are identified by the base pattern
+// plus the flipped bit, so two lanes of a sweep — or a sweep lane and a
+// batch pattern — always count as different stimuli, exactly as the
+// materialized clones of the reference path do.
+type readingKey struct {
+	pat          *scan.Pattern
+	chain, index int
+	sweep        bool
 }
 
 // NewDevice mounts a chip built over the physical netlist. numChains must
@@ -127,8 +142,20 @@ func (d *Device) measureChunk(pats []*scan.Pattern) []float64 {
 		panic(err.Error())
 	}
 	d.masks = d.eng.ToggleMasks(d.masks)
-	n := len(pats)
+	return d.acquire(len(pats),
+		func() []float64 { return d.chip.MeasureLanes(d.masks, len(pats)) },
+		func(i int) readingKey { return readingKey{pat: pats[i]} })
+}
 
+// acquire runs the measurement-acquisition policy over one chunk of n
+// lanes. price performs one tester pass — it must return n raw lane
+// readings and draw any chip measurement noise afresh per call — and
+// key identifies lane i's stimulus for the stuck-latch guard. Both the
+// batch path (dense toggle masks of materialized patterns) and the
+// single-flip sweep path (sparse masks of virtual flip lanes) funnel
+// through here, so the two acquire readings with bit-identical policy
+// behavior.
+func (d *Device) acquire(n int, price func() []float64, key func(lane int) readingKey) []float64 {
 	// Fast path: a noiseless chip behind an ideal tester returns the
 	// identical value on every repeat, so one sweep is exact regardless
 	// of the configured repeat count.
@@ -136,7 +163,7 @@ func (d *Device) measureChunk(pats []*scan.Pattern) []float64 {
 		d.acq.Passes++
 		d.acq.Raw += uint64(n)
 		d.acq.Readings += uint64(n)
-		return d.chip.MeasureLanes(d.masks, n)
+		return price()
 	}
 
 	p := d.policy.withDefaults()
@@ -149,7 +176,7 @@ func (d *Device) measureChunk(pats []*scan.Pattern) []float64 {
 	// top up deficient lanes; the tester still reads all of them).
 	sweep := func(record []bool) {
 		d.acq.Passes++
-		vals := d.chip.MeasureLanes(d.masks, n)
+		vals := price()
 		for i, v := range vals {
 			if d.faults != nil {
 				v = d.faults.Apply(v)
@@ -158,15 +185,16 @@ func (d *Device) measureChunk(pats []*scan.Pattern) []float64 {
 
 			// A latched ADC repeats its value bit-for-bit, so a sample
 			// that exactly equals the previous reading of a *different*
-			// pattern — or that extends such a run — is a latch repeat.
-			// Same-pattern repeats are legitimate (a noiseless chip
+			// stimulus — or that extends such a run — is a latch repeat.
+			// Same-stimulus repeats are legitimate (a noiseless chip
 			// returns identical values), so they are exempt unless the
 			// run is already suspect. The run state advances on every
 			// reading, recorded or not, to stay aligned with the stream.
 			suspect := false
 			if p.StuckGuard {
-				suspect = v == d.prevRaw && (pats[i] != d.prevPat || d.prevSuspect)
-				d.prevRaw, d.prevPat, d.prevSuspect = v, pats[i], suspect
+				k := key(i)
+				suspect = v == d.prevRaw && (k != d.prevKey || d.prevSuspect)
+				d.prevRaw, d.prevKey, d.prevSuspect = v, k, suspect
 			}
 
 			if record != nil && !record[i] {
@@ -254,6 +282,32 @@ func (d *Device) measureChunk(pats []*scan.Pattern) []float64 {
 // Measure applies a single pattern.
 func (d *Device) Measure(p *scan.Pattern) float64 {
 	return d.MeasureBatch([]*scan.Pattern{p})[0]
+}
+
+// NewSweeper builds a single-flip sweep engine over the device's scan
+// configuration and physical netlist, for use with MeasureSweep.
+func (d *Device) NewSweeper(flips []scan.Flip) (*scan.Sweeper, error) {
+	return scan.NewSweeper(d.eng.Chains(), d.mode, flips)
+}
+
+// MeasureSweep acquires readings for one sweep chunk: lane i is the base
+// pattern with flips[i] applied, and (ids, masks) is the chunk's sparse
+// toggle encoding of the physical netlist (from a Sweeper built with
+// NewSweeper). Acquisition semantics — repeats, tester faults, outlier
+// rejection, the stuck-latch guard, retries — are bit-identical to
+// MeasureBatch over the materialized patterns. The returned slice may
+// share the device's scratch storage; it is valid until the next
+// measurement.
+func (d *Device) MeasureSweep(base *scan.Pattern, flips []scan.Flip, ids []int, masks []logic.Word) []float64 {
+	n := len(flips)
+	return d.acquire(n,
+		func() []float64 {
+			d.sweepRaw = d.chip.MeasureLanesSparse(ids, masks, n, d.sweepRaw)
+			return d.sweepRaw
+		},
+		func(i int) readingKey {
+			return readingKey{pat: base, chain: flips[i].Chain, index: flips[i].Index, sweep: true}
+		})
 }
 
 // GroundTruthToggles returns the physical toggle set of a pattern

@@ -37,6 +37,12 @@ type Evaluator struct {
 	sinceRef    int
 
 	masks []logic.Word // scratch for batch pricing
+
+	// adaptiveSweep caches the all-stimulus-bits sweep session across
+	// Adaptive calls: the flip list depends only on the scan shape, which
+	// is fixed per Evaluator, so the structural cone analysis is paid
+	// once per workbench rather than once per climb.
+	adaptiveSweep *Sweep
 }
 
 // NewEvaluator assembles the workbench. The scan configuration is built on

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"superpose/internal/parallel"
+	"superpose/internal/power"
+	"superpose/internal/scan"
+	"superpose/internal/stats"
+	"superpose/internal/tester"
+	"superpose/internal/trust"
+)
+
+// The sweep equivalence suite: the single-flip sweep engine must be
+// bit-identical to the legacy clone-and-measure candidate loop — same
+// Readings, same accepted trajectory, same flagged pairs, same
+// acquisition accounting, under every measurement regime the flow
+// supports. Comparisons go through parallel.Diff (NaN-stable,
+// pointer-following), so degraded readings and pattern contents are
+// covered too.
+
+// sweepEquivConfig is one measurement regime of the equivalence matrix.
+type sweepEquivConfig struct {
+	name       string
+	mode       scan.Mode
+	infected   bool
+	noiseSigma float64
+	regime     string // tester.Preset name; "" = ideal tester
+	robust     bool   // RobustAcquisition instead of Naive
+	repeats    int    // >0: SetRepeats on a naive policy
+	drift      bool   // enable drift compensation on the evaluator
+	calibrate  bool
+}
+
+func sweepEquivMatrix() []sweepEquivConfig {
+	return []sweepEquivConfig{
+		{name: "los-clean-noiseless", mode: scan.LOS, infected: true, calibrate: true},
+		{name: "loc-clean-noiseless", mode: scan.LOC, infected: true, calibrate: true},
+		{name: "los-goldenchip", mode: scan.LOS, infected: false},
+		{name: "los-noise-repeats", mode: scan.LOS, infected: true,
+			noiseSigma: 0.02, repeats: 5, calibrate: true},
+		{name: "loc-noise-repeats", mode: scan.LOC, infected: true,
+			noiseSigma: 0.02, repeats: 3},
+		{name: "los-combined-robust", mode: scan.LOS, infected: true,
+			noiseSigma: 0.01, regime: "combined", robust: true, calibrate: true},
+		{name: "los-combined-robust-drift", mode: scan.LOS, infected: true,
+			noiseSigma: 0.01, regime: "combined", robust: true, drift: true, calibrate: true},
+		{name: "los-spikes-naive", mode: scan.LOS, infected: true,
+			noiseSigma: 0.02, regime: "spikes", calibrate: true},
+	}
+}
+
+// sweepEquivRun executes one full Adaptive climb under a regime on a
+// freshly built device (measurement consumes chip-noise and tester-fault
+// streams, so each run needs its own device with identical seeds) and
+// returns the result plus the acquisition accounting.
+func sweepEquivRun(t testing.TB, cfg sweepEquivConfig, legacy bool) (*AdaptiveResult, AcquisitionStats, tester.Stats) {
+	t.Helper()
+	inst, err := trust.Build(trust.Case{Benchmark: "s35932", Trojan: "T200"}, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := power.SAED90Like()
+	physical := inst.Infected
+	if !cfg.infected {
+		physical = inst.Host
+	}
+	chip := power.Manufacture(physical, lib, power.ThreeSigmaIntra(0.15), 42)
+	if cfg.noiseSigma > 0 {
+		chip.SetMeasurementNoise(cfg.noiseSigma)
+	}
+	dev := NewDevice(chip, 4, cfg.mode)
+	if cfg.robust {
+		dev.SetAcquisition(RobustAcquisition())
+	}
+	if cfg.repeats > 0 {
+		dev.SetRepeats(cfg.repeats)
+	}
+	if cfg.regime != "" {
+		tc, err := tester.Preset(cfg.regime, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev.SetFaultModel(tester.New(tc))
+	}
+	ev := NewEvaluator(inst.Host, lib, dev, 4, cfg.mode)
+	rng := stats.NewRNG(17)
+	seed := ev.Chains().RandomPattern(rng)
+	if cfg.calibrate {
+		cal := []*scan.Pattern{seed, ev.Chains().RandomPattern(rng)}
+		ev.Calibrate(cal)
+	}
+	if cfg.drift {
+		ev.SetDriftReference(ev.Chains().RandomPattern(rng))
+	}
+	ar := ev.Adaptive(seed, AdaptiveOptions{
+		MaxSteps: 3, ScreenTop: 4, DropThreshold: 1e-6, LegacyMeasure: legacy,
+	})
+	var ts tester.Stats
+	if fm := dev.FaultModel(); fm != nil {
+		ts = fm.Stats()
+	}
+	return ar, dev.AcquisitionStats(), ts
+}
+
+// TestAdaptiveSweepMatchesLegacy is the bit-identity contract of the
+// sweep engine, across launch modes, tester fault regimes, acquisition
+// policies, drift compensation and a clean-chip control.
+func TestAdaptiveSweepMatchesLegacy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full equivalence matrix")
+	}
+	for _, cfg := range sweepEquivMatrix() {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			ref, refAcq, refTS := sweepEquivRun(t, cfg, true)
+			got, gotAcq, gotTS := sweepEquivRun(t, cfg, false)
+			if d := parallel.Diff(got, ref); d != "" {
+				t.Errorf("sweep result deviates from legacy at %s", d)
+			}
+			if gotAcq != refAcq {
+				t.Errorf("acquisition accounting deviates:\n  legacy %+v\n  sweep  %+v", refAcq, gotAcq)
+			}
+			if gotTS != refTS {
+				t.Errorf("tester fault accounting deviates:\n  legacy %+v\n  sweep  %+v", refTS, gotTS)
+			}
+			if len(ref.Steps) == 0 {
+				t.Fatal("reference run produced no steps")
+			}
+		})
+	}
+}
+
+// TestAdaptiveSweepMatchesLegacyRandomized is the fuzz-style guard: tiny
+// random circuits, random chain counts, modes, seeds and noise — every
+// draw must keep the two candidate-measurement paths bit-identical.
+func TestAdaptiveSweepMatchesLegacyRandomized(t *testing.T) {
+	rng := stats.NewRNG(0xf11e5)
+	for trial := 0; trial < 8; trial++ {
+		params := trust.Params{
+			Name:   "sweepfuzz",
+			PIs:    2 + int(rng.Uint64()%5),
+			POs:    3,
+			FFs:    6 + int(rng.Uint64()%12),
+			Comb:   40 + int(rng.Uint64()%80),
+			Levels: 3 + int(rng.Uint64()%3),
+			Seed:   rng.Uint64(),
+		}
+		n, err := trust.Generate(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mode := scan.LOS
+		if rng.Uint64()%2 == 0 {
+			mode = scan.LOC
+		}
+		chains := 1 + int(rng.Uint64()%3)
+		chipSeed := rng.Uint64()
+		noise := 0.0
+		if rng.Uint64()%2 == 0 {
+			noise = 0.03
+		}
+		patSeed := rng.Uint64()
+
+		run := func(legacy bool) (*AdaptiveResult, AcquisitionStats) {
+			lib := power.SAED90Like()
+			chip := power.Manufacture(n, lib, power.ThreeSigmaIntra(0.12), chipSeed)
+			if noise > 0 {
+				chip.SetMeasurementNoise(noise)
+			}
+			dev := NewDevice(chip, chains, mode)
+			if noise > 0 {
+				dev.SetRepeats(3)
+			}
+			ev := NewEvaluator(n, lib, dev, chains, mode)
+			seed := ev.Chains().RandomPattern(stats.NewRNG(patSeed))
+			ar := ev.Adaptive(seed, AdaptiveOptions{
+				MaxSteps: 2, ScreenTop: 3, DropThreshold: 1e-6, LegacyMeasure: legacy,
+			})
+			return ar, dev.AcquisitionStats()
+		}
+		ref, refAcq := run(true)
+		got, gotAcq := run(false)
+		if d := parallel.Diff(got, ref); d != "" {
+			t.Fatalf("trial %d (%+v mode=%v chains=%d noise=%v): deviates at %s",
+				trial, params, mode, chains, noise, d)
+		}
+		if gotAcq != refAcq {
+			t.Fatalf("trial %d: acquisition accounting deviates:\n  legacy %+v\n  sweep  %+v",
+				trial, refAcq, gotAcq)
+		}
+	}
+}
+
+// TestTopIndicesSkipsNaN pins the screen-stage repair: residuals of
+// unstabilized readings (NaN) must never be selected — previously a NaN
+// was picked first and pinned, poisoning the whole screen.
+func TestTopIndicesSkipsNaN(t *testing.T) {
+	nan := math.NaN()
+	got := topIndices([]float64{nan, 2, nan, 3, 1}, 3)
+	want := []int{3, 1, 4}
+	if len(got) != len(want) {
+		t.Fatalf("topIndices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("topIndices = %v, want %v", got, want)
+		}
+	}
+	if got := topIndices([]float64{nan, nan}, 2); len(got) != 0 {
+		t.Errorf("all-NaN input selected %v", got)
+	}
+	if got := topIndices(nil, 3); len(got) != 0 {
+		t.Errorf("empty input selected %v", got)
+	}
+	// Ties keep ascending-index order, matching the selection loop the
+	// insertion sort replaced.
+	got = topIndices([]float64{1, 2, 2, 2, 0}, 3)
+	want = []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tie order = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package netlist
+
+import "sort"
+
+// ConeWalker computes forward logic cones: the set of combinational gates
+// whose value can depend on a given set of nets. Propagation stops at
+// flip-flop D pins — the sequential boundary — which is what keeps
+// single-bit cones shallow in a full-scan design: a flipped scan cell or
+// primary input reaches only the combinational logic between its output
+// and the next rank of flip-flops.
+//
+// The walker owns reusable scratch (epoch-stamped marks and the cone
+// list), so repeated walks over the same netlist allocate nothing once
+// the buffers have grown to their working size. It is not safe for
+// concurrent use; create one per goroutine.
+type ConeWalker struct {
+	n     *Netlist
+	mark  []uint32
+	epoch uint32
+	cone  coneList
+}
+
+// coneList sorts the collected cone by (logic level, gate ID): a valid
+// evaluation order for incremental re-simulation, deterministic across
+// walks.
+type coneList struct {
+	ids   []int
+	level []int
+}
+
+func (c coneList) Len() int      { return len(c.ids) }
+func (c coneList) Swap(i, j int) { c.ids[i], c.ids[j] = c.ids[j], c.ids[i] }
+func (c coneList) Less(i, j int) bool {
+	li, lj := c.level[c.ids[i]], c.level[c.ids[j]]
+	if li != lj {
+		return li < lj
+	}
+	return c.ids[i] < c.ids[j]
+}
+
+// NewConeWalker returns a walker over n. The netlist must be frozen.
+func NewConeWalker(n *Netlist) *ConeWalker {
+	return &ConeWalker{n: n, mark: make([]uint32, n.NumGates())}
+}
+
+// Walk returns the combinational gates reachable from the root nets,
+// sorted by (logic level, ID) — a valid topological evaluation order.
+// Roots themselves are marked as reached (see Reached) but only
+// combinational gates appear in the result; flip-flops terminate the
+// walk at their D pins. The returned slice is owned by the walker and
+// valid until the next Walk.
+func (w *ConeWalker) Walk(roots []int) []int {
+	w.epoch++
+	if w.epoch == 0 { // uint32 wrap: invalidate all stale marks
+		for i := range w.mark {
+			w.mark[i] = 0
+		}
+		w.epoch = 1
+	}
+	w.cone.ids = w.cone.ids[:0]
+	w.cone.level = w.n.level
+	for _, r := range roots {
+		if w.mark[r] == w.epoch {
+			continue
+		}
+		w.mark[r] = w.epoch
+		for _, fo := range w.n.Fanouts(r) {
+			w.visit(fo)
+		}
+	}
+	// The cone list doubles as the BFS queue.
+	for i := 0; i < len(w.cone.ids); i++ {
+		for _, fo := range w.n.Fanouts(w.cone.ids[i]) {
+			w.visit(fo)
+		}
+	}
+	sort.Sort(w.cone)
+	return w.cone.ids
+}
+
+func (w *ConeWalker) visit(id int) {
+	if w.mark[id] == w.epoch || w.n.Gates[id].Type.IsSource() {
+		return
+	}
+	w.mark[id] = w.epoch
+	w.cone.ids = append(w.cone.ids, id)
+}
+
+// Reached reports whether net id was a root of, or inside, the most
+// recent Walk's cone. Callers use it to find the flip-flops whose D pins
+// a cone touches (the capture set of a Launch-on-Capture sweep).
+func (w *ConeWalker) Reached(id int) bool {
+	return w.mark[id] == w.epoch
+}

@@ -1,0 +1,177 @@
+package netlist
+
+import (
+	"testing"
+
+	"superpose/internal/stats"
+)
+
+// randomConeCircuit builds a small layered circuit with FFs interleaved,
+// so cones hit sequential boundaries.
+func randomConeCircuit(t *testing.T, seed uint64) *Netlist {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	b := NewBuilder("cone")
+	var nets []string
+	for i := 0; i < 3; i++ {
+		name := "pi" + string(rune('0'+i))
+		if _, err := b.AddInput(name); err != nil {
+			t.Fatal(err)
+		}
+		nets = append(nets, name)
+	}
+	gate := 0
+	newName := func() string {
+		gate++
+		return "g" + string(rune('a'+gate/26)) + string(rune('a'+gate%26))
+	}
+	for i := 0; i < 40; i++ {
+		a := nets[int(rng.Uint64()%uint64(len(nets)))]
+		c := nets[int(rng.Uint64()%uint64(len(nets)))]
+		name := newName()
+		typ := []GateType{And, Or, Xor, Nand, Nor}[int(rng.Uint64()%5)]
+		if _, err := b.AddGate(name, typ, a, c); err != nil {
+			t.Fatal(err)
+		}
+		nets = append(nets, name)
+		if rng.Uint64()%5 == 0 {
+			ff := "f" + name
+			if _, err := b.AddDFF(ff, name); err != nil {
+				t.Fatal(err)
+			}
+			nets = append(nets, ff)
+		}
+	}
+	b.MarkOutput(nets[len(nets)-1])
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// reachableRef computes the forward combinational cone by brute-force
+// fixpoint over the fanout relation, stopping at sources.
+func reachableRef(n *Netlist, roots []int) map[int]bool {
+	reached := map[int]bool{}
+	var stack []int
+	for _, r := range roots {
+		stack = append(stack, n.Fanouts(r)...)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reached[id] || n.Gates[id].Type.IsSource() {
+			continue
+		}
+		reached[id] = true
+		stack = append(stack, n.Fanouts(id)...)
+	}
+	return reached
+}
+
+func TestConeWalkerMatchesReachability(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		n := randomConeCircuit(t, seed)
+		w := NewConeWalker(n)
+		rng := stats.NewRNG(seed + 100)
+		for trial := 0; trial < 10; trial++ {
+			var roots []int
+			for _, id := range n.FFs {
+				if rng.Uint64()%4 == 0 {
+					roots = append(roots, id)
+				}
+			}
+			for _, id := range n.PIs {
+				if rng.Uint64()%4 == 0 {
+					roots = append(roots, id)
+				}
+			}
+			if len(roots) == 0 {
+				roots = []int{n.PIs[0]}
+			}
+			// Duplicate a root: dedup must hold.
+			roots = append(roots, roots[0])
+
+			cone := w.Walk(roots)
+			want := reachableRef(n, roots)
+			if len(cone) != len(want) {
+				t.Fatalf("seed %d trial %d: cone size %d, want %d", seed, trial, len(cone), len(want))
+			}
+			for _, id := range cone {
+				if !want[id] {
+					t.Fatalf("seed %d: gate %s wrongly in cone", seed, n.NameOf(id))
+				}
+				if n.Gates[id].Type.IsSource() {
+					t.Fatalf("seed %d: source %s in cone", seed, n.NameOf(id))
+				}
+			}
+			// (level, id) evaluation order: every fanin inside the cone
+			// must come earlier.
+			for i := 1; i < len(cone); i++ {
+				a, b := cone[i-1], cone[i]
+				if n.Level(a) > n.Level(b) || (n.Level(a) == n.Level(b) && a >= b) {
+					t.Fatalf("seed %d: cone not (level, id) sorted at %d", seed, i)
+				}
+			}
+			// Reached covers roots and cone members, and nothing else.
+			for _, r := range roots {
+				if !w.Reached(r) {
+					t.Fatalf("seed %d: root %s not Reached", seed, n.NameOf(r))
+				}
+			}
+			inCone := map[int]bool{}
+			for _, id := range cone {
+				inCone[id] = true
+			}
+			isRoot := map[int]bool{}
+			for _, r := range roots {
+				isRoot[r] = true
+			}
+			for id := range n.Gates {
+				if w.Reached(id) != (inCone[id] || isRoot[id]) {
+					t.Fatalf("seed %d: Reached(%s) = %v inconsistent", seed, n.NameOf(id), w.Reached(id))
+				}
+			}
+		}
+	}
+}
+
+func TestConeWalkerStopsAtFlipFlops(t *testing.T) {
+	// pi -> g1 -> ff -> g2: the cone of pi holds g1 only; the cone of ff
+	// holds g2 only.
+	b := NewBuilder("stop")
+	mustAdd := func(_ int, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(b.AddInput("pi"))
+	mustAdd(b.AddGate("g1", Not, "pi"))
+	mustAdd(b.AddDFF("ff", "g1"))
+	mustAdd(b.AddGate("g2", Not, "ff"))
+	b.MarkOutput("g2")
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, _ := n.GateID("pi")
+	ff, _ := n.GateID("ff")
+	g1, _ := n.GateID("g1")
+	g2, _ := n.GateID("g2")
+	w := NewConeWalker(n)
+	cone := w.Walk([]int{pi})
+	if len(cone) != 1 || cone[0] != g1 {
+		t.Errorf("cone(pi) = %v, want [g1]", cone)
+	}
+	if w.Reached(g2) {
+		t.Error("cone of pi crossed the flip-flop boundary")
+	}
+	cone = w.Walk([]int{ff})
+	if len(cone) != 1 || cone[0] != g2 {
+		t.Errorf("cone(ff) = %v, want [g2]", cone)
+	}
+	if w.Reached(g1) {
+		t.Error("stale mark survived the epoch bump")
+	}
+}

@@ -133,6 +133,18 @@ func (m *Model) NominalLanes(masks []logic.Word, numLanes int) []float64 {
 	return priceLanes(m.nominal, masks, numLanes)
 }
 
+// NominalLanesSparse prices a sparse per-lane toggle representation:
+// ids lists, in ascending gate-ID order, every gate whose lane mask may
+// be nonzero; masks[k] is the lane mask of ids[k]. Because the additions
+// happen in the same ascending-ID order as NominalLanes performs them
+// over a dense mask array, the result is bit-identical to dense pricing
+// of the same toggles — the floating-point contract the single-flip
+// sweep engine relies on. dst is reused when large enough (zeroed
+// first); pass nil to allocate.
+func (m *Model) NominalLanesSparse(ids []int, masks []logic.Word, numLanes int, dst []float64) []float64 {
+	return priceLanesSparse(m.nominal, ids, masks, numLanes, dst)
+}
+
 // NominalSumSquares returns the sum of squared nominal energies of a
 // toggle set. Under independent per-gate variation of relative magnitude
 // σ, the standard deviation of the set's observed power is σ·√(Σe²) —
@@ -250,6 +262,21 @@ func (c *Chip) MeasureLanes(masks []logic.Word, numLanes int) []float64 {
 	return out
 }
 
+// MeasureLanesSparse prices a sparse toggle representation on this die
+// (see Model.NominalLanesSparse for the encoding and the bit-identity
+// contract). Exactly numLanes measurement-noise draws are taken, in lane
+// order, just as MeasureLanes does — so a sweep-path reading consumes
+// the chip's noise stream identically to the dense path.
+func (c *Chip) MeasureLanesSparse(ids []int, masks []logic.Word, numLanes int, dst []float64) []float64 {
+	out := priceLanesSparse(c.effective, ids, masks, numLanes, dst)
+	if c.noiseSigma > 0 {
+		for i := range out {
+			out[i] += out[i] * c.noiseSigma * c.noiseRNG.Norm()
+		}
+	}
+	return out
+}
+
 // priceLanes accumulates per-lane energy sums by iterating only the set
 // bits of each gate's lane mask.
 func priceLanes(energy []float64, masks []logic.Word, numLanes int) []float64 {
@@ -264,6 +291,16 @@ func priceLanes(energy []float64, masks []logic.Word, numLanes int) []float64 {
 			continue
 		}
 		e := energy[id]
+		if m == laneMask {
+			// Toggles on every lane — common for activity the whole batch
+			// shares. Each lane is an independent accumulator, so adding e
+			// to all of them in index order carries the same rounding as
+			// the bit-iteration below.
+			for i := range out {
+				out[i] += e
+			}
+			continue
+		}
 		for m != 0 {
 			lane := bits.TrailingZeros64(uint64(m))
 			out[lane] += e
@@ -271,4 +308,44 @@ func priceLanes(energy []float64, masks []logic.Word, numLanes int) []float64 {
 		}
 	}
 	return out
+}
+
+// priceLanesSparse is priceLanes over a sparse (ids, masks) toggle
+// encoding: it touches only the listed gates instead of scanning the
+// whole netlist, but performs the per-lane additions in the identical
+// ascending-gate-ID order, so the sums carry the same rounding.
+func priceLanesSparse(energy []float64, ids []int, masks []logic.Word, numLanes int, dst []float64) []float64 {
+	if cap(dst) < numLanes {
+		dst = make([]float64, numLanes)
+	}
+	dst = dst[:numLanes]
+	for i := range dst {
+		dst[i] = 0
+	}
+	var laneMask logic.Word = ^logic.Word(0)
+	if numLanes < 64 {
+		laneMask = logic.Word(1)<<uint(numLanes) - 1
+	}
+	for k, id := range ids {
+		m := masks[k] & laneMask
+		if m == 0 {
+			continue
+		}
+		e := energy[id]
+		if m == laneMask {
+			// All-lane entries dominate sweep encodings (every base toggle
+			// outside the flip cones); adding to the independent per-lane
+			// accumulators in index order keeps the rounding identical.
+			for i := range dst {
+				dst[i] += e
+			}
+			continue
+		}
+		for m != 0 {
+			lane := bits.TrailingZeros64(uint64(m))
+			dst[lane] += e
+			m &= m - 1
+		}
+	}
+	return dst
 }

@@ -1,0 +1,50 @@
+// Package profile wires runtime/pprof CPU and heap profiling into the
+// command-line tools: one Start call at the top of main, one deferred
+// stop, no dependency beyond the standard library.
+package profile
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arranges a heap profile at
+// memPath; either path may be empty to skip that profile. It returns a
+// stop function that ends CPU profiling and writes the heap profile —
+// call it exactly once (typically deferred from main, before exiting).
+// An error opening or starting either profile leaves nothing running.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profile: start cpu: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profile: close cpu: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profile: write heap: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,451 @@
+package scan
+
+import (
+	"fmt"
+	"sort"
+
+	"superpose/internal/logic"
+	"superpose/internal/netlist"
+	"superpose/internal/sim"
+)
+
+// Flip addresses one stimulus bit of a pattern: a scan bit (Chain >= 0)
+// or a primary input (Chain == PIFlip, Index = PI position).
+type Flip struct {
+	Chain, Index int
+}
+
+// PIFlip is the sentinel Chain value marking a primary-input flip.
+const PIFlip = -1
+
+// IsPI reports whether the flip addresses a primary input.
+func (f Flip) IsPI() bool { return f.Chain == PIFlip }
+
+// srcFlip is one precomputed source perturbation: XOR bit into the word
+// of source gate `gate` to apply that lane's flip.
+type srcFlip struct {
+	gate int
+	bit  logic.Word
+}
+
+// capture is one LOC frame-2 re-capture: scannable flip-flop ff takes
+// its frame-2 source from the frame-1 value of its D pin.
+type capture struct {
+	ff, dpin int
+}
+
+// chunkPlan is the structural, base-independent precomputation of one
+// sweep chunk (up to 64 flips, one per simulator lane). Because the
+// adaptive flow sweeps the same stimulus bits every step, each plan is
+// built once and reused for the whole run.
+type chunkPlan struct {
+	flips    []Flip
+	f1Srcs   []srcFlip // frame-1 source bits to XOR, per lane
+	f2Srcs   []srcFlip // frame-2 source bits to XOR (LOS scan cells, PIs)
+	captures []capture // LOC only: FFs re-captured from the frame-1 cone
+	order1   []int     // levelized frame-1 union-cone evaluation order
+	order2   []int     // levelized frame-2 union-cone evaluation order
+	prog1    *sim.Program
+	prog2    *sim.Program
+	progF    *sim.Program // LOS only: fused dual-frame program over the merged cone
+	affected []int        // ascending union of every gate whose word may deviate
+	laneMask logic.Word
+}
+
+// Sweeper is the single-flip sweep engine of the adaptive flow (§IV-B):
+// it evaluates every pattern that differs from a base pattern in exactly
+// one stimulus bit, without materializing those patterns. The base
+// pattern's frames are simulated once per Rebase and broadcast across
+// all 64 lanes; each chunk then XORs its flips into the affected source
+// words and re-evaluates only the union fanout cone of the flipped bits
+// — the LOS transparency rule (§IV-A) guarantees the perturbation is
+// local, and the full-scan structure keeps cones shallow (they stop at
+// flip-flop D pins).
+//
+// The output of a chunk is a sparse (ids, masks) toggle encoding whose
+// pricing through power.NominalLanesSparse / power.MeasureLanesSparse is
+// bit-identical to launching the 64 cloned patterns through Engine.Launch
+// and pricing the dense toggle masks: gates outside the union cone keep
+// the base pattern's toggle state on every lane, gates inside carry their
+// exactly re-simulated lane words, and the encoding preserves the
+// ascending-gate-ID addition order of the dense path.
+//
+// A Sweeper owns its buffers and is not safe for concurrent use.
+type Sweeper struct {
+	ch    *Chains
+	mode  Mode
+	eng   *Engine // base-frame simulation
+	plans []chunkPlan
+
+	// Per-base state (valid after Rebase).
+	f1b, f2b    []logic.Word // broadcast base frame values
+	v1, v2      []logic.Word // working arrays; equal broadcast base between runs
+	baseToggles []int        // ascending gate IDs toggling under the base pattern
+	based       bool
+
+	// Sparse output buffers, valid until the next Run, and the all-ones
+	// mask template bulk-copied for unaffected base toggles (restored to
+	// all-ones after a partial-lane chunk).
+	ids   []int
+	masks []logic.Word
+	fill  []logic.Word
+}
+
+// NewSweeper builds a sweep engine over the scan configuration for the
+// given flip list, in order: flip i is lane i%64 of chunk i/64. The
+// structural cones of every chunk are computed here, once; Rebase and
+// Run allocate nothing afterwards.
+func NewSweeper(ch *Chains, mode Mode, flips []Flip) (*Sweeper, error) {
+	n := ch.Netlist()
+	for _, f := range flips {
+		if f.IsPI() {
+			if f.Index < 0 || f.Index >= len(n.PIs) {
+				return nil, fmt.Errorf("scan: sweep flip PI %d out of range (%d PIs)", f.Index, len(n.PIs))
+			}
+			continue
+		}
+		if f.Chain < 0 || f.Chain >= ch.NumChains() {
+			return nil, fmt.Errorf("scan: sweep flip chain %d out of range (%d chains)", f.Chain, ch.NumChains())
+		}
+		if f.Index < 0 || f.Index >= len(ch.Chain(f.Chain)) {
+			return nil, fmt.Errorf("scan: sweep flip cell %d.%d out of range (chain length %d)",
+				f.Chain, f.Index, len(ch.Chain(f.Chain)))
+		}
+	}
+	s := &Sweeper{
+		ch:   ch,
+		mode: mode,
+		eng:  NewEngine(ch),
+		f1b:  make([]logic.Word, n.NumGates()),
+		f2b:  make([]logic.Word, n.NumGates()),
+		v1:   make([]logic.Word, n.NumGates()),
+		v2:   make([]logic.Word, n.NumGates()),
+		fill: make([]logic.Word, n.NumGates()),
+	}
+	for i := range s.fill {
+		s.fill[i] = ^logic.Word(0)
+	}
+	walker := netlist.NewConeWalker(n)
+	inUnion := make([]bool, n.NumGates())
+	for start := 0; start < len(flips); start += 64 {
+		end := min(start+64, len(flips))
+		s.plans = append(s.plans, buildPlan(ch, mode, flips[start:end], walker, inUnion))
+	}
+	return s, nil
+}
+
+// buildPlan precomputes one chunk: the per-lane source perturbations,
+// the levelized union cones of both frames, and the ascending list of
+// all gates the chunk can deviate from the base.
+func buildPlan(ch *Chains, mode Mode, flips []Flip, walker *netlist.ConeWalker, inUnion []bool) chunkPlan {
+	n := ch.Netlist()
+	p := chunkPlan{
+		flips:    append([]Flip(nil), flips...),
+		laneMask: ^logic.Word(0),
+	}
+	if len(flips) < 64 {
+		p.laneMask = logic.Word(1)<<uint(len(flips)) - 1
+	}
+
+	for lane, f := range flips {
+		bit := logic.Word(1) << uint(lane)
+		if f.IsPI() {
+			// PIs hold across both frames under either mode.
+			id := n.PIs[f.Index]
+			p.f1Srcs = append(p.f1Srcs, srcFlip{id, bit})
+			p.f2Srcs = append(p.f2Srcs, srcFlip{id, bit})
+			continue
+		}
+		chain := ch.Chain(f.Chain)
+		switch mode {
+		case LOS:
+			// Frame 1 holds the one-shift-earlier state: bit j sources
+			// cell j+1, and — pinned — cell 0 sources itself. Frame 2 is
+			// the fully loaded state: bit j sources cell j.
+			if f.Index == 0 {
+				p.f1Srcs = append(p.f1Srcs, srcFlip{chain[0], bit})
+			}
+			if f.Index+1 < len(chain) {
+				p.f1Srcs = append(p.f1Srcs, srcFlip{chain[f.Index+1], bit})
+			}
+			p.f2Srcs = append(p.f2Srcs, srcFlip{chain[f.Index], bit})
+		case LOC:
+			// Frame 1 is the loaded state; frame 2 re-captures from the
+			// frame-1 responses, handled through p.captures below.
+			p.f1Srcs = append(p.f1Srcs, srcFlip{chain[f.Index], bit})
+		}
+	}
+
+	roots1 := make([]int, 0, len(p.f1Srcs))
+	for _, sf := range p.f1Srcs {
+		roots1 = append(roots1, sf.gate)
+	}
+	p.order1 = append([]int(nil), walker.Walk(roots1)...)
+
+	roots2 := make([]int, 0, len(p.f2Srcs))
+	for _, sf := range p.f2Srcs {
+		roots2 = append(roots2, sf.gate)
+	}
+	if mode == LOC {
+		// Every scannable flip-flop whose D pin the frame-1 cone touches
+		// captures a perturbed value; those cells seed the frame-2 cone.
+		for _, ff := range n.FFs {
+			if n.IsNoScan(ff) {
+				continue
+			}
+			dpin := n.Gates[ff].Fanin[0]
+			if walker.Reached(dpin) {
+				p.captures = append(p.captures, capture{ff, dpin})
+				roots2 = append(roots2, ff)
+			}
+		}
+	}
+	p.order2 = append([]int(nil), walker.Walk(roots2)...)
+	// The cones are re-evaluated once per chunk per step; compiled
+	// programs shed the generic per-gate dispatch overhead.
+	p.prog1 = sim.CompileOrdered(n, p.order1)
+	p.prog2 = sim.CompileOrdered(n, p.order2)
+	if mode == LOS {
+		// LOS frames are independent (no re-captures), so both can run
+		// through one fused program over the merged cone: see RunPair.
+		// Gates in only one frame's cone recompute their unchanged value
+		// in the other — harmless, and the two frames' cones overlap
+		// almost entirely (they seed from adjacent cells of the same
+		// chains), so the merged order is barely longer than either.
+		merged := walker.Walk(append(roots1, roots2...))
+		p.progF = sim.CompileOrdered(n, merged)
+	}
+
+	// Ascending union of everything the chunk can touch.
+	add := func(id int) {
+		if !inUnion[id] {
+			inUnion[id] = true
+			p.affected = append(p.affected, id)
+		}
+	}
+	for _, sf := range p.f1Srcs {
+		add(sf.gate)
+	}
+	for _, sf := range p.f2Srcs {
+		add(sf.gate)
+	}
+	for _, c := range p.captures {
+		add(c.ff)
+	}
+	for _, id := range p.order1 {
+		add(id)
+	}
+	for _, id := range p.order2 {
+		add(id)
+	}
+	for _, id := range p.affected {
+		inUnion[id] = false // reset scratch for the next chunk
+	}
+	sort.Ints(p.affected)
+	return p
+}
+
+// Chains returns the sweep's scan configuration.
+func (s *Sweeper) Chains() *Chains { return s.ch }
+
+// Mode returns the launch mode the sweep simulates.
+func (s *Sweeper) Mode() Mode { return s.mode }
+
+// NumChunks returns the number of 64-lane chunks.
+func (s *Sweeper) NumChunks() int { return len(s.plans) }
+
+// ChunkFlips returns the flips of chunk c, lane-ordered (owned by the
+// Sweeper; do not modify).
+func (s *Sweeper) ChunkFlips(c int) []Flip { return s.plans[c].flips }
+
+// SetHiddenState pins the frozen value of a NoScan flip-flop during base
+// pattern application (mirrors Engine.SetHiddenState; hidden cells are
+// outside the scan chains, so flips never perturb them).
+func (s *Sweeper) SetHiddenState(ff int, w logic.Word) { s.eng.SetHiddenState(ff, w) }
+
+// Rebase simulates the two frames of a new base pattern and resets the
+// working lane words to its broadcast values. Must be called before Run
+// and after every change to the base pattern.
+func (s *Sweeper) Rebase(base *Pattern) error {
+	f1, f2, err := s.eng.Launch([]*Pattern{base}, s.mode)
+	if err != nil {
+		return err
+	}
+	s.baseToggles = s.baseToggles[:0]
+	for id := range f1 {
+		var w1, w2 logic.Word
+		if f1[id]&1 != 0 {
+			w1 = logic.AllOne
+		}
+		if f2[id]&1 != 0 {
+			w2 = logic.AllOne
+		}
+		s.f1b[id], s.f2b[id] = w1, w2
+		if w1 != w2 {
+			s.baseToggles = append(s.baseToggles, id)
+		}
+	}
+	copy(s.v1, s.f1b)
+	copy(s.v2, s.f2b)
+	s.based = true
+	return nil
+}
+
+// Advance incrementally rebases the sweeper onto the pattern that
+// differs from the current base in exactly the given flip — the accepted
+// step of the adaptive climb. Instead of a full two-frame launch, it
+// applies the flip to every lane of the broadcast base, re-evaluates the
+// flip's chunk cone, and rebuilds the base toggle list. Two-valued logic
+// is exact and every gate the flip can change lies inside its chunk's
+// union cone, so the resulting state is identical to a Rebase on the
+// materialized pattern. The flip must be one the sweeper was built for.
+func (s *Sweeper) Advance(f Flip) error {
+	if !s.based {
+		return fmt.Errorf("scan: Sweeper.Advance before Rebase")
+	}
+	var p *chunkPlan
+	lane := -1
+	for i := range s.plans {
+		for l, pf := range s.plans[i].flips {
+			if pf == f {
+				p, lane = &s.plans[i], l
+				break
+			}
+		}
+		if p != nil {
+			break
+		}
+	}
+	if p == nil {
+		return fmt.Errorf("scan: Sweeper.Advance: flip %v not in sweep", f)
+	}
+
+	// Reuse the plan's source analysis: the chosen lane's perturbations,
+	// broadcast to every lane, turn the working arrays into the new base.
+	bit := logic.Word(1) << uint(lane)
+	for _, sf := range p.f1Srcs {
+		if sf.bit == bit {
+			s.v1[sf.gate] ^= ^logic.Word(0)
+		}
+	}
+	for _, sf := range p.f2Srcs {
+		if sf.bit == bit {
+			s.v2[sf.gate] ^= ^logic.Word(0)
+		}
+	}
+	if p.progF != nil {
+		p.progF.RunPair(s.v1, s.v2)
+	} else {
+		p.prog1.Run(s.v1)
+		for _, cp := range p.captures {
+			// Re-captures outside the flip's own cone read an unchanged
+			// frame-1 response and overwrite with the value already there.
+			s.v2[cp.ff] = s.v1[cp.dpin]
+		}
+		p.prog2.Run(s.v2)
+	}
+
+	// Commit: inside the cone the working arrays now hold the new
+	// broadcast base; outside they never left it.
+	for _, sf := range p.f1Srcs {
+		s.f1b[sf.gate] = s.v1[sf.gate]
+	}
+	for _, id := range p.order1 {
+		s.f1b[id] = s.v1[id]
+	}
+	for _, sf := range p.f2Srcs {
+		s.f2b[sf.gate] = s.v2[sf.gate]
+	}
+	for _, cp := range p.captures {
+		s.f2b[cp.ff] = s.v2[cp.ff]
+	}
+	for _, id := range p.order2 {
+		s.f2b[id] = s.v2[id]
+	}
+	s.baseToggles = s.baseToggles[:0]
+	for id := range s.f1b {
+		if s.f1b[id] != s.f2b[id] {
+			s.baseToggles = append(s.baseToggles, id)
+		}
+	}
+	return nil
+}
+
+// Run evaluates chunk c against the current base: it applies the lane
+// flips to the affected source words, re-evaluates the union cone of
+// both frames, and returns the chunk's toggle activity as a sparse
+// (ids, masks) encoding — ids ascending, masks[k] the per-lane toggle
+// word of ids[k] — covering every gate any lane toggles. The slices are
+// owned by the Sweeper and valid until the next Run.
+func (s *Sweeper) Run(c int) (ids []int, masks []logic.Word) {
+	if !s.based {
+		panic("scan: Sweeper.Run before Rebase")
+	}
+	p := &s.plans[c]
+
+	for _, sf := range p.f1Srcs {
+		s.v1[sf.gate] ^= sf.bit
+	}
+	for _, sf := range p.f2Srcs {
+		s.v2[sf.gate] ^= sf.bit
+	}
+	if p.progF != nil {
+		p.progF.RunPair(s.v1, s.v2)
+	} else {
+		p.prog1.Run(s.v1)
+		for _, cp := range p.captures {
+			s.v2[cp.ff] = s.v1[cp.dpin]
+		}
+		p.prog2.Run(s.v2)
+	}
+
+	// Merge the chunk's affected gates with the base toggle set, in
+	// ascending gate-ID order: unaffected base-toggled gates toggle on
+	// every lane, affected gates carry their re-simulated lane words.
+	// Base toggles far outnumber affected gates, so runs of them between
+	// consecutive affected IDs are emitted as bulk copies from a
+	// laneMask-filled template instead of element-wise appends. The same
+	// pass restores the working arrays to broadcast base: every gate a
+	// chunk can perturb is in p.affected, and its cache lines are already
+	// hot here, so the fused writes replace a separate full-array memmove.
+	ids, masks = s.ids[:0], s.masks[:0]
+	aff, bt := p.affected, s.baseToggles
+	fill := s.fill[:len(bt)]
+	if p.laneMask != ^logic.Word(0) {
+		for k := range fill {
+			fill[k] = p.laneMask
+		}
+	}
+	j := 0
+	for _, id := range aff {
+		k := j
+		for k < len(bt) && bt[k] < id {
+			k++
+		}
+		if k > j {
+			ids = append(ids, bt[j:k]...)
+			masks = append(masks, fill[:k-j]...)
+			j = k
+		}
+		if j < len(bt) && bt[j] == id {
+			j++
+		}
+		if m := (s.v1[id] ^ s.v2[id]) & p.laneMask; m != 0 {
+			ids = append(ids, id)
+			masks = append(masks, m)
+		}
+		s.v1[id] = s.f1b[id]
+		s.v2[id] = s.f2b[id]
+	}
+	if j < len(bt) {
+		ids = append(ids, bt[j:]...)
+		masks = append(masks, fill[:len(bt)-j]...)
+	}
+	if p.laneMask != ^logic.Word(0) {
+		for k := range fill {
+			fill[k] = ^logic.Word(0)
+		}
+	}
+	s.ids, s.masks = ids, masks
+	return ids, masks
+}

@@ -1,0 +1,331 @@
+package scan
+
+import (
+	"math"
+	"testing"
+
+	"superpose/internal/logic"
+	"superpose/internal/netlist"
+	"superpose/internal/power"
+	"superpose/internal/stats"
+	"superpose/internal/trust"
+)
+
+// referenceToggles launches the materialized single-flip clones of base
+// through the engine — the path the Sweeper replaces — and returns the
+// dense toggle-mask array, truncated to the batch's lanes.
+func referenceToggles(t *testing.T, eng *Engine, base *Pattern, flips []Flip, mode Mode) []logic.Word {
+	t.Helper()
+	clones := make([]*Pattern, len(flips))
+	for i, f := range flips {
+		q := base.Clone()
+		if f.IsPI() {
+			q.PI[f.Index] = !q.PI[f.Index]
+		} else {
+			q.Scan[f.Chain][f.Index] = !q.Scan[f.Chain][f.Index]
+		}
+		clones[i] = q
+	}
+	if _, _, err := eng.Launch(clones, mode); err != nil {
+		t.Fatal(err)
+	}
+	masks := eng.ToggleMasks(nil)
+	var laneMask logic.Word = ^logic.Word(0)
+	if len(flips) < 64 {
+		laneMask = logic.Word(1)<<uint(len(flips)) - 1
+	}
+	for id := range masks {
+		masks[id] &= laneMask
+	}
+	return masks
+}
+
+// densify expands a sparse (ids, masks) encoding into a per-gate array.
+func densify(numGates int, ids []int, masks []logic.Word) []logic.Word {
+	out := make([]logic.Word, numGates)
+	for k, id := range ids {
+		out[id] = masks[k]
+	}
+	return out
+}
+
+// TestSweeperMatchesLaunch is the fuzz-style structural guard: random
+// circuits, chain counts, modes and bases — every chunk's sparse toggle
+// encoding must densify to exactly the engine's toggle masks over the
+// materialized clones, and its sparse pricing must be bit-identical to
+// dense pricing of those masks.
+func TestSweeperMatchesLaunch(t *testing.T) {
+	rng := stats.NewRNG(0x5eeb)
+	lib := power.SAED90Like()
+	for trial := 0; trial < 10; trial++ {
+		n, err := trust.Generate(trust.Params{
+			Name:   "sweep",
+			PIs:    1 + int(rng.Uint64()%6),
+			POs:    3,
+			FFs:    4 + int(rng.Uint64()%20),
+			Comb:   30 + int(rng.Uint64()%120),
+			Levels: 3 + int(rng.Uint64()%4),
+			Seed:   rng.Uint64(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := Configure(n, 1+int(rng.Uint64()%4))
+		eng := NewEngine(ch)
+		model := power.NewModel(n, lib)
+		for _, mode := range []Mode{LOS, LOC} {
+			// Every stimulus bit once — plus duplicates, so a flip list
+			// that revisits bits (and spans a ragged final chunk) works.
+			var flips []Flip
+			for c := 0; c < ch.NumChains(); c++ {
+				for j := range ch.Chain(c) {
+					flips = append(flips, Flip{c, j})
+				}
+			}
+			for i := range n.PIs {
+				flips = append(flips, Flip{PIFlip, i})
+			}
+			for k := 0; k < 5; k++ {
+				flips = append(flips, flips[int(rng.Uint64()%uint64(len(flips)))])
+			}
+
+			s, err := NewSweeper(ch, mode, flips)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rebase := 0; rebase < 2; rebase++ {
+				base := ch.RandomPattern(rng)
+				if err := s.Rebase(base); err != nil {
+					t.Fatal(err)
+				}
+				for c := 0; c < s.NumChunks(); c++ {
+					chunk := s.ChunkFlips(c)
+					ids, masks := s.Run(c)
+					got := densify(n.NumGates(), ids, masks)
+					want := referenceToggles(t, eng, base, chunk, mode)
+					for id := range want {
+						if got[id] != want[id] {
+							t.Fatalf("trial %d %v chunk %d: gate %s toggles %064b, want %064b",
+								trial, mode, c, n.NameOf(id), got[id], want[id])
+						}
+					}
+					dense := model.NominalLanes(want, len(chunk))
+					sparse := model.NominalLanesSparse(ids, masks, len(chunk), nil)
+					for lane := range dense {
+						if math.Float64bits(dense[lane]) != math.Float64bits(sparse[lane]) {
+							t.Fatalf("trial %d %v chunk %d lane %d: sparse price %v != dense %v",
+								trial, mode, c, lane, sparse[lane], dense[lane])
+						}
+					}
+				}
+				// Re-running a chunk against the same base must be
+				// idempotent: Run restores its working state.
+				if s.NumChunks() > 0 {
+					ids, masks := s.Run(0)
+					again := densify(n.NumGates(), ids, masks)
+					want := referenceToggles(t, eng, base, s.ChunkFlips(0), mode)
+					for id := range want {
+						if again[id] != want[id] {
+							t.Fatalf("trial %d %v: chunk 0 re-run deviates at gate %s", trial, mode, n.NameOf(id))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSweeperAdvanceMatchesRebase pins the incremental rebase: a chain
+// of accepted flips advanced one at a time must leave the sweeper in
+// exactly the state a full Rebase on the materialized pattern produces —
+// every chunk's sparse encoding identical, across modes and circuits.
+func TestSweeperAdvanceMatchesRebase(t *testing.T) {
+	rng := stats.NewRNG(0xadace)
+	for trial := 0; trial < 6; trial++ {
+		n, err := trust.Generate(trust.Params{
+			Name:   "adv",
+			PIs:    1 + int(rng.Uint64()%5),
+			POs:    3,
+			FFs:    4 + int(rng.Uint64()%16),
+			Comb:   30 + int(rng.Uint64()%100),
+			Levels: 3 + int(rng.Uint64()%4),
+			Seed:   rng.Uint64(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := Configure(n, 1+int(rng.Uint64()%3))
+		for _, mode := range []Mode{LOS, LOC} {
+			var flips []Flip
+			for c := 0; c < ch.NumChains(); c++ {
+				for j := range ch.Chain(c) {
+					flips = append(flips, Flip{c, j})
+				}
+			}
+			for i := range n.PIs {
+				flips = append(flips, Flip{PIFlip, i})
+			}
+			inc, err := NewSweeper(ch, mode, flips)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := NewSweeper(ch, mode, flips)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := ch.RandomPattern(rng)
+			if err := inc.Rebase(base); err != nil {
+				t.Fatal(err)
+			}
+			for step := 0; step < 4; step++ {
+				f := flips[int(rng.Uint64()%uint64(len(flips)))]
+				if err := inc.Advance(f); err != nil {
+					t.Fatal(err)
+				}
+				base = base.Clone()
+				if f.IsPI() {
+					base.PI[f.Index] = !base.PI[f.Index]
+				} else {
+					base.Scan[f.Chain][f.Index] = !base.Scan[f.Chain][f.Index]
+				}
+				if err := ref.Rebase(base); err != nil {
+					t.Fatal(err)
+				}
+				for c := 0; c < inc.NumChunks(); c++ {
+					ids, masks := inc.Run(c)
+					got := densify(n.NumGates(), ids, masks)
+					wids, wmasks := ref.Run(c)
+					want := densify(n.NumGates(), wids, wmasks)
+					for id := range want {
+						if got[id] != want[id] {
+							t.Fatalf("trial %d %v step %d chunk %d: gate %s toggles %064b, want %064b",
+								trial, mode, step, c, n.NameOf(id), got[id], want[id])
+						}
+					}
+				}
+			}
+		}
+	}
+	// Misuse guards.
+	n, err := trust.Generate(trust.Params{Name: "advg", PIs: 2, POs: 2, FFs: 4, Comb: 20, Levels: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := Configure(n, 1)
+	s, err := NewSweeper(ch, LOS, []Flip{{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Advance(Flip{0, 0}); err == nil {
+		t.Error("Advance before Rebase must error")
+	}
+	if err := s.Rebase(ch.RandomPattern(stats.NewRNG(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Advance(Flip{0, 3}); err == nil {
+		t.Error("Advance on a flip outside the sweep must error")
+	}
+}
+
+// TestSweeperHiddenState pins NoScan handling: a hidden cell holds its
+// pinned value through both frames, flips never perturb it, and under
+// LOC it must not re-capture even when a flip cone reaches its D pin.
+func TestSweeperHiddenState(t *testing.T) {
+	b := netlist.NewBuilder("hid")
+	mustAdd := func(_ int, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(b.AddInput("pi"))
+	mustAdd(b.AddDFF("s0", "d0"))
+	mustAdd(b.AddDFF("s1", "d1"))
+	mustAdd(b.AddNonScanDFF("h", "dh"))
+	mustAdd(b.AddGate("d0", netlist.Xor, "s0", "h"))
+	mustAdd(b.AddGate("d1", netlist.Xor, "s1", "pi"))
+	mustAdd(b.AddGate("dh", netlist.Xor, "s0", "pi")) // flip cones reach h's D pin
+	b.MarkOutput("d0")
+	b.MarkOutput("d1")
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := Configure(n, 1)
+	h, _ := n.GateID("h")
+	flips := []Flip{{0, 0}, {0, 1}, {PIFlip, 0}}
+	for _, mode := range []Mode{LOS, LOC} {
+		for _, hidden := range []logic.Word{0, logic.AllOne} {
+			eng := NewEngine(ch)
+			eng.SetHiddenState(h, hidden)
+			s, err := NewSweeper(ch, mode, flips)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.SetHiddenState(h, hidden)
+			base := ch.RandomPattern(stats.NewRNG(3))
+			if err := s.Rebase(base); err != nil {
+				t.Fatal(err)
+			}
+			ids, masks := s.Run(0)
+			got := densify(n.NumGates(), ids, masks)
+			want := referenceToggles(t, eng, base, flips, mode)
+			for id := range want {
+				if got[id] != want[id] {
+					t.Fatalf("%v hidden=%v: gate %s toggles %b, want %b",
+						mode, hidden&1, n.NameOf(id), got[id], want[id])
+				}
+			}
+			if got[h] != 0 {
+				t.Errorf("%v: hidden cell toggled under a sweep", mode)
+			}
+		}
+	}
+}
+
+// TestNewSweeperValidation rejects out-of-range flips.
+func TestNewSweeperValidation(t *testing.T) {
+	n, err := trust.Generate(trust.Params{Name: "val", PIs: 2, POs: 2, FFs: 4, Comb: 20, Levels: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := Configure(n, 2)
+	cases := [][]Flip{
+		{{Chain: 9, Index: 0}},
+		{{Chain: -3, Index: 0}},
+		{{Chain: 0, Index: 99}},
+		{{Chain: 0, Index: -1}},
+		{{Chain: PIFlip, Index: 2}},
+		{{Chain: PIFlip, Index: -1}},
+	}
+	for _, fl := range cases {
+		if _, err := NewSweeper(ch, LOS, fl); err == nil {
+			t.Errorf("flips %v accepted", fl)
+		}
+	}
+	s, err := NewSweeper(ch, LOS, nil)
+	if err != nil {
+		t.Fatalf("empty flip list must be valid: %v", err)
+	}
+	if s.NumChunks() != 0 {
+		t.Errorf("empty sweep has %d chunks", s.NumChunks())
+	}
+}
+
+// TestSweeperRunBeforeRebasePanics pins the misuse guard.
+func TestSweeperRunBeforeRebasePanics(t *testing.T) {
+	n, err := trust.Generate(trust.Params{Name: "panic", PIs: 2, POs: 2, FFs: 4, Comb: 20, Levels: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := Configure(n, 1)
+	s, err := NewSweeper(ch, LOS, []Flip{{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Run before Rebase must panic")
+		}
+	}()
+	s.Run(0)
+}

@@ -43,24 +43,24 @@ func (s *Simulator) Run(sources []logic.Word) []logic.Word {
 		s.values[ff] = sources[ff]
 	}
 	for _, id := range n.TopoOrder() {
-		s.values[id] = s.eval(id)
+		s.values[id] = evalGate(n, id, s.values)
 	}
 	return s.values
 }
 
-// eval computes the word of combinational gate id from the current values
-// of its fanins.
-func (s *Simulator) eval(id int) logic.Word {
-	g := &s.n.Gates[id]
+// evalGate computes the word of combinational gate id from the values of
+// its fanins in the given value array.
+func evalGate(n *netlist.Netlist, id int, values []logic.Word) logic.Word {
+	g := &n.Gates[id]
 	switch g.Type {
 	case netlist.Buf:
-		return s.values[g.Fanin[0]]
+		return values[g.Fanin[0]]
 	case netlist.Not:
-		return ^s.values[g.Fanin[0]]
+		return ^values[g.Fanin[0]]
 	case netlist.And, netlist.Nand:
 		w := logic.AllOne
 		for _, f := range g.Fanin {
-			w &= s.values[f]
+			w &= values[f]
 		}
 		if g.Type == netlist.Nand {
 			w = ^w
@@ -69,7 +69,7 @@ func (s *Simulator) eval(id int) logic.Word {
 	case netlist.Or, netlist.Nor:
 		w := logic.AllZero
 		for _, f := range g.Fanin {
-			w |= s.values[f]
+			w |= values[f]
 		}
 		if g.Type == netlist.Nor {
 			w = ^w
@@ -78,7 +78,7 @@ func (s *Simulator) eval(id int) logic.Word {
 	case netlist.Xor, netlist.Xnor:
 		w := logic.AllZero
 		for _, f := range g.Fanin {
-			w ^= s.values[f]
+			w ^= values[f]
 		}
 		if g.Type == netlist.Xnor {
 			w = ^w
@@ -86,6 +86,237 @@ func (s *Simulator) eval(id int) logic.Word {
 		return w
 	default:
 		panic(fmt.Sprintf("sim: unexpected gate type %v in topo order", g.Type))
+	}
+}
+
+// EvalOrdered re-evaluates the listed combinational gates, in the given
+// topological (e.g. levelized) order, reading and writing the value array
+// in place. It is the incremental core of the single-flip sweep engine:
+// callers re-evaluate only the fanout cone of a handful of changed
+// sources and leave every other net's word untouched, so the cost is
+// O(|cone|) instead of O(|netlist|).
+func EvalOrdered(n *netlist.Netlist, order []int, values []logic.Word) {
+	for _, id := range order {
+		values[id] = evalGate(n, id, values)
+	}
+}
+
+// Program is a compiled evaluation sequence: one fixed (levelized) gate
+// order flattened into an instruction stream with inline fanin indices.
+// Evaluating through a Program is semantically identical to EvalOrdered
+// over the same order; it exists because the sweep engine re-evaluates
+// the same union cones hundreds of times per climb, where the per-gate
+// overhead of the generic path (gate-record load, fanin slice traversal,
+// call dispatch) dominates. Two-input gates — the bulk of a mapped
+// netlist — execute as single inline operations; wider gates read their
+// fanins from a shared side table.
+type Program struct {
+	ops []progOp
+	ext []int32
+}
+
+type progOp struct {
+	id, f0, f1 int32 // target; inline fanins, or ext offset/length
+	op         uint8
+}
+
+const (
+	opBuf uint8 = iota
+	opNot
+	opAnd2
+	opNand2
+	opOr2
+	opNor2
+	opXor2
+	opXnor2
+	opAndN // f0 = ext offset, f1 = fanin count
+	opNandN
+	opOrN
+	opNorN
+	opXorN
+	opXnorN
+)
+
+// CompileOrdered flattens the listed combinational gates, in the given
+// topological order, into a Program. It panics on a source gate, exactly
+// as evaluating one would.
+func CompileOrdered(n *netlist.Netlist, order []int) *Program {
+	p := &Program{ops: make([]progOp, 0, len(order))}
+	for _, id := range order {
+		g := &n.Gates[id]
+		o := progOp{id: int32(id)}
+		var two, wide uint8
+		switch g.Type {
+		case netlist.Buf:
+			o.op, o.f0 = opBuf, int32(g.Fanin[0])
+			p.ops = append(p.ops, o)
+			continue
+		case netlist.Not:
+			o.op, o.f0 = opNot, int32(g.Fanin[0])
+			p.ops = append(p.ops, o)
+			continue
+		case netlist.And:
+			two, wide = opAnd2, opAndN
+		case netlist.Nand:
+			two, wide = opNand2, opNandN
+		case netlist.Or:
+			two, wide = opOr2, opOrN
+		case netlist.Nor:
+			two, wide = opNor2, opNorN
+		case netlist.Xor:
+			two, wide = opXor2, opXorN
+		case netlist.Xnor:
+			two, wide = opXnor2, opXnorN
+		default:
+			panic(fmt.Sprintf("sim: unexpected gate type %v in compiled order", g.Type))
+		}
+		if len(g.Fanin) == 2 {
+			o.op, o.f0, o.f1 = two, int32(g.Fanin[0]), int32(g.Fanin[1])
+		} else {
+			o.op, o.f0, o.f1 = wide, int32(len(p.ext)), int32(len(g.Fanin))
+			for _, f := range g.Fanin {
+				p.ext = append(p.ext, int32(f))
+			}
+		}
+		p.ops = append(p.ops, o)
+	}
+	return p
+}
+
+// Run evaluates the compiled sequence over the value array in place —
+// bit-identical to EvalOrdered over the order the Program was compiled
+// from.
+func (p *Program) Run(values []logic.Word) {
+	ext := p.ext
+	for i := range p.ops {
+		o := &p.ops[i]
+		switch o.op {
+		case opAnd2:
+			values[o.id] = values[o.f0] & values[o.f1]
+		case opNand2:
+			values[o.id] = ^(values[o.f0] & values[o.f1])
+		case opOr2:
+			values[o.id] = values[o.f0] | values[o.f1]
+		case opNor2:
+			values[o.id] = ^(values[o.f0] | values[o.f1])
+		case opXor2:
+			values[o.id] = values[o.f0] ^ values[o.f1]
+		case opXnor2:
+			values[o.id] = ^(values[o.f0] ^ values[o.f1])
+		case opBuf:
+			values[o.id] = values[o.f0]
+		case opNot:
+			values[o.id] = ^values[o.f0]
+		default:
+			w := logic.AllZero
+			neg := false
+			switch o.op {
+			case opNandN:
+				neg = true
+				fallthrough
+			case opAndN:
+				w = logic.AllOne
+				for _, f := range ext[o.f0 : o.f0+o.f1] {
+					w &= values[f]
+				}
+			case opNorN:
+				neg = true
+				fallthrough
+			case opOrN:
+				for _, f := range ext[o.f0 : o.f0+o.f1] {
+					w |= values[f]
+				}
+			case opXnorN:
+				neg = true
+				fallthrough
+			case opXorN:
+				for _, f := range ext[o.f0 : o.f0+o.f1] {
+					w ^= values[f]
+				}
+			}
+			if neg {
+				w = ^w
+			}
+			values[o.id] = w
+		}
+	}
+}
+
+// RunPair evaluates the compiled sequence over two value arrays at once
+// — bit-identical to running each array separately. The sweep engine
+// uses it for the two frames of a launch-off-shift chunk, whose frames
+// are independent (frame-2 sources are the loaded scan state, never a
+// frame-1 response): pairing gives the core two independent dependency
+// chains per instruction, hiding the load latency that dominates a
+// single-frame pass, and streams the instruction words once instead of
+// twice. Evaluating a gate in a frame where no perturbed source reaches
+// it rewrites the value already there, so running the merged cone of
+// both frames is exact.
+func (p *Program) RunPair(a, b []logic.Word) {
+	ext := p.ext
+	for i := range p.ops {
+		o := &p.ops[i]
+		switch o.op {
+		case opAnd2:
+			a[o.id] = a[o.f0] & a[o.f1]
+			b[o.id] = b[o.f0] & b[o.f1]
+		case opNand2:
+			a[o.id] = ^(a[o.f0] & a[o.f1])
+			b[o.id] = ^(b[o.f0] & b[o.f1])
+		case opOr2:
+			a[o.id] = a[o.f0] | a[o.f1]
+			b[o.id] = b[o.f0] | b[o.f1]
+		case opNor2:
+			a[o.id] = ^(a[o.f0] | a[o.f1])
+			b[o.id] = ^(b[o.f0] | b[o.f1])
+		case opXor2:
+			a[o.id] = a[o.f0] ^ a[o.f1]
+			b[o.id] = b[o.f0] ^ b[o.f1]
+		case opXnor2:
+			a[o.id] = ^(a[o.f0] ^ a[o.f1])
+			b[o.id] = ^(b[o.f0] ^ b[o.f1])
+		case opBuf:
+			a[o.id] = a[o.f0]
+			b[o.id] = b[o.f0]
+		case opNot:
+			a[o.id] = ^a[o.f0]
+			b[o.id] = ^b[o.f0]
+		default:
+			wa, wb := logic.AllZero, logic.AllZero
+			neg := false
+			switch o.op {
+			case opNandN:
+				neg = true
+				fallthrough
+			case opAndN:
+				wa, wb = logic.AllOne, logic.AllOne
+				for _, f := range ext[o.f0 : o.f0+o.f1] {
+					wa &= a[f]
+					wb &= b[f]
+				}
+			case opNorN:
+				neg = true
+				fallthrough
+			case opOrN:
+				for _, f := range ext[o.f0 : o.f0+o.f1] {
+					wa |= a[f]
+					wb |= b[f]
+				}
+			case opXnorN:
+				neg = true
+				fallthrough
+			case opXorN:
+				for _, f := range ext[o.f0 : o.f0+o.f1] {
+					wa ^= a[f]
+					wb ^= b[f]
+				}
+			}
+			if neg {
+				wa, wb = ^wa, ^wb
+			}
+			a[o.id] = wa
+			b[o.id] = wb
+		}
 	}
 }
 
@@ -110,7 +341,7 @@ func (s *Simulator) RunForced(sources []logic.Word, forced int, val logic.Word) 
 			s.values[id] = val
 			continue
 		}
-		s.values[id] = s.eval(id)
+		s.values[id] = evalGate(n, id, s.values)
 	}
 	return s.values
 }
