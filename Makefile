@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-parallel bench-adaptive test-race cover experiments experiments-full clean
+.PHONY: all build test vet bench bench-parallel bench-adaptive test-race cover experiments experiments-full serve smoke clean
 
 all: vet test build
 
@@ -45,6 +45,15 @@ test-race:
 
 cover:
 	$(GO) test -cover ./...
+
+# The certification service daemon (SIGINT/SIGTERM drains gracefully).
+serve:
+	$(GO) run ./cmd/superposed -addr 127.0.0.1:8418
+
+# End-to-end smoke of the daemon: boot on an ephemeral port, submit a
+# small detect job, poll it to completion, assert a verdict.
+smoke:
+	./scripts/superposed_smoke.sh
 
 # The evaluation tables and figures at a quick scale.
 experiments:

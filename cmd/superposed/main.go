@@ -1,0 +1,93 @@
+// Superposed is the certification service daemon: it exposes the
+// superposition detection pipeline over HTTP/JSON so testers and CI
+// systems submit certification jobs instead of shelling out to
+// trojanscan.
+//
+//	superposed -addr 127.0.0.1:8418
+//	curl -s localhost:8418/healthz
+//	curl -s -X POST localhost:8418/v1/jobs -d '{"kind":"detect","case":"s35932-T200","scale":0.05}'
+//	curl -s localhost:8418/v1/jobs/job-1            # poll state + report
+//	curl -N  localhost:8418/v1/jobs/job-1/events    # live SSE progress
+//	curl -s -X DELETE localhost:8418/v1/jobs/job-1  # cancel
+//
+// On SIGTERM/SIGINT the daemon stops accepting jobs, drains the backlog
+// within the -drain budget, then cancels whatever is still in flight.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"superpose/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "superposed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("superposed", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8418", "listen address (use :0 for an ephemeral port)")
+		queueSize = fs.Int("queue", 16, "max pending jobs; submissions beyond this get 429")
+		workers   = fs.Int("workers", 1, "jobs run concurrently")
+		drain     = fs.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM/SIGINT")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	svc := service.New(service.Options{QueueSize: *queueSize, Workers: *workers})
+	svc.Start()
+
+	// Listen explicitly (rather than http.ListenAndServe) so an :0
+	// request reports the bound ephemeral port — what the smoke script
+	// and the e2e tests parse.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "superposed: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: svc}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(out, "superposed: signal received, draining (budget %s)\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := svc.Drain(dctx); err != nil {
+		fmt.Fprintln(out, "superposed: drain budget exhausted; in-flight jobs cancelled")
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(out, "superposed: drained, bye")
+	return nil
+}

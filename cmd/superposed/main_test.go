@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"superpose/internal/service"
+)
+
+// lineWriter is a concurrency-safe io.Writer that hands complete lines
+// to a channel, so the test can react to the daemon's startup banner.
+type lineWriter struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	lines chan string
+}
+
+func newLineWriter() *lineWriter {
+	return &lineWriter{lines: make(chan string, 16)}
+}
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n, _ := w.buf.Write(p)
+	for {
+		line, err := w.buf.ReadString('\n')
+		if err != nil {
+			// Partial line: keep it buffered for the next write.
+			w.buf.WriteString(line)
+			break
+		}
+		select {
+		case w.lines <- strings.TrimSuffix(line, "\n"):
+		default:
+		}
+	}
+	return n, nil
+}
+
+// startDaemon runs run() on an ephemeral port and returns the base URL
+// plus a channel carrying run's eventual error.
+func startDaemon(t *testing.T, extra ...string) (string, *lineWriter, chan error) {
+	t.Helper()
+	out := newLineWriter()
+	args := append([]string{"-addr", "127.0.0.1:0", "-drain", "10s"}, extra...)
+	errc := make(chan error, 1)
+	go func() { errc <- run(args, out) }()
+
+	select {
+	case line := <-out.lines:
+		const marker = "listening on "
+		i := strings.Index(line, marker)
+		if i < 0 {
+			t.Fatalf("first output line %q carries no listen address", line)
+		}
+		return strings.TrimSpace(line[i+len(marker):]), out, errc
+	case err := <-errc:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never printed its listen address")
+	}
+	return "", nil, nil
+}
+
+// TestDaemonLifecycle boots the daemon, exercises the API over a real
+// TCP socket, then delivers SIGTERM and requires a clean drain.
+func TestDaemonLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the real daemon and runs a detection job")
+	}
+	base, out, errc := startDaemon(t)
+
+	// Health.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+
+	// Malformed submission is a client error, not a daemon failure.
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed submit: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	// A real (small) job runs to completion.
+	body := `{"kind":"detect","case":"s35932-T200","scale":0.02,"clean":true}`
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d, want 202", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished", st.ID)
+		}
+		resp, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur service.Status
+		if err := json.NewDecoder(resp.Body).Decode(&cur); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if cur.State.Terminal() {
+			if cur.State != service.StateDone {
+				t.Fatalf("job ended %s: %s", cur.State, cur.Error)
+			}
+			if cur.Report == nil {
+				t.Fatal("done job carries no report")
+			}
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// SIGTERM to ourselves: run() is wired to signal.NotifyContext, so
+	// the daemon must drain and exit cleanly.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("daemon exited with error after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+
+	// The farewell line confirms the drain path ran, not a crash-exit.
+	sawBye := false
+	for {
+		select {
+		case line := <-out.lines:
+			if strings.Contains(line, "drained, bye") {
+				sawBye = true
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if !sawBye {
+		t.Error("daemon exited without the drain farewell")
+	}
+}
+
+// TestDaemonFlagError pins the exit path for unparseable flags.
+func TestDaemonFlagError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &buf); err == nil {
+		t.Fatal("run accepted an unknown flag")
+	}
+}
+
+// TestDaemonAddrInUse pins the error path when the port is taken.
+func TestDaemonAddrInUse(t *testing.T) {
+	base, _, errc := startDaemon(t)
+	addr := strings.TrimPrefix(base, "http://")
+
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", addr}, &buf); err == nil {
+		t.Fatal("second daemon bound an already-taken port")
+	}
+
+	// Tear the first daemon down so later tests see a quiet process.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-errc:
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

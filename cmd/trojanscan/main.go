@@ -229,33 +229,7 @@ func materialize(caseName, benchFile string, infect int, clean bool, scale float
 		if clean || infect == 0 {
 			return host, host, nil, nil
 		}
-		rare := trojan.FindRareNets(host, 64*64, 99, 0.3)
-		if len(rare) <= infect {
-			return nil, nil, nil, fmt.Errorf("only %d rare nets available for %d taps", len(rare), infect)
-		}
-		var taps []string
-		for _, r := range rare[:infect] {
-			taps = append(taps, r.Name)
-		}
-		anc, err := trojan.TapAncestors(host, taps)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		victim := ""
-		for i := len(rare) - 1; i >= 0; i-- {
-			if !anc[rare[i].ID] {
-				victim = rare[i].Name
-				break
-			}
-		}
-		if victim == "" {
-			return nil, nil, nil, fmt.Errorf("no cycle-free payload victim found")
-		}
-		spec, err := trojan.BuildSpec("user", rare, infect, victim)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		inst, err := trojan.Insert(host, spec)
+		inst, err := trojan.AutoInsert(host, infect)
 		if err != nil {
 			return nil, nil, nil, err
 		}

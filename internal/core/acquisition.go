@@ -133,26 +133,26 @@ func RobustAcquisition() AcquisitionPolicy {
 // here is visible to a real defender.
 type AcquisitionStats struct {
 	// Readings is the number of aggregated readings delivered.
-	Readings uint64
+	Readings uint64 `json:"readings"`
 	// Passes is the number of measurement sweeps over the chip
 	// (each sweep reads every pattern of the current batch once).
-	Passes uint64
+	Passes uint64 `json:"passes"`
 	// Raw is the number of raw samples taken from the tester.
-	Raw uint64
+	Raw uint64 `json:"raw"`
 	// Dropped is the number of raw samples lost by the tester (NaN).
-	Dropped uint64
+	Dropped uint64 `json:"dropped"`
 	// Rejected is the number of samples discarded by MAD outlier
 	// rejection.
-	Rejected uint64
+	Rejected uint64 `json:"rejected"`
 	// Latched is the number of samples discarded by the stuck-latch
 	// guard (exact duplicates across different patterns).
-	Latched uint64
+	Latched uint64 `json:"latched"`
 	// Retries is the number of extra measurement passes spent on
 	// readings that were still deficient after the initial repeats.
-	Retries uint64
+	Retries uint64 `json:"retries"`
 	// Unstable is the number of delivered readings with no surviving
 	// sample (reported as NaN and excluded downstream).
-	Unstable uint64
+	Unstable uint64 `json:"unstable"`
 }
 
 // Sub returns the counter deltas s − earlier (for per-run accounting on

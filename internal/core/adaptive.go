@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"superpose/internal/scan"
@@ -9,7 +10,8 @@ import (
 // CellRef addresses one stimulus bit: a scan bit (Chain >= 0) or a primary
 // input (Chain == PIChain, Index = PI position).
 type CellRef struct {
-	Chain, Index int
+	Chain int `json:"chain"`
+	Index int `json:"index"`
 }
 
 // PIChain is the sentinel Chain value marking a primary-input bit.
@@ -83,6 +85,10 @@ type AdaptiveOptions struct {
 	// exists as the correctness oracle the sweep equivalence suite runs
 	// against, not as a different algorithm.
 	LegacyMeasure bool
+	// Progress, when non-nil, receives a StageAdaptive event per accepted
+	// climb step (Step = accepted steps so far, Total = MaxSteps). It
+	// never alters the climb.
+	Progress ProgressFunc
 }
 
 func (o AdaptiveOptions) withDefaults(p *scan.Pattern) AdaptiveOptions {
@@ -107,35 +113,36 @@ func (o AdaptiveOptions) withDefaults(p *scan.Pattern) AdaptiveOptions {
 
 // AdaptiveStep is one accepted state of the flow.
 type AdaptiveStep struct {
-	Pattern     *scan.Pattern
-	Reading     Reading
-	Flipped     CellRef // the bit flipped to reach this step ({-1,-1} for the seed)
-	Transitions int
+	Pattern     *scan.Pattern `json:"pattern,omitempty"`
+	Reading     Reading       `json:"reading"`
+	Flipped     CellRef       `json:"flipped"` // the bit flipped to reach this step ({-1,-1} for the seed)
+	Transitions int           `json:"transitions"`
 }
 
 // PairCandidate is a pattern pair flagged by the drop screen: the two
 // patterns differ in exactly the Critical stimulus bit, and their
 // superposition signal exceeded the drop threshold.
 type PairCandidate struct {
-	A, B     *scan.Pattern
-	Critical CellRef
-	SRPD     float64
+	A        *scan.Pattern `json:"a,omitempty"`
+	B        *scan.Pattern `json:"b,omitempty"`
+	Critical CellRef       `json:"critical"`
+	SRPD     float64       `json:"srpd"`
 	// Significance is the residual in units of √(Σe²) over the unique
 	// sets (see PairAnalysis.Significance) — the selection key. Ranking by
 	// raw |S-RPD| would favor tiny-denominator pairs whose benign
 	// variation happens to be extreme; significance normalizes by the
 	// variation exposure instead.
-	Significance float64
+	Significance float64 `json:"significance"`
 }
 
 // AdaptiveResult is the full trajectory of one adaptive run.
 type AdaptiveResult struct {
-	Steps []AdaptiveStep
+	Steps []AdaptiveStep `json:"steps"`
 	// Best indexes the step with the highest RPD — the "final test pattern
 	// achieved by the adaptive flow alone" of Table I.
-	Best int
+	Best int `json:"best"`
 	// Pairs lists drop-flagged adjacent pairs, in discovery order.
-	Pairs []PairCandidate
+	Pairs []PairCandidate `json:"pairs,omitempty"`
 }
 
 // BestPattern returns the max-RPD pattern of the trajectory.
@@ -172,6 +179,18 @@ func (r *AdaptiveResult) BestPair() (a, b *scan.Pattern, critical CellRef, ok bo
 // analyzed through superposition, and pairs whose |S-RPD| exceeds the
 // drop threshold are flagged for the focused §IV-D stage.
 func (ev *Evaluator) Adaptive(seed *scan.Pattern, opt AdaptiveOptions) *AdaptiveResult {
+	res, _ := ev.AdaptiveContext(context.Background(), seed, opt)
+	return res
+}
+
+// AdaptiveContext is Adaptive under a run context: the climb checks ctx
+// between candidate chunks and between steps, and a cancellation (or
+// deadline expiry) aborts it mid-climb, returning the trajectory
+// accepted so far together with ctx's error. The device's acquisition is
+// expected to share the same context (see DetectContext), so an abort
+// never steers the search with partially-acquired readings. With a
+// background context the climb is bit-identical to Adaptive.
+func (ev *Evaluator) AdaptiveContext(ctx context.Context, seed *scan.Pattern, opt AdaptiveOptions) (*AdaptiveResult, error) {
 	opt = opt.withDefaults(seed)
 	cur := seed.Clone()
 	res := &AdaptiveResult{
@@ -202,7 +221,7 @@ func (ev *Evaluator) Adaptive(seed *scan.Pattern, opt AdaptiveOptions) *Adaptive
 		cands = append(cands, CellRef{PIChain, i})
 	}
 	if len(cands) == 0 {
-		return res
+		return res, ctx.Err()
 	}
 	residuals := make([]float64, len(cands))
 
@@ -253,6 +272,9 @@ func (ev *Evaluator) Adaptive(seed *scan.Pattern, opt AdaptiveOptions) *Adaptive
 	sweepBased := false
 
 	for step := 0; step < opt.MaxSteps; step++ {
+		if ctx.Err() != nil {
+			break
+		}
 		// Measure all candidates, 64 per chunk. Two results matter: the
 		// candidate with the strongest suspicious signal (the greedy step)
 		// and the candidate whose reading drops hardest below the current
@@ -267,6 +289,9 @@ func (ev *Evaluator) Adaptive(seed *scan.Pattern, opt AdaptiveOptions) *Adaptive
 			sweepBased = true
 		}
 		for start := 0; start < len(cands); start += 64 {
+			if ctx.Err() != nil {
+				break
+			}
 			end := min(start+64, len(cands))
 			var rds []Reading
 			if sweep != nil {
@@ -293,6 +318,13 @@ func (ev *Evaluator) Adaptive(seed *scan.Pattern, opt AdaptiveOptions) *Adaptive
 				residuals[start+i] = abs((curReading.Observed - rd.Observed) -
 					(curReading.Nominal - rd.Nominal))
 			}
+		}
+
+		// A cancellation observed during the candidate loop aborts the
+		// climb here, before the screen or the greedy step can act on a
+		// partially-measured round.
+		if ctx.Err() != nil {
+			break
 		}
 
 		// Focused superposition analysis of the top residual droppers
@@ -339,6 +371,7 @@ func (ev *Evaluator) Adaptive(seed *scan.Pattern, opt AdaptiveOptions) *Adaptive
 			Flipped:     chosen,
 			Transitions: next.TransitionCount(),
 		})
+		opt.Progress.emit(StageAdaptive, len(res.Steps)-1, opt.MaxSteps, "climb step accepted")
 
 		// Superposition screen of the accepted adjacent pair as well.
 		pa := ev.AnalyzePair(cur, next)
@@ -361,7 +394,7 @@ func (ev *Evaluator) Adaptive(seed *scan.Pattern, opt AdaptiveOptions) *Adaptive
 			res.Best = i
 		}
 	}
-	return res
+	return res, ctx.Err()
 }
 
 func abs(x float64) float64 {

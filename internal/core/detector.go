@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -50,6 +51,11 @@ type Config struct {
 	// NaiveAcquisition, RobustAcquisition). The zero value leaves the
 	// device's configured policy untouched.
 	Acquisition AcquisitionPolicy
+	// Progress, when non-nil, receives per-phase progress events
+	// (seeds, calibration, adaptive climb, pair analysis, confirmation).
+	// Reporting never alters the flow; see ProgressFunc for the
+	// concurrency contract.
+	Progress ProgressFunc
 }
 
 func (c Config) withDefaults() Config {
@@ -68,29 +74,32 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Report is the outcome of a certification run on one device.
+// Report is the outcome of a certification run on one device. It is a
+// wire type: the json tags define the certification service's response
+// schema, and the custom marshaler keeps the NaN-capable verdict fields
+// (an unstable die's FinalSRPD) JSON-safe (see wire.go).
 type Report struct {
 	// Seed stage.
-	ATPGSummary string
-	SeedReading Reading // the strongest seed pattern's reading
-	SeedPattern *scan.Pattern
+	ATPGSummary string        `json:"atpg_summary,omitempty"`
+	SeedReading Reading       `json:"seed_reading"` // the strongest seed pattern's reading
+	SeedPattern *scan.Pattern `json:"seed_pattern,omitempty"`
 
 	// Adaptive stage (best across seeds).
-	Adaptive        *AdaptiveResult
-	AdaptiveReading Reading
+	Adaptive        *AdaptiveResult `json:"adaptive,omitempty"`
+	AdaptiveReading Reading         `json:"adaptive_reading"`
 
 	// Superposition stage. HasPair is false when no suspicious drop was
 	// ever flagged — the expected outcome on a Trojan-free device.
-	HasPair       bool
-	Superposition PairAnalysis // the flagged pair, as found (§IV-C)
-	Strategic     StrategicResult
+	HasPair       bool            `json:"has_pair"`
+	Superposition PairAnalysis    `json:"superposition"` // the flagged pair, as found (§IV-C)
+	Strategic     StrategicResult `json:"strategic"`
 	// Confirmed is the verdict pair re-measured fresh: the strategic
 	// winner was *selected* as a maximum over measured states, so its
 	// recorded reading carries selection bias — and under tester faults a
 	// single inflated reading can be that maximum. The verdict uses the
 	// median-magnitude confirmation instead; on an ideal tester every
 	// re-measurement is identical and Confirmed equals Strategic.Final.
-	Confirmed PairAnalysis
+	Confirmed PairAnalysis `json:"confirmed"`
 
 	// Acquisition summarizes this run's measurement-acquisition work:
 	// passes, retries, samples dropped by the tester or rejected as
@@ -99,17 +108,17 @@ type Report struct {
 	// back NaN; UnstablePairs counts flagged pairs excluded from the
 	// verdict for the same reason — the graceful-degradation path under
 	// severe tester faults.
-	Acquisition   AcquisitionStats
-	UnstableSeeds int
-	UnstablePairs int
+	Acquisition   AcquisitionStats `json:"acquisition"`
+	UnstableSeeds int              `json:"unstable_seeds"`
+	UnstablePairs int              `json:"unstable_pairs"`
 
 	// Verdict.
-	FinalSRPD float64
+	FinalSRPD float64 `json:"final_srpd"`
 	// FinalZ is the final pair's residual in benign standard deviations
 	// (Significance / σ_intra with σ_intra = Varsigma/3).
-	FinalZ   float64
-	Varsigma float64
-	Detected bool
+	FinalZ   float64 `json:"final_z"`
+	Varsigma float64 `json:"varsigma"`
+	Detected bool    `json:"detected"`
 }
 
 // DetectionProbabilityAt evaluates the Eq. 3 bound for the report's final
@@ -143,16 +152,28 @@ func (r *Report) Summary() string {
 //  4. align the pair further with the strategic modification suite,
 //  5. compare the final S-RPD against what intra-die variation can explain.
 func Detect(golden *netlist.Netlist, lib *power.Library, dev *Device, cfg Config) (*Report, error) {
+	return DetectContext(context.Background(), golden, lib, dev, cfg)
+}
+
+// DetectContext is Detect under a run context. The context is bound to
+// the device's acquisition (see Device.SetContext) and checked between
+// pipeline phases, between adaptive climb rounds and between pair
+// analyses, so a cancellation or deadline expiry aborts the run
+// mid-climb — returning ctx's error, never a report built from partial
+// measurements. With a background context it is bit-identical to Detect.
+func DetectContext(ctx context.Context, golden *netlist.Netlist, lib *power.Library, dev *Device, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Acquisition != (AcquisitionPolicy{}) {
 		dev.SetAcquisition(cfg.Acquisition)
 	}
+	dev.SetContext(ctx)
 	acqStart := dev.AcquisitionStats()
 	ev := NewEvaluator(golden, lib, dev, cfg.NumChains, cfg.Mode)
 
 	seeds := cfg.SeedPatterns
 	rep := &Report{Varsigma: cfg.Varsigma}
 	if len(seeds) == 0 {
+		cfg.Progress.emit(StageSeeds, 0, 0, "generating ATPG seed patterns")
 		gen, err := atpg.Generate(ev.Chains(), cfg.ATPG)
 		if err != nil {
 			return nil, fmt.Errorf("core: seed generation: %w", err)
@@ -163,6 +184,10 @@ func Detect(golden *netlist.Netlist, lib *power.Library, dev *Device, cfg Config
 		seeds = gen.Patterns
 		rep.ATPGSummary = gen.String()
 	}
+	cfg.Progress.emit(StageSeeds, len(seeds), len(seeds), "seed patterns ready")
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Per-die characterization: estimate the global (inter-die) power
 	// scale from the seed set so the self-referencing analysis only faces
@@ -170,9 +195,13 @@ func Detect(golden *netlist.Netlist, lib *power.Library, dev *Device, cfg Config
 	// configured, the first seed becomes the reference pattern whose
 	// periodic re-measurement tracks slow tester drift on top of the
 	// one-time calibration.
+	cfg.Progress.emit(StageCalibrate, 0, 0, "per-die power-scale calibration")
 	ev.Calibrate(seeds)
 	if dev.Acquisition().DriftWindow > 0 {
 		ev.SetDriftReference(seeds[0])
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Rank seeds by RPD. Seeds whose reading the acquisition layer could
@@ -191,6 +220,11 @@ func Detect(golden *netlist.Netlist, lib *power.Library, dev *Device, cfg Config
 		rankedSeeds = append(rankedSeeds, ranked{seeds[i], r})
 	}
 	if len(rankedSeeds) == 0 {
+		// Cancellation mid-ranking floods the batch with NaN readings;
+		// report the abort, not a tester-instability diagnosis.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("core: no seed pattern produced a stable reading (%d unstable; tester faults beyond the acquisition policy's reach)", rep.UnstableSeeds)
 	}
 	for i := 1; i < len(rankedSeeds); i++ { // insertion sort by RPD desc
@@ -207,8 +241,16 @@ func Detect(golden *netlist.Netlist, lib *power.Library, dev *Device, cfg Config
 		nSeeds = len(rankedSeeds)
 	}
 	var flagged []PairCandidate
+	aopt := cfg.Adaptive
+	if aopt.Progress == nil {
+		aopt.Progress = cfg.Progress
+	}
 	for i := 0; i < nSeeds; i++ {
-		ar := ev.Adaptive(rankedSeeds[i].p, cfg.Adaptive)
+		cfg.Progress.emit(StageAdaptive, i, nSeeds, "adaptive climb from ranked seed")
+		ar, err := ev.AdaptiveContext(ctx, rankedSeeds[i].p, aopt)
+		if err != nil {
+			return nil, err
+		}
 		best := ar.Steps[ar.Best]
 		if rep.Adaptive == nil || best.Reading.RPD > rep.AdaptiveReading.RPD {
 			rep.Adaptive = ar
@@ -235,6 +277,10 @@ func Detect(golden *netlist.Netlist, lib *power.Library, dev *Device, cfg Config
 	if nPairs > 0 {
 		kept := false
 		for i := 0; i < nPairs; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			cfg.Progress.emit(StagePairs, i, nPairs, "superposition + strategic pair analysis")
 			pc := flagged[i]
 			sup := ev.AnalyzePair(pc.A, pc.B)
 			st := ev.StrategicModify(pc.A, pc.B, pc.Critical, cfg.Strategic)
@@ -253,6 +299,10 @@ func Detect(golden *netlist.Netlist, lib *power.Library, dev *Device, cfg Config
 			}
 		}
 		if kept {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			cfg.Progress.emit(StageConfirm, 0, 0, "verdict-pair confirmation")
 			rep.HasPair = true
 			rep.Confirmed = confirmPair(ev, rep.Strategic.Final)
 			rep.FinalSRPD = rep.Confirmed.SRPD
@@ -279,6 +329,12 @@ func Detect(golden *netlist.Netlist, lib *power.Library, dev *Device, cfg Config
 			rep.FinalSRPD = rep.Confirmed.SRPD
 			finalSig = rep.Confirmed.Significance()
 		}
+	}
+
+	// A cancellation during the final measurements must not deliver a
+	// verdict mined from NaN-degraded readings.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Dual-criterion verdict: the Eq. 3 bound on the ratio metric, or a

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"superpose/internal/logic"
@@ -36,6 +37,13 @@ type Device struct {
 	acq      AcquisitionStats
 	masks    []logic.Word // scratch
 	sweepRaw []float64    // scratch for sparse sweep pricing
+
+	// Run context (see SetContext): a cancelled context makes every
+	// subsequent acquisition deliver NaN readings instead of partial
+	// aggregates, with the cause held sticky in ctxErr until the next
+	// SetContext.
+	ctx    context.Context
+	ctxErr error
 
 	// Stuck-guard state: the last raw reading seen, the identity of the
 	// stimulus it was taken from, and whether it was flagged as a latch
@@ -109,6 +117,47 @@ func (d *Device) SetAcquisition(p AcquisitionPolicy) { d.policy = p }
 // Acquisition returns the current acquisition policy.
 func (d *Device) Acquisition() AcquisitionPolicy { return d.policy }
 
+// SetContext binds the device's acquisition to a run context: once ctx
+// is cancelled (or its deadline expires), every subsequent measurement —
+// batch or sweep — delivers NaN readings rather than values aggregated
+// from however many tester passes happened to finish, and Err reports
+// the cause. The mid-acquisition check sits between tester passes, so a
+// cancelled job never receives a reading built from a partial sample
+// set. A nil ctx restores the unbound (background) behavior and clears
+// the sticky error.
+func (d *Device) SetContext(ctx context.Context) {
+	d.ctx = ctx
+	d.ctxErr = nil
+}
+
+// Err returns the context cancellation that aborted an acquisition on
+// this device, or nil. The error is sticky until the next SetContext.
+func (d *Device) Err() error { return d.ctxErr }
+
+// cancelled checks the run context, recording and returning its error.
+func (d *Device) cancelled() error {
+	if d.ctxErr != nil {
+		return d.ctxErr
+	}
+	if d.ctx == nil {
+		return nil
+	}
+	d.ctxErr = d.ctx.Err()
+	return d.ctxErr
+}
+
+// nanReadings is the all-lanes-unstable result of a cancelled
+// acquisition: NaN per lane, counted as unstable, never partial data.
+func (d *Device) nanReadings(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	d.acq.Readings += uint64(n)
+	d.acq.Unstable += uint64(n)
+	return out
+}
+
 // SetFaultModel interposes a tester fault model on the raw reading
 // stream (nil restores the ideal tester).
 func (d *Device) SetFaultModel(fm *tester.FaultModel) { d.faults = fm }
@@ -122,7 +171,9 @@ func (d *Device) AcquisitionStats() AcquisitionStats { return d.acq }
 // MeasureBatch applies a set of patterns and returns one power reading
 // per pattern, acquired under the configured policy. Any batch size is
 // accepted; the engine's 64-lane launches are chunked internally. A
-// reading the policy could not stabilize is NaN.
+// reading the policy could not stabilize is NaN, as is every reading
+// taken after the run context (SetContext) was cancelled — check Err to
+// distinguish cancellation from tester instability.
 func (d *Device) MeasureBatch(pats []*scan.Pattern) []float64 {
 	out := make([]float64, 0, len(pats))
 	for start := 0; start < len(pats); start += 64 {
@@ -156,6 +207,12 @@ func (d *Device) measureChunk(pats []*scan.Pattern) []float64 {
 // through here, so the two acquire readings with bit-identical policy
 // behavior.
 func (d *Device) acquire(n int, price func() []float64, key func(lane int) readingKey) []float64 {
+	// A cancelled run context aborts the acquisition before the first
+	// tester pass: the caller gets NaN readings and Err() the cause.
+	if d.cancelled() != nil {
+		return d.nanReadings(n)
+	}
+
 	// Fast path: a noiseless chip behind an ideal tester returns the
 	// identical value on every repeat, so one sweep is exact regardless
 	// of the configured repeat count.
@@ -212,6 +269,13 @@ func (d *Device) acquire(n int, price func() []float64, key func(lane int) readi
 		}
 	}
 	for r := 0; r < p.Repeats; r++ {
+		// Between passes is the one safe abort point: bailing here
+		// delivers NaN for every lane rather than aggregates over
+		// whichever passes completed — a cancelled job must never see
+		// partial readings (they would differ from any uncancelled run).
+		if d.cancelled() != nil {
+			return d.nanReadings(n)
+		}
 		sweep(nil)
 	}
 
@@ -237,6 +301,9 @@ func (d *Device) acquire(n int, price func() []float64, key func(lane int) readi
 		return mad > p.SpreadGate*math.Abs(med)
 	}
 	for retry := 0; retry < p.RetryBudget; retry++ {
+		if d.cancelled() != nil {
+			return d.nanReadings(n)
+		}
 		deficient := make([]bool, n)
 		any := false
 		for i := range samples {
@@ -295,9 +362,10 @@ func (d *Device) NewSweeper(flips []scan.Flip) (*scan.Sweeper, error) {
 // toggle encoding of the physical netlist (from a Sweeper built with
 // NewSweeper). Acquisition semantics — repeats, tester faults, outlier
 // rejection, the stuck-latch guard, retries — are bit-identical to
-// MeasureBatch over the materialized patterns. The returned slice may
-// share the device's scratch storage; it is valid until the next
-// measurement.
+// MeasureBatch over the materialized patterns, including the run-context
+// contract: a cancelled context yields NaN lanes and a non-nil Err,
+// never partially-aggregated readings. The returned slice may share the
+// device's scratch storage; it is valid until the next measurement.
 func (d *Device) MeasureSweep(base *scan.Pattern, flips []scan.Flip, ids []int, masks []logic.Word) []float64 {
 	n := len(flips)
 	return d.acquire(n,

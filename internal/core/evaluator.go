@@ -134,9 +134,9 @@ func (ev *Evaluator) Device() *Device { return ev.dev }
 
 // Reading is one defender-visible measurement of a pattern.
 type Reading struct {
-	Observed float64 // chip power
-	Nominal  float64 // golden-model nominal power of the predicted activity
-	RPD      float64 // Eq. 1
+	Observed float64 `json:"observed"` // chip power
+	Nominal  float64 `json:"nominal"`  // golden-model nominal power of the predicted activity
+	RPD      float64 `json:"rpd"`      // Eq. 1
 }
 
 // SetDriftReference enables drift compensation against a reference
@@ -233,22 +233,28 @@ func (ev *Evaluator) GoldenToggles(p *scan.Pattern) []int {
 // observed and nominal powers, the golden-model activity decomposition,
 // and the resulting S-RPD.
 type PairAnalysis struct {
-	A, B *scan.Pattern
+	A *scan.Pattern `json:"a,omitempty"`
+	B *scan.Pattern `json:"b,omitempty"`
 
-	ObservedA, ObservedB float64
-	NominalA, NominalB   float64
+	ObservedA float64 `json:"observed_a"`
+	ObservedB float64 `json:"observed_b"`
+	NominalA  float64 `json:"nominal_a"`
+	NominalB  float64 `json:"nominal_b"`
 
 	// Golden-model activity decomposition (gate counts) and the nominal
 	// power of the unique parts — the Eq. 2 denominator.
-	CommonCount, AUniqueCount, BUniqueCount int
-	NominalAUnique, NominalBUnique          float64
+	CommonCount    int     `json:"common_count"`
+	AUniqueCount   int     `json:"a_unique_count"`
+	BUniqueCount   int     `json:"b_unique_count"`
+	NominalAUnique float64 `json:"nominal_a_unique"`
+	NominalBUnique float64 `json:"nominal_b_unique"`
 
 	// UniqueEnergySq is Σe² over both unique sets: the squared scale of
 	// the intra-die variation the pair is exposed to (σ·√UniqueEnergySq
 	// is the residual's standard deviation under the benign hypothesis).
-	UniqueEnergySq float64
+	UniqueEnergySq float64 `json:"unique_energy_sq"`
 
-	SRPD float64
+	SRPD float64 `json:"srpd"`
 }
 
 // Residual returns the Eq. 2 numerator: the observed power difference not

@@ -99,6 +99,12 @@ type TableIRow struct {
 
 // RunTableICase reproduces one row of Table I.
 func RunTableICase(c trust.Case, cfg ExperimentConfig) (TableIRow, error) {
+	return RunTableICaseContext(context.Background(), c, cfg)
+}
+
+// RunTableICaseContext is RunTableICase under a run context (see
+// DetectContext for the cancellation contract).
+func RunTableICaseContext(ctx context.Context, c trust.Case, cfg ExperimentConfig) (TableIRow, error) {
 	cfg = cfg.withDefaults()
 	inst, err := trust.Build(c, cfg.Scale)
 	if err != nil {
@@ -108,7 +114,7 @@ func RunTableICase(c trust.Case, cfg ExperimentConfig) (TableIRow, error) {
 	chip := power.Manufacture(inst.Infected, lib, power.ThreeSigmaIntra(cfg.Varsigma), cfg.ChipSeed)
 	dev := NewDevice(chip, cfg.NumChains, scan.LOS)
 
-	rep, err := Detect(inst.Host, lib, dev, Config{
+	rep, err := DetectContext(ctx, inst.Host, lib, dev, Config{
 		NumChains: cfg.NumChains,
 		ATPG:      cfg.ATPG,
 		MaxSeeds:  cfg.MaxSeeds,
@@ -150,10 +156,16 @@ func RunTableICase(c trust.Case, cfg ExperimentConfig) (TableIRow, error) {
 // instance, die and device, so rows are bit-identical at any worker
 // count and arrive in the canonical case order.
 func RunTableI(cfg ExperimentConfig) ([]TableIRow, error) {
+	return RunTableIContext(context.Background(), cfg)
+}
+
+// RunTableIContext is RunTableI under a run context: cancellation stops
+// the per-case dispatch and aborts in-flight cases mid-climb.
+func RunTableIContext(ctx context.Context, cfg ExperimentConfig) ([]TableIRow, error) {
 	cases := trust.Cases()
-	return parallel.Map(context.Background(), cfg.Workers, len(cases),
+	return parallel.Map(ctx, cfg.Workers, len(cases),
 		func(i int) (TableIRow, error) {
-			row, err := RunTableICase(cases[i], cfg)
+			row, err := RunTableICaseContext(ctx, cases[i], cfg)
 			if err != nil {
 				return TableIRow{}, fmt.Errorf("case %s: %w", cases[i], err)
 			}
@@ -176,6 +188,12 @@ type ControlRow struct {
 // is deduplicated up front (one clean control per host, in canonical
 // case order), then fanned out over cfg.Workers.
 func RunCleanControls(cfg ExperimentConfig) ([]ControlRow, error) {
+	return RunCleanControlsContext(context.Background(), cfg)
+}
+
+// RunCleanControlsContext is RunCleanControls under a run context (same
+// cancellation contract as RunTableIContext).
+func RunCleanControlsContext(ctx context.Context, cfg ExperimentConfig) ([]ControlRow, error) {
 	cfg = cfg.withDefaults()
 	var hosts []trust.Case
 	seen := map[string]bool{}
@@ -186,7 +204,7 @@ func RunCleanControls(cfg ExperimentConfig) ([]ControlRow, error) {
 		seen[c.Benchmark] = true
 		hosts = append(hosts, c)
 	}
-	return parallel.Map(context.Background(), cfg.Workers, len(hosts),
+	return parallel.Map(ctx, cfg.Workers, len(hosts),
 		func(i int) (ControlRow, error) {
 			c := hosts[i]
 			inst, err := trust.Build(c, cfg.Scale)
@@ -196,7 +214,7 @@ func RunCleanControls(cfg ExperimentConfig) ([]ControlRow, error) {
 			lib := power.SAED90Like()
 			chip := power.Manufacture(inst.Host, lib, power.ThreeSigmaIntra(cfg.Varsigma), cfg.ChipSeed+1)
 			dev := NewDevice(chip, cfg.NumChains, scan.LOS)
-			rep, err := Detect(inst.Host, lib, dev, Config{
+			rep, err := DetectContext(ctx, inst.Host, lib, dev, Config{
 				NumChains: cfg.NumChains,
 				ATPG:      cfg.ATPG,
 				MaxSeeds:  cfg.MaxSeeds,
@@ -481,7 +499,7 @@ func (r RobustnessRow) String() string {
 }
 
 // robustnessDetect runs one die under a tester fault regime and policy.
-func robustnessDetect(golden *netlist.Netlist, lib *power.Library, chip *power.Chip,
+func robustnessDetect(ctx context.Context, golden *netlist.Netlist, lib *power.Library, chip *power.Chip,
 	regime string, faultSeed uint64, policy AcquisitionPolicy, cfg ExperimentConfig) (*Report, error) {
 	dev := NewDevice(chip, cfg.NumChains, scan.LOS)
 	dev.SetAcquisition(policy)
@@ -492,7 +510,7 @@ func robustnessDetect(golden *netlist.Netlist, lib *power.Library, chip *power.C
 	if tc.Enabled() {
 		dev.SetFaultModel(tester.New(tc))
 	}
-	return Detect(golden, lib, dev, Config{
+	return DetectContext(ctx, golden, lib, dev, Config{
 		NumChains:   cfg.NumChains,
 		ATPG:        cfg.ATPG,
 		MaxSeeds:    cfg.MaxSeeds,
@@ -508,6 +526,13 @@ func robustnessDetect(golden *netlist.Netlist, lib *power.Library, chip *power.C
 // from the regime, the policy and the case index, so the table is
 // bit-reproducible.
 func RunRobustnessRow(regime, policyName string, policy AcquisitionPolicy, cfg ExperimentConfig) (RobustnessRow, error) {
+	return RunRobustnessRowContext(context.Background(), regime, policyName, policy, cfg)
+}
+
+// RunRobustnessRowContext is RunRobustnessRow under a run context: the
+// serial per-case loop checks ctx between dies and each die's Detect
+// aborts mid-climb on cancellation.
+func RunRobustnessRowContext(ctx context.Context, regime, policyName string, policy AcquisitionPolicy, cfg ExperimentConfig) (RobustnessRow, error) {
 	cfg = cfg.withDefaults()
 	lib := power.SAED90Like()
 	row := RobustnessRow{Regime: regime, Policy: policyName}
@@ -515,13 +540,16 @@ func RunRobustnessRow(regime, policyName string, policy AcquisitionPolicy, cfg E
 	var srpdSum float64
 	var srpdN int
 	for i, c := range trust.Cases() {
+		if err := ctx.Err(); err != nil {
+			return row, err
+		}
 		inst, err := trust.Build(c, cfg.Scale)
 		if err != nil {
 			return row, fmt.Errorf("case %s: %w", c, err)
 		}
 		chip := power.Manufacture(inst.Infected, lib, power.ThreeSigmaIntra(cfg.Varsigma), cfg.ChipSeed)
 		faultSeed := cfg.ChipSeed ^ (uint64(i+1) * 0x9E3779B97F4A7C15)
-		rep, err := robustnessDetect(inst.Host, lib, chip, regime, faultSeed, policy, cfg)
+		rep, err := robustnessDetect(ctx, inst.Host, lib, chip, regime, faultSeed, policy, cfg)
 		if err != nil {
 			return row, fmt.Errorf("case %s: %w", c, err)
 		}
@@ -547,13 +575,16 @@ func RunRobustnessRow(regime, policyName string, policy AcquisitionPolicy, cfg E
 			continue
 		}
 		seen[c.Benchmark] = true
+		if err := ctx.Err(); err != nil {
+			return row, err
+		}
 		inst, err := trust.Build(c, cfg.Scale)
 		if err != nil {
 			return row, fmt.Errorf("control %s: %w", c.Benchmark, err)
 		}
 		chip := power.Manufacture(inst.Host, lib, power.ThreeSigmaIntra(cfg.Varsigma), cfg.ChipSeed+1)
 		faultSeed := cfg.ChipSeed ^ (uint64(i+101) * 0x9E3779B97F4A7C15)
-		rep, err := robustnessDetect(inst.Host, lib, chip, regime, faultSeed, policy, cfg)
+		rep, err := robustnessDetect(ctx, inst.Host, lib, chip, regime, faultSeed, policy, cfg)
 		if err != nil {
 			return row, fmt.Errorf("control %s: %w", c.Benchmark, err)
 		}
@@ -589,6 +620,12 @@ type SigmaSweepRow struct {
 // die's chip seed is parallel.Mix(cfg.ChipSeed, grid index), so the sweep
 // is bit-identical at any worker count.
 func RunSigmaSweep(c trust.Case, cfg ExperimentConfig, varsigmas []float64, dies int) ([]SigmaSweepRow, error) {
+	return RunSigmaSweepContext(context.Background(), c, cfg, varsigmas, dies)
+}
+
+// RunSigmaSweepContext is RunSigmaSweep under a run context: cancellation
+// stops the σ×die grid dispatch and aborts in-flight dies mid-climb.
+func RunSigmaSweepContext(ctx context.Context, c trust.Case, cfg ExperimentConfig, varsigmas []float64, dies int) ([]SigmaSweepRow, error) {
 	cfg = cfg.withDefaults()
 	if len(varsigmas) == 0 {
 		varsigmas = TableIIVarsigmas
@@ -615,14 +652,14 @@ func RunSigmaSweep(c trust.Case, cfg ExperimentConfig, varsigmas []float64, dies
 		Mag      float64
 		Detected bool
 	}
-	outcomes, err := parallel.Map(context.Background(), cfg.Workers, len(varsigmas)*dies,
+	outcomes, err := parallel.Map(ctx, cfg.Workers, len(varsigmas)*dies,
 		func(i int) (dieOutcome, error) {
 			v := varsigmas[i/dies]
 			dcfg := base
 			dcfg.Varsigma = v
 			chip := power.Manufacture(inst.Infected, lib, power.ThreeSigmaIntra(v), parallel.Mix(cfg.ChipSeed, i))
 			dev := NewDevice(chip, cfg.NumChains, scan.LOS)
-			rep, err := Detect(inst.Host, lib, dev, dcfg)
+			rep, err := DetectContext(ctx, inst.Host, lib, dev, dcfg)
 			if err != nil {
 				return dieOutcome{}, fmt.Errorf("sweep %s σ=%g die %d: %w", c, v, i%dies, err)
 			}
@@ -676,13 +713,19 @@ func (s AcquisitionStats) add(o AcquisitionStats) AcquisitionStats {
 // and case index alone — so they fan out over cfg.Workers in row-major
 // order.
 func RunRobustnessTable(cfg ExperimentConfig) ([]RobustnessRow, error) {
+	return RunRobustnessTableContext(context.Background(), cfg)
+}
+
+// RunRobustnessTableContext is RunRobustnessTable under a run context
+// (same cancellation contract as RunTableIContext).
+func RunRobustnessTableContext(ctx context.Context, cfg ExperimentConfig) ([]RobustnessRow, error) {
 	policies := RobustnessPolicies()
 	n := len(RobustnessRegimes) * len(policies)
-	return parallel.Map(context.Background(), cfg.Workers, n,
+	return parallel.Map(ctx, cfg.Workers, n,
 		func(i int) (RobustnessRow, error) {
 			regime := RobustnessRegimes[i/len(policies)]
 			p := policies[i%len(policies)]
-			row, err := RunRobustnessRow(regime, p.Name, p.Policy, cfg)
+			row, err := RunRobustnessRowContext(ctx, regime, p.Name, p.Policy, cfg)
 			if err != nil {
 				return RobustnessRow{}, fmt.Errorf("robustness %s/%s: %w", regime, p.Name, err)
 			}

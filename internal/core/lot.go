@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"superpose/internal/atpg"
 	"superpose/internal/netlist"
@@ -45,6 +46,12 @@ type LotOptions struct {
 	// serial path. Every worker count produces bit-identical lot reports —
 	// each die's seeds derive from its index alone.
 	Workers int
+	// Progress, when non-nil, receives a StageDie event as each die's
+	// certification completes (Step = dies finished so far, Total =
+	// Dies). Dies fan out across workers, so the callback MUST be safe
+	// for concurrent use; completion order is scheduling-dependent even
+	// though the lot report itself is bit-identical at any worker count.
+	Progress ProgressFunc
 }
 
 func (o LotOptions) withDefaults() LotOptions {
@@ -56,23 +63,25 @@ func (o LotOptions) withDefaults() LotOptions {
 
 // DieResult is one die's certification outcome within a lot.
 type DieResult struct {
-	Die      int
-	Seed     uint64
-	Report   *Report
-	FinalMag float64 // |FinalSRPD|
+	Die      int     `json:"die"`
+	Seed     uint64  `json:"seed"`
+	Report   *Report `json:"report,omitempty"`
+	FinalMag float64 `json:"final_mag"` // |FinalSRPD|
 }
 
-// LotReport aggregates a lot certification.
+// LotReport aggregates a lot certification. Like Report it is a wire
+// type for the certification service (see wire.go for the NaN handling
+// on the per-die FinalMag).
 type LotReport struct {
-	Dies     []DieResult
-	Detected int
-	SRPD     stats.Summary // of |FinalSRPD| across dies (stable dies only)
+	Dies     []DieResult   `json:"dies"`
+	Detected int           `json:"detected"`
+	SRPD     stats.Summary `json:"srpd"` // of |FinalSRPD| across dies (stable dies only)
 	// Unstable counts dies whose final signal never stabilized under the
 	// tester fault model (NaN |S-RPD|); they are excluded from the SRPD
 	// summary and can never be Detected.
-	Unstable int
+	Unstable int `json:"unstable"`
 	// Acquisition accumulates the acquisition counters across dies.
-	Acquisition AcquisitionStats
+	Acquisition AcquisitionStats `json:"acquisition"`
 }
 
 // DetectionRate returns the fraction of dies flagged.
@@ -104,6 +113,17 @@ func (lr *LotReport) String() string {
 // the false positive rate.
 func CertifyLot(golden *netlist.Netlist, lib *power.Library, physical *netlist.Netlist,
 	cfg Config, lot LotOptions) (*LotReport, error) {
+	return CertifyLotContext(context.Background(), golden, lib, physical, cfg, lot)
+}
+
+// CertifyLotContext is CertifyLot under a run context: the per-die
+// fan-out stops dispatching on cancellation and every in-flight die's
+// Detect aborts mid-climb (see DetectContext), so a cancelled lot
+// certification returns promptly with ctx's error instead of running the
+// remaining dies to completion. With a background context it is
+// bit-identical to CertifyLot.
+func CertifyLotContext(ctx context.Context, golden *netlist.Netlist, lib *power.Library,
+	physical *netlist.Netlist, cfg Config, lot LotOptions) (*LotReport, error) {
 	lot = lot.withDefaults()
 	cfg = cfg.withDefaults()
 	if lot.Acquisition != (AcquisitionPolicy{}) {
@@ -111,13 +131,18 @@ func CertifyLot(golden *netlist.Netlist, lib *power.Library, physical *netlist.N
 		// the dies fan out (it is captured by every worker).
 		cfg.Acquisition = lot.Acquisition
 	}
+	// A per-die detect progress callback would interleave across worker
+	// goroutines into noise; the lot reports die-granular progress via
+	// lot.Progress instead.
+	cfg.Progress = nil
 
 	// Fan out per die. Each die's entire state — chip, device, tester
 	// fault realization, evaluator — is constructed inside its own item
 	// from seeds derived purely from the die index, so the fan-out is
 	// bit-reproducible at any worker count; the fan-in below runs in die
 	// order, identically to the legacy serial loop.
-	dies, err := parallel.Map(context.Background(), lot.Workers, lot.Dies,
+	var done atomic.Int64
+	dies, err := parallel.Map(ctx, lot.Workers, lot.Dies,
 		func(die int) (DieResult, error) {
 			seed := lot.Seed + uint64(die)*0x9E37
 			chip := power.Manufacture(physical, lib, lot.Variation, seed)
@@ -138,10 +163,11 @@ func CertifyLot(golden *netlist.Netlist, lib *power.Library, physical *netlist.N
 				tc.Seed ^= seed * 0x9E3779B97F4A7C15
 				dev.SetFaultModel(tester.New(tc))
 			}
-			rep, err := Detect(golden, lib, dev, cfg)
+			rep, err := DetectContext(ctx, golden, lib, dev, cfg)
 			if err != nil {
 				return DieResult{}, fmt.Errorf("core: die %d: %w", die, err)
 			}
+			lot.Progress.emit(StageDie, int(done.Add(1)), lot.Dies, "die certified")
 			return DieResult{Die: die, Seed: seed, Report: rep, FinalMag: abs(rep.FinalSRPD)}, nil
 		})
 	if err != nil {

@@ -121,10 +121,10 @@ func (ev *Evaluator) AnalyzePairs(pairs [][2]*scan.Pattern) []PairAnalysis {
 
 // AppliedMod records one accepted strategic modification.
 type AppliedMod struct {
-	Cell       CellRef
-	Kind       ModKind
-	SRPDBefore float64
-	SRPDAfter  float64
+	Cell       CellRef `json:"cell"`
+	Kind       ModKind `json:"kind"`
+	SRPDBefore float64 `json:"srpd_before"`
+	SRPDAfter  float64 `json:"srpd_after"`
 }
 
 // StrategicOptions tunes the §IV-D search.
@@ -148,9 +148,9 @@ func (o StrategicOptions) withDefaults() StrategicOptions {
 
 // StrategicResult is the outcome of the §IV-D alignment search.
 type StrategicResult struct {
-	Initial PairAnalysis
-	Final   PairAnalysis
-	Applied []AppliedMod
+	Initial PairAnalysis `json:"initial"`
+	Final   PairAnalysis `json:"final"`
+	Applied []AppliedMod `json:"applied,omitempty"`
 }
 
 // StrategicModify improves a superposition pair with the Fig. 2

@@ -155,8 +155,8 @@ func (c *Chains) Lengths() []int {
 // of chain cell j after load) plus static primary-input values in netlist
 // PI order. Under LOS the primary inputs hold across both frames.
 type Pattern struct {
-	Scan [][]bool
-	PI   []bool
+	Scan [][]bool `json:"scan"`
+	PI   []bool   `json:"pi"`
 }
 
 // NewPattern allocates an all-zero pattern shaped for the configuration.

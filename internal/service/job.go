@@ -1,0 +1,328 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"superpose/internal/core"
+	"superpose/internal/tester"
+	"superpose/internal/trust"
+)
+
+// JobKind selects the pipeline a job runs.
+type JobKind string
+
+const (
+	// KindDetect certifies a single die.
+	KindDetect JobKind = "detect"
+	// KindLot certifies a whole manufacturing lot.
+	KindLot JobKind = "lot"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobSpec is the request body of POST /v1/jobs: which design to certify
+// and under what flow configuration. Exactly one of Case (a built-in
+// benchmark, e.g. "s35932-T200") or Bench (an inline ISCAS .bench
+// netlist) selects the design.
+type JobSpec struct {
+	Kind JobKind `json:"kind"`
+
+	// Design selection.
+	Case   string `json:"case,omitempty"`
+	Bench  string `json:"bench,omitempty"`
+	Infect int    `json:"infect,omitempty"` // with Bench: auto-place a Trojan with this many taps
+	Clean  bool   `json:"clean,omitempty"`  // manufacture a Trojan-free die
+
+	// Flow configuration (zero means the service default).
+	Scale      float64 `json:"scale,omitempty"`       // benchmark scale (default 0.05)
+	Varsigma   float64 `json:"varsigma,omitempty"`    // intra-die 3σ and verdict bound (default 0.15)
+	Chains     int     `json:"chains,omitempty"`      // scan chains (default 4)
+	Seeds      int     `json:"seeds,omitempty"`       // adaptive runs from the top seeds (default 3)
+	ChipSeed   uint64  `json:"chip_seed,omitempty"`   // die selection seed (default 1)
+	Dies       int     `json:"dies,omitempty"`        // lot size, kind=lot only (default 5)
+	Tester     string  `json:"tester,omitempty"`      // tester fault preset (default clean)
+	TesterSeed uint64  `json:"tester_seed,omitempty"` // fault realization seed (default 1)
+	Workers    int     `json:"workers,omitempty"`     // per-job fan-out (0 = one per CPU)
+}
+
+// withDefaults fills the service defaults into zero fields.
+func (s JobSpec) withDefaults() JobSpec {
+	if s.Scale == 0 {
+		s.Scale = 0.05
+	}
+	if s.Varsigma == 0 {
+		s.Varsigma = 0.15
+	}
+	if s.Chains == 0 {
+		s.Chains = 4
+	}
+	if s.Seeds == 0 {
+		s.Seeds = 3
+	}
+	if s.ChipSeed == 0 {
+		s.ChipSeed = 1
+	}
+	if s.Dies == 0 {
+		s.Dies = 5
+	}
+	if s.Tester == "" {
+		s.Tester = "clean"
+	}
+	if s.TesterSeed == 0 {
+		s.TesterSeed = 1
+	}
+	return s
+}
+
+// Validate rejects specs the workers could not execute. It runs at
+// submission time so the client gets a 400 rather than a failed job.
+func (s JobSpec) Validate() error {
+	switch s.Kind {
+	case KindDetect, KindLot:
+	default:
+		return fmt.Errorf("unknown kind %q (want %q or %q)", s.Kind, KindDetect, KindLot)
+	}
+	if (s.Case == "") == (s.Bench == "") {
+		return fmt.Errorf("exactly one of case or bench is required")
+	}
+	if s.Case != "" {
+		found := false
+		for _, n := range trust.Names() {
+			if n == s.Case {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown case %q (available: %v)", s.Case, trust.Names())
+		}
+		if s.Infect != 0 {
+			return fmt.Errorf("infect applies to inline bench jobs only")
+		}
+	}
+	if s.Infect < 0 {
+		return fmt.Errorf("infect must be >= 0, got %d", s.Infect)
+	}
+	if s.Scale < 0 || s.Scale > 1 {
+		return fmt.Errorf("scale must be in (0, 1], got %g", s.Scale)
+	}
+	if s.Varsigma < 0 || s.Varsigma > 1 {
+		return fmt.Errorf("varsigma must be in (0, 1], got %g", s.Varsigma)
+	}
+	if s.Chains < 0 || s.Seeds < 0 || s.Dies < 0 || s.Workers < 0 {
+		return fmt.Errorf("chains, seeds, dies and workers must be >= 0")
+	}
+	if s.Tester != "" {
+		if _, err := tester.Preset(s.Tester, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Event is one SSE message on a job's event stream.
+type Event struct {
+	Type     string         `json:"type"` // "state", "progress" or "result"
+	State    State          `json:"state"`
+	Progress *core.Progress `json:"progress,omitempty"`
+	Error    string         `json:"error,omitempty"`
+}
+
+// Job is one submitted certification run.
+type Job struct {
+	ID   string  `json:"id"`
+	Spec JobSpec `json:"spec"`
+
+	// cancel aborts the job's run context; set at submission so queued
+	// jobs are cancellable before a worker picks them up.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     State
+	progress  *core.Progress // latest progress event
+	report    *core.Report
+	lotReport *core.LotReport
+	errMsg    string
+	cacheHit  bool // any artifact lookup was served from the cache
+	created   time.Time
+	finished  time.Time
+	subs      map[chan Event]struct{}
+	done      chan struct{} // closed on reaching a terminal state
+}
+
+func newJob(id string, spec JobSpec, ctx context.Context, cancel context.CancelFunc) *Job {
+	return &Job{
+		ID:      id,
+		Spec:    spec,
+		ctx:     ctx,
+		cancel:  cancel,
+		state:   StateQueued,
+		created: time.Now(),
+		subs:    make(map[chan Event]struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Cancel requests cancellation. A queued job transitions to cancelled
+// immediately; a running job's context is cancelled and the worker
+// finishes the transition when the flow unwinds.
+func (j *Job) Cancel() {
+	j.cancel()
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.finishLocked(StateCancelled, context.Canceled)
+	}
+	j.mu.Unlock()
+}
+
+// start transitions queued → running; it reports false when the job was
+// cancelled while queued (the worker then skips it).
+func (j *Job) start() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.broadcastLocked(Event{Type: "state", State: StateRunning})
+	return true
+}
+
+// finish transitions to a terminal state and wakes all waiters.
+func (j *Job) finish(state State, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finishLocked(state, err)
+}
+
+func (j *Job) finishLocked(state State, err error) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+	j.finished = time.Now()
+	j.broadcastLocked(Event{Type: "result", State: state, Error: j.errMsg})
+	close(j.done)
+}
+
+// publishProgress records and broadcasts a progress event. Lot jobs
+// emit from concurrent per-die workers, so this must be (and is)
+// safe for concurrent use.
+func (j *Job) publishProgress(p core.Progress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	cp := p
+	j.progress = &cp
+	j.broadcastLocked(Event{Type: "progress", State: j.state, Progress: &cp})
+}
+
+// subscribe registers an SSE listener. The returned channel immediately
+// carries a snapshot event with the job's current state so late
+// subscribers are not blind until the next transition. A slow listener
+// loses intermediate events rather than blocking the flow — the final
+// result is never lost because the SSE handler also watches Done.
+func (j *Job) subscribe() chan Event {
+	ch := make(chan Event, 64)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	snap := Event{Type: "state", State: j.state, Progress: j.progress, Error: j.errMsg}
+	ch <- snap
+	if j.state.Terminal() {
+		// Terminal already: deliver the result event too, since Done is
+		// closed and the handler drains then exits.
+		ch <- Event{Type: "result", State: j.state, Error: j.errMsg}
+		return ch
+	}
+	j.subs[ch] = struct{}{}
+	return ch
+}
+
+func (j *Job) unsubscribe(ch chan Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	delete(j.subs, ch)
+}
+
+func (j *Job) broadcastLocked(ev Event) {
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop rather than stall the pipeline
+		}
+	}
+}
+
+// Status is the wire view of a job (GET /v1/jobs/{id}).
+type Status struct {
+	ID        string          `json:"id"`
+	Kind      JobKind         `json:"kind"`
+	State     State           `json:"state"`
+	Progress  *core.Progress  `json:"progress,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	CacheHit  bool            `json:"cache_hit"`
+	Report    *core.Report    `json:"report,omitempty"`
+	LotReport *core.LotReport `json:"lot_report,omitempty"`
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID:        j.ID,
+		Kind:      j.Spec.Kind,
+		State:     j.state,
+		Progress:  j.progress,
+		Error:     j.errMsg,
+		CacheHit:  j.cacheHit,
+		Report:    j.report,
+		LotReport: j.lotReport,
+	}
+}
+
+func (j *Job) setResult(rep *core.Report, lr *core.LotReport) {
+	j.mu.Lock()
+	j.report = rep
+	j.lotReport = lr
+	j.mu.Unlock()
+}
+
+func (j *Job) setCacheHit(hit bool) {
+	j.mu.Lock()
+	j.cacheHit = j.cacheHit || hit
+	j.mu.Unlock()
+}

@@ -1,0 +1,69 @@
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned when the bounded queue cannot accept another
+// job; the HTTP layer maps it to 429 so clients back off.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrQueueClosed is returned once the server has begun draining; the
+// HTTP layer maps it to 503.
+var ErrQueueClosed = errors.New("service: job queue closed")
+
+// Queue is a bounded FIFO of submitted jobs. Submission never blocks:
+// a full queue rejects immediately (backpressure belongs at the edge,
+// not inside the HTTP handler). Closing the queue starts the drain —
+// workers consume the remaining backlog, then their range loop ends.
+type Queue struct {
+	mu     sync.Mutex
+	ch     chan *Job
+	closed bool
+}
+
+// NewQueue returns a queue holding at most size pending jobs.
+func NewQueue(size int) *Queue {
+	if size <= 0 {
+		size = 16
+	}
+	return &Queue{ch: make(chan *Job, size)}
+}
+
+// TryEnqueue appends the job or reports why it cannot.
+func (q *Queue) TryEnqueue(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	select {
+	case q.ch <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Jobs is the worker-side channel; it is closed (after the backlog
+// drains) once Close has been called.
+func (q *Queue) Jobs() <-chan *Job { return q.ch }
+
+// Depth returns the number of queued jobs not yet picked up.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.ch)
+}
+
+// Close rejects all future submissions and lets workers drain the
+// backlog. Safe to call more than once.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}

@@ -1,0 +1,326 @@
+// Package service is the certification daemon's engine: a bounded job
+// queue, a worker pool driving the core detection flow under
+// cancellable contexts, a content-hash artifact cache that lets repeat
+// submissions skip netlist construction and ATPG, and the HTTP/JSON API
+// (plus SSE progress streams) that cmd/superposed serves.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures a Server.
+type Options struct {
+	// QueueSize bounds the pending-job backlog (default 16); submissions
+	// beyond it are rejected with 429.
+	QueueSize int
+	// Workers is the number of jobs run concurrently (default 1: the
+	// per-job fan-out already parallelizes across dies and faults, so
+	// more job workers mainly help mixed small/large workloads).
+	Workers int
+}
+
+// counters is the service's expvar-style instrumentation. It is a plain
+// atomic struct rather than the expvar registry because the registry is
+// process-global: registering twice panics, which would make every
+// multi-server test (and any embedding application) fragile.
+type counters struct {
+	jobsSubmitted atomic.Uint64
+	jobsCompleted atomic.Uint64
+	jobsFailed    atomic.Uint64
+	jobsCancelled atomic.Uint64
+	jobsRejected  atomic.Uint64
+	queueDepth    atomic.Int64
+}
+
+// Stats is the wire view of GET /v1/stats.
+type Stats struct {
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsCompleted uint64 `json:"jobs_completed"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsCancelled uint64 `json:"jobs_cancelled"`
+	JobsRejected  uint64 `json:"jobs_rejected"`
+	QueueDepth    int64  `json:"queue_depth"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	CacheEntries  int    `json:"cache_entries"`
+}
+
+// Server owns the queue, cache, worker pool and job registry, and
+// implements http.Handler with the /v1 API.
+type Server struct {
+	opts     Options
+	mux      *http.ServeMux
+	queue    *Queue
+	cache    *Cache
+	counters counters
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	nextID uint64
+
+	// runHook, when non-nil, replaces execute — the deterministic test
+	// seam for queue/cancellation/drain behavior without real flow runs.
+	runHook func(ctx context.Context, j *Job) error
+}
+
+// New assembles a server; call Start to launch the worker pool.
+func New(opts Options) *Server {
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = 16
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		mux:        http.NewServeMux(),
+		queue:      NewQueue(opts.QueueSize),
+		cache:      NewCache(),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		jobs:       make(map[string]*Job),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	s.wg.Add(s.opts.Workers)
+	for i := 0; i < s.opts.Workers; i++ {
+		go s.workerLoop()
+	}
+}
+
+// Drain shuts the service down gracefully: new submissions are rejected
+// immediately, queued and running jobs are given until ctx expires to
+// finish, then every remaining job's context is cancelled and Drain
+// waits for the workers to unwind. The returned error is ctx's when the
+// deadline forced cancellation, nil on a clean drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.queue.Close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancelBase()
+		return nil
+	case <-ctx.Done():
+		// Deadline hit: abort every in-flight job and wait for the
+		// workers to observe the cancellation.
+		s.cancelBase()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Cache exposes the artifact cache (for stats and tests).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Job looks up a submitted job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Submit validates, registers and enqueues a job spec. It is the
+// programmatic path behind POST /v1/jobs.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %w", errBadSpec, err)
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("job-%d", s.nextID)
+	j := newJob(id, spec, ctx, cancel)
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	if err := s.queue.TryEnqueue(j); err != nil {
+		cancel()
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		s.counters.jobsRejected.Add(1)
+		return nil, err
+	}
+	s.counters.jobsSubmitted.Add(1)
+	s.counters.queueDepth.Store(int64(s.queue.Depth()))
+	return j, nil
+}
+
+var errBadSpec = fmt.Errorf("service: invalid job spec")
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("malformed job spec: %v", err))
+		return
+	}
+	j, err := s.Submit(spec)
+	switch {
+	case err == nil:
+	case errors.Is(err, errBadSpec):
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	case errors.Is(err, ErrQueueFull):
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrQueueClosed):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	sub := j.subscribe()
+	defer j.unsubscribe(sub)
+	writeEvents := func() bool {
+		for {
+			select {
+			case ev := <-sub:
+				if err := writeSSE(w, ev); err != nil {
+					return false
+				}
+			default:
+				flusher.Flush()
+				return true
+			}
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.Done():
+			// Drain whatever is buffered, then send the final snapshot —
+			// even a subscriber that lost intermediate events always
+			// observes the terminal state.
+			writeEvents()
+			st := j.Status()
+			_ = writeSSE(w, Event{Type: "result", State: st.State, Error: st.Error})
+			flusher.Flush()
+			return
+		case ev := <-sub:
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+			if !writeEvents() {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Stats{
+		JobsSubmitted: s.counters.jobsSubmitted.Load(),
+		JobsCompleted: s.counters.jobsCompleted.Load(),
+		JobsFailed:    s.counters.jobsFailed.Load(),
+		JobsCancelled: s.counters.jobsCancelled.Load(),
+		JobsRejected:  s.counters.jobsRejected.Load(),
+		QueueDepth:    int64(s.queue.Depth()),
+		CacheHits:     s.cache.Hits(),
+		CacheMisses:   s.cache.Misses(),
+		CacheEntries:  s.cache.Len(),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"queue_depth": s.queue.Depth(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func writeSSE(w http.ResponseWriter, ev Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+	return err
+}

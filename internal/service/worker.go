@@ -1,0 +1,184 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+
+	"superpose/internal/atpg"
+	"superpose/internal/bench"
+	"superpose/internal/core"
+	"superpose/internal/power"
+	"superpose/internal/scan"
+	"superpose/internal/tester"
+	"superpose/internal/trojan"
+	"superpose/internal/trust"
+)
+
+// workerLoop consumes the queue until it is closed and drained. One
+// goroutine per configured worker; each job runs under its own context
+// (derived from the server's base context at submission time) so
+// DELETE /v1/jobs/{id} aborts exactly that job mid-flow.
+func (s *Server) workerLoop() {
+	defer s.wg.Done()
+	for j := range s.queue.Jobs() {
+		s.counters.queueDepth.Store(int64(s.queue.Depth()))
+		if j.ctx.Err() != nil {
+			// Cancelled while queued; Cancel already finished the job.
+			j.finish(StateCancelled, j.ctx.Err())
+			s.counters.jobsCancelled.Add(1)
+			continue
+		}
+		if !j.start() {
+			s.counters.jobsCancelled.Add(1)
+			continue
+		}
+		run := s.runHook
+		if run == nil {
+			run = s.execute
+		}
+		err := run(j.ctx, j)
+		switch {
+		case err == nil:
+			j.finish(StateDone, nil)
+			s.counters.jobsCompleted.Add(1)
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			j.finish(StateCancelled, err)
+			s.counters.jobsCancelled.Add(1)
+		default:
+			j.finish(StateFailed, err)
+			s.counters.jobsFailed.Add(1)
+		}
+	}
+}
+
+// execute runs one certification job end to end: materialize the design
+// (cache), resolve the ATPG seed set (cache), then drive the core flow
+// under the job's context with progress forwarded to subscribers.
+func (s *Server) execute(ctx context.Context, j *Job) error {
+	spec := j.Spec
+	inst, hit, err := s.materialize(spec)
+	if err != nil {
+		return fmt.Errorf("materialize: %w", err)
+	}
+	j.setCacheHit(hit)
+
+	cfg, faultCfg, workers, err := s.buildConfig(j, inst)
+	if err != nil {
+		return err
+	}
+	cfg.Progress = j.publishProgress
+
+	lib := power.SAED90Like()
+	switch spec.Kind {
+	case KindLot:
+		lr, err := core.CertifyLotContext(ctx, inst.golden, lib, inst.physical, cfg, core.LotOptions{
+			Dies:        spec.Dies,
+			Variation:   power.ThreeSigmaIntra(spec.Varsigma),
+			Seed:        spec.ChipSeed,
+			Tester:      faultCfg,
+			Acquisition: cfg.Acquisition,
+			Workers:     workers,
+			Progress:    j.publishProgress,
+		})
+		if err != nil {
+			return err
+		}
+		j.setResult(nil, lr)
+		return nil
+
+	case KindDetect:
+		chip := power.Manufacture(inst.physical, lib, power.ThreeSigmaIntra(spec.Varsigma), spec.ChipSeed)
+		dev := core.NewDevice(chip, cfg.NumChains, cfg.Mode)
+		if faultCfg.Enabled() {
+			dev.SetFaultModel(tester.New(faultCfg))
+		}
+		rep, err := core.DetectContext(ctx, inst.golden, lib, dev, cfg)
+		if err != nil {
+			return err
+		}
+		j.setResult(rep, nil)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown job kind %q", spec.Kind)
+	}
+}
+
+// materialize resolves the job's design through the artifact cache.
+func (s *Server) materialize(spec JobSpec) (*instance, bool, error) {
+	return s.cache.Instance(instanceKey(spec), func() (*instance, error) {
+		if spec.Case != "" {
+			parts := strings.SplitN(spec.Case, "-", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("case %q: want <bench>-<trojan>", spec.Case)
+			}
+			ti, err := trust.Build(trust.Case{Benchmark: parts[0], Trojan: parts[1]}, spec.Scale)
+			if err != nil {
+				return nil, err
+			}
+			if spec.Clean {
+				return &instance{golden: ti.Host, physical: ti.Host}, nil
+			}
+			return &instance{golden: ti.Host, physical: ti.Infected, truth: ti}, nil
+		}
+		host, err := bench.Parse(strings.NewReader(spec.Bench), "user")
+		if err != nil {
+			return nil, err
+		}
+		if spec.Clean || spec.Infect == 0 {
+			return &instance{golden: host, physical: host}, nil
+		}
+		ti, err := trojan.AutoInsert(host, spec.Infect)
+		if err != nil {
+			return nil, err
+		}
+		return &instance{golden: host, physical: ti.Infected, truth: ti}, nil
+	})
+}
+
+// buildConfig assembles the core flow configuration for a job and
+// resolves its ATPG seed set through the cache, so every die and every
+// repeat submission of the same design reuses one pattern set — which
+// also makes a service run bit-identical to a library run that shares
+// seeds via core.WithSharedSeeds.
+func (s *Server) buildConfig(j *Job, inst *instance) (core.Config, tester.Config, int, error) {
+	spec := j.Spec
+	workers := spec.Workers
+	if workers == 0 {
+		workers = runtime.NumCPU()
+	}
+	faultCfg, err := tester.Preset(spec.Tester, spec.TesterSeed)
+	if err != nil {
+		return core.Config{}, tester.Config{}, 0, err
+	}
+	acq := core.NaiveAcquisition()
+	if faultCfg.Enabled() {
+		acq = core.RobustAcquisition()
+	}
+	cfg := core.Config{
+		NumChains:   spec.Chains,
+		MaxSeeds:    spec.Seeds,
+		Varsigma:    spec.Varsigma,
+		ATPG:        atpg.Options{Seed: 7, RandomPatterns: 32, MaxFaults: 40, FaultSample: 120, Workers: workers},
+		Acquisition: acq,
+	}
+
+	ikey := instanceKey(spec)
+	seeds, hit, err := s.cache.Seeds(seedsKey(ikey, cfg.NumChains, cfg.ATPG), func() ([]*scan.Pattern, error) {
+		ch := scan.Configure(inst.golden, cfg.NumChains)
+		gen, err := atpg.Generate(ch, cfg.ATPG)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Patterns, nil
+	})
+	if err != nil {
+		return core.Config{}, tester.Config{}, 0, fmt.Errorf("seed generation: %w", err)
+	}
+	j.setCacheHit(hit)
+	cfg.SeedPatterns = seeds
+	return cfg, faultCfg, workers, nil
+}

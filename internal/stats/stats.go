@@ -188,9 +188,11 @@ func TrimmedMean(xs []float64, frac float64) float64 {
 
 // Summary holds basic sample statistics.
 type Summary struct {
-	N         int
-	Mean, Std float64
-	Min, Max  float64
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
 }
 
 // Summarize computes sample statistics (Std is the sample standard

@@ -1,0 +1,47 @@
+package trojan
+
+import (
+	"fmt"
+
+	"superpose/internal/netlist"
+)
+
+// AutoInsert infects a user netlist with a synthetic Trojan placed by
+// rare-net analysis: the taps rarest nets become the trigger, and the
+// rarest net that is not an ancestor of any tap becomes the payload
+// victim (keeping the infected circuit acyclic). The placement is
+// deterministic for a given host. This is the shared materialization
+// path of the trojanscan CLI's -bench -infect mode and the certification
+// service's inline-bench jobs.
+func AutoInsert(host *netlist.Netlist, taps int) (*Instance, error) {
+	if taps <= 0 {
+		return nil, fmt.Errorf("trojan: auto-insert needs at least 1 trigger tap, got %d", taps)
+	}
+	rare := FindRareNets(host, 64*64, 99, 0.3)
+	if len(rare) <= taps {
+		return nil, fmt.Errorf("trojan: only %d rare nets available for %d taps", len(rare), taps)
+	}
+	var tapNames []string
+	for _, r := range rare[:taps] {
+		tapNames = append(tapNames, r.Name)
+	}
+	anc, err := TapAncestors(host, tapNames)
+	if err != nil {
+		return nil, err
+	}
+	victim := ""
+	for i := len(rare) - 1; i >= 0; i-- {
+		if !anc[rare[i].ID] {
+			victim = rare[i].Name
+			break
+		}
+	}
+	if victim == "" {
+		return nil, fmt.Errorf("trojan: no cycle-free payload victim found")
+	}
+	spec, err := BuildSpec("user", rare, taps, victim)
+	if err != nil {
+		return nil, err
+	}
+	return Insert(host, spec)
+}

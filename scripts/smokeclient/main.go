@@ -1,0 +1,82 @@
+// Smokeclient is the HTTP half of scripts/superposed_smoke.sh: it
+// health-checks a running superposed daemon, submits a small detect
+// job, polls it to completion and asserts the report carries a verdict.
+// A separate stdlib binary so the smoke script needs no curl or jq.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"superpose/internal/service"
+)
+
+func main() {
+	base := flag.String("base", "http://127.0.0.1:8418", "daemon base URL")
+	flag.Parse()
+	if err := run(*base); err != nil {
+		fmt.Fprintln(os.Stderr, "smokeclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run(base string) error {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+
+	body := `{"kind":"detect","case":"s35932-T200","scale":0.02,"clean":true}`
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var st service.Status
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+	}
+	fmt.Printf("smoke: submitted %s\n", st.ID)
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s still not terminal", st.ID)
+		}
+		resp, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return err
+		}
+		var cur service.Status
+		err = json.NewDecoder(resp.Body).Decode(&cur)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if cur.State.Terminal() {
+			if cur.State != service.StateDone {
+				return fmt.Errorf("job ended %s: %s", cur.State, cur.Error)
+			}
+			if cur.Report == nil {
+				return fmt.Errorf("done job carries no report")
+			}
+			fmt.Printf("smoke: job done, detected=%v final |S-RPD|=%.4f (bound %.4f)\n",
+				cur.Report.Detected, cur.Report.FinalSRPD, cur.Report.Varsigma)
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Smoke test for the superposed certification daemon: boot it on an
+# ephemeral port, submit a small detect job, poll to completion, check
+# the report carries a verdict, then drain the daemon with SIGTERM.
+#
+# Requires only the go toolchain and a POSIX shell (no curl/jq): the
+# HTTP client half lives in scripts/smokeclient, a tiny stdlib program.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+log=$(mktemp)
+trap 'kill "$pid" 2>/dev/null || true; rm -f "$log"' EXIT INT TERM
+
+go build -o /tmp/superposed-smoke ./cmd/superposed
+/tmp/superposed-smoke -addr 127.0.0.1:0 -drain 20s >"$log" 2>&1 &
+pid=$!
+
+# Wait for the startup banner and extract the bound base URL.
+base=""
+for _ in $(seq 1 100); do
+    base=$(sed -n 's/^superposed: listening on \(http:\/\/.*\)$/\1/p' "$log")
+    [ -n "$base" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "daemon died at startup:"; cat "$log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "daemon never announced its port:"; cat "$log"; exit 1; }
+echo "smoke: daemon at $base"
+
+go run ./scripts/smokeclient -base "$base"
+
+# Graceful drain: SIGTERM, then require a clean exit and the farewell.
+kill -TERM "$pid"
+wait "$pid" || { echo "daemon exited non-zero after SIGTERM:"; cat "$log"; exit 1; }
+grep -q "drained, bye" "$log" || { echo "daemon exited without draining:"; cat "$log"; exit 1; }
+echo "smoke: OK"

@@ -25,11 +25,13 @@
 package superpose
 
 import (
+	"context"
 	"io"
 
 	"superpose/internal/atpg"
 	"superpose/internal/bench"
 	"superpose/internal/core"
+	"superpose/internal/netio"
 	"superpose/internal/netlist"
 	"superpose/internal/parallel"
 	"superpose/internal/power"
@@ -221,6 +223,38 @@ func Detect(golden *Netlist, lib *CellLibrary, dev *Device, cfg Config) (*Report
 	return core.Detect(golden, lib, dev, cfg)
 }
 
+// DetectContext is Detect under a cancellation context: the pipeline
+// checks ctx at every phase boundary and inside the adaptive climb, and
+// a cancelled run returns ctx's error with no report.
+func DetectContext(ctx context.Context, golden *Netlist, lib *CellLibrary, dev *Device, cfg Config) (*Report, error) {
+	return core.DetectContext(ctx, golden, lib, dev, cfg)
+}
+
+// Progress reporting. Long entry points (Detect, CertifyLot and the
+// experiment runners) accept a ProgressFunc via Config.Progress /
+// LotOptions.Progress and call it at each phase boundary — the
+// certification service forwards these to its SSE event streams.
+type (
+	// Progress is one pipeline progress event.
+	Progress = core.Progress
+	// ProgressFunc receives progress events; it must be cheap and is
+	// called from the goroutine running the pipeline (lot certification
+	// calls it from concurrent per-die workers).
+	ProgressFunc = core.ProgressFunc
+	// Stage names a pipeline phase in a Progress event.
+	Stage = core.Stage
+)
+
+// Pipeline stages, in flow order.
+const (
+	StageSeeds     = core.StageSeeds
+	StageCalibrate = core.StageCalibrate
+	StageAdaptive  = core.StageAdaptive
+	StagePairs     = core.StagePairs
+	StageConfirm   = core.StageConfirm
+	StageDie       = core.StageDie
+)
+
 // Lot certification.
 type (
 	// LotOptions describes a manufacturing lot to certify.
@@ -271,6 +305,13 @@ func RobustAcquisition() AcquisitionPolicy { return core.RobustAcquisition() }
 // netlist against the golden reference.
 func CertifyLot(golden *Netlist, lib *CellLibrary, physical *Netlist, cfg Config, lot LotOptions) (*LotReport, error) {
 	return core.CertifyLot(golden, lib, physical, cfg, lot)
+}
+
+// CertifyLotContext is CertifyLot under a cancellation context: a
+// cancelled lot stops dispatching dies, drains in-flight ones, and
+// returns ctx's error with no report.
+func CertifyLotContext(ctx context.Context, golden *Netlist, lib *CellLibrary, physical *Netlist, cfg Config, lot LotOptions) (*LotReport, error) {
+	return core.CertifyLotContext(ctx, golden, lib, physical, cfg, lot)
 }
 
 // WithSharedSeeds generates ATPG seed patterns once for reuse across a
@@ -327,9 +368,19 @@ type (
 // RunTableI reproduces Table I (all five benchmark cases).
 func RunTableI(cfg ExperimentConfig) ([]TableIRow, error) { return core.RunTableI(cfg) }
 
+// RunTableIContext is RunTableI under a cancellation context.
+func RunTableIContext(ctx context.Context, cfg ExperimentConfig) ([]TableIRow, error) {
+	return core.RunTableIContext(ctx, cfg)
+}
+
 // RunTableICase reproduces one Table I row.
 func RunTableICase(c Case, cfg ExperimentConfig) (TableIRow, error) {
 	return core.RunTableICase(c, cfg)
+}
+
+// RunTableICaseContext is RunTableICase under a cancellation context.
+func RunTableICaseContext(ctx context.Context, c Case, cfg ExperimentConfig) (TableIRow, error) {
+	return core.RunTableICaseContext(ctx, c, cfg)
 }
 
 // RunTableII reproduces Table II from Table I rows.
@@ -341,9 +392,21 @@ func RunRobustnessTable(cfg ExperimentConfig) ([]RobustnessRow, error) {
 	return core.RunRobustnessTable(cfg)
 }
 
+// RunRobustnessTableContext is RunRobustnessTable under a cancellation
+// context.
+func RunRobustnessTableContext(ctx context.Context, cfg ExperimentConfig) ([]RobustnessRow, error) {
+	return core.RunRobustnessTableContext(ctx, cfg)
+}
+
 // RunRobustnessRow runs one fault regime under one acquisition policy.
 func RunRobustnessRow(regime, policy string, p AcquisitionPolicy, cfg ExperimentConfig) (RobustnessRow, error) {
 	return core.RunRobustnessRow(regime, policy, p, cfg)
+}
+
+// RunRobustnessRowContext is RunRobustnessRow under a cancellation
+// context.
+func RunRobustnessRowContext(ctx context.Context, regime, policy string, p AcquisitionPolicy, cfg ExperimentConfig) (RobustnessRow, error) {
+	return core.RunRobustnessRowContext(ctx, regime, policy, p, cfg)
 }
 
 // RunSigmaSweep hunts a case's Trojan on dies manufactured at each
@@ -353,6 +416,11 @@ func RunSigmaSweep(c Case, cfg ExperimentConfig, varsigmas []float64, dies int) 
 	return core.RunSigmaSweep(c, cfg, varsigmas, dies)
 }
 
+// RunSigmaSweepContext is RunSigmaSweep under a cancellation context.
+func RunSigmaSweepContext(ctx context.Context, c Case, cfg ExperimentConfig, varsigmas []float64, dies int) ([]SigmaSweepRow, error) {
+	return core.RunSigmaSweepContext(ctx, c, cfg, varsigmas, dies)
+}
+
 // Pattern persistence.
 
 // WritePatterns serializes patterns in the STIL-like format.
@@ -360,3 +428,20 @@ func WritePatterns(w io.Writer, pats []*Pattern) error { return stil.Write(w, pa
 
 // ReadPatterns parses a pattern file.
 func ReadPatterns(r io.Reader) ([]*Pattern, error) { return stil.Read(r) }
+
+// Report persistence. Reports round-trip through JSON bit-identically —
+// unstable (NaN) readings and infinities are carried as null and signed
+// "Inf" strings on the wire, the encoding the superposed service also
+// speaks.
+
+// WriteReport serializes a certification report as indented JSON.
+func WriteReport(w io.Writer, rep *Report) error { return netio.EncodeReport(w, rep) }
+
+// ReadReport parses a JSON certification report.
+func ReadReport(r io.Reader) (*Report, error) { return netio.DecodeReport(r) }
+
+// WriteLotReport serializes a lot report as indented JSON.
+func WriteLotReport(w io.Writer, lr *LotReport) error { return netio.EncodeLotReport(w, lr) }
+
+// ReadLotReport parses a JSON lot report.
+func ReadLotReport(r io.Reader) (*LotReport, error) { return netio.DecodeLotReport(r) }
