@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"superpose/internal/failpoint"
 	"superpose/internal/service"
 )
 
@@ -44,15 +45,26 @@ func run(args []string, out io.Writer) error {
 		queueSize = fs.Int("queue", 16, "max pending jobs; submissions beyond this get 429")
 		workers   = fs.Int("workers", 1, "jobs run concurrently")
 		drain     = fs.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM/SIGINT")
+		dataDir   = fs.String("data-dir", "", "enable the crash-safe job journal under this directory (restart recovers jobs)")
+		failpts   = fs.String("failpoints", os.Getenv("FAILPOINTS"), "fault-injection spec, e.g. 'core/acquire=1*error(chaos);journal/fsync=p(0.1,7)*error(disk)' (default $FAILPOINTS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *failpts != "" {
+		if err := failpoint.Setup(*failpts); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "superposed: failpoints armed: %s\n", *failpts)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	svc := service.New(service.Options{QueueSize: *queueSize, Workers: *workers})
+	svc, err := service.New(service.Options{QueueSize: *queueSize, Workers: *workers, DataDir: *dataDir})
+	if err != nil {
+		return err
+	}
 	svc.Start()
 
 	// Listen explicitly (rather than http.ListenAndServe) so an :0

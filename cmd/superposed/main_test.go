@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"superpose/internal/failpoint"
 	"superpose/internal/service"
 )
 
@@ -54,20 +55,22 @@ func startDaemon(t *testing.T, extra ...string) (string, *lineWriter, chan error
 	errc := make(chan error, 1)
 	go func() { errc <- run(args, out) }()
 
-	select {
-	case line := <-out.lines:
-		const marker = "listening on "
-		i := strings.Index(line, marker)
-		if i < 0 {
-			t.Fatalf("first output line %q carries no listen address", line)
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case line := <-out.lines:
+			// Earlier banners (e.g. "failpoints armed") may precede the
+			// listen line; scan until it shows up.
+			const marker = "listening on "
+			if i := strings.Index(line, marker); i >= 0 {
+				return strings.TrimSpace(line[i+len(marker):]), out, errc
+			}
+		case err := <-errc:
+			t.Fatalf("daemon exited before listening: %v", err)
+		case <-deadline:
+			t.Fatal("daemon never printed its listen address")
 		}
-		return strings.TrimSpace(line[i+len(marker):]), out, errc
-	case err := <-errc:
-		t.Fatalf("daemon exited before listening: %v", err)
-	case <-time.After(10 * time.Second):
-		t.Fatal("daemon never printed its listen address")
 	}
-	return "", nil, nil
 }
 
 // TestDaemonLifecycle boots the daemon, exercises the API over a real
@@ -156,6 +159,117 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 
 	// The farewell line confirms the drain path ran, not a crash-exit.
+	sawBye := false
+	for {
+		select {
+		case line := <-out.lines:
+			if strings.Contains(line, "drained, bye") {
+				sawBye = true
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if !sawBye {
+		t.Error("daemon exited without the drain farewell")
+	}
+}
+
+// TestDaemonReadyLifecycle boots the daemon with a journal and a
+// failpoint-stretched recovery window, and pins the liveness/readiness
+// split over the real HTTP surface: live answers 200 while ready holds
+// 503 until replay completes, then both pass, a job runs, and SIGTERM
+// drains cleanly.
+func TestDaemonReadyLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the real daemon and runs a detection job")
+	}
+	// The -failpoints flag arms the process-global registry; disarm it so
+	// later tests in this binary see a clean slate.
+	t.Cleanup(failpoint.DisableAll)
+	base, out, errc := startDaemon(t,
+		"-data-dir", t.TempDir(),
+		"-failpoints", "service/recovery=sleep(400ms)")
+
+	probe := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Recovery is held open by the failpoint: alive, not ready.
+	if code := probe("/healthz/live"); code != http.StatusOK {
+		t.Errorf("live during recovery: HTTP %d, want 200", code)
+	}
+	if code := probe("/healthz/ready"); code != http.StatusServiceUnavailable {
+		t.Errorf("ready during recovery: HTTP %d, want 503", code)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for probe("/healthz/ready") != http.StatusOK {
+		if time.Now().After(deadline) {
+			t.Fatal("readiness never flipped after recovery")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if code := probe("/healthz"); code != http.StatusOK {
+		t.Errorf("combined healthz after recovery: HTTP %d, want 200", code)
+	}
+
+	// The ready daemon still does its day job.
+	body := `{"kind":"detect","case":"s35932-T200","scale":0.02,"clean":true}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d, want 202", resp.StatusCode)
+	}
+	jobDeadline := time.Now().Add(2 * time.Minute)
+	for {
+		if time.Now().After(jobDeadline) {
+			t.Fatalf("job %s never finished", st.ID)
+		}
+		resp, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur service.Status
+		if err := json.NewDecoder(resp.Body).Decode(&cur); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if cur.State.Terminal() {
+			if cur.State != service.StateDone {
+				t.Fatalf("job ended %s: %s", cur.State, cur.Error)
+			}
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("daemon exited with error after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
 	sawBye := false
 	for {
 		select {

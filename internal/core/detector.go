@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -10,6 +11,13 @@ import (
 	"superpose/internal/power"
 	"superpose/internal/scan"
 )
+
+// ErrUnstable marks a detection run the tester's faults defeated: the
+// acquisition policy could not stabilize a single seed reading. The
+// condition is transient from the caller's perspective — a retry against
+// the same die may succeed once the fault window passes — which is
+// exactly how the service layer classifies it.
+var ErrUnstable = errors.New("core: acquisition unstable")
 
 // Config drives the end-to-end detection pipeline.
 type Config struct {
@@ -221,11 +229,15 @@ func DetectContext(ctx context.Context, golden *netlist.Netlist, lib *power.Libr
 	}
 	if len(rankedSeeds) == 0 {
 		// Cancellation mid-ranking floods the batch with NaN readings;
-		// report the abort, not a tester-instability diagnosis.
+		// report the abort, not a tester-instability diagnosis. The same
+		// goes for an injected acquisition fault held sticky on the device.
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return nil, fmt.Errorf("core: no seed pattern produced a stable reading (%d unstable; tester faults beyond the acquisition policy's reach)", rep.UnstableSeeds)
+		if err := ev.dev.Err(); err != nil {
+			return nil, fmt.Errorf("core: acquisition aborted: %w", err)
+		}
+		return nil, fmt.Errorf("%w: no seed pattern produced a stable reading (%d unstable; tester faults beyond the acquisition policy's reach)", ErrUnstable, rep.UnstableSeeds)
 	}
 	for i := 1; i < len(rankedSeeds); i++ { // insertion sort by RPD desc
 		for j := i; j > 0 && rankedSeeds[j].r.RPD > rankedSeeds[j-1].r.RPD; j-- {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 
+	"superpose/internal/failpoint"
 	"superpose/internal/logic"
 	"superpose/internal/netlist"
 	"superpose/internal/power"
@@ -210,6 +211,14 @@ func (d *Device) acquire(n int, price func() []float64, key func(lane int) readi
 	// A cancelled run context aborts the acquisition before the first
 	// tester pass: the caller gets NaN readings and Err() the cause.
 	if d.cancelled() != nil {
+		return d.nanReadings(n)
+	}
+
+	// Chaos hook: an injected acquisition fault aborts exactly like a
+	// cancellation — NaN readings, cause sticky in ctxErr — so the flow
+	// above exercises its abort path without a real tester outage.
+	if err := failpoint.Inject("core/acquire"); err != nil {
+		d.ctxErr = err
 		return d.nanReadings(n)
 	}
 

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"superpose/internal/power"
+	"superpose/internal/scan"
+	"superpose/internal/tester"
+	"superpose/internal/trust"
+)
+
+// retryAcqDetect runs the first benchmark case's infected die under a
+// named tester fault preset and acquisition policy — the single-die
+// fixture of the retry × acquisition tests (the full table lives in
+// TestRobustnessTableQuick).
+func retryAcqDetect(t *testing.T, regime string, policy AcquisitionPolicy) (*Report, error) {
+	t.Helper()
+	cfg := quickRobustnessConfig().withDefaults()
+	inst, err := trust.Build(trust.Cases()[0], cfg.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := power.SAED90Like()
+	chip := power.Manufacture(inst.Infected, lib, power.ThreeSigmaIntra(cfg.Varsigma), cfg.ChipSeed)
+	return robustnessDetect(context.Background(), inst.Host, lib, chip, regime, cfg.ChipSeed, policy, cfg)
+}
+
+// TestRetryAcquisitionBurstBitIdentical: under the burst preset the
+// robust policy's retry budget re-measures the readings a noise window
+// contaminated, the verdict survives, and — because every retry pass is
+// seeded — two runs of the identical configuration produce bit-identical
+// reports, retries included.
+func TestRetryAcquisitionBurstBitIdentical(t *testing.T) {
+	a, err := retryAcqDetect(t, "burst", RobustAcquisition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := retryAcqDetect(t, "burst", RobustAcquisition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("burst-preset runs differ:\nfirst:  %s\nsecond: %s", aj, bj)
+	}
+	if !a.Detected {
+		t.Errorf("robust policy missed the Trojan under the burst preset: %+v", a)
+	}
+	if math.IsNaN(a.FinalSRPD) {
+		t.Errorf("final |S-RPD| is NaN despite a successful robust run: %v", a.Acquisition)
+	}
+	if a.Acquisition.Raw <= a.Acquisition.Readings {
+		t.Errorf("robust policy took no extra samples under the burst preset: %v", a.Acquisition)
+	}
+}
+
+// TestRetryAcquisitionStuckBitIdentical is the same contract under the
+// stuck preset: aggressive ADC latching that only the stuck-latch guard
+// catches. The guard's discards must show in the accounting, and the
+// run must stay bit-reproducible.
+func TestRetryAcquisitionStuckBitIdentical(t *testing.T) {
+	a, err := retryAcqDetect(t, "stuck", RobustAcquisition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := retryAcqDetect(t, "stuck", RobustAcquisition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("stuck-preset runs differ:\nfirst:  %s\nsecond: %s", aj, bj)
+	}
+	if !a.Detected {
+		t.Errorf("robust policy missed the Trojan under the stuck preset: %+v", a)
+	}
+	if a.Acquisition.Latched == 0 {
+		t.Errorf("stuck guard discarded nothing under the stuck preset: %v", a.Acquisition)
+	}
+}
+
+// TestRetryAcquisitionExhaustedBudgetSurfacesUnstable starves the retry
+// budget under latching heavy enough that readings cannot reach MinValid
+// survivors. The flow must fail honestly — unstable readings counted,
+// seed/pair exclusions annotated, or the run refused with ErrUnstable —
+// never a confident verdict silently computed through NaNs.
+func TestRetryAcquisitionExhaustedBudgetSurfacesUnstable(t *testing.T) {
+	starved := RobustAcquisition()
+	starved.RetryBudget = 0
+
+	cfg := quickRobustnessConfig().withDefaults()
+	inst, err := trust.Build(trust.Cases()[0], cfg.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := power.SAED90Like()
+	chip := power.Manufacture(inst.Infected, lib, power.ThreeSigmaIntra(cfg.Varsigma), cfg.ChipSeed)
+	dev := NewDevice(chip, cfg.NumChains, scan.LOS)
+	dev.SetAcquisition(starved)
+	dev.SetFaultModel(tester.New(tester.Config{Seed: 3, StuckRate: 0.2, StuckLen: 64}))
+
+	rep, err := DetectContext(context.Background(), inst.Host, lib, dev, Config{
+		NumChains:   cfg.NumChains,
+		ATPG:        cfg.ATPG,
+		MaxSeeds:    cfg.MaxSeeds,
+		MaxPairs:    cfg.MaxPairs,
+		Varsigma:    cfg.Varsigma,
+		Acquisition: starved,
+	})
+	if err != nil {
+		if !errors.Is(err, ErrUnstable) {
+			t.Fatalf("starved run failed with %v, want ErrUnstable", err)
+		}
+		return // honest refusal: every seed unstable, classified as such
+	}
+	if rep.Acquisition.Unstable == 0 {
+		t.Errorf("no unstable readings recorded despite a starved retry budget under heavy latching: %v", rep.Acquisition)
+	}
+	if math.IsNaN(rep.FinalSRPD) {
+		// A NaN verdict is only acceptable when the exclusions explain it.
+		if rep.UnstableSeeds == 0 && rep.UnstablePairs == 0 {
+			t.Errorf("NaN verdict with no unstable-seed/pair annotation (NaN-silent): %+v", rep)
+		}
+	}
+}

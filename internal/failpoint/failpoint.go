@@ -1,0 +1,308 @@
+// Package failpoint is a registry of named fault-injection points for
+// chaos testing the certification service and the core flow. A package
+// that wants to be testable under injected failure calls
+//
+//	if err := failpoint.Inject("service/queue/enqueue"); err != nil { ... }
+//
+// at the site where a real fault could strike. With no failpoints
+// enabled the call is a single atomic load — a no-op cheap enough to
+// leave compiled into production paths. Tests (or an operator, via the
+// FAILPOINTS environment variable / the superposed -failpoints flag)
+// arm individual points with a small spec language:
+//
+//	error(msg)          return an injected error
+//	panic(msg)          panic with a recognizable PanicValue
+//	sleep(50ms)         delay, then proceed normally
+//
+// prefixed by zero or more '*'-separated modifiers:
+//
+//	3*error(x)          fire at most 3 times, then disarm
+//	each(5)*error(x)    fire on every 5th evaluation
+//	p(0.2,7)*error(x)   fire with probability 0.2 (seed 7, deterministic)
+//
+// Multiple points are listed as name=spec pairs separated by ';':
+//
+//	FAILPOINTS='journal/fsync=error(io);service/worker/run=1*panic(chaos)'
+//
+// Like every stochastic component of the toolchain, probabilistic
+// failpoints are seeded: the same spec fires on the same evaluations.
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"superpose/internal/stats"
+)
+
+// ErrInjected is the sentinel every injected error wraps; callers
+// classify failpoint-caused failures with errors.Is(err, ErrInjected).
+var ErrInjected = errors.New("failpoint: injected fault")
+
+// Error is an injected failure carrying the failpoint's name.
+type Error struct {
+	Name string // the failpoint that fired
+	Msg  string // the spec's message, "" when none was given
+}
+
+func (e *Error) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("failpoint %s: injected fault", e.Name)
+	}
+	return fmt.Sprintf("failpoint %s: %s", e.Name, e.Msg)
+}
+
+// Unwrap makes errors.Is(err, ErrInjected) true for every injected error.
+func (e *Error) Unwrap() error { return ErrInjected }
+
+// PanicValue is the value a panic-action failpoint panics with, so a
+// recover() site can recognize (and classify as injected) a chaos panic.
+type PanicValue struct {
+	Name string
+	Msg  string
+}
+
+func (p PanicValue) String() string {
+	if p.Msg == "" {
+		return fmt.Sprintf("failpoint %s: injected panic", p.Name)
+	}
+	return fmt.Sprintf("failpoint %s: %s", p.Name, p.Msg)
+}
+
+// action is what a firing failpoint does.
+type action uint8
+
+const (
+	actError action = iota
+	actPanic
+	actSleep
+)
+
+// point is one armed failpoint. Its evaluation state (remaining fires,
+// evaluation counter, RNG) is guarded by the registry lock: injection
+// sites are hot paths only when disarmed, so a single lock is fine.
+type point struct {
+	act   action
+	msg   string
+	delay time.Duration
+
+	remaining int // fires left; < 0 means unlimited
+	every     int // fire on every Nth evaluation; <= 1 means every one
+	evals     int
+	prob      float64 // fire probability; 0 means always
+	rng       *stats.RNG
+}
+
+var (
+	mu     sync.Mutex
+	points = make(map[string]*point)
+	// armed gates the Inject fast path: it is true exactly while the
+	// registry is non-empty, so a disarmed process pays one atomic load
+	// per injection site and nothing else.
+	armed atomic.Bool
+)
+
+// Enable arms the named failpoint with a spec (see the package comment
+// for the grammar). Re-enabling an armed point replaces its spec.
+func Enable(name, spec string) error {
+	p, err := parse(name, spec)
+	if err != nil {
+		return err
+	}
+	mu.Lock()
+	points[name] = p
+	armed.Store(true)
+	mu.Unlock()
+	return nil
+}
+
+// Disable disarms the named failpoint (a no-op when it is not armed).
+func Disable(name string) {
+	mu.Lock()
+	delete(points, name)
+	armed.Store(len(points) > 0)
+	mu.Unlock()
+}
+
+// DisableAll disarms every failpoint — the deferred cleanup of every
+// chaos test.
+func DisableAll() {
+	mu.Lock()
+	points = make(map[string]*point)
+	armed.Store(false)
+	mu.Unlock()
+}
+
+// Setup arms every failpoint of a ';'-separated name=spec list (the
+// FAILPOINTS environment variable format). An empty list is a no-op.
+func Setup(list string) error {
+	for _, item := range strings.Split(list, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(item, "=")
+		if !ok {
+			return fmt.Errorf("failpoint: %q is not name=spec", item)
+		}
+		if err := Enable(strings.TrimSpace(name), strings.TrimSpace(spec)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// List returns the names of the armed failpoints, sorted.
+func List() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	names := make([]string, 0, len(points))
+	for n := range points {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Inject evaluates the named failpoint. Disarmed (the production case)
+// it returns nil after one atomic load. Armed, it returns an injected
+// *Error, panics with a PanicValue, or sleeps — per the point's spec
+// and modifiers.
+func Inject(name string) error {
+	if !armed.Load() {
+		return nil
+	}
+	mu.Lock()
+	p, ok := points[name]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	fire := p.evaluate()
+	if fire && p.remaining == 0 {
+		// The fire budget is spent: disarm the point so each(…) and
+		// probability state stop advancing for nothing.
+		delete(points, name)
+		armed.Store(len(points) > 0)
+	}
+	act, msg, delay := p.act, p.msg, p.delay
+	mu.Unlock()
+
+	if !fire {
+		return nil
+	}
+	switch act {
+	case actSleep:
+		time.Sleep(delay)
+		return nil
+	case actPanic:
+		panic(PanicValue{Name: name, Msg: msg})
+	default:
+		return &Error{Name: name, Msg: msg}
+	}
+}
+
+// evaluate advances the point's counters and reports whether it fires.
+// Called with the registry lock held.
+func (p *point) evaluate() bool {
+	p.evals++
+	if p.every > 1 && p.evals%p.every != 0 {
+		return false
+	}
+	if p.prob > 0 && p.rng.Float64() >= p.prob {
+		return false
+	}
+	if p.remaining == 0 {
+		return false
+	}
+	if p.remaining > 0 {
+		p.remaining--
+	}
+	return true
+}
+
+// parse compiles a spec string into a point.
+func parse(name, spec string) (*point, error) {
+	if name == "" {
+		return nil, errors.New("failpoint: empty name")
+	}
+	p := &point{remaining: -1}
+	terms := strings.Split(spec, "*")
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("failpoint %s: empty spec", name)
+	}
+	for _, mod := range terms[:len(terms)-1] {
+		mod = strings.TrimSpace(mod)
+		switch verb, arg, err := splitCall(mod); {
+		case err != nil:
+			return nil, fmt.Errorf("failpoint %s: %w", name, err)
+		case verb == "each":
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("failpoint %s: bad each(%s)", name, arg)
+			}
+			p.every = n
+		case verb == "p":
+			probArg, seedArg, _ := strings.Cut(arg, ",")
+			prob, err := strconv.ParseFloat(strings.TrimSpace(probArg), 64)
+			if err != nil || prob <= 0 || prob > 1 {
+				return nil, fmt.Errorf("failpoint %s: bad p(%s)", name, arg)
+			}
+			var seed uint64
+			if seedArg = strings.TrimSpace(seedArg); seedArg != "" {
+				seed, err = strconv.ParseUint(seedArg, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("failpoint %s: bad p(%s) seed", name, arg)
+				}
+			}
+			p.prob = prob
+			p.rng = stats.NewRNG(seed ^ 0xFA11F01D)
+		case arg == "" && verb != "":
+			n, err := strconv.Atoi(verb)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("failpoint %s: unknown modifier %q", name, mod)
+			}
+			p.remaining = n
+		default:
+			return nil, fmt.Errorf("failpoint %s: unknown modifier %q", name, mod)
+		}
+	}
+
+	verb, arg, err := splitCall(strings.TrimSpace(terms[len(terms)-1]))
+	if err != nil {
+		return nil, fmt.Errorf("failpoint %s: %w", name, err)
+	}
+	switch verb {
+	case "error":
+		p.act, p.msg = actError, arg
+	case "panic":
+		p.act, p.msg = actPanic, arg
+	case "sleep":
+		d, err := time.ParseDuration(arg)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("failpoint %s: bad sleep(%s)", name, arg)
+		}
+		p.act, p.delay = actSleep, d
+	default:
+		return nil, fmt.Errorf("failpoint %s: unknown action %q (want error, panic or sleep)", name, verb)
+	}
+	return p, nil
+}
+
+// splitCall splits "verb(arg)" or a bare "verb" into its parts.
+func splitCall(s string) (verb, arg string, err error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		return s, "", nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return "", "", fmt.Errorf("unbalanced parentheses in %q", s)
+	}
+	return s[:open], s[open+1 : len(s)-1], nil
+}

@@ -1,0 +1,201 @@
+package failpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNoOp(t *testing.T) {
+	DisableAll()
+	if err := Inject("never/armed"); err != nil {
+		t.Fatalf("disarmed inject returned %v", err)
+	}
+}
+
+func TestErrorAction(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("a", "error(boom)"); err != nil {
+		t.Fatal(err)
+	}
+	err := Inject("a")
+	if err == nil {
+		t.Fatal("armed error failpoint returned nil")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("err = %v, want wrapping ErrInjected", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Name != "a" || fe.Msg != "boom" {
+		t.Errorf("err = %#v", err)
+	}
+	// Other names stay unaffected.
+	if err := Inject("b"); err != nil {
+		t.Errorf("unarmed sibling injected %v", err)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("p", "panic(chaos)"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		pv, ok := r.(PanicValue)
+		if !ok || pv.Name != "p" || pv.Msg != "chaos" {
+			t.Errorf("recovered %#v, want PanicValue{p, chaos}", r)
+		}
+	}()
+	_ = Inject("p")
+	t.Fatal("panic failpoint did not panic")
+}
+
+func TestSleepAction(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("s", "sleep(30ms)"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Inject("s"); err != nil {
+		t.Fatalf("sleep action returned %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("sleep failpoint returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestOneShot(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("once", "1*error(first)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject("once"); err == nil {
+		t.Fatal("one-shot did not fire on the first evaluation")
+	}
+	for i := 0; i < 3; i++ {
+		if err := Inject("once"); err != nil {
+			t.Fatalf("one-shot fired again on evaluation %d: %v", i+2, err)
+		}
+	}
+	// The spent point disarmed itself.
+	if names := List(); len(names) != 0 {
+		t.Errorf("spent one-shot still listed: %v", names)
+	}
+}
+
+func TestCountLimit(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("n", "3*error"); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if Inject("n") != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Errorf("3* spec fired %d times", fired)
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("e", "each(3)*error"); err != nil {
+		t.Fatal(err)
+	}
+	var pattern []bool
+	for i := 0; i < 9; i++ {
+		pattern = append(pattern, Inject("e") != nil)
+	}
+	want := []bool{false, false, true, false, false, true, false, false, true}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("each(3) firing pattern %v, want %v", pattern, want)
+		}
+	}
+}
+
+func TestProbabilisticDeterminism(t *testing.T) {
+	t.Cleanup(DisableAll)
+	run := func() []bool {
+		if err := Enable("pr", "p(0.5,42)*error"); err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, Inject("pr") != nil)
+		}
+		Disable("pr")
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded probabilistic firing not reproducible at evaluation %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("p(0.5) fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestSetupList(t *testing.T) {
+	t.Cleanup(DisableAll)
+	err := Setup("x=error(one); y=1*sleep(1ms) ;; z=panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := List()
+	if len(got) != 3 || got[0] != "x" || got[1] != "y" || got[2] != "z" {
+		t.Errorf("List() = %v", got)
+	}
+	if err := Setup("junk"); err == nil {
+		t.Error("Setup accepted a list item with no '='")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	t.Cleanup(DisableAll)
+	for _, spec := range []string{
+		"", "frobnicate", "error(unclosed", "sleep(xyz)", "0*error",
+		"p(2)*error", "p(0.5,nope)*error", "each(0)*error", "wat(3)*error",
+	} {
+		if err := Enable("bad", spec); err == nil {
+			t.Errorf("Enable accepted spec %q", spec)
+		}
+	}
+}
+
+func TestConcurrentInject(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("c", "100*error"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if Inject("c") != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 100 {
+		t.Errorf("100-count failpoint fired %d times under concurrency", fired)
+	}
+}

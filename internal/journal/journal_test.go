@@ -1,0 +1,235 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"superpose/internal/failpoint"
+)
+
+func openT(t *testing.T, dir string, opts Options) (*Journal, [][]byte) {
+	t.Helper()
+	j, recs, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, recs := openT(t, dir, Options{})
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		rec := []byte(fmt.Sprintf(`{"seq":%d,"blob":%q}`, i, bytes.Repeat([]byte{'x'}, i*7)))
+		want = append(want, rec)
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got := openT(t, dir, Options{})
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir, Options{SegmentBytes: 64, NoSync: true})
+	for i := 0; i < 30; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("record-%02d-padding-padding", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	segs, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("tiny segment limit produced only %d segments", len(segs))
+	}
+	_, got := openT(t, dir, Options{})
+	if len(got) != 30 {
+		t.Fatalf("replay across %d segments yielded %d records, want 30", len(segs), len(got))
+	}
+	for i, rec := range got {
+		if want := fmt.Sprintf("record-%02d-padding-padding", i); string(rec) != want {
+			t.Fatalf("record %d = %q, want %q (order broken across segments)", i, rec, want)
+		}
+	}
+}
+
+// corruptTail opens the last segment and appends garbage — a torn,
+// partially-written record as a crash would leave it.
+func corruptTail(t *testing.T, dir string, garbage []byte) string {
+	t.Helper()
+	segs, err := segments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v (%d)", err, len(segs))
+	}
+	name := filepath.Join(dir, segs[len(segs)-1].name)
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(garbage); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return name
+}
+
+func TestTornTailTruncation(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		garbage []byte
+	}{
+		{"torn header", []byte{0x03, 0x00}},
+		{"torn payload", []byte{0x10, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 'p', 'a', 'r', 't'}},
+		{"implausible length", []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}},
+		{"checksum mismatch", func() []byte {
+			// A whole record whose CRC does not match its payload.
+			b := []byte{0x02, 0x00, 0x00, 0x00, 0x01, 0x02, 0x03, 0x04, 'z', 'z'}
+			return b
+		}()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			j, _ := openT(t, dir, Options{})
+			if err := j.Append([]byte("good-1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Append([]byte("good-2")); err != nil {
+				t.Fatal(err)
+			}
+			j.Close()
+			name := corruptTail(t, dir, tc.garbage)
+			before, _ := os.Stat(name)
+
+			j2, recs := openT(t, dir, Options{})
+			if len(recs) != 2 || string(recs[0]) != "good-1" || string(recs[1]) != "good-2" {
+				t.Fatalf("replay after torn tail = %q, want the two good records", recs)
+			}
+			after, _ := os.Stat(name)
+			if after.Size() >= before.Size() {
+				t.Error("torn tail was not truncated away")
+			}
+			// The journal keeps working after truncation.
+			if err := j2.Append([]byte("good-3")); err != nil {
+				t.Fatal(err)
+			}
+			j2.Close()
+			_, recs = openT(t, dir, Options{})
+			if len(recs) != 3 || string(recs[2]) != "good-3" {
+				t.Fatalf("post-truncation append lost: %q", recs)
+			}
+		})
+	}
+}
+
+func TestMidJournalCorruptionIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir, Options{SegmentBytes: 32, NoSync: true})
+	for i := 0; i < 8; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("record-%d-padding-padding-padding", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	segs, _ := segments(dir)
+	if len(segs) < 2 {
+		t.Fatalf("want >= 2 segments, got %d", len(segs))
+	}
+	// Damage the tail of a NON-last segment: that is not a crash
+	// signature, so replay must refuse rather than silently drop data.
+	first := filepath.Join(dir, segs[0].name)
+	f, err := os.OpenFile(first, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x01, 0x02})
+	f.Close()
+	if _, _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over mid-journal damage = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, dir, Options{SegmentBytes: 48, NoSync: true})
+	for i := 0; i < 12; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("old-record-%02d-padding", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Reset([][]byte{[]byte("live-1"), []byte("live-2")}); err != nil {
+		t.Fatal(err)
+	}
+	// Compaction keeps appends working.
+	if err := j.Append([]byte("live-3")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, recs := openT(t, dir, Options{})
+	if len(recs) != 3 {
+		t.Fatalf("replay after Reset = %q, want 3 live records", recs)
+	}
+	for i, want := range []string{"live-1", "live-2", "live-3"} {
+		if string(recs[i]) != want {
+			t.Fatalf("record %d = %q, want %q", i, recs[i], want)
+		}
+	}
+}
+
+func TestAppendFailpoints(t *testing.T) {
+	t.Cleanup(failpoint.DisableAll)
+	dir := t.TempDir()
+	j, _ := openT(t, dir, Options{})
+	if err := failpoint.Enable("journal/fsync", "1*error(disk gone)"); err != nil {
+		t.Fatal(err)
+	}
+	err := j.Append([]byte("rec"))
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("Append under fsync failpoint = %v, want injected error", err)
+	}
+	// The journal survives the failed sync: later appends succeed.
+	if err := j.Append([]byte("rec-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Enable("journal/append", "1*error(enospc)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("rec-3")); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("Append under append failpoint = %v, want injected error", err)
+	}
+}
+
+func TestClosedJournalRejectsAppends(t *testing.T) {
+	j, _ := openT(t, t.TempDir(), Options{})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("late")); err == nil {
+		t.Fatal("closed journal accepted an append")
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}

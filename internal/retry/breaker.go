@@ -1,0 +1,158 @@
+package retry
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState string
+
+const (
+	// BreakerClosed: traffic flows, failures are counted.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: traffic is refused until the cooldown elapses.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: the cooldown elapsed; probe traffic trickles
+	// through, one probe per ProbeEvery, until a success closes the
+	// breaker or a failure re-opens it.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// BreakerOptions configures a Breaker.
+type BreakerOptions struct {
+	// Threshold is the consecutive-failure count that trips the breaker
+	// (default 5).
+	Threshold int
+	// Cooldown is how long a tripped breaker refuses all traffic before
+	// probing resumes (default 30s).
+	Cooldown time.Duration
+	// ProbeEvery rate-limits half-open probes (default Cooldown/4): at
+	// most one probe is admitted per interval, so a probe whose outcome
+	// never arrives (a cancelled job) cannot wedge the breaker.
+	ProbeEvery time.Duration
+	// Now is the clock (default time.Now) — injectable for tests.
+	Now func() time.Time
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.Threshold <= 0 {
+		o.Threshold = 5
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 30 * time.Second
+	}
+	if o.ProbeEvery <= 0 {
+		o.ProbeEvery = o.Cooldown / 4
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Breaker is a consecutive-failure circuit breaker. It is deliberately
+// time-based rather than in-flight-count-based in its half-open state:
+// probes are admitted at most once per ProbeEvery, so forgotten
+// outcomes (cancelled probes) delay recovery by one interval instead of
+// deadlocking it. Safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	opts      BreakerOptions
+	consec    int       // consecutive failures while closed
+	tripped   bool      // open or half-open
+	openedAt  time.Time // when the breaker last tripped
+	lastProbe time.Time // last admitted half-open probe
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(opts BreakerOptions) *Breaker {
+	return &Breaker{opts: opts.withDefaults()}
+}
+
+// Allow reports whether a unit of work may proceed. Closed: always.
+// Open: never, until the cooldown elapses. Half-open: one probe per
+// ProbeEvery interval.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.tripped {
+		return true
+	}
+	now := b.opts.Now()
+	if now.Sub(b.openedAt) < b.opts.Cooldown {
+		return false
+	}
+	if b.lastProbe.IsZero() || now.Sub(b.lastProbe) >= b.opts.ProbeEvery {
+		b.lastProbe = now
+		return true
+	}
+	return false
+}
+
+// Success records a completed unit of work; in half-open it closes the
+// breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec = 0
+	b.tripped = false
+	b.lastProbe = time.Time{}
+}
+
+// Failure records a failed unit of work: it trips the breaker at the
+// threshold, and re-opens (restarting the cooldown) when a half-open
+// probe fails.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tripped {
+		// A probe (or a straggler from before the trip) failed: restart
+		// the cooldown.
+		b.openedAt = b.opts.Now()
+		b.lastProbe = time.Time{}
+		return
+	}
+	b.consec++
+	if b.consec >= b.opts.Threshold {
+		b.tripped = true
+		b.openedAt = b.opts.Now()
+		b.lastProbe = time.Time{}
+	}
+}
+
+// State returns the breaker's position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.tripped {
+		return BreakerClosed
+	}
+	if b.opts.Now().Sub(b.openedAt) < b.opts.Cooldown {
+		return BreakerOpen
+	}
+	return BreakerHalfOpen
+}
+
+// RetryAfter returns how long a refused caller should wait before
+// trying again: the remaining cooldown when open, the probe interval
+// when half-open, zero when closed.
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.tripped {
+		return 0
+	}
+	if rem := b.opts.Cooldown - b.opts.Now().Sub(b.openedAt); rem > 0 {
+		return rem
+	}
+	return b.opts.ProbeEvery
+}
+
+// ConsecutiveFailures returns the closed-state failure streak (for
+// stats).
+func (b *Breaker) ConsecutiveFailures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consec
+}

@@ -1,0 +1,56 @@
+package retry
+
+import "sync"
+
+// Budget is a token bucket capping how much retry work the service may
+// spend: every retry withdraws one token, every success deposits
+// Replenish tokens (up to the capacity). When failures outpace
+// successes the bucket empties and retries are denied — the fleet fails
+// fast instead of amplifying an outage with retry traffic.
+type Budget struct {
+	mu        sync.Mutex
+	tokens    float64
+	capacity  float64
+	replenish float64
+}
+
+// NewBudget returns a full bucket. capacity <= 0 defaults to 16 tokens;
+// replenish <= 0 defaults to 0.5 tokens per success.
+func NewBudget(capacity, replenish float64) *Budget {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	if replenish <= 0 {
+		replenish = 0.5
+	}
+	return &Budget{tokens: capacity, capacity: capacity, replenish: replenish}
+}
+
+// Withdraw takes one token for a retry, reporting false (and taking
+// nothing) when the bucket cannot cover it.
+func (b *Budget) Withdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Deposit credits a success back into the bucket.
+func (b *Budget) Deposit() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += b.replenish
+	if b.tokens > b.capacity {
+		b.tokens = b.capacity
+	}
+}
+
+// Remaining returns the current token count (for stats).
+func (b *Budget) Remaining() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

@@ -1,0 +1,119 @@
+// Package retry is the service's failure-handling toolkit: exponential
+// backoff with decorrelated jitter, a token-bucket retry budget that
+// caps how much of the fleet's work may be retries, and a circuit
+// breaker (see breaker.go) that sheds load when a dependency — here, a
+// tester profile — fails persistently.
+//
+// Like every stochastic component of the toolchain the jitter is
+// seeded: a Backoff built from the same Policy produces the same delay
+// sequence, so chaos tests are reproducible.
+package retry
+
+import (
+	"context"
+	"time"
+
+	"superpose/internal/stats"
+)
+
+// Policy shapes a retry loop.
+type Policy struct {
+	// MaxAttempts is the total number of attempts, including the first
+	// (default 3; 1 disables retries).
+	MaxAttempts int
+	// BaseDelay is the first backoff delay (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps every delay (default 2s).
+	MaxDelay time.Duration
+	// Seed selects the jitter realization.
+	Seed uint64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// Backoff produces the policy's delay sequence: decorrelated jitter
+// (Brooker), where each delay is drawn uniformly from [BaseDelay,
+// 3·previous] and capped at MaxDelay. The expectation grows
+// geometrically like plain exponential backoff, but concurrent
+// retriers decorrelate instead of thundering in lockstep.
+type Backoff struct {
+	p    Policy
+	prev time.Duration
+	rng  *stats.RNG
+}
+
+// Backoff returns a fresh, seeded delay sequence for one retry loop.
+func (p Policy) Backoff() *Backoff {
+	p = p.withDefaults()
+	return &Backoff{p: p, rng: stats.NewRNG(p.Seed ^ 0xBACC0FF5EED)}
+}
+
+// Next returns the next delay of the sequence.
+func (b *Backoff) Next() time.Duration {
+	lo := b.p.BaseDelay
+	hi := 3 * b.prev
+	if hi < lo {
+		hi = lo
+	}
+	d := lo + time.Duration(b.rng.Float64()*float64(hi-lo))
+	if d > b.p.MaxDelay {
+		d = b.p.MaxDelay
+	}
+	b.prev = d
+	return d
+}
+
+// Sleep waits for d or until ctx is done, returning ctx's error in the
+// latter case — the context-aware pause between attempts.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do runs op up to MaxAttempts times, backing off between attempts.
+// transient reports whether an error is worth retrying; a nil predicate
+// retries everything. Do returns nil on the first success, the last
+// error when attempts or the context run out, and stops immediately on
+// a non-transient error.
+func Do(ctx context.Context, p Policy, transient func(error) bool, op func(context.Context) error) error {
+	p = p.withDefaults()
+	bo := p.Backoff()
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if err = op(ctx); err == nil {
+			return nil
+		}
+		if transient != nil && !transient(err) {
+			return err
+		}
+		if attempt >= p.MaxAttempts {
+			return err
+		}
+		if serr := Sleep(ctx, bo.Next()); serr != nil {
+			return err
+		}
+	}
+}

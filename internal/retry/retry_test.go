@@ -1,0 +1,214 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffBoundsAndDeterminism(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 200 * time.Millisecond, Seed: 9}
+	a, b := p.Backoff(), p.Backoff()
+	prev := time.Duration(0)
+	for i := 0; i < 20; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("seeded backoff diverged at step %d: %v vs %v", i, da, db)
+		}
+		if da < p.BaseDelay || da > p.MaxDelay {
+			t.Fatalf("delay %v outside [%v, %v]", da, p.BaseDelay, p.MaxDelay)
+		}
+		if prev > 0 && da > 3*prev {
+			t.Fatalf("delay %v exceeds 3x previous %v", da, prev)
+		}
+		prev = da
+	}
+	// A different seed produces a different sequence.
+	c := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 200 * time.Millisecond, Seed: 10}.Backoff()
+	same := true
+	aa := p.Backoff()
+	for i := 0; i < 8; i++ {
+		if aa.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter")
+	}
+}
+
+func TestSleepContextAware(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	start := time.Now()
+	if err := Sleep(ctx, 5*time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep returned %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("Sleep did not abort on cancellation")
+	}
+	if err := Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Errorf("plain sleep returned %v", err)
+	}
+}
+
+func TestDoRetriesTransient(t *testing.T) {
+	transientErr := errors.New("wobble")
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+		func(err error) bool { return errors.Is(err, transientErr) },
+		func(context.Context) error {
+			calls++
+			if calls < 3 {
+				return transientErr
+			}
+			return nil
+		})
+	if err != nil || calls != 3 {
+		t.Errorf("Do: err=%v calls=%d, want success on call 3", err, calls)
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	perm := errors.New("hard")
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 5, BaseDelay: time.Millisecond},
+		func(error) bool { return false },
+		func(context.Context) error { calls++; return perm })
+	if !errors.Is(err, perm) || calls != 1 {
+		t.Errorf("Do: err=%v calls=%d, want immediate permanent failure", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+		nil, func(context.Context) error { calls++; return boom })
+	if !errors.Is(err, boom) || calls != 3 {
+		t.Errorf("Do: err=%v calls=%d, want 3 attempts then the last error", err, calls)
+	}
+}
+
+func TestBudget(t *testing.T) {
+	b := NewBudget(2, 1)
+	if !b.Withdraw() || !b.Withdraw() {
+		t.Fatal("full budget denied a retry")
+	}
+	if b.Withdraw() {
+		t.Fatal("empty budget granted a retry")
+	}
+	b.Deposit()
+	if !b.Withdraw() {
+		t.Fatal("replenished budget denied a retry")
+	}
+	// Deposits cap at capacity.
+	for i := 0; i < 10; i++ {
+		b.Deposit()
+	}
+	if got := b.Remaining(); got != 2 {
+		t.Errorf("Remaining after overfill = %v, want capacity 2", got)
+	}
+}
+
+// fakeClock drives a breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown, probeEvery time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return NewBreaker(BreakerOptions{
+		Threshold: threshold, Cooldown: cooldown, ProbeEvery: probeEvery, Now: clk.now,
+	}), clk
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute, 10*time.Second)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if st := b.State(); st != BreakerClosed {
+			t.Fatalf("state after %d failures = %s", i+1, st)
+		}
+		if !b.Allow() {
+			t.Fatal("closed breaker refused traffic")
+		}
+	}
+	b.Failure()
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after threshold = %s, want open", st)
+	}
+	if b.Allow() {
+		t.Error("open breaker admitted traffic")
+	}
+	if ra := b.RetryAfter(); ra <= 0 || ra > time.Minute {
+		t.Errorf("RetryAfter = %v", ra)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute, 10*time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if st := b.State(); st != BreakerClosed {
+		t.Errorf("interleaved successes still tripped the breaker: %s", st)
+	}
+	if b.ConsecutiveFailures() != 2 {
+		t.Errorf("streak = %d, want 2", b.ConsecutiveFailures())
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	b, clk := newTestBreaker(2, time.Minute, 10*time.Second)
+	b.Failure()
+	b.Failure() // trip
+	clk.advance(time.Minute)
+	if st := b.State(); st != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %s, want half-open", st)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the first probe")
+	}
+	// Probe rate limit: a second probe inside ProbeEvery is refused.
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted two probes in one interval")
+	}
+	clk.advance(10 * time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused a probe after the interval")
+	}
+	b.Success()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after probe success = %s, want closed", st)
+	}
+	if !b.Allow() {
+		t.Error("recovered breaker refused traffic")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(2, time.Minute, 10*time.Second)
+	b.Failure()
+	b.Failure()
+	clk.advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Failure() // probe failed: cooldown restarts
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after failed probe = %s, want open", st)
+	}
+	clk.advance(30 * time.Second)
+	if b.Allow() {
+		t.Error("re-opened breaker admitted traffic mid-cooldown")
+	}
+	clk.advance(30 * time.Second)
+	if !b.Allow() {
+		t.Error("re-opened breaker never recovered to probing")
+	}
+}

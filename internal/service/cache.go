@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"superpose/internal/atpg"
+	"superpose/internal/failpoint"
 	"superpose/internal/netlist"
 	"superpose/internal/scan"
 	"superpose/internal/trojan"
@@ -64,32 +65,60 @@ func (c *Cache) Len() int {
 // do returns the artifact for key, building it at most once across
 // concurrent callers (duplicate-suppression a la singleflight: late
 // callers block on the first builder's ready channel). hit reports
-// whether the artifact already existed. A failed build is not cached —
-// the entry is removed so a later submission may retry.
+// whether the artifact already existed.
+//
+// A failed build is not cached and must not poison its waiters: the
+// builder evicts the entry exactly once (by identity, so it can never
+// evict a successor's entry) and returns its own error, while every
+// waiter that observed the failure loops and retries — becoming the
+// next builder or waiting on one. Each caller builds at most once, so
+// with N concurrent callers the loop terminates after at most N build
+// completions.
 func (c *Cache) do(key string, build func() (any, error)) (val any, hit bool, err error) {
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
-		c.mu.Unlock()
-		<-e.ready
-		if e.err != nil {
-			return nil, false, e.err
-		}
-		c.hits.Add(1)
-		return e.val, true, nil
-	}
-	e := &cacheEntry{ready: make(chan struct{})}
-	c.entries[key] = e
-	c.mu.Unlock()
-
-	c.misses.Add(1)
-	e.val, e.err = build()
-	if e.err != nil {
+	for {
 		c.mu.Lock()
-		delete(c.entries, key)
+		if e, ok := c.entries[key]; ok {
+			c.mu.Unlock()
+			<-e.ready
+			if e.err != nil {
+				continue // the build we waited on failed; retry
+			}
+			c.hits.Add(1)
+			return e.val, true, nil
+		}
+		e := &cacheEntry{ready: make(chan struct{})}
+		c.entries[key] = e
 		c.mu.Unlock()
+
+		c.misses.Add(1)
+		built := false
+		evict := func() {
+			c.mu.Lock()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+		}
+		defer func() {
+			if !built {
+				// build panicked: evict and release the waiters (they
+				// retry) before the panic continues unwinding.
+				evict()
+				close(e.ready)
+			}
+		}()
+		if ferr := failpoint.Inject("service/cache/build"); ferr != nil {
+			e.err = ferr
+		} else {
+			e.val, e.err = build()
+		}
+		built = true
+		if e.err != nil {
+			evict()
+		}
+		close(e.ready)
+		return e.val, false, e.err
 	}
-	close(e.ready)
-	return e.val, false, e.err
 }
 
 // instance is a materialized design: the defender's golden view and the

@@ -30,11 +30,15 @@ const (
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
+	// StateDeadline is a job killed by its own TimeoutSec budget —
+	// distinct from cancelled (a client or drain decision) so callers can
+	// tell "I asked for too little time" from "someone aborted me".
+	StateDeadline State = "deadline"
 )
 
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateDeadline
 }
 
 // JobSpec is the request body of POST /v1/jobs: which design to certify
@@ -60,6 +64,10 @@ type JobSpec struct {
 	Tester     string  `json:"tester,omitempty"`      // tester fault preset (default clean)
 	TesterSeed uint64  `json:"tester_seed,omitempty"` // fault realization seed (default 1)
 	Workers    int     `json:"workers,omitempty"`     // per-job fan-out (0 = one per CPU)
+
+	// TimeoutSec, when positive, caps the job's total run time (across
+	// retries). A job that exceeds it finishes in state "deadline".
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
 }
 
 // withDefaults fills the service defaults into zero fields.
@@ -129,6 +137,9 @@ func (s JobSpec) Validate() error {
 	if s.Chains < 0 || s.Seeds < 0 || s.Dies < 0 || s.Workers < 0 {
 		return fmt.Errorf("chains, seeds, dies and workers must be >= 0")
 	}
+	if s.TimeoutSec < 0 {
+		return fmt.Errorf("timeout_sec must be >= 0, got %g", s.TimeoutSec)
+	}
 	if s.Tester != "" {
 		if _, err := tester.Preset(s.Tester, 1); err != nil {
 			return err
@@ -137,13 +148,24 @@ func (s JobSpec) Validate() error {
 	return nil
 }
 
-// Event is one SSE message on a job's event stream.
+// Event is one SSE message on a job's event stream. Seq is the event's
+// position in the job's stream, carried as the SSE id: field, so a
+// client that reconnects with Last-Event-ID resumes from where its
+// connection dropped (as far as the retained buffer reaches).
 type Event struct {
-	Type     string         `json:"type"` // "state", "progress" or "result"
+	Seq      uint64         `json:"seq"`
+	Type     string         `json:"type"` // "state", "progress", "retry" or "result"
 	State    State          `json:"state"`
+	Attempt  int            `json:"attempt,omitempty"` // "retry" events: the attempt that just failed
 	Progress *core.Progress `json:"progress,omitempty"`
 	Error    string         `json:"error,omitempty"`
 }
+
+// retainedEvents bounds the per-job replay buffer behind Last-Event-ID
+// resumption. A reconnecting client that fell further behind than this
+// simply misses the oldest events — the terminal result is still always
+// delivered.
+const retainedEvents = 512
 
 // Job is one submitted certification run.
 type Job struct {
@@ -162,8 +184,11 @@ type Job struct {
 	lotReport *core.LotReport
 	errMsg    string
 	cacheHit  bool // any artifact lookup was served from the cache
+	attempts  int  // execution attempts so far (survives recovery)
 	created   time.Time
 	finished  time.Time
+	seq       uint64  // last assigned event sequence number
+	events    []Event // retained tail of the event stream (replay buffer)
 	subs      map[chan Event]struct{}
 	done      chan struct{} // closed on reaching a terminal state
 }
@@ -250,25 +275,38 @@ func (j *Job) publishProgress(p core.Progress) {
 	j.broadcastLocked(Event{Type: "progress", State: j.state, Progress: &cp})
 }
 
-// subscribe registers an SSE listener. The returned channel immediately
-// carries a snapshot event with the job's current state so late
-// subscribers are not blind until the next transition. A slow listener
+// subscribe registers an SSE listener. replay is what the handler must
+// write before streaming live events: with resume=false, a snapshot
+// event carrying the job's current state (so late subscribers are not
+// blind until the next transition); with resume=true, every retained
+// event after afterSeq — the Last-Event-ID contract. A slow listener
 // loses intermediate events rather than blocking the flow — the final
 // result is never lost because the SSE handler also watches Done.
-func (j *Job) subscribe() chan Event {
-	ch := make(chan Event, 64)
+func (j *Job) subscribe(afterSeq uint64, resume bool) (replay []Event, ch chan Event) {
+	ch = make(chan Event, 64)
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	snap := Event{Type: "state", State: j.state, Progress: j.progress, Error: j.errMsg}
-	ch <- snap
+	if resume {
+		for _, ev := range j.events {
+			if ev.Seq > afterSeq {
+				replay = append(replay, ev)
+			}
+		}
+	} else {
+		replay = []Event{{Seq: j.seq, Type: "state", State: j.state, Progress: j.progress, Error: j.errMsg}}
+	}
 	if j.state.Terminal() {
-		// Terminal already: deliver the result event too, since Done is
-		// closed and the handler drains then exits.
-		ch <- Event{Type: "result", State: j.state, Error: j.errMsg}
-		return ch
+		// Terminal already: make sure the result event is part of the
+		// replay, since Done is closed and the handler drains then exits.
+		// (A resumed subscriber may already have it in replay — only the
+		// snapshot path needs the addition.)
+		if !resume {
+			replay = append(replay, Event{Seq: j.seq, Type: "result", State: j.state, Error: j.errMsg})
+		}
+		return replay, ch
 	}
 	j.subs[ch] = struct{}{}
-	return ch
+	return replay, ch
 }
 
 func (j *Job) unsubscribe(ch chan Event) {
@@ -277,7 +315,15 @@ func (j *Job) unsubscribe(ch chan Event) {
 	delete(j.subs, ch)
 }
 
+// broadcastLocked assigns the event its sequence number, retains it for
+// Last-Event-ID replay, and fans it out to live subscribers.
 func (j *Job) broadcastLocked(ev Event) {
+	j.seq++
+	ev.Seq = j.seq
+	if len(j.events) >= retainedEvents {
+		j.events = j.events[1:]
+	}
+	j.events = append(j.events, ev)
 	for ch := range j.subs {
 		select {
 		case ch <- ev:
@@ -286,11 +332,46 @@ func (j *Job) broadcastLocked(ev Event) {
 	}
 }
 
+// nextAttempt increments and returns the job's attempt counter — called
+// by the worker at the top of each execution attempt.
+func (j *Job) nextAttempt() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.attempts++
+	return j.attempts
+}
+
+// lastSeq returns the sequence number of the newest broadcast event.
+func (j *Job) lastSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Attempts returns how many execution attempts the job has consumed.
+func (j *Job) Attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
+// publishRetry broadcasts a "retry" event: attempt just failed with err
+// and the job is about to back off and run again.
+func (j *Job) publishRetry(attempt int, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.broadcastLocked(Event{Type: "retry", State: j.state, Attempt: attempt, Error: err.Error()})
+}
+
 // Status is the wire view of a job (GET /v1/jobs/{id}).
 type Status struct {
 	ID        string          `json:"id"`
 	Kind      JobKind         `json:"kind"`
 	State     State           `json:"state"`
+	Attempts  int             `json:"attempts,omitempty"`
 	Progress  *core.Progress  `json:"progress,omitempty"`
 	Error     string          `json:"error,omitempty"`
 	CacheHit  bool            `json:"cache_hit"`
@@ -306,12 +387,32 @@ func (j *Job) Status() Status {
 		ID:        j.ID,
 		Kind:      j.Spec.Kind,
 		State:     j.state,
+		Attempts:  j.attempts,
 		Progress:  j.progress,
 		Error:     j.errMsg,
 		CacheHit:  j.cacheHit,
 		Report:    j.report,
 		LotReport: j.lotReport,
 	}
+}
+
+// restoredJob reconstructs a job from journal replay. Terminal jobs come
+// back exactly as they finished (reports included); non-terminal jobs
+// come back queued, with their attempt count preserved so recovery
+// cannot retry past the configured budget.
+func restoredJob(id string, spec JobSpec, ctx context.Context, cancel context.CancelFunc, st State, errMsg string, attempts int, cacheHit bool, rep *core.Report, lr *core.LotReport) *Job {
+	j := newJob(id, spec, ctx, cancel)
+	j.attempts = attempts
+	j.cacheHit = cacheHit
+	if st.Terminal() {
+		j.state = st
+		j.errMsg = errMsg
+		j.report = rep
+		j.lotReport = lr
+		j.finished = time.Now()
+		close(j.done)
+	}
+	return j
 }
 
 func (j *Job) setResult(rep *core.Report, lr *core.LotReport) {

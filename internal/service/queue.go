@@ -2,7 +2,10 @@ package service
 
 import (
 	"errors"
+	"fmt"
 	"sync"
+
+	"superpose/internal/failpoint"
 )
 
 // ErrQueueFull is returned when the bounded queue cannot accept another
@@ -33,6 +36,11 @@ func NewQueue(size int) *Queue {
 
 // TryEnqueue appends the job or reports why it cannot.
 func (q *Queue) TryEnqueue(j *Job) error {
+	// Chaos hook: an injected enqueue fault presents as a full queue, the
+	// rejection clients already know how to back off from.
+	if err := failpoint.Inject("service/queue/enqueue"); err != nil {
+		return fmt.Errorf("%w (injected: %s)", ErrQueueFull, err)
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {

@@ -1,0 +1,664 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"superpose/internal/failpoint"
+	"superpose/internal/retry"
+)
+
+// fastRetry keeps chaos tests quick: millisecond backoff instead of the
+// production 50ms base.
+func fastRetry(o Options) Options {
+	o.RetryBase = time.Millisecond
+	o.RetryMax = 5 * time.Millisecond
+	return o
+}
+
+func getStats(t *testing.T, ts *httptest.Server) Stats {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+// TestRetryFailpointTransientError: an injected one-shot failure on the
+// worker's run path is classified transient and retried — the job still
+// completes, with the retry visible in its attempt count and the
+// server-wide counters.
+func TestRetryFailpointTransientError(t *testing.T) {
+	if err := failpoint.Enable("service/worker/run", "1*error(transient chaos)"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(failpoint.DisableAll)
+
+	_, ts := newTestServer(t, fastRetry(Options{}), func(ctx context.Context, j *Job) error {
+		return nil
+	})
+	st := submitSpec(t, ts, JobSpec{Kind: KindDetect, Case: "s35932-T200"})
+	final := waitState(t, ts, st.ID, StateDone)
+	if final.Attempts != 2 {
+		t.Errorf("job took %d attempts, want 2 (one injected failure, one clean run)", final.Attempts)
+	}
+	stats := getStats(t, ts)
+	if stats.JobsRetried != 1 {
+		t.Errorf("jobs_retried = %d, want 1", stats.JobsRetried)
+	}
+	if stats.JobsCompleted != 1 || stats.JobsFailed != 0 {
+		t.Errorf("completed %d failed %d, want 1 and 0", stats.JobsCompleted, stats.JobsFailed)
+	}
+}
+
+// TestRetryFailpointPanicRecovered: an injected panic on the run path
+// must neither kill the worker goroutine nor doom the job — it is
+// recovered, classified transient, and retried.
+func TestRetryFailpointPanicRecovered(t *testing.T) {
+	if err := failpoint.Enable("service/worker/run", "1*panic(chaos panic)"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(failpoint.DisableAll)
+
+	_, ts := newTestServer(t, fastRetry(Options{}), func(ctx context.Context, j *Job) error {
+		return nil
+	})
+	st := submitSpec(t, ts, JobSpec{Kind: KindDetect, Case: "s35932-T200"})
+	final := waitState(t, ts, st.ID, StateDone)
+	if final.Attempts != 2 {
+		t.Errorf("job took %d attempts, want 2", final.Attempts)
+	}
+
+	// The worker survived the panic: a follow-up job on the same (sole)
+	// worker still runs.
+	st2 := submitSpec(t, ts, JobSpec{Kind: KindDetect, Case: "s35932-T200"})
+	waitState(t, ts, st2.ID, StateDone)
+}
+
+// TestRetryFailpointAttemptsExhausted: a persistently-injected fault
+// burns through MaxAttempts and the job fails with the exhaustion
+// spelled out — it does not hang, and it does not retry forever.
+func TestRetryFailpointAttemptsExhausted(t *testing.T) {
+	if err := failpoint.Enable("service/worker/run", "error(persistent chaos)"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(failpoint.DisableAll)
+
+	_, ts := newTestServer(t, fastRetry(Options{MaxAttempts: 3}), func(ctx context.Context, j *Job) error {
+		return nil
+	})
+	st := submitSpec(t, ts, JobSpec{Kind: KindDetect, Case: "s35932-T200"})
+	final := waitState(t, ts, st.ID, StateFailed)
+	if final.Attempts != 3 {
+		t.Errorf("job took %d attempts, want 3", final.Attempts)
+	}
+	if !strings.Contains(final.Error, "attempts exhausted") {
+		t.Errorf("error %q does not report attempt exhaustion", final.Error)
+	}
+	stats := getStats(t, ts)
+	if stats.JobsRetried != 2 {
+		t.Errorf("jobs_retried = %d, want 2", stats.JobsRetried)
+	}
+}
+
+// TestRetryBudgetExhausted: the server-wide token bucket caps retry
+// amplification — once it empties, a transient failure fails fast
+// instead of burning more attempts.
+func TestRetryBudgetExhausted(t *testing.T) {
+	if err := failpoint.Enable("service/worker/run", "error(persistent chaos)"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(failpoint.DisableAll)
+
+	_, ts := newTestServer(t, fastRetry(Options{MaxAttempts: 5, RetryBudget: 1}), func(ctx context.Context, j *Job) error {
+		return nil
+	})
+	st := submitSpec(t, ts, JobSpec{Kind: KindDetect, Case: "s35932-T200"})
+	final := waitState(t, ts, st.ID, StateFailed)
+	// Attempt 1 fails, the single token funds attempt 2, the empty
+	// bucket denies attempt 3.
+	if final.Attempts != 2 {
+		t.Errorf("job took %d attempts, want 2 (budget of 1 funds one retry)", final.Attempts)
+	}
+	if !strings.Contains(final.Error, "retry budget exhausted") {
+		t.Errorf("error %q does not report budget exhaustion", final.Error)
+	}
+	stats := getStats(t, ts)
+	if stats.RetryBudget != 0 {
+		t.Errorf("retry_budget = %g, want 0", stats.RetryBudget)
+	}
+}
+
+// TestDeadlineExceededJob: a job's TimeoutSec expires mid-run and the
+// job lands in the dedicated "deadline" state — distinct from cancelled
+// and from failed — with the budget named in the error.
+func TestDeadlineExceededJob(t *testing.T) {
+	_, ts := newTestServer(t, Options{}, func(ctx context.Context, j *Job) error {
+		<-ctx.Done() // a run that would outlive any budget
+		return ctx.Err()
+	})
+	st := submitSpec(t, ts, JobSpec{Kind: KindDetect, Case: "s35932-T200", TimeoutSec: 0.05})
+	final := waitState(t, ts, st.ID, StateDeadline)
+	if !strings.Contains(final.Error, "timeout_sec=0.05s exceeded") {
+		t.Errorf("error %q does not name the exceeded budget", final.Error)
+	}
+	stats := getStats(t, ts)
+	if stats.JobsDeadline != 1 {
+		t.Errorf("jobs_deadline = %d, want 1", stats.JobsDeadline)
+	}
+	if stats.JobsCancelled != 0 || stats.JobsFailed != 0 {
+		t.Errorf("deadline miscounted: cancelled %d failed %d", stats.JobsCancelled, stats.JobsFailed)
+	}
+}
+
+// TestBreakerShedsAndRecovers drives a tester profile's circuit breaker
+// through its full arc: consecutive failures trip it, submissions
+// against the profile are shed with 503 + Retry-After while other
+// profiles flow normally, readiness reports the open breaker, and after
+// the cooldown a successful half-open probe closes it again.
+func TestBreakerShedsAndRecovers(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	hook := func(ctx context.Context, j *Job) error {
+		if j.Spec.Tester == "spikes" && failing.Load() {
+			return errors.New("tester frontend exploded") // permanent: no retries
+		}
+		return nil
+	}
+	_, ts := newTestServer(t, Options{BreakerThreshold: 2, BreakerCooldown: 80 * time.Millisecond}, hook)
+
+	spec := JobSpec{Kind: KindDetect, Case: "s35932-T200", Tester: "spikes"}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two consecutive failures trip the threshold-2 breaker.
+	for i := 0; i < 2; i++ {
+		st := submitSpec(t, ts, spec)
+		waitState(t, ts, st.ID, StateFailed)
+	}
+
+	// The profile now sheds: 503 with a Retry-After hint, nothing queued.
+	resp, _ := postJob(t, ts, string(body))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit against an open breaker: HTTP %d, want 503", resp.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want an integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	stats := getStats(t, ts)
+	if stats.JobsShed != 1 {
+		t.Errorf("jobs_shed = %d, want 1", stats.JobsShed)
+	}
+	if br, ok := stats.Breakers["spikes"]; !ok || br.State != retry.BreakerOpen {
+		t.Errorf("stats breaker for %q = %+v, want open", "spikes", stats.Breakers)
+	}
+
+	// Readiness reflects the open breaker; liveness does not.
+	if code := probeCode(t, ts, "/healthz/ready"); code != http.StatusServiceUnavailable {
+		t.Errorf("ready with an open breaker: HTTP %d, want 503", code)
+	}
+	if code := probeCode(t, ts, "/healthz/live"); code != http.StatusOK {
+		t.Errorf("live with an open breaker: HTTP %d, want 200", code)
+	}
+
+	// Other profiles are unaffected by the tripped one.
+	clean := submitSpec(t, ts, JobSpec{Kind: KindDetect, Case: "s35932-T200"})
+	waitState(t, ts, clean.ID, StateDone)
+
+	// Heal the backend; after the cooldown a half-open probe is admitted,
+	// succeeds, and closes the breaker.
+	failing.Store(false)
+	deadline := time.Now().Add(5 * time.Second)
+	recovered := false
+	for time.Now().Before(deadline) {
+		resp, st := postJob(t, ts, string(body))
+		if resp.StatusCode == http.StatusAccepted {
+			waitState(t, ts, st.ID, StateDone)
+			recovered = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("breaker never admitted a probe after the backend healed")
+	}
+	stats = getStats(t, ts)
+	if br := stats.Breakers["spikes"]; br.State != retry.BreakerClosed {
+		t.Errorf("breaker after successful probe: %+v, want closed", br)
+	}
+	if code := probeCode(t, ts, "/healthz/ready"); code != http.StatusOK {
+		t.Errorf("ready after recovery: HTTP %d, want 200", code)
+	}
+}
+
+func probeCode(t *testing.T, ts *httptest.Server, path string) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestQueueEnqueueFailpointRejects: an injected enqueue fault presents
+// as queue pressure (429) and loses nothing — the job is unregistered,
+// the counters record a rejection, and the next submission sails.
+func TestQueueEnqueueFailpointRejects(t *testing.T) {
+	if err := failpoint.Enable("service/queue/enqueue", "1*error(enqueue chaos)"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(failpoint.DisableAll)
+
+	s, ts := newTestServer(t, Options{}, func(ctx context.Context, j *Job) error {
+		return nil
+	})
+	resp, _ := postJob(t, ts, detectBody)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("injected enqueue fault: HTTP %d, want 429", resp.StatusCode)
+	}
+	stats := getStats(t, ts)
+	if stats.JobsRejected != 1 || stats.JobsSubmitted != 0 {
+		t.Errorf("rejected %d submitted %d, want 1 and 0", stats.JobsRejected, stats.JobsSubmitted)
+	}
+	if _, ok := s.Job("job-1"); ok {
+		t.Error("rejected job left registered")
+	}
+
+	// One-shot point has disarmed; the retry succeeds.
+	_, st := postJob(t, ts, detectBody)
+	waitState(t, ts, st.ID, StateDone)
+}
+
+// TestJournalAppendFailpointKeepsServing: a misbehaving disk must cost
+// durability, not availability — jobs keep completing while
+// journal_errors climbs in /v1/stats.
+func TestJournalAppendFailpointKeepsServing(t *testing.T) {
+	if err := failpoint.Enable("journal/append", "error(disk gone)"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(failpoint.DisableAll)
+
+	_, ts := newTestServer(t, Options{DataDir: t.TempDir(), NoSync: true}, func(ctx context.Context, j *Job) error {
+		return nil
+	})
+	st := submitSpec(t, ts, JobSpec{Kind: KindDetect, Case: "s35932-T200"})
+	final := waitState(t, ts, st.ID, StateDone)
+	if final.Error != "" {
+		t.Errorf("journal failure leaked into the job: %q", final.Error)
+	}
+	stats := getStats(t, ts)
+	if stats.JournalErrors == 0 {
+		t.Error("journal_errors = 0 despite every append failing")
+	}
+}
+
+// TestCacheSingleflightFailureNotPoisoned is the regression test for the
+// singleflight failure path: with N concurrent getters and a first build
+// that fails, exactly that builder's caller sees the error, the entry is
+// evicted exactly once, and every waiter retries into the successful
+// rebuild — nobody is served a stale error, nobody hangs.
+func TestCacheSingleflightFailureNotPoisoned(t *testing.T) {
+	c := NewCache()
+	var calls atomic.Int64
+	const getters = 8
+	errs := make([]error, getters)
+	vals := make([]*instance, getters)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < getters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			vals[i], _, errs[i] = c.Instance("design", func() (*instance, error) {
+				if calls.Add(1) == 1 {
+					time.Sleep(5 * time.Millisecond) // let waiters pile onto this entry
+					return nil, errors.New("first build fails")
+				}
+				return &instance{}, nil
+			})
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	failures := 0
+	for i, err := range errs {
+		if err != nil {
+			failures++
+		} else if vals[i] == nil {
+			t.Errorf("getter %d: nil value without an error", i)
+		}
+	}
+	if failures != 1 {
+		t.Errorf("%d getters saw the build error, want exactly 1 (the failed builder's caller)", failures)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("build ran %d times, want 2 (one failure, one successful rebuild)", n)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+	if c.Misses() != 2 || c.Hits() != getters-2 {
+		t.Errorf("misses %d hits %d, want 2 and %d", c.Misses(), c.Hits(), getters-2)
+	}
+
+	// The failure was not cached: a fresh lookup is a clean hit.
+	_, hit, err := c.Instance("design", func() (*instance, error) {
+		t.Error("successful entry rebuilt")
+		return nil, nil
+	})
+	if err != nil || !hit {
+		t.Errorf("post-failure lookup: hit=%v err=%v, want cached success", hit, err)
+	}
+}
+
+// TestCacheSingleflightPanicReleasesWaiters: a builder that panics (the
+// "service/cache/build" failpoint's panic action) must evict its entry
+// and release the waiters before the panic unwinds — a hung waiter here
+// is a hung worker in production.
+func TestCacheSingleflightPanicReleasesWaiters(t *testing.T) {
+	if err := failpoint.Enable("service/cache/build", "1*panic(cache chaos)"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(failpoint.DisableAll)
+
+	c := NewCache()
+	const getters = 6
+	var panics, successes atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < getters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(failpoint.PanicValue); !ok {
+						t.Errorf("unexpected panic value %v", r)
+					}
+					panics.Add(1)
+				}
+			}()
+			<-start
+			if _, _, err := c.Instance("design", func() (*instance, error) {
+				return &instance{}, nil
+			}); err == nil {
+				successes.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait() // completing at all proves no waiter hung
+
+	if panics.Load() != 1 {
+		t.Errorf("%d getters panicked, want exactly 1 (the one-shot failpoint)", panics.Load())
+	}
+	if successes.Load() != getters-1 {
+		t.Errorf("%d getters succeeded, want %d", successes.Load(), getters-1)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+// sseEvent is one parsed SSE frame: the id: field and the decoded data.
+type sseEvent struct {
+	id uint64
+	ev Event
+}
+
+// readSSE consumes a job's event stream until the first "result" event,
+// pairing each data frame with its id: field. extraHeader optionally
+// sets Last-Event-ID for resume tests.
+func readSSE(t *testing.T, ts *httptest.Server, id, lastEventID string) []sseEvent {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	var out []sseEvent
+	var curID uint64
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			n, err := strconv.ParseUint(strings.TrimPrefix(line, "id: "), 10, 64)
+			if err != nil {
+				t.Fatalf("bad SSE id line %q: %v", line, err)
+			}
+			curID = n
+		case strings.HasPrefix(line, "data: "):
+			var ev Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad SSE payload %q: %v", line, err)
+			}
+			out = append(out, sseEvent{id: curID, ev: ev})
+			if ev.Type == "result" {
+				return out
+			}
+		}
+	}
+	t.Fatalf("stream ended before a result event (%d events)", len(out))
+	return nil
+}
+
+// TestSSEResumeFromLastEventID: a client reconnecting with Last-Event-ID
+// receives exactly the retained events after that sequence number — no
+// duplicates of what it already saw, nothing skipped — with the id:
+// field of each frame matching the payload's seq.
+func TestSSEResumeFromLastEventID(t *testing.T) {
+	_, ts := newTestServer(t, Options{}, func(ctx context.Context, j *Job) error {
+		for i := 1; i <= 3; i++ {
+			j.publishProgress(progressEvent("calibrate", i, 3))
+		}
+		return nil
+	})
+	st := submitSpec(t, ts, JobSpec{Kind: KindDetect, Case: "s35932-T200"})
+	waitState(t, ts, st.ID, StateDone)
+
+	// The finished job's stream: seq 1 = running, 2..4 = progress, 5 = result.
+	// Resuming after seq 2 must replay exactly 3, 4, 5.
+	events := readSSE(t, ts, st.ID, "2")
+	if len(events) != 3 {
+		t.Fatalf("resume after seq 2 replayed %d events, want 3: %+v", len(events), events)
+	}
+	for i, want := range []uint64{3, 4, 5} {
+		if events[i].id != want || events[i].ev.Seq != want {
+			t.Errorf("event %d: id %d seq %d, want %d", i, events[i].id, events[i].ev.Seq, want)
+		}
+	}
+	if events[0].ev.Type != "progress" || events[0].ev.Progress == nil || events[0].ev.Progress.Step != 2 {
+		t.Errorf("first resumed event = %+v, want progress step 2", events[0].ev)
+	}
+	if events[2].ev.Type != "result" || events[2].ev.State != StateDone {
+		t.Errorf("last resumed event = %+v, want done result", events[2].ev)
+	}
+
+	// A resume from the last seen id replays only the result.
+	tail := readSSE(t, ts, st.ID, "4")
+	if len(tail) != 1 || tail[0].ev.Type != "result" {
+		t.Errorf("resume after seq 4 = %+v, want just the result", tail)
+	}
+}
+
+// TestSSEHeartbeatComments: a quiet stream carries periodic comment
+// lines so intermediaries do not time it out, and the heartbeat does not
+// disturb the event framing — the result still arrives intact.
+func TestSSEHeartbeatComments(t *testing.T) {
+	release := make(chan struct{})
+	_, ts := newTestServer(t, Options{Heartbeat: 15 * time.Millisecond}, func(ctx context.Context, j *Job) error {
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	st := submitSpec(t, ts, JobSpec{Kind: KindDetect, Case: "s35932-T200"})
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	heartbeats := 0
+	sawResult := false
+	released := false
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if strings.HasPrefix(line, ":") {
+			heartbeats++
+			if heartbeats >= 2 && !released {
+				released = true
+				close(release)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "data: ") {
+			var ev Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad SSE payload after heartbeats %q: %v", line, err)
+			}
+			if ev.Type == "result" {
+				sawResult = true
+				break
+			}
+		}
+	}
+	if heartbeats < 2 {
+		t.Errorf("saw %d heartbeat comments, want >= 2", heartbeats)
+	}
+	if !sawResult {
+		t.Error("stream ended without the result event")
+	}
+}
+
+// TestRetryAcquisitionFaultBitIdentical drives the real pipeline: a
+// one-shot fault injected into the device's acquisition path aborts the
+// first attempt, the worker classifies it transient and retries, and the
+// clean re-run's report is bit-identical to an un-faulted control run —
+// the chaos leaves no trace in the artifact.
+func TestRetryAcquisitionFaultBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline over HTTP")
+	}
+	_, ts := newTestServer(t, fastRetry(Options{}), nil) // nil hook: real pipeline
+	spec := JobSpec{Kind: KindDetect, Case: "s35932-T200", Scale: 0.02, Clean: true, Workers: 2}
+
+	control := submitSpec(t, ts, spec)
+	want := waitState(t, ts, control.ID, StateDone)
+	wantJSON, err := json.Marshal(want.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := failpoint.Enable("core/acquire", "1*error(acquire chaos)"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(failpoint.DisableAll)
+
+	faulted := submitSpec(t, ts, spec)
+	got := waitState(t, ts, faulted.ID, StateDone)
+	if got.Attempts != 2 {
+		t.Errorf("faulted job took %d attempts, want 2", got.Attempts)
+	}
+	gotJSON, err := json.Marshal(got.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Errorf("retried report differs from un-faulted control:\nretried: %s\ncontrol: %s", gotJSON, wantJSON)
+	}
+	if stats := getStats(t, ts); stats.JobsRetried != 1 {
+		t.Errorf("jobs_retried = %d, want 1", stats.JobsRetried)
+	}
+}
+
+// TestChaosFailpointMatrix sweeps the service's failpoints one at a time
+// over a small job burst and requires the same liveness invariant from
+// each: every job reaches a terminal state (no hung worker, no lost
+// job), and the server drains cleanly afterwards.
+func TestChaosFailpointMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+	}{
+		{"service/worker/run", "2*error(run chaos)"},
+		{"service/worker/run", "1*panic(run chaos)"},
+		{"service/cache/build", "1*error(cache chaos)"},
+		{"journal/append", "each(2)*error(journal chaos)"},
+		{"journal/fsync", "p(0.5,7)*error(fsync chaos)"},
+		{"service/recovery", "1*error(recovery chaos)"},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s=%s", tc.name, tc.spec), func(t *testing.T) {
+			if err := failpoint.Enable(tc.name, tc.spec); err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(failpoint.DisableAll)
+
+			_, ts := newTestServer(t, fastRetry(Options{Workers: 2, DataDir: t.TempDir(), NoSync: true}),
+				func(ctx context.Context, j *Job) error { return nil })
+			ids := make([]string, 0, 4)
+			for i := 0; i < 4; i++ {
+				st := submitSpec(t, ts, JobSpec{Kind: KindDetect, Case: "s35932-T200"})
+				ids = append(ids, st.ID)
+			}
+			// Every job terminates — done after retries, or failed with an
+			// attributed error. Nothing hangs, nothing vanishes.
+			deadline := time.Now().Add(10 * time.Second)
+			for _, id := range ids {
+				for {
+					if time.Now().After(deadline) {
+						t.Fatalf("job %s never reached a terminal state", id)
+					}
+					code, st := getStatus(t, ts, id)
+					if code != http.StatusOK {
+						t.Fatalf("job %s lost: HTTP %d", id, code)
+					}
+					if st.State.Terminal() {
+						if st.State == StateFailed && st.Error == "" {
+							t.Errorf("job %s failed with no attributed error", id)
+						}
+						break
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		})
+	}
+}

@@ -10,9 +10,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"superpose/internal/journal"
+	"superpose/internal/retry"
 )
 
 // Options configures a Server.
@@ -24,6 +30,68 @@ type Options struct {
 	// per-job fan-out already parallelizes across dies and faults, so
 	// more job workers mainly help mixed small/large workloads).
 	Workers int
+
+	// DataDir, when non-empty, enables the crash-safe job journal under
+	// DataDir/journal: every job state transition is logged, and a
+	// restarted server replays the log — finished jobs come back with
+	// their reports, unfinished ones go back into the queue.
+	DataDir string
+	// NoSync skips the journal's per-append fsync (tests; see journal.Options).
+	NoSync bool
+
+	// MaxAttempts caps execution attempts per job, counting the first
+	// (default 3). Transient failures — unstable acquisition, injected
+	// faults, recovered panics — are retried with backoff up to this cap.
+	MaxAttempts int
+	// RetryBase and RetryMax bound the decorrelated-jitter backoff
+	// between attempts (defaults 50ms and 2s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// RetryBudget is the server-wide retry token bucket capacity (default
+	// 16): when failures outpace successes the bucket empties and retries
+	// are denied, so an outage is not amplified by retry traffic.
+	RetryBudget float64
+
+	// BreakerThreshold and BreakerCooldown configure the per-tester-
+	// profile circuit breakers (defaults 5 consecutive failures, 30s
+	// cooldown). A tripped profile sheds submissions with 503 +
+	// Retry-After until a half-open probe succeeds.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// Heartbeat is the SSE keep-alive comment interval (default 15s).
+	Heartbeat time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueSize <= 0 {
+		o.QueueSize = 16
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 50 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 2 * time.Second
+	}
+	if o.RetryBudget <= 0 {
+		o.RetryBudget = 16
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 30 * time.Second
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 15 * time.Second
+	}
+	return o
 }
 
 // counters is the service's expvar-style instrumentation. It is a plain
@@ -31,29 +99,54 @@ type Options struct {
 // process-global: registering twice panics, which would make every
 // multi-server test (and any embedding application) fragile.
 type counters struct {
-	jobsSubmitted atomic.Uint64
-	jobsCompleted atomic.Uint64
-	jobsFailed    atomic.Uint64
-	jobsCancelled atomic.Uint64
-	jobsRejected  atomic.Uint64
-	queueDepth    atomic.Int64
+	jobsSubmitted     atomic.Uint64
+	jobsCompleted     atomic.Uint64
+	jobsFailed        atomic.Uint64
+	jobsCancelled     atomic.Uint64
+	jobsDeadline      atomic.Uint64
+	jobsRejected      atomic.Uint64
+	jobsShed          atomic.Uint64
+	jobsRetried       atomic.Uint64
+	journalErrors     atomic.Uint64
+	recoveredQueued   atomic.Uint64
+	recoveredRunning  atomic.Uint64
+	recoveredTerminal atomic.Uint64
+	queueDepth        atomic.Int64
+}
+
+// BreakerStatus is the wire view of one tester profile's circuit
+// breaker in /v1/stats.
+type BreakerStatus struct {
+	State               retry.BreakerState `json:"state"`
+	ConsecutiveFailures int                `json:"consecutive_failures"`
+	RetryAfterSec       float64            `json:"retry_after_sec,omitempty"`
 }
 
 // Stats is the wire view of GET /v1/stats.
 type Stats struct {
-	JobsSubmitted uint64 `json:"jobs_submitted"`
-	JobsCompleted uint64 `json:"jobs_completed"`
-	JobsFailed    uint64 `json:"jobs_failed"`
-	JobsCancelled uint64 `json:"jobs_cancelled"`
-	JobsRejected  uint64 `json:"jobs_rejected"`
-	QueueDepth    int64  `json:"queue_depth"`
-	CacheHits     uint64 `json:"cache_hits"`
-	CacheMisses   uint64 `json:"cache_misses"`
-	CacheEntries  int    `json:"cache_entries"`
+	JobsSubmitted     uint64                   `json:"jobs_submitted"`
+	JobsCompleted     uint64                   `json:"jobs_completed"`
+	JobsFailed        uint64                   `json:"jobs_failed"`
+	JobsCancelled     uint64                   `json:"jobs_cancelled"`
+	JobsDeadline      uint64                   `json:"jobs_deadline"`
+	JobsRejected      uint64                   `json:"jobs_rejected"`
+	JobsShed          uint64                   `json:"jobs_shed"`
+	JobsRetried       uint64                   `json:"jobs_retried"`
+	JournalErrors     uint64                   `json:"journal_errors"`
+	RecoveredQueued   uint64                   `json:"recovered_queued"`
+	RecoveredRunning  uint64                   `json:"recovered_running"`
+	RecoveredTerminal uint64                   `json:"recovered_terminal"`
+	QueueDepth        int64                    `json:"queue_depth"`
+	RetryBudget       float64                  `json:"retry_budget"`
+	CacheHits         uint64                   `json:"cache_hits"`
+	CacheMisses       uint64                   `json:"cache_misses"`
+	CacheEntries      int                      `json:"cache_entries"`
+	Breakers          map[string]BreakerStatus `json:"breakers,omitempty"`
 }
 
-// Server owns the queue, cache, worker pool and job registry, and
-// implements http.Handler with the /v1 API.
+// Server owns the queue, cache, worker pool, job registry, durability
+// journal and circuit breakers, and implements http.Handler with the
+// /v1 API.
 type Server struct {
 	opts     Options
 	mux      *http.ServeMux
@@ -69,28 +162,50 @@ type Server struct {
 	jobs   map[string]*Job
 	nextID uint64
 
+	// Durability (nil journal when DataDir is unset). jmu serializes
+	// appends against compaction; journalDead simulates power loss in
+	// crash tests (records stop cold, no orderly finish records).
+	journal     *journal.Journal
+	jmu         sync.Mutex
+	journalDead atomic.Bool
+	recovering  atomic.Bool
+	reenqueue   []*Job // journal-recovered jobs awaiting re-enqueue (Start)
+
+	// Resilience: the server-wide retry token bucket and the per-tester-
+	// profile circuit breakers.
+	retryBudget *retry.Budget
+	bmu         sync.Mutex
+	breakers    map[string]*retry.Breaker
+
 	// runHook, when non-nil, replaces execute — the deterministic test
 	// seam for queue/cancellation/drain behavior without real flow runs.
 	runHook func(ctx context.Context, j *Job) error
 }
 
-// New assembles a server; call Start to launch the worker pool.
-func New(opts Options) *Server {
-	if opts.QueueSize <= 0 {
-		opts.QueueSize = 16
-	}
-	if opts.Workers <= 0 {
-		opts.Workers = 1
-	}
+// New assembles a server; call Start to launch the worker pool. With
+// DataDir set, New replays the journal synchronously — the registry is
+// fully restored on return — while re-enqueueing and compaction happen
+// in the background after Start (the readiness endpoint reports
+// not-ready until they complete).
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opts:       opts,
-		mux:        http.NewServeMux(),
-		queue:      NewQueue(opts.QueueSize),
-		cache:      NewCache(),
-		baseCtx:    ctx,
-		cancelBase: cancel,
-		jobs:       make(map[string]*Job),
+		opts:        opts,
+		mux:         http.NewServeMux(),
+		queue:       NewQueue(opts.QueueSize),
+		cache:       NewCache(),
+		baseCtx:     ctx,
+		cancelBase:  cancel,
+		jobs:        make(map[string]*Job),
+		retryBudget: retry.NewBudget(opts.RetryBudget, 0),
+		breakers:    make(map[string]*retry.Breaker),
+	}
+	if opts.DataDir != "" {
+		if err := s.openJournal(opts.DataDir + "/journal"); err != nil {
+			cancel()
+			return nil, err
+		}
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -98,15 +213,49 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	return s
+	s.mux.HandleFunc("GET /healthz/live", s.handleHealth)
+	s.mux.HandleFunc("GET /healthz/ready", s.handleReady)
+	return s, nil
 }
 
-// Start launches the worker pool.
+// Start launches the worker pool and, when a journal is wired, the
+// recovery goroutine that re-enqueues interrupted jobs.
 func (s *Server) Start() {
 	s.wg.Add(s.opts.Workers)
 	for i := 0; i < s.opts.Workers; i++ {
 		go s.workerLoop()
 	}
+	if s.journal != nil {
+		s.wg.Add(1)
+		go s.finishRecovery()
+	}
+}
+
+// breaker returns (creating on first use) the circuit breaker for a
+// tester profile.
+func (s *Server) breaker(profile string) *retry.Breaker {
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	b, ok := s.breakers[profile]
+	if !ok {
+		b = retry.NewBreaker(retry.BreakerOptions{
+			Threshold: s.opts.BreakerThreshold,
+			Cooldown:  s.opts.BreakerCooldown,
+		})
+		s.breakers[profile] = b
+	}
+	return b
+}
+
+// breakerSnapshot copies the breaker map for stats and readiness.
+func (s *Server) breakerSnapshot() map[string]*retry.Breaker {
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	out := make(map[string]*retry.Breaker, len(s.breakers))
+	for k, v := range s.breakers {
+		out[k] = v
+	}
+	return out
 }
 
 // Drain shuts the service down gracefully: new submissions are rejected
@@ -121,17 +270,23 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
 		s.cancelBase()
-		return nil
 	case <-ctx.Done():
 		// Deadline hit: abort every in-flight job and wait for the
 		// workers to observe the cancellation.
 		s.cancelBase()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if s.journal != nil && !s.journalDead.Load() {
+		s.jmu.Lock()
+		_ = s.journal.Close()
+		s.jmu.Unlock()
+	}
+	return err
 }
 
 // Cache exposes the artifact cache (for stats and tests).
@@ -151,11 +306,17 @@ func (s *Server) Job(id string) (*Job, bool) {
 }
 
 // Submit validates, registers and enqueues a job spec. It is the
-// programmatic path behind POST /v1/jobs.
+// programmatic path behind POST /v1/jobs. A submission against a tester
+// profile whose circuit breaker is open is shed with a shedError (HTTP:
+// 503 + Retry-After) instead of being queued to fail.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %w", errBadSpec, err)
+	}
+	if b := s.breaker(spec.Tester); !b.Allow() {
+		s.counters.jobsShed.Add(1)
+		return nil, &shedError{profile: spec.Tester, retryAfter: b.RetryAfter()}
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	s.mu.Lock()
@@ -175,10 +336,22 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	}
 	s.counters.jobsSubmitted.Add(1)
 	s.counters.queueDepth.Store(int64(s.queue.Depth()))
+	s.journalSubmit(j)
 	return j, nil
 }
 
 var errBadSpec = fmt.Errorf("service: invalid job spec")
+
+// shedError is a submission refused by an open circuit breaker.
+type shedError struct {
+	profile    string
+	retryAfter time.Duration
+}
+
+func (e *shedError) Error() string {
+	return fmt.Sprintf("service: tester profile %q is shedding load (circuit breaker open, retry in %s)",
+		e.profile, e.retryAfter.Round(time.Millisecond))
+}
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
@@ -189,6 +362,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, err := s.Submit(spec)
+	var shed *shedError
 	switch {
 	case err == nil:
 	case errors.Is(err, errBadSpec):
@@ -196,6 +370,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	case errors.Is(err, ErrQueueFull):
 		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.As(err, &shed):
+		secs := int(math.Ceil(shed.retryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case errors.Is(err, ErrQueueClosed):
 		httpError(w, http.StatusServiceUnavailable, err.Error())
@@ -224,6 +406,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.Cancel()
+	s.journalCancel(j)
 	writeJSON(w, http.StatusAccepted, j.Status())
 }
 
@@ -244,8 +427,26 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
-	sub := j.subscribe()
+	// A reconnecting client presents the id of the last event it saw;
+	// everything retained after it is replayed before live streaming.
+	var afterSeq uint64
+	resume := false
+	if lastID := r.Header.Get("Last-Event-ID"); lastID != "" {
+		if n, err := strconv.ParseUint(lastID, 10, 64); err == nil {
+			afterSeq, resume = n, true
+		}
+	}
+	replay, sub := j.subscribe(afterSeq, resume)
 	defer j.unsubscribe(sub)
+	for _, ev := range replay {
+		if err := writeSSE(w, ev); err != nil {
+			return
+		}
+	}
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(s.opts.Heartbeat)
+	defer heartbeat.Stop()
 	writeEvents := func() bool {
 		for {
 			select {
@@ -263,13 +464,20 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-heartbeat.C:
+			// SSE comment line: keeps intermediaries from timing the
+			// stream out during long quiet stretches of a big job.
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
 		case <-j.Done():
 			// Drain whatever is buffered, then send the final snapshot —
 			// even a subscriber that lost intermediate events always
 			// observes the terminal state.
 			writeEvents()
 			st := j.Status()
-			_ = writeSSE(w, Event{Type: "result", State: st.State, Error: st.Error})
+			_ = writeSSE(w, Event{Seq: j.lastSeq(), Type: "result", State: st.State, Error: st.Error})
 			flusher.Flush()
 			return
 		case ev := <-sub:
@@ -284,22 +492,67 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	breakers := make(map[string]BreakerStatus)
+	for name, b := range s.breakerSnapshot() {
+		breakers[name] = BreakerStatus{
+			State:               b.State(),
+			ConsecutiveFailures: b.ConsecutiveFailures(),
+			RetryAfterSec:       b.RetryAfter().Seconds(),
+		}
+	}
 	writeJSON(w, http.StatusOK, Stats{
-		JobsSubmitted: s.counters.jobsSubmitted.Load(),
-		JobsCompleted: s.counters.jobsCompleted.Load(),
-		JobsFailed:    s.counters.jobsFailed.Load(),
-		JobsCancelled: s.counters.jobsCancelled.Load(),
-		JobsRejected:  s.counters.jobsRejected.Load(),
-		QueueDepth:    int64(s.queue.Depth()),
-		CacheHits:     s.cache.Hits(),
-		CacheMisses:   s.cache.Misses(),
-		CacheEntries:  s.cache.Len(),
+		JobsSubmitted:     s.counters.jobsSubmitted.Load(),
+		JobsCompleted:     s.counters.jobsCompleted.Load(),
+		JobsFailed:        s.counters.jobsFailed.Load(),
+		JobsCancelled:     s.counters.jobsCancelled.Load(),
+		JobsDeadline:      s.counters.jobsDeadline.Load(),
+		JobsRejected:      s.counters.jobsRejected.Load(),
+		JobsShed:          s.counters.jobsShed.Load(),
+		JobsRetried:       s.counters.jobsRetried.Load(),
+		JournalErrors:     s.counters.journalErrors.Load(),
+		RecoveredQueued:   s.counters.recoveredQueued.Load(),
+		RecoveredRunning:  s.counters.recoveredRunning.Load(),
+		RecoveredTerminal: s.counters.recoveredTerminal.Load(),
+		QueueDepth:        int64(s.queue.Depth()),
+		RetryBudget:       s.retryBudget.Remaining(),
+		CacheHits:         s.cache.Hits(),
+		CacheMisses:       s.cache.Misses(),
+		CacheEntries:      s.cache.Len(),
+		Breakers:          breakers,
 	})
 }
 
+// handleHealth is the liveness probe (also served at /healthz/live): the
+// process is up and the handler is reachable — nothing more.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":      "ok",
+		"queue_depth": s.queue.Depth(),
+	})
+}
+
+// handleReady is the readiness probe: 503 while journal recovery is
+// still re-enqueueing interrupted jobs, and while any tester profile's
+// circuit breaker is fully open (the service is alive but shedding).
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	if s.recovering.Load() {
+		reasons = append(reasons, "journal recovery in progress")
+	}
+	for name, b := range s.breakerSnapshot() {
+		if b.State() == retry.BreakerOpen {
+			reasons = append(reasons, fmt.Sprintf("circuit breaker open for tester profile %q", name))
+		}
+	}
+	if len(reasons) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":  "not_ready",
+			"reasons": reasons,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ready",
 		"queue_depth": s.queue.Depth(),
 	})
 }
@@ -321,6 +574,6 @@ func writeSSE(w http.ResponseWriter, ev Event) error {
 	if err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
 	return err
 }

@@ -24,7 +24,10 @@ func progressEvent(stage string, step, total int) core.Progress {
 // the real pipeline, wrapped in an httptest HTTP front end.
 func newTestServer(t *testing.T, opts Options, hook func(ctx context.Context, j *Job) error) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.runHook = hook
 	s.Start()
 	ts := httptest.NewServer(s)
@@ -244,7 +247,10 @@ func TestCancelQueuedJob(t *testing.T) {
 func TestDrainCompletesBacklog(t *testing.T) {
 	var ran int
 	done := make(chan struct{}, 8)
-	s := New(Options{QueueSize: 8, Workers: 1})
+	s, err := New(Options{QueueSize: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.runHook = func(ctx context.Context, j *Job) error {
 		ran++
 		done <- struct{}{}
@@ -279,7 +285,10 @@ func TestDrainCompletesBacklog(t *testing.T) {
 }
 
 func TestDrainDeadlineCancelsInFlight(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	started := make(chan struct{})
 	s.runHook = func(ctx context.Context, j *Job) error {
 		close(started)

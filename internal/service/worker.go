@@ -4,13 +4,18 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"strings"
+	"time"
 
 	"superpose/internal/atpg"
 	"superpose/internal/bench"
 	"superpose/internal/core"
+	"superpose/internal/failpoint"
+	"superpose/internal/parallel"
 	"superpose/internal/power"
+	"superpose/internal/retry"
 	"superpose/internal/scan"
 	"superpose/internal/tester"
 	"superpose/internal/trojan"
@@ -28,30 +33,130 @@ func (s *Server) workerLoop() {
 		if j.ctx.Err() != nil {
 			// Cancelled while queued; Cancel already finished the job.
 			j.finish(StateCancelled, j.ctx.Err())
+			s.journalFinish(j)
 			s.counters.jobsCancelled.Add(1)
 			continue
 		}
 		if !j.start() {
+			s.journalFinish(j)
 			s.counters.jobsCancelled.Add(1)
 			continue
 		}
-		run := s.runHook
-		if run == nil {
-			run = s.execute
+		s.runJob(j)
+	}
+}
+
+// errJobPanic wraps a panic recovered from a job run. Classified
+// transient: a panicking worker must neither crash the pool nor doom a
+// job that a clean re-run would complete (the flow itself is
+// deterministic, but injected chaos and tester faults are not).
+var errJobPanic = errors.New("service: job panicked")
+
+// runJob drives one job to a terminal state: attempt, classify, retry
+// transient failures with decorrelated-jitter backoff while attempts
+// and the server-wide retry budget last, then finish and settle the
+// books (counters, breaker, journal).
+func (s *Server) runJob(j *Job) {
+	run := s.runHook
+	if run == nil {
+		run = s.execute
+	}
+
+	// The per-job deadline spans all attempts: TimeoutSec is a promise
+	// about wall-clock time, not per-try patience.
+	ctx := j.ctx
+	if j.Spec.TimeoutSec > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(j.Spec.TimeoutSec*float64(time.Second)))
+		defer cancel()
+	}
+
+	backoff := retry.Policy{
+		MaxAttempts: s.opts.MaxAttempts,
+		BaseDelay:   s.opts.RetryBase,
+		MaxDelay:    s.opts.RetryMax,
+		Seed:        jobSeed(j.ID),
+	}.Backoff()
+
+	var err error
+	for {
+		attempt := j.nextAttempt()
+		s.journalStart(j, attempt)
+		err = s.runSafe(ctx, run, j)
+		if err == nil || ctx.Err() != nil || !transientErr(err) {
+			break
 		}
-		err := run(j.ctx, j)
-		switch {
-		case err == nil:
-			j.finish(StateDone, nil)
-			s.counters.jobsCompleted.Add(1)
-		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-			j.finish(StateCancelled, err)
-			s.counters.jobsCancelled.Add(1)
-		default:
-			j.finish(StateFailed, err)
-			s.counters.jobsFailed.Add(1)
+		if attempt >= s.opts.MaxAttempts {
+			err = fmt.Errorf("service: %d attempts exhausted: %w", attempt, err)
+			break
+		}
+		if !s.retryBudget.Withdraw() {
+			err = fmt.Errorf("service: retry budget exhausted: %w", err)
+			break
+		}
+		s.counters.jobsRetried.Add(1)
+		j.publishRetry(attempt, err)
+		if retry.Sleep(ctx, backoff.Next()) != nil {
+			break // cancelled or deadlined during backoff; classify below
 		}
 	}
+
+	br := s.breaker(j.Spec.Tester)
+	switch {
+	case err == nil:
+		j.finish(StateDone, nil)
+		s.counters.jobsCompleted.Add(1)
+		s.retryBudget.Deposit()
+		br.Success()
+	case errors.Is(err, context.DeadlineExceeded) && j.ctx.Err() == nil:
+		// The job's own TimeoutSec expired (the submission-scoped context
+		// is still live) — reported distinctly from cancellation.
+		j.finish(StateDeadline, fmt.Errorf("service: timeout_sec=%gs exceeded: %w", j.Spec.TimeoutSec, err))
+		s.counters.jobsDeadline.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.finish(StateCancelled, err)
+		s.counters.jobsCancelled.Add(1)
+	default:
+		j.finish(StateFailed, err)
+		s.counters.jobsFailed.Add(1)
+		br.Failure()
+	}
+	s.journalFinish(j)
+}
+
+// runSafe is one attempt with panic containment; the "service/worker/
+// run" failpoint injects chaos between dequeue and execution.
+func (s *Server) runSafe(ctx context.Context, run func(context.Context, *Job) error, j *Job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", errJobPanic, r)
+		}
+	}()
+	if err := failpoint.Inject("service/worker/run"); err != nil {
+		return err
+	}
+	return run(ctx, j)
+}
+
+// transientErr classifies a failed attempt: true means a clean re-run
+// has a real chance (tester instability, injected chaos, a recovered
+// panic anywhere in the fan-out); false means the failure is
+// deterministic and retrying would just repeat it.
+func transientErr(err error) bool {
+	if errors.Is(err, core.ErrUnstable) || errors.Is(err, failpoint.ErrInjected) || errors.Is(err, errJobPanic) {
+		return true
+	}
+	var pe *parallel.PanicError
+	return errors.As(err, &pe)
+}
+
+// jobSeed derives the backoff jitter seed from the job ID: stable per
+// job (deterministic tests) and distinct across jobs (no retry
+// synchronization between concurrent workers).
+func jobSeed(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return h.Sum64()
 }
 
 // execute runs one certification job end to end: materialize the design

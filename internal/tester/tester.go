@@ -200,8 +200,10 @@ func (f *FaultModel) Apply(v float64) float64 {
 // regimes of the tester-fault robustness table (EXPERIMENTS.md): "clean"
 // (no faults), "spikes" (heavy-tailed contamination plus occasional
 // drops), "drift" (thermal ramp plus a slow sinusoid), "burst"
-// (burst-noise windows and stuck latches), and "combined" (all of the
-// above, with ≥1% spike contamination at 10× magnitude).
+// (burst-noise windows and stuck latches), "stuck" (aggressive ADC
+// latching alone — long identical runs that only the stuck-latch guard
+// catches), and "combined" (all of the above, with ≥1% spike
+// contamination at 10× magnitude).
 func Preset(name string, seed uint64) (Config, error) {
 	c := Config{Seed: seed}
 	switch name {
@@ -216,6 +218,8 @@ func Preset(name string, seed uint64) (Config, error) {
 	case "burst":
 		c.BurstRate, c.BurstLen, c.BurstSigma = 0.002, 16, 0.25
 		c.StuckRate, c.StuckLen = 0.0005, 8
+	case "stuck":
+		c.StuckRate, c.StuckLen = 0.01, 24
 	case "combined":
 		c.SpikeRate, c.SpikeMag = 0.015, 10
 		c.DropRate = 0.003
@@ -231,7 +235,7 @@ func Preset(name string, seed uint64) (Config, error) {
 
 // PresetNames lists the named configurations of Preset.
 func PresetNames() []string {
-	names := []string{"clean", "spikes", "drift", "burst", "combined"}
+	names := []string{"clean", "spikes", "drift", "burst", "stuck", "combined"}
 	sort.Strings(names)
 	return names
 }

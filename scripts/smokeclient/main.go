@@ -2,6 +2,16 @@
 // health-checks a running superposed daemon, submits a small detect
 // job, polls it to completion and asserts the report carries a verdict.
 // A separate stdlib binary so the smoke script needs no curl or jq.
+//
+// Modes (-mode):
+//
+//	full    health-check, submit, poll to done (the classic smoke pass)
+//	submit  submit only; prints the job ID alone on stdout for capture
+//	wait    poll an existing job (-job) to done
+//	ready   poll /healthz/ready until the daemon reports ready
+//
+// submit+wait split across a daemon SIGKILL is how the smoke script
+// proves journal recovery end to end.
 package main
 
 import (
@@ -18,14 +28,38 @@ import (
 
 func main() {
 	base := flag.String("base", "http://127.0.0.1:8418", "daemon base URL")
+	mode := flag.String("mode", "full", "full | submit | wait | ready")
+	job := flag.String("job", "", "job ID to poll (-mode wait)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "polling budget")
 	flag.Parse()
-	if err := run(*base); err != nil {
+
+	var err error
+	switch *mode {
+	case "full":
+		err = runFull(*base, *timeout)
+	case "submit":
+		var id string
+		if id, err = submit(*base); err == nil {
+			fmt.Println(id)
+		}
+	case "wait":
+		if *job == "" {
+			err = fmt.Errorf("-mode wait requires -job")
+		} else {
+			err = wait(*base, *job, *timeout)
+		}
+	case "ready":
+		err = waitReady(*base, *timeout)
+	default:
+		err = fmt.Errorf("unknown -mode %q", *mode)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "smokeclient:", err)
 		os.Exit(1)
 	}
 }
 
-func run(base string) error {
+func runFull(base string, timeout time.Duration) error {
 	resp, err := http.Get(base + "/healthz")
 	if err != nil {
 		return err
@@ -34,29 +68,39 @@ func run(base string) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
 	}
-
-	body := `{"kind":"detect","case":"s35932-T200","scale":0.02,"clean":true}`
-	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	id, err := submit(base)
 	if err != nil {
 		return err
+	}
+	fmt.Fprintf(os.Stderr, "smoke: submitted %s\n", id)
+	return wait(base, id, timeout)
+}
+
+func submit(base string) (string, error) {
+	body := `{"kind":"detect","case":"s35932-T200","scale":0.02,"clean":true}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return "", err
 	}
 	var st service.Status
 	err = json.NewDecoder(resp.Body).Decode(&st)
 	resp.Body.Close()
 	if err != nil {
-		return err
+		return "", err
 	}
 	if resp.StatusCode != http.StatusAccepted {
-		return fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+		return "", fmt.Errorf("submit: HTTP %d", resp.StatusCode)
 	}
-	fmt.Printf("smoke: submitted %s\n", st.ID)
+	return st.ID, nil
+}
 
-	deadline := time.Now().Add(2 * time.Minute)
+func wait(base, id string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
 	for {
 		if time.Now().After(deadline) {
-			return fmt.Errorf("job %s still not terminal", st.ID)
+			return fmt.Errorf("job %s still not terminal", id)
 		}
-		resp, err := http.Get(base + "/v1/jobs/" + st.ID)
+		resp, err := http.Get(base + "/v1/jobs/" + id)
 		if err != nil {
 			return err
 		}
@@ -73,9 +117,29 @@ func run(base string) error {
 			if cur.Report == nil {
 				return fmt.Errorf("done job carries no report")
 			}
-			fmt.Printf("smoke: job done, detected=%v final |S-RPD|=%.4f (bound %.4f)\n",
+			fmt.Fprintf(os.Stderr, "smoke: job done, detected=%v final |S-RPD|=%.4f (bound %.4f)\n",
 				cur.Report.Detected, cur.Report.FinalSRPD, cur.Report.Varsigma)
 			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func waitReady(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/healthz/ready")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("daemon never became ready: %w", err)
+			}
+			return fmt.Errorf("daemon never became ready (last HTTP %d)", resp.StatusCode)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
