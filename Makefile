@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-parallel bench-adaptive test-race cover experiments experiments-full serve smoke clean
+.PHONY: all build test vet bench bench-parallel bench-adaptive test-race cover experiments experiments-full serve smoke smoke-cluster clean
 
 all: vet test build
 
@@ -54,6 +54,11 @@ serve:
 # small detect job, poll it to completion, assert a verdict.
 smoke:
 	./scripts/superposed_smoke.sh
+
+# Cluster failover smoke: coordinator + two workers, SIGKILL the busy
+# one mid-lot, require a byte-identical failed-over report.
+smoke-cluster:
+	./scripts/cluster_smoke.sh
 
 # The evaluation tables and figures at a quick scale.
 experiments:

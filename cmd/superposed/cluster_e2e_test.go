@@ -1,0 +1,364 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"superpose/internal/journal"
+	"superpose/internal/netio"
+	"superpose/internal/service"
+)
+
+// TestHelperDaemon is not a test: it is the child-process entry point
+// for the multi-process cluster e2e. When re-exec'd with
+// SUPERPOSED_HELPER=1, it runs the real daemon with the args after
+// "--" and never returns control to the test harness.
+func TestHelperDaemon(t *testing.T) {
+	if os.Getenv("SUPERPOSED_HELPER") != "1" {
+		t.Skip("helper process entry point, not a test")
+	}
+	args := os.Args
+	for i, a := range args {
+		if a == "--" {
+			args = args[i+1:]
+			break
+		}
+	}
+	if err := run(args, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "helper daemon:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// daemonProc is one spawned superposed child process.
+type daemonProc struct {
+	cmd  *exec.Cmd
+	base string // http://host:port from the listen banner
+}
+
+// spawnDaemon re-execs the test binary as a superposed daemon and
+// waits for its listen banner.
+func spawnDaemon(t *testing.T, args ...string) *daemonProc {
+	t.Helper()
+	full := append([]string{"-test.run=^TestHelperDaemon$", "--"}, args...)
+	cmd := exec.Command(os.Args[0], full...)
+	cmd.Env = append(os.Environ(), "SUPERPOSED_HELPER=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &daemonProc{cmd: cmd}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+
+	banner := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			const marker = "listening on "
+			if i := strings.Index(line, marker); i >= 0 {
+				select {
+				case banner <- strings.TrimSpace(line[i+len(marker):]):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case p.base = <-banner:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon %v never printed its listen address", args)
+	}
+	return p
+}
+
+// e2eSpec is sized so one lot takes several seconds on a laptop-class
+// machine: long enough to SIGKILL the worker mid-lot, short enough for
+// CI. The flow is deterministic for a fixed spec (shared ATPG seeds,
+// per-die chip seeds), so the handoff re-run must reproduce the
+// interrupted run bit for bit.
+const e2eSpec = `{"kind":"lot","case":"s35932-T200","scale":0.12,"dies":8,"seeds":4,"tenant":"acme"}`
+
+// controlLotReport runs the e2e spec start-to-finish in-process and
+// returns its canonical encoding — the byte-identity reference.
+func controlLotReport(t *testing.T) ([]byte, time.Duration) {
+	t.Helper()
+	var spec service.JobSpec
+	if err := json.Unmarshal([]byte(e2eSpec), &spec); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := service.New(service.Options{QueueSize: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	start := time.Now()
+	j, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Minute)
+	for !j.Status().State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatal("control run never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := j.Status()
+	if st.State != service.StateDone || st.LotReport == nil {
+		t.Fatalf("control run ended %s: %s", st.State, st.Error)
+	}
+	var buf bytes.Buffer
+	if err := netio.EncodeLotReport(&buf, st.LotReport); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), time.Since(start)
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+// workerView mirrors cluster.WorkerView over the wire.
+type workerView struct {
+	ID       string  `json:"id"`
+	Addr     string  `json:"addr"`
+	InFlight int     `json:"in_flight"`
+	Lease    float64 `json:"lease_remaining_sec"`
+}
+
+func liveWorkers(t *testing.T, coord string) []workerView {
+	t.Helper()
+	var body struct {
+		Workers []workerView `json:"workers"`
+	}
+	getJSON(t, coord+"/cluster/v1/workers", &body)
+	return body.Workers
+}
+
+// countJournal replays a journal directory and tallies records the
+// filter accepts. The owning daemon must be dead first.
+func countJournal(t *testing.T, dir string, filter func(map[string]any) bool) int {
+	t.Helper()
+	jnl, records, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatalf("open journal %s: %v", dir, err)
+	}
+	jnl.Close()
+	n := 0
+	for _, payload := range records {
+		var rec map[string]any
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			t.Fatalf("journal %s: malformed record %q", dir, payload)
+		}
+		if filter(rec) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestClusterKillWorkerMidLot is the cluster layer's headline proof:
+// a coordinator and two workers as real processes, one lot job, the
+// busy worker SIGKILLed mid-lot. The coordinator must detect the lease
+// death, hand the job to the survivor, and serve a LotReport that is
+// byte-identical to an uninterrupted control run — with the job
+// executed to completion exactly once.
+func TestClusterKillWorkerMidLot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster e2e with a multi-second lot job")
+	}
+
+	control, controlDur := controlLotReport(t)
+	t.Logf("control run: %s, %d report bytes", controlDur, len(control))
+
+	coordDir := t.TempDir()
+	workerDirs := []string{t.TempDir(), t.TempDir()}
+	coord := spawnDaemon(t,
+		"-role", "coordinator", "-addr", "127.0.0.1:0",
+		"-lease-ttl", "1s", "-poll", "25ms",
+		"-data-dir", coordDir, "-drain", "3m")
+	workers := make([]*daemonProc, 2)
+	for i := range workers {
+		workers[i] = spawnDaemon(t,
+			"-role", "worker", "-addr", "127.0.0.1:0",
+			"-coordinator-addr", coord.base,
+			"-data-dir", workerDirs[i], "-drain", "3m")
+	}
+
+	// Fleet assembled: both workers hold leases.
+	deadline := time.Now().Add(30 * time.Second)
+	for len(liveWorkers(t, coord.base)) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never reached 2 live workers: %+v", liveWorkers(t, coord.base))
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	resp, err := http.Post(coord.base+"/v1/jobs", "application/json", strings.NewReader(e2eSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d, want 202", resp.StatusCode)
+	}
+
+	// Find the worker actually running the lot...
+	var victimAddr string
+	deadline = time.Now().Add(30 * time.Second)
+	for victimAddr == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("no worker ever went busy")
+		}
+		for _, w := range liveWorkers(t, coord.base) {
+			if w.InFlight > 0 {
+				victimAddr = w.Addr
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// ...let it get genuinely mid-lot, then kill -9.
+	midLot := controlDur / 3
+	if midLot > 2*time.Second {
+		midLot = 2 * time.Second
+	}
+	time.Sleep(midLot)
+	var victim, survivor *daemonProc
+	for _, w := range workers {
+		if w.base == victimAddr {
+			victim = w
+		} else {
+			survivor = w
+		}
+	}
+	if victim == nil {
+		t.Fatalf("busy worker %s is not one of ours", victimAddr)
+	}
+	if cur := getStatusE2E(t, coord.base, st.ID); cur.State.Terminal() {
+		t.Fatalf("job finished in %q before the kill; grow e2eSpec", cur.State)
+	}
+	if err := victim.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	victim.cmd.Wait()
+	t.Logf("killed worker %s mid-lot", victimAddr)
+
+	// The lease lapses, the job hands off, the survivor re-runs it.
+	deadline = time.Now().Add(3*controlDur + time.Minute)
+	var final service.Status
+	for {
+		final = getStatusE2E(t, coord.base, st.ID)
+		if final.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q after worker kill", final.State)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if final.State != service.StateDone || final.LotReport == nil {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+
+	// Byte-identity: the recovered lot report equals the control run's.
+	var got bytes.Buffer
+	if err := netio.EncodeLotReport(&got, final.LotReport); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), control) {
+		t.Fatalf("recovered report differs from control (%d vs %d bytes)", got.Len(), len(control))
+	}
+
+	// The failover is visible in the coordinator's stats.
+	var stats service.Stats
+	getJSON(t, coord.base+"/v1/stats", &stats)
+	if stats.Cluster["handoffs"] < 1 {
+		t.Errorf("handoffs = %d, want >= 1", stats.Cluster["handoffs"])
+	}
+	if stats.Cluster["leases_expired"] < 1 {
+		t.Errorf("leases_expired = %d, want >= 1", stats.Cluster["leases_expired"])
+	}
+
+	// Shut the survivors down so their journals quiesce.
+	for _, p := range []*daemonProc{survivor, coord} {
+		p.cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { p.cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(time.Minute):
+			t.Fatal("daemon did not exit after SIGTERM")
+		}
+	}
+
+	// Exactly-once execution, proven from the durable record: one
+	// done-finish across all worker journals, and the victim died
+	// between start and finish.
+	doneFinishes := 0
+	for _, dir := range workerDirs {
+		doneFinishes += countJournal(t, dir+"/journal", func(rec map[string]any) bool {
+			return rec["type"] == "finish" && rec["state"] == "done"
+		})
+	}
+	if doneFinishes != 1 {
+		t.Errorf("done-finish records across worker journals = %d, want exactly 1", doneFinishes)
+	}
+	victimDir := workerDirs[0]
+	if workers[1] == victim {
+		victimDir = workerDirs[1]
+	}
+	if n := countJournal(t, victimDir+"/journal", func(rec map[string]any) bool {
+		return rec["type"] == "start"
+	}); n < 1 {
+		t.Errorf("victim journal has no start record; kill landed before the job began")
+	}
+	// And the coordinator's cluster journal retired the job exactly once.
+	completes := countJournal(t, coordDir+"/cluster", func(rec map[string]any) bool {
+		return rec["type"] == "complete" && rec["job"] == st.ID
+	})
+	if completes != 1 {
+		t.Errorf("cluster journal complete records for %s = %d, want exactly 1", st.ID, completes)
+	}
+}
+
+func getStatusE2E(t *testing.T, base, id string) service.Status {
+	t.Helper()
+	var st service.Status
+	getJSON(t, base+"/v1/jobs/"+id, &st)
+	return st
+}

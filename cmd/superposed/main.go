@@ -10,8 +10,18 @@
 //	curl -N  localhost:8418/v1/jobs/job-1/events    # live SSE progress
 //	curl -s -X DELETE localhost:8418/v1/jobs/job-1  # cancel
 //
+// Beyond the default standalone mode, -role splits the daemon into a
+// cluster: one coordinator owning the public API plus N workers that
+// register with it over leases (see internal/cluster):
+//
+//	superposed -role coordinator -addr 127.0.0.1:8418 -lease-ttl 10s
+//	superposed -role worker -addr 127.0.0.1:0 -coordinator-addr http://127.0.0.1:8418
+//
 // On SIGTERM/SIGINT the daemon stops accepting jobs, drains the backlog
 // within the -drain budget, then cancels whatever is still in flight.
+// Workers drain before deregistering, so a job finished during drain is
+// still collected by the coordinator rather than handed off (and run
+// twice).
 package main
 
 import (
@@ -24,9 +34,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
+	"superpose/internal/cluster"
 	"superpose/internal/failpoint"
 	"superpose/internal/service"
 )
@@ -38,15 +50,32 @@ func main() {
 	}
 }
 
+// drainable is what run shuts down on signal — a service.Server or a
+// cluster.Coordinator.
+type drainable interface {
+	http.Handler
+	Start()
+	Drain(ctx context.Context) error
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("superposed", flag.ContinueOnError)
 	var (
 		addr      = fs.String("addr", "127.0.0.1:8418", "listen address (use :0 for an ephemeral port)")
 		queueSize = fs.Int("queue", 16, "max pending jobs; submissions beyond this get 429")
-		workers   = fs.Int("workers", 1, "jobs run concurrently")
+		workers   = fs.Int("workers", 1, "jobs run concurrently (coordinator: concurrent dispatches, default 8)")
 		drain     = fs.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 		dataDir   = fs.String("data-dir", "", "enable the crash-safe job journal under this directory (restart recovers jobs)")
 		failpts   = fs.String("failpoints", os.Getenv("FAILPOINTS"), "fault-injection spec, e.g. 'core/acquire=1*error(chaos);journal/fsync=p(0.1,7)*error(disk)' (default $FAILPOINTS)")
+
+		role        = fs.String("role", "standalone", "standalone | coordinator | worker")
+		coordAddr   = fs.String("coordinator-addr", "", "worker role: coordinator base URL, e.g. http://127.0.0.1:8418")
+		advertise   = fs.String("advertise-addr", "", "worker role: base URL the coordinator reaches this worker on (default: the bound listen address)")
+		leaseTTL    = fs.Duration("lease-ttl", 10*time.Second, "coordinator role: worker lease TTL (heartbeats renew at TTL/3)")
+		pollEvery   = fs.Duration("poll", 100*time.Millisecond, "coordinator role: worker job-status poll interval")
+		stealMargin = fs.Int("steal-margin", 2, "coordinator role: in-flight skew that lets an idle worker steal from the affinity shard (0 disables)")
+		tenantRate  = fs.Float64("tenant-rate", 8, "coordinator role: per-tenant admission tokens per second")
+		tenantBurst = fs.Float64("tenant-burst", 16, "coordinator role: per-tenant admission burst")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,12 +87,46 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "superposed: failpoints armed: %s\n", *failpts)
 	}
 
+	workersSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			workersSet = true
+		}
+	})
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	svc, err := service.New(service.Options{QueueSize: *queueSize, Workers: *workers, DataDir: *dataDir})
-	if err != nil {
-		return err
+	svcOpts := service.Options{QueueSize: *queueSize, Workers: *workers, DataDir: *dataDir}
+
+	var svc drainable
+	switch *role {
+	case "standalone", "worker":
+		s, err := service.New(svcOpts)
+		if err != nil {
+			return err
+		}
+		svc = s
+	case "coordinator":
+		if !workersSet {
+			// Dispatch slots are cheap waiting, not CPU: default wider
+			// than the standalone worker pool.
+			svcOpts.Workers = 8
+		}
+		c, err := cluster.New(cluster.Options{
+			Service:      svcOpts,
+			LeaseTTL:     *leaseTTL,
+			PollInterval: *pollEvery,
+			StealMargin:  *stealMargin,
+			TenantRate:   *tenantRate,
+			TenantBurst:  *tenantBurst,
+		})
+		if err != nil {
+			return err
+		}
+		svc = c
+	default:
+		return fmt.Errorf("unknown -role %q (want standalone, coordinator or worker)", *role)
 	}
 	svc.Start()
 
@@ -75,6 +138,34 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "superposed: listening on http://%s\n", ln.Addr())
+
+	// A worker joins the cluster only after its listener is live, so
+	// the coordinator never routes to a socket that isn't answering.
+	var agentWG sync.WaitGroup
+	agentCtx, stopAgent := context.WithCancel(context.Background())
+	defer stopAgent()
+	if *role == "worker" {
+		if *coordAddr == "" {
+			ln.Close()
+			return errors.New("-role worker requires -coordinator-addr")
+		}
+		workerURL := *advertise
+		if workerURL == "" {
+			workerURL = "http://" + ln.Addr().String()
+		}
+		agent := cluster.NewAgent(cluster.AgentOptions{
+			Coordinator: *coordAddr,
+			Addr:        workerURL,
+			Logf: func(format string, a ...any) {
+				fmt.Fprintf(out, "superposed: %s\n", fmt.Sprintf(format, a...))
+			},
+		})
+		agentWG.Add(1)
+		go func() {
+			defer agentWG.Done()
+			agent.Run(agentCtx)
+		}()
+	}
 
 	hs := &http.Server{Handler: svc}
 	serveErr := make(chan error, 1)
@@ -92,6 +183,10 @@ func run(args []string, out io.Writer) error {
 	if err := svc.Drain(dctx); err != nil {
 		fmt.Fprintln(out, "superposed: drain budget exhausted; in-flight jobs cancelled")
 	}
+	// Deregister after the drain: jobs finished during it are collected
+	// by the coordinator instead of handed off and run twice.
+	stopAgent()
+	agentWG.Wait()
 	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer scancel()
 	if err := hs.Shutdown(sctx); err != nil {

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"superpose/internal/failpoint"
+	"superpose/internal/retry"
+)
+
+// AgentOptions configures a worker-side membership agent.
+type AgentOptions struct {
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// Addr is this worker's base URL as reachable from the coordinator
+	// — what gets registered.
+	Addr string
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// Logf, when set, receives membership events (register, lease loss).
+	Logf func(format string, args ...any)
+}
+
+// Agent keeps one worker registered with the coordinator: register for
+// a lease, heartbeat within the TTL, re-register whenever the lease is
+// lost (coordinator restart, expiry during a network partition,
+// supersession). Run blocks until ctx is done, then deregisters
+// best-effort so the coordinator reroutes immediately instead of
+// waiting out the TTL.
+type Agent struct {
+	opts AgentOptions
+}
+
+func NewAgent(opts AgentOptions) *Agent {
+	if opts.Client == nil {
+		opts.Client = http.DefaultClient
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return &Agent{opts: opts}
+}
+
+// Run drives the register/heartbeat loop until ctx is cancelled.
+func (a *Agent) Run(ctx context.Context) {
+	for ctx.Err() == nil {
+		lease, err := a.register(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			a.opts.Logf("cluster agent: register: %v (retrying)", err)
+			retry.Sleep(ctx, 200*time.Millisecond)
+			continue
+		}
+		a.opts.Logf("cluster agent: registered as %s (lease %s, ttl %.1fs)",
+			lease.WorkerID, lease.LeaseID, lease.TTLSec)
+		a.beat(ctx, lease)
+		// beat only returns when the lease is lost or ctx died; the
+		// loop re-registers (fresh lease) or exits.
+	}
+}
+
+// register acquires a lease.
+func (a *Agent) register(ctx context.Context) (RegisterResponse, error) {
+	var lease RegisterResponse
+	err := a.post(ctx, "/cluster/v1/register", RegisterRequest{Addr: a.opts.Addr}, &lease)
+	return lease, err
+}
+
+// beat renews the lease at TTL/3 until it is lost. The heartbeat
+// failpoint drops beats (simulating a stalled agent); network errors
+// are retried on the next tick — only an authoritative rejection
+// (unknown worker, superseded lease) abandons the lease.
+func (a *Agent) beat(ctx context.Context, lease RegisterResponse) {
+	ttl := time.Duration(lease.TTLSec * float64(time.Second))
+	interval := ttl / 3
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			a.deregister(lease)
+			return
+		case <-tick.C:
+			if failpoint.Inject("cluster/agent/heartbeat") != nil {
+				continue // beat swallowed by chaos
+			}
+			var ack HeartbeatResponse
+			err := a.post(ctx, "/cluster/v1/heartbeat",
+				HeartbeatRequest{WorkerID: lease.WorkerID, LeaseID: lease.LeaseID}, &ack)
+			if err == nil {
+				continue
+			}
+			if ctx.Err() != nil {
+				a.deregister(lease)
+				return
+			}
+			var se *statusError
+			if errors.As(err, &se) && (se.code == http.StatusNotFound || se.code == http.StatusConflict) {
+				a.opts.Logf("cluster agent: lease %s rejected (%v); re-registering", lease.LeaseID, err)
+				return
+			}
+			a.opts.Logf("cluster agent: heartbeat: %v (will retry)", err)
+		}
+	}
+}
+
+// deregister releases the lease best-effort (fresh context; ctx is
+// usually already dead here).
+func (a *Agent) deregister(lease RegisterResponse) {
+	dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	a.post(dctx, "/cluster/v1/deregister",
+		HeartbeatRequest{WorkerID: lease.WorkerID, LeaseID: lease.LeaseID}, nil)
+}
+
+// statusError is a non-2xx coordinator response.
+type statusError struct {
+	code int
+	body string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("HTTP %d: %s", e.code, e.body)
+}
+
+// post sends one JSON request to the coordinator and decodes the reply.
+func (a *Agent) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.opts.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.opts.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &statusError{code: resp.StatusCode, body: string(bytes.TrimSpace(msg))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,59 @@
+// Package cluster layers a coordinator/worker split over the
+// certification service, scaling the superposed daemon horizontally
+// while keeping PR-5's bit-identity and crash-recovery guarantees.
+//
+// Topology: one coordinator owns the public /v1 API, the job registry,
+// the durability journal, admission (per-tenant token-bucket quotas
+// with fair-share over the queue) and routing; N workers each run a
+// full service.Server (queue, artifact cache, core flow) and register
+// with the coordinator. A worker holds a time-based lease renewed by
+// heartbeats; a lease that lapses declares the worker dead and every
+// job assigned to it is handed off — re-enqueued onto a surviving
+// worker under the crash-recovery contract (the flow is deterministic,
+// so the re-run's report is bit-identical to what the dead worker
+// would have produced).
+//
+// Routing is content-hash affinity (rendezvous hashing of the job's
+// artifact-cache key over worker addresses), so repeat submissions of
+// one design land on the worker already holding its netlist and ATPG
+// artifacts; work-stealing overrides affinity when the backlog skews.
+// All inter-node traffic is stdlib HTTP/JSON. The coordinator journals
+// every assignment, steal, handoff and completion in an internal/
+// journal log, which a restarted coordinator replays to re-attach to
+// (or reclaim finished results from) workers that kept running through
+// the outage — exactly-once results over at-least-once attempts.
+package cluster
+
+// RegisterRequest is the body of POST /cluster/v1/register: the base
+// URL the worker serves its /v1 job API on, as reachable from the
+// coordinator.
+type RegisterRequest struct {
+	Addr string `json:"addr"`
+}
+
+// RegisterResponse grants a lease.
+type RegisterResponse struct {
+	WorkerID string  `json:"worker_id"`
+	LeaseID  string  `json:"lease_id"`
+	TTLSec   float64 `json:"ttl_sec"`
+}
+
+// HeartbeatRequest is the body of POST /cluster/v1/heartbeat.
+type HeartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+	LeaseID  string `json:"lease_id"`
+}
+
+// HeartbeatResponse acknowledges a renewal.
+type HeartbeatResponse struct {
+	TTLSec float64 `json:"ttl_sec"`
+}
+
+// WorkerView is one row of GET /cluster/v1/workers — the operator's
+// (and the chaos harness's) view of the fleet.
+type WorkerView struct {
+	ID                string  `json:"id"`
+	Addr              string  `json:"addr"`
+	InFlight          int     `json:"in_flight"`
+	LeaseRemainingSec float64 `json:"lease_remaining_sec"`
+}

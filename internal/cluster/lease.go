@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrUnknownWorker is a heartbeat for a worker the coordinator does
+// not know — never registered, or already expired. The agent's move
+// is to re-register.
+var ErrUnknownWorker = errors.New("cluster: unknown worker")
+
+// ErrLeaseSuperseded is a heartbeat carrying a stale lease ID: the
+// worker re-registered (or was re-registered at the same address) and
+// an older incarnation is still beating. The stale beat must not keep
+// the old lease alive.
+var ErrLeaseSuperseded = errors.New("cluster: lease superseded")
+
+// workerNode is the coordinator's view of one registered worker. The
+// identity fields are immutable after registration; expiry and the
+// in-flight count are guarded by the owning leaseTable's mutex.
+type workerNode struct {
+	id      string
+	addr    string // base URL the worker serves its /v1 API on
+	leaseID string
+
+	expires  time.Time
+	inflight int
+	dead     chan struct{} // closed when the lease expires or is superseded
+}
+
+// Dead is closed when the worker's lease expires or is superseded —
+// the signal a dispatcher waiting on this worker hands its job off.
+func (w *workerNode) Dead() <-chan struct{} { return w.dead }
+
+// leaseTable is the coordinator's worker registry: who is alive (a
+// lease renewed by heartbeats within TTL), how loaded they are, and
+// which worker a content key routes to. Affinity hashes over worker
+// addresses (stable across re-registration) so a rebooted worker gets
+// its artifact-cache shard back.
+type leaseTable struct {
+	mu        sync.Mutex
+	ttl       time.Duration
+	now       func() time.Time
+	byID      map[string]*workerNode
+	nextID    uint64
+	nextLease uint64
+	changed   chan struct{} // closed+replaced on registration (wakes pick waiters)
+}
+
+func newLeaseTable(ttl time.Duration, now func() time.Time) *leaseTable {
+	if now == nil {
+		now = time.Now
+	}
+	return &leaseTable{
+		ttl:     ttl,
+		now:     now,
+		byID:    make(map[string]*workerNode),
+		changed: make(chan struct{}),
+	}
+}
+
+// register grants a fresh lease to the worker at addr. A worker
+// already registered at that address is superseded: its lease dies
+// (dispatchers waiting on it hand off) and the returned node replaces
+// it — the crash-reboot-reregister cycle without waiting out the TTL.
+func (t *leaseTable) register(addr string) (node, superseded *workerNode) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, w := range t.byID {
+		if w.addr == addr {
+			superseded = w
+			break
+		}
+	}
+	if superseded != nil {
+		delete(t.byID, superseded.id)
+		close(superseded.dead)
+	}
+	t.nextID++
+	t.nextLease++
+	node = &workerNode{
+		id:      fmt.Sprintf("w-%d", t.nextID),
+		addr:    addr,
+		leaseID: fmt.Sprintf("lease-%d", t.nextLease),
+		expires: t.now().Add(t.ttl),
+		dead:    make(chan struct{}),
+	}
+	t.byID[node.id] = node
+	close(t.changed)
+	t.changed = make(chan struct{})
+	return node, superseded
+}
+
+// heartbeat renews a worker's lease, returning the TTL the agent
+// should beat within.
+func (t *leaseTable) heartbeat(workerID, leaseID string) (time.Duration, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w, ok := t.byID[workerID]
+	if !ok {
+		return 0, ErrUnknownWorker
+	}
+	if w.leaseID != leaseID {
+		return 0, ErrLeaseSuperseded
+	}
+	w.expires = t.now().Add(t.ttl)
+	return t.ttl, nil
+}
+
+// expire removes every worker whose lease has lapsed, closing their
+// dead channels, and returns them — the coordinator journals the
+// expiries and the dispatchers waiting on them hand off.
+func (t *leaseTable) expire() []*workerNode {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	var gone []*workerNode
+	for id, w := range t.byID {
+		if w.expires.Before(now) {
+			delete(t.byID, id)
+			close(w.dead)
+			gone = append(gone, w)
+		}
+	}
+	return gone
+}
+
+// drop deregisters a worker immediately (clean scale-in): its lease
+// dies as if it had expired.
+func (t *leaseTable) drop(workerID string) *workerNode {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w, ok := t.byID[workerID]
+	if !ok {
+		return nil
+	}
+	delete(t.byID, workerID)
+	close(w.dead)
+	return w
+}
+
+// live snapshots the registered workers, sorted by ID for stable
+// iteration.
+func (t *leaseTable) live() []*workerNode {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*workerNode, 0, len(t.byID))
+	for _, w := range t.byID {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].id < out[k].id })
+	return out
+}
+
+// findAddr returns the live worker registered at addr, if any.
+func (t *leaseTable) findAddr(addr string) *workerNode {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, w := range t.byID {
+		if w.addr == addr {
+			return w
+		}
+	}
+	return nil
+}
+
+// waitCh returns a channel closed at the next registration — what a
+// dispatcher with no live workers blocks on.
+func (t *leaseTable) waitCh() <-chan struct{} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.changed
+}
+
+// release returns a dispatch slot taken by pick.
+func (t *leaseTable) release(w *workerNode) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if w.inflight > 0 {
+		w.inflight--
+	}
+}
+
+// pick routes a content key to a worker and takes an in-flight slot on
+// it, atomically (so concurrent dispatchers observe each other's
+// load). The affinity worker — highest rendezvous hash of key and
+// worker address — wins unless its in-flight backlog exceeds the
+// least-loaded worker's by at least stealMargin and stealing is
+// allowed, in which case the least-loaded worker steals the job.
+// Returns (nil, false) when no worker is live.
+func (t *leaseTable) pick(key string, stealMargin int, allowSteal bool) (node *workerNode, stolen bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.byID) == 0 {
+		return nil, false
+	}
+	var affinity, idlest *workerNode
+	var best uint64
+	for _, w := range t.byID {
+		h := rendezvous(key, w.addr)
+		if affinity == nil || h > best || (h == best && w.addr < affinity.addr) {
+			affinity, best = w, h
+		}
+		if idlest == nil || w.inflight < idlest.inflight ||
+			(w.inflight == idlest.inflight && w.addr < idlest.addr) {
+			idlest = w
+		}
+	}
+	node = affinity
+	if allowSteal && stealMargin > 0 && idlest != affinity &&
+		affinity.inflight-idlest.inflight >= stealMargin {
+		node, stolen = idlest, true
+	}
+	node.inflight++
+	return node, stolen
+}
+
+// rendezvous is the highest-random-weight hash: every (key, worker)
+// pair gets an independent score, so when a worker joins or leaves
+// only the keys it wins (or held) move — the rest of the cache
+// sharding stays put.
+func rendezvous(key, addr string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{'|'})
+	h.Write([]byte(addr))
+	return h.Sum64()
+}

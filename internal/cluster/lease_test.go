@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestPickAffinityIsStable(t *testing.T) {
+	lt := newLeaseTable(time.Minute, nil)
+	for i := 0; i < 4; i++ {
+		lt.register(fmt.Sprintf("http://10.0.0.%d:8418", i))
+	}
+	// The same content key routes to the same worker every time (cache
+	// affinity), and different keys spread across the fleet.
+	seen := map[string]bool{}
+	for _, key := range []string{"k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8"} {
+		first, _ := lt.pick(key, 0, false)
+		lt.release(first)
+		for i := 0; i < 10; i++ {
+			again, stolen := lt.pick(key, 0, false)
+			lt.release(again)
+			if again != first || stolen {
+				t.Fatalf("key %q moved from %s to %s (stolen=%v)", key, first.id, again.id, stolen)
+			}
+		}
+		seen[first.id] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("8 keys all routed to %d worker(s); want spread", len(seen))
+	}
+}
+
+func TestPickAffinitySurvivesReregistration(t *testing.T) {
+	lt := newLeaseTable(time.Minute, nil)
+	lt.register("http://a:1")
+	lt.register("http://b:1")
+	w, _ := lt.pick("design-x", 0, false)
+	lt.release(w)
+	// The affinity worker reboots: same address, new lease. The key
+	// must still route to that address (its cache shard survived on
+	// disk even though the process didn't).
+	lt.register(w.addr)
+	again, _ := lt.pick("design-x", 0, false)
+	if again.addr != w.addr {
+		t.Fatalf("key moved from %s to %s across re-registration", w.addr, again.addr)
+	}
+}
+
+func TestPickStealsFromSkewedWorker(t *testing.T) {
+	lt := newLeaseTable(time.Minute, nil)
+	lt.register("http://a:1")
+	lt.register("http://b:1")
+	aff, _ := lt.pick("hot-key", 0, false) // inflight 1 on the affinity worker
+	// Load the affinity worker past the margin.
+	aff2, _ := lt.pick("hot-key", 0, false)
+	if aff2 != aff {
+		t.Fatalf("affinity moved without stealing enabled")
+	}
+	// Skew is now 2; margin 2 lets the idle worker steal.
+	stolenTo, stolen := lt.pick("hot-key", 2, true)
+	if !stolen || stolenTo == aff {
+		t.Fatalf("pick = (%s, stolen=%v), want a steal to the idle worker", stolenTo.id, stolen)
+	}
+	// Margin higher than the skew: no steal.
+	lt.release(stolenTo)
+	same, stolen := lt.pick("hot-key", 3, true)
+	if stolen || same != aff {
+		t.Fatalf("pick = (%s, stolen=%v), want the affinity worker unstolen", same.id, stolen)
+	}
+}
+
+func TestExpireClosesDeadChannel(t *testing.T) {
+	clk := newFakeClock()
+	lt := newLeaseTable(50*time.Millisecond, clk.Now)
+	w, _ := lt.register("http://a:1")
+	if gone := lt.expire(); len(gone) != 0 {
+		t.Fatalf("fresh lease expired: %v", gone)
+	}
+	clk.Advance(time.Second)
+	gone := lt.expire()
+	if len(gone) != 1 || gone[0] != w {
+		t.Fatalf("expire returned %v, want the lapsed worker", gone)
+	}
+	select {
+	case <-w.Dead():
+	default:
+		t.Fatal("dead channel not closed on expiry")
+	}
+	if _, err := lt.heartbeat(w.id, w.leaseID); err != ErrUnknownWorker {
+		t.Fatalf("heartbeat after expiry: %v, want ErrUnknownWorker", err)
+	}
+}
+
+func TestHeartbeatExtendsLease(t *testing.T) {
+	clk := newFakeClock()
+	lt := newLeaseTable(50*time.Millisecond, clk.Now)
+	w, _ := lt.register("http://a:1")
+	for i := 0; i < 5; i++ {
+		clk.Advance(30 * time.Millisecond)
+		if _, err := lt.heartbeat(w.id, w.leaseID); err != nil {
+			t.Fatalf("heartbeat %d: %v", i, err)
+		}
+		if gone := lt.expire(); len(gone) != 0 {
+			t.Fatalf("renewed lease expired at beat %d", i)
+		}
+	}
+}
+
+func TestRegisterSupersedesSameAddr(t *testing.T) {
+	lt := newLeaseTable(time.Minute, nil)
+	old, superseded := lt.register("http://a:1")
+	if superseded != nil {
+		t.Fatalf("first registration superseded %v", superseded)
+	}
+	fresh, superseded := lt.register("http://a:1")
+	if superseded != old {
+		t.Fatalf("superseded = %v, want the first lease", superseded)
+	}
+	select {
+	case <-old.Dead():
+	default:
+		t.Fatal("superseded lease's dead channel not closed")
+	}
+	if _, err := lt.heartbeat(old.id, old.leaseID); err == nil {
+		t.Fatal("stale heartbeat accepted")
+	}
+	if _, err := lt.heartbeat(fresh.id, fresh.leaseID); err != nil {
+		t.Fatalf("fresh heartbeat rejected: %v", err)
+	}
+}
+
+func TestTenantQuotaRefills(t *testing.T) {
+	clk := newFakeClock()
+	q := newTenantQuotas(2, 2, clk.Now) // 2/s, burst 2
+	for i := 0; i < 2; i++ {
+		if _, ok := q.admit("acme"); !ok {
+			t.Fatalf("burst admit %d refused", i)
+		}
+	}
+	wait, ok := q.admit("acme")
+	if ok {
+		t.Fatal("admit beyond burst accepted")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("wait hint = %v, want (0, 1s] at 2 tokens/s", wait)
+	}
+	// Tenants are isolated: another tenant's bucket is untouched.
+	if _, ok := q.admit("other"); !ok {
+		t.Fatal("second tenant throttled by the first's spend")
+	}
+	// Time refills the bucket.
+	clk.Advance(time.Second)
+	if _, ok := q.admit("acme"); !ok {
+		t.Fatal("refilled bucket still refusing")
+	}
+}
+
+func TestJitterRetryAfterBounds(t *testing.T) {
+	clk := newFakeClock()
+	q := newTenantQuotas(0.5, 1, clk.Now)
+	q.admit("t")
+	wait, ok := q.admit("t")
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if wait != 2*time.Second {
+		t.Fatalf("wait = %v, want 2s (one token at 0.5/s)", wait)
+	}
+}

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// tenantQuotas is the per-tenant admission throttle: one token bucket
+// per tenant, refilled continuously at Rate tokens per second up to a
+// Burst ceiling. A submission costs one token; a tenant that empties
+// its bucket is told how long until the next token accrues, so the
+// HTTP layer can answer 429 with an honest (then jittered) Retry-After
+// instead of a guess.
+type tenantQuotas struct {
+	mu    sync.Mutex
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time
+	by    map[string]*tenantBucket
+}
+
+type tenantBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantQuotas(rate, burst float64, now func() time.Time) *tenantQuotas {
+	if now == nil {
+		now = time.Now
+	}
+	return &tenantQuotas{rate: rate, burst: burst, now: now, by: make(map[string]*tenantBucket)}
+}
+
+// admit spends one token from the tenant's bucket. When the bucket
+// cannot cover it, admit reports false and how long until it could.
+func (q *tenantQuotas) admit(tenant string) (wait time.Duration, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b, exists := q.by[tenant]
+	if !exists {
+		b = &tenantBucket{tokens: q.burst, last: now}
+		q.by[tenant] = b
+	}
+	b.tokens += q.rate * now.Sub(b.last).Seconds()
+	if b.tokens > q.burst {
+		b.tokens = q.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	deficit := 1 - b.tokens
+	return time.Duration(deficit / q.rate * float64(time.Second)), false
+}

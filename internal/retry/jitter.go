@@ -1,0 +1,41 @@
+package retry
+
+import (
+	"sync"
+	"time"
+
+	"superpose/internal/stats"
+)
+
+// Jitter produces decorrelated Retry-After hints. Handing every
+// rejected client the same fixed hint synchronizes their comebacks —
+// a recovering server is then hit by the whole backlog at once. Each
+// Around call advances one shared seeded RNG, so concurrent rejections
+// receive different hints and the stampede spreads out.
+//
+// Like every stochastic component of the toolchain the RNG is seeded:
+// a Jitter built from the same seed hands out the same hint sequence,
+// so tests of the rejection path stay reproducible.
+type Jitter struct {
+	mu  sync.Mutex
+	rng *stats.RNG
+}
+
+// NewJitter returns a seeded jitter source.
+func NewJitter(seed uint64) *Jitter {
+	return &Jitter{rng: stats.NewRNG(seed ^ 0x117E12A57E12)}
+}
+
+// Around returns a duration drawn uniformly from [d, 2d): never less
+// than the caller's minimum wait (a breaker cooldown, a quota refill),
+// spread across a full extra interval beyond it. A non-positive d is
+// treated as one second.
+func (j *Jitter) Around(d time.Duration) time.Duration {
+	if d <= 0 {
+		d = time.Second
+	}
+	j.mu.Lock()
+	f := j.rng.Float64()
+	j.mu.Unlock()
+	return d + time.Duration(f*float64(d))
+}

@@ -68,6 +68,10 @@ type JobSpec struct {
 	// TimeoutSec, when positive, caps the job's total run time (across
 	// retries). A job that exceeds it finishes in state "deadline".
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+
+	// Tenant attributes the job to a client for quota accounting and
+	// the per-tenant queue depths in /v1/stats (default "default").
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // withDefaults fills the service defaults into zero fields.
@@ -96,7 +100,18 @@ func (s JobSpec) withDefaults() JobSpec {
 	if s.TesterSeed == 0 {
 		s.TesterSeed = 1
 	}
+	if s.Tenant == "" {
+		s.Tenant = "default"
+	}
 	return s
+}
+
+// ContentKey is the content-addressed identity of the job's design —
+// the artifact-cache instance key. The cluster coordinator routes by
+// it so jobs sharing a design land on the worker already holding the
+// cached netlist and ATPG artifacts.
+func (s JobSpec) ContentKey() string {
+	return instanceKey(s.withDefaults())
 }
 
 // Validate rejects specs the workers could not execute. It runs at
@@ -139,6 +154,9 @@ func (s JobSpec) Validate() error {
 	}
 	if s.TimeoutSec < 0 {
 		return fmt.Errorf("timeout_sec must be >= 0, got %g", s.TimeoutSec)
+	}
+	if len(s.Tenant) > 64 {
+		return fmt.Errorf("tenant name exceeds 64 bytes")
 	}
 	if s.Tester != "" {
 		if _, err := tester.Preset(s.Tester, 1); err != nil {
@@ -261,10 +279,11 @@ func (j *Job) finishLocked(state State, err error) {
 	close(j.done)
 }
 
-// publishProgress records and broadcasts a progress event. Lot jobs
-// emit from concurrent per-die workers, so this must be (and is)
-// safe for concurrent use.
-func (j *Job) publishProgress(p core.Progress) {
+// PublishProgress records and broadcasts a progress event. Lot jobs
+// emit from concurrent per-die workers, and the cluster coordinator
+// forwards a remote worker's progress through it, so this must be
+// (and is) safe for concurrent use.
+func (j *Job) PublishProgress(p core.Progress) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state.Terminal() {
@@ -415,14 +434,19 @@ func restoredJob(id string, spec JobSpec, ctx context.Context, cancel context.Ca
 	return j
 }
 
-func (j *Job) setResult(rep *core.Report, lr *core.LotReport) {
+// SetResult attaches the job's finished artifact — called by the
+// built-in executor, and by a cluster coordinator adopting a report
+// produced on a remote worker.
+func (j *Job) SetResult(rep *core.Report, lr *core.LotReport) {
 	j.mu.Lock()
 	j.report = rep
 	j.lotReport = lr
 	j.mu.Unlock()
 }
 
-func (j *Job) setCacheHit(hit bool) {
+// SetCacheHit records that some artifact lookup for the job was served
+// from a cache (local or a remote worker's).
+func (j *Job) SetCacheHit(hit bool) {
 	j.mu.Lock()
 	j.cacheHit = j.cacheHit || hit
 	j.mu.Unlock()

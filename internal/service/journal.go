@@ -216,7 +216,9 @@ func (s *Server) finishRecovery() {
 		s.counters.journalErrors.Add(1)
 	}
 	for _, j := range s.reenqueue {
+		s.tenantAdd(j.Spec.Tenant, 1)
 		if err := s.queue.TryEnqueue(j); err != nil {
+			s.tenantAdd(j.Spec.Tenant, -1)
 			j.finish(StateFailed, fmt.Errorf("service: re-enqueue after recovery: %w", err))
 			s.journalFinish(j)
 			s.counters.jobsFailed.Add(1)

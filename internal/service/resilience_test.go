@@ -481,7 +481,7 @@ func readSSE(t *testing.T, ts *httptest.Server, id, lastEventID string) []sseEve
 func TestSSEResumeFromLastEventID(t *testing.T) {
 	_, ts := newTestServer(t, Options{}, func(ctx context.Context, j *Job) error {
 		for i := 1; i <= 3; i++ {
-			j.publishProgress(progressEvent("calibrate", i, 3))
+			j.PublishProgress(progressEvent("calibrate", i, 3))
 		}
 		return nil
 	})

@@ -61,6 +61,29 @@ type Options struct {
 
 	// Heartbeat is the SSE keep-alive comment interval (default 15s).
 	Heartbeat time.Duration
+
+	// Runner, when non-nil, replaces the built-in executor for every
+	// job — the cluster coordinator injects its dispatch-to-worker path
+	// here. The per-job retry/backoff/classification loop, journaling
+	// and breakers still apply around it.
+	Runner func(ctx context.Context, j *Job) error
+
+	// Admit, when non-nil, is consulted after validation and before a
+	// spec reaches the breaker and the queue — the hook point for
+	// per-tenant quotas. A returned *ThrottleError maps to HTTP 429
+	// with its jittered Retry-After hint; any other error aborts the
+	// submission as a 500.
+	Admit func(spec JobSpec) error
+
+	// ExtraStats, when non-nil, decorates the /v1/stats payload before
+	// it is written — the cluster layer adds lease/handoff/steal
+	// counters here.
+	ExtraStats func(*Stats)
+
+	// ExtraReady, when non-nil, contributes additional not-ready
+	// reasons to /healthz/ready — e.g. "no live workers" on a cluster
+	// coordinator.
+	ExtraReady func() []string
 }
 
 func (o Options) withDefaults() Options {
@@ -106,6 +129,7 @@ type counters struct {
 	jobsDeadline      atomic.Uint64
 	jobsRejected      atomic.Uint64
 	jobsShed          atomic.Uint64
+	jobsThrottled     atomic.Uint64
 	jobsRetried       atomic.Uint64
 	journalErrors     atomic.Uint64
 	recoveredQueued   atomic.Uint64
@@ -131,17 +155,22 @@ type Stats struct {
 	JobsDeadline      uint64                   `json:"jobs_deadline"`
 	JobsRejected      uint64                   `json:"jobs_rejected"`
 	JobsShed          uint64                   `json:"jobs_shed"`
+	JobsThrottled     uint64                   `json:"jobs_throttled"`
 	JobsRetried       uint64                   `json:"jobs_retried"`
 	JournalErrors     uint64                   `json:"journal_errors"`
 	RecoveredQueued   uint64                   `json:"recovered_queued"`
 	RecoveredRunning  uint64                   `json:"recovered_running"`
 	RecoveredTerminal uint64                   `json:"recovered_terminal"`
 	QueueDepth        int64                    `json:"queue_depth"`
+	TenantQueueDepth  map[string]int           `json:"tenant_queue_depth,omitempty"`
 	RetryBudget       float64                  `json:"retry_budget"`
 	CacheHits         uint64                   `json:"cache_hits"`
 	CacheMisses       uint64                   `json:"cache_misses"`
 	CacheEntries      int                      `json:"cache_entries"`
 	Breakers          map[string]BreakerStatus `json:"breakers,omitempty"`
+	// Cluster carries the coordinator's lease/handoff/steal counters
+	// (via Options.ExtraStats); empty on a standalone or worker node.
+	Cluster map[string]uint64 `json:"cluster,omitempty"`
 }
 
 // Server owns the queue, cache, worker pool, job registry, durability
@@ -161,6 +190,12 @@ type Server struct {
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	nextID uint64
+
+	// Per-tenant queued-job counts (accepted into the queue, not yet
+	// picked up by a worker) and the Retry-After jitter source.
+	tmu         sync.Mutex
+	tenantDepth map[string]int
+	jitter      *retry.Jitter
 
 	// Durability (nil journal when DataDir is unset). jmu serializes
 	// appends against compaction; journalDead simulates power loss in
@@ -198,6 +233,8 @@ func New(opts Options) (*Server, error) {
 		baseCtx:     ctx,
 		cancelBase:  cancel,
 		jobs:        make(map[string]*Job),
+		tenantDepth: make(map[string]int),
+		jitter:      retry.NewJitter(0x5E11A7E2),
 		retryBudget: retry.NewBudget(opts.RetryBudget, 0),
 		breakers:    make(map[string]*retry.Breaker),
 	}
@@ -314,6 +351,12 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %w", errBadSpec, err)
 	}
+	if s.opts.Admit != nil {
+		if err := s.opts.Admit(spec); err != nil {
+			s.counters.jobsThrottled.Add(1)
+			return nil, err
+		}
+	}
 	if b := s.breaker(spec.Tester); !b.Allow() {
 		s.counters.jobsShed.Add(1)
 		return nil, &shedError{profile: spec.Tester, retryAfter: b.RetryAfter()}
@@ -336,11 +379,48 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	}
 	s.counters.jobsSubmitted.Add(1)
 	s.counters.queueDepth.Store(int64(s.queue.Depth()))
+	s.tenantAdd(spec.Tenant, 1)
 	s.journalSubmit(j)
 	return j, nil
 }
 
+// tenantAdd adjusts a tenant's queued-job count.
+func (s *Server) tenantAdd(tenant string, delta int) {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	s.tenantDepth[tenant] += delta
+	if s.tenantDepth[tenant] <= 0 {
+		delete(s.tenantDepth, tenant)
+	}
+}
+
+// TenantDepths snapshots the per-tenant queued-job counts — what
+// /v1/stats reports and what fair-share admission divides the queue by.
+func (s *Server) TenantDepths() map[string]int {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	out := make(map[string]int, len(s.tenantDepth))
+	for k, v := range s.tenantDepth {
+		out[k] = v
+	}
+	return out
+}
+
 var errBadSpec = fmt.Errorf("service: invalid job spec")
+
+// ThrottleError is a submission refused by the admission hook — a
+// tenant over its quota or fair share. The HTTP layer maps it to 429
+// with the (already jittered) Retry-After hint.
+type ThrottleError struct {
+	Tenant     string
+	Reason     string // "quota" or "fair-share"
+	RetryAfter time.Duration
+}
+
+func (e *ThrottleError) Error() string {
+	return fmt.Sprintf("service: tenant %q throttled (%s), retry in %s",
+		e.Tenant, e.Reason, e.RetryAfter.Round(time.Millisecond))
+}
 
 // shedError is a submission refused by an open circuit breaker.
 type shedError struct {
@@ -363,20 +443,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.Submit(spec)
 	var shed *shedError
+	var throttled *ThrottleError
 	switch {
 	case err == nil:
 	case errors.Is(err, errBadSpec):
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	case errors.Is(err, ErrQueueFull):
+		// The hint is jittered (decorrelated across rejections) so the
+		// backlog does not come back in lockstep the moment the queue
+		// frees up.
+		w.Header().Set("Retry-After", retryAfterSecs(s.jitter.Around(time.Second)))
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.As(err, &throttled):
+		w.Header().Set("Retry-After", retryAfterSecs(throttled.RetryAfter))
 		httpError(w, http.StatusTooManyRequests, err.Error())
 		return
 	case errors.As(err, &shed):
-		secs := int(math.Ceil(shed.retryAfter.Seconds()))
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		// Jitter around the breaker's cooldown: never earlier than the
+		// breaker would admit, spread out beyond it.
+		w.Header().Set("Retry-After", retryAfterSecs(s.jitter.Around(shed.retryAfter)))
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case errors.Is(err, ErrQueueClosed):
@@ -500,7 +587,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			RetryAfterSec:       b.RetryAfter().Seconds(),
 		}
 	}
-	writeJSON(w, http.StatusOK, Stats{
+	st := Stats{
 		JobsSubmitted:     s.counters.jobsSubmitted.Load(),
 		JobsCompleted:     s.counters.jobsCompleted.Load(),
 		JobsFailed:        s.counters.jobsFailed.Load(),
@@ -508,18 +595,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		JobsDeadline:      s.counters.jobsDeadline.Load(),
 		JobsRejected:      s.counters.jobsRejected.Load(),
 		JobsShed:          s.counters.jobsShed.Load(),
+		JobsThrottled:     s.counters.jobsThrottled.Load(),
 		JobsRetried:       s.counters.jobsRetried.Load(),
 		JournalErrors:     s.counters.journalErrors.Load(),
 		RecoveredQueued:   s.counters.recoveredQueued.Load(),
 		RecoveredRunning:  s.counters.recoveredRunning.Load(),
 		RecoveredTerminal: s.counters.recoveredTerminal.Load(),
 		QueueDepth:        int64(s.queue.Depth()),
+		TenantQueueDepth:  s.TenantDepths(),
 		RetryBudget:       s.retryBudget.Remaining(),
 		CacheHits:         s.cache.Hits(),
 		CacheMisses:       s.cache.Misses(),
 		CacheEntries:      s.cache.Len(),
 		Breakers:          breakers,
-	})
+	}
+	if s.opts.ExtraStats != nil {
+		s.opts.ExtraStats(&st)
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// retryAfterSecs renders a Retry-After header value: whole seconds,
+// at least 1.
+func retryAfterSecs(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 // handleHealth is the liveness probe (also served at /healthz/live): the
@@ -543,6 +646,9 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		if b.State() == retry.BreakerOpen {
 			reasons = append(reasons, fmt.Sprintf("circuit breaker open for tester profile %q", name))
 		}
+	}
+	if s.opts.ExtraReady != nil {
+		reasons = append(reasons, s.opts.ExtraReady()...)
 	}
 	if len(reasons) > 0 {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{

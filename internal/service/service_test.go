@@ -97,7 +97,7 @@ const detectBody = `{"kind":"detect","case":"s35932-T200","scale":0.05}`
 
 func TestSubmitPollResult(t *testing.T) {
 	_, ts := newTestServer(t, Options{}, func(ctx context.Context, j *Job) error {
-		j.publishProgress(progressEvent("calibrate", 1, 1))
+		j.PublishProgress(progressEvent("calibrate", 1, 1))
 		return nil
 	})
 	resp, st := postJob(t, ts, detectBody)
@@ -319,7 +319,7 @@ func TestEventsStream(t *testing.T) {
 	_, ts := newTestServer(t, Options{}, func(ctx context.Context, j *Job) error {
 		<-release // hold until the subscriber is attached
 		for i := 1; i <= 3; i++ {
-			j.publishProgress(progressEvent("adaptive", i, 3))
+			j.PublishProgress(progressEvent("adaptive", i, 3))
 		}
 		return nil
 	})

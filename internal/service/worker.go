@@ -30,6 +30,7 @@ func (s *Server) workerLoop() {
 	defer s.wg.Done()
 	for j := range s.queue.Jobs() {
 		s.counters.queueDepth.Store(int64(s.queue.Depth()))
+		s.tenantAdd(j.Spec.Tenant, -1)
 		if j.ctx.Err() != nil {
 			// Cancelled while queued; Cancel already finished the job.
 			j.finish(StateCancelled, j.ctx.Err())
@@ -58,6 +59,9 @@ var errJobPanic = errors.New("service: job panicked")
 // books (counters, breaker, journal).
 func (s *Server) runJob(j *Job) {
 	run := s.runHook
+	if run == nil {
+		run = s.opts.Runner
+	}
 	if run == nil {
 		run = s.execute
 	}
@@ -168,13 +172,13 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 	if err != nil {
 		return fmt.Errorf("materialize: %w", err)
 	}
-	j.setCacheHit(hit)
+	j.SetCacheHit(hit)
 
 	cfg, faultCfg, workers, err := s.buildConfig(j, inst)
 	if err != nil {
 		return err
 	}
-	cfg.Progress = j.publishProgress
+	cfg.Progress = j.PublishProgress
 
 	lib := power.SAED90Like()
 	switch spec.Kind {
@@ -186,12 +190,12 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 			Tester:      faultCfg,
 			Acquisition: cfg.Acquisition,
 			Workers:     workers,
-			Progress:    j.publishProgress,
+			Progress:    j.PublishProgress,
 		})
 		if err != nil {
 			return err
 		}
-		j.setResult(nil, lr)
+		j.SetResult(nil, lr)
 		return nil
 
 	case KindDetect:
@@ -204,7 +208,7 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 		if err != nil {
 			return err
 		}
-		j.setResult(rep, nil)
+		j.SetResult(rep, nil)
 		return nil
 
 	default:
@@ -283,7 +287,7 @@ func (s *Server) buildConfig(j *Job, inst *instance) (core.Config, tester.Config
 	if err != nil {
 		return core.Config{}, tester.Config{}, 0, fmt.Errorf("seed generation: %w", err)
 	}
-	j.setCacheHit(hit)
+	j.SetCacheHit(hit)
 	cfg.SeedPatterns = seeds
 	return cfg, faultCfg, workers, nil
 }

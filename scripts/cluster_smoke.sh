@@ -1,0 +1,99 @@
+#!/usr/bin/env sh
+# Smoke test for the superposed cluster: boot a coordinator and two
+# workers as real processes, submit a lot job, SIGKILL whichever worker
+# is running it, and require the coordinator to fail the job over to
+# the survivor — finishing with a report byte-identical to a standalone
+# control run of the same spec.
+#
+# Requires only the go toolchain and a POSIX shell (no curl/jq): the
+# HTTP client half lives in scripts/smokeclient, a tiny stdlib program.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Sized so one lot runs for several seconds — long enough to land the
+# SIGKILL mid-lot, short enough for CI. Deterministic for a fixed spec,
+# which is what makes the byte-compare below meaningful.
+SPEC='{"kind":"lot","case":"s35932-T200","scale":0.12,"dies":8,"seeds":4,"tenant":"acme"}'
+
+clog=$(mktemp) w1log=$(mktemp) w2log=$(mktemp) slog=$(mktemp)
+control=$(mktemp) recovered=$(mktemp)
+cdir=$(mktemp -d) w1dir=$(mktemp -d) w2dir=$(mktemp -d) sdir=$(mktemp -d)
+cpid="" w1pid="" w2pid="" spid=""
+trap 'for p in "$cpid" "$w1pid" "$w2pid" "$spid"; do [ -n "$p" ] && kill -9 "$p" 2>/dev/null || true; done; rm -rf "$clog" "$w1log" "$w2log" "$slog" "$control" "$recovered" "$cdir" "$w1dir" "$w2dir" "$sdir"' EXIT INT TERM
+
+go build -o /tmp/superposed-csmoke ./cmd/superposed
+go build -o /tmp/smokeclient-csmoke ./scripts/smokeclient
+
+# wait_banner <log> <pid>: print the daemon's bound base URL.
+wait_banner() {
+    b=""
+    for _ in $(seq 1 100); do
+        b=$(sed -n 's/^superposed: listening on \(http:\/\/.*\)$/\1/p' "$1")
+        [ -n "$b" ] && break
+        kill -0 "$2" 2>/dev/null || { echo "daemon died at startup:" >&2; cat "$1" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$b" ] || { echo "daemon never announced its port:" >&2; cat "$1" >&2; exit 1; }
+    echo "$b"
+}
+
+# --- Control: the same lot, standalone and uninterrupted -----------------
+/tmp/superposed-csmoke -addr 127.0.0.1:0 -drain 60s -data-dir "$sdir" >"$slog" 2>&1 &
+spid=$!
+sbase=$(wait_banner "$slog" "$spid")
+echo "cluster-smoke: control daemon at $sbase"
+cid=$(/tmp/smokeclient-csmoke -base "$sbase" -mode submit -spec "$SPEC")
+/tmp/smokeclient-csmoke -base "$sbase" -mode wait -job "$cid" -timeout 3m
+/tmp/smokeclient-csmoke -base "$sbase" -mode report -job "$cid" >"$control"
+kill -TERM "$spid"; wait "$spid" || true; spid=""
+echo "cluster-smoke: control report captured ($(wc -c <"$control") bytes)"
+
+# --- Fleet: coordinator + two workers ------------------------------------
+/tmp/superposed-csmoke -role coordinator -addr 127.0.0.1:0 -lease-ttl 1s -poll 25ms \
+    -drain 60s -data-dir "$cdir" >"$clog" 2>&1 &
+cpid=$!
+cbase=$(wait_banner "$clog" "$cpid")
+/tmp/superposed-csmoke -role worker -addr 127.0.0.1:0 -coordinator-addr "$cbase" \
+    -drain 60s -data-dir "$w1dir" >"$w1log" 2>&1 &
+w1pid=$!
+w1base=$(wait_banner "$w1log" "$w1pid")
+/tmp/superposed-csmoke -role worker -addr 127.0.0.1:0 -coordinator-addr "$cbase" \
+    -drain 60s -data-dir "$w2dir" >"$w2log" 2>&1 &
+w2pid=$!
+w2base=$(wait_banner "$w2log" "$w2pid")
+/tmp/smokeclient-csmoke -base "$cbase" -mode fleet -n 2 -timeout 30s
+echo "cluster-smoke: coordinator $cbase, workers $w1base $w2base"
+
+# --- Kill the busy worker mid-lot ----------------------------------------
+id=$(/tmp/smokeclient-csmoke -base "$cbase" -mode submit -spec "$SPEC")
+victim=$(/tmp/smokeclient-csmoke -base "$cbase" -mode busyworker -timeout 30s)
+sleep 1
+case "$victim" in
+"$w1base") vpid=$w1pid ;;
+"$w2base") vpid=$w2pid ;;
+*) echo "cluster-smoke: busy worker $victim is not in the fleet" >&2; exit 1 ;;
+esac
+echo "cluster-smoke: SIGKILL busy worker $victim (pid $vpid)"
+kill -9 "$vpid"
+[ "$vpid" = "$w1pid" ] && w1pid="" || w2pid=""
+
+# --- The survivor finishes the job; the report must match the control ----
+/tmp/smokeclient-csmoke -base "$cbase" -mode wait -job "$id" -timeout 3m
+/tmp/smokeclient-csmoke -base "$cbase" -mode report -job "$id" >"$recovered"
+cmp "$control" "$recovered" || {
+    echo "cluster-smoke: failed-over report differs from the standalone control" >&2
+    exit 1
+}
+echo "cluster-smoke: failed-over report is byte-identical to the control ($(wc -c <"$recovered") bytes)"
+
+# --- Graceful teardown of the survivors ----------------------------------
+for p in "$cpid" "$w1pid" "$w2pid"; do
+    [ -n "$p" ] && kill -TERM "$p"
+done
+[ -n "$cpid" ] && { wait "$cpid" || { echo "coordinator exited non-zero:"; cat "$clog"; exit 1; }; }
+[ -n "$w1pid" ] && { wait "$w1pid" || { echo "worker 1 exited non-zero:"; cat "$w1log"; exit 1; }; }
+[ -n "$w2pid" ] && { wait "$w2pid" || { echo "worker 2 exited non-zero:"; cat "$w2log"; exit 1; }; }
+grep -q "drained, bye" "$clog" || { echo "coordinator exited without draining:"; cat "$clog"; exit 1; }
+cpid="" w1pid="" w2pid=""
+echo "cluster-smoke: OK"

@@ -1,17 +1,23 @@
-// Smokeclient is the HTTP half of scripts/superposed_smoke.sh: it
-// health-checks a running superposed daemon, submits a small detect
-// job, polls it to completion and asserts the report carries a verdict.
-// A separate stdlib binary so the smoke script needs no curl or jq.
+// Smokeclient is the HTTP half of scripts/superposed_smoke.sh and
+// scripts/cluster_smoke.sh: it health-checks a running superposed
+// daemon, submits jobs, polls them to completion and asserts the
+// report carries a verdict. A separate stdlib binary so the smoke
+// scripts need no curl or jq.
 //
 // Modes (-mode):
 //
-//	full    health-check, submit, poll to done (the classic smoke pass)
-//	submit  submit only; prints the job ID alone on stdout for capture
-//	wait    poll an existing job (-job) to done
-//	ready   poll /healthz/ready until the daemon reports ready
+//	full       health-check, submit, poll to done (the classic smoke pass)
+//	submit     submit only; prints the job ID alone on stdout for capture
+//	wait       poll an existing job (-job) to done
+//	ready      poll /healthz/ready until the daemon reports ready
+//	report     write a done job's (-job) canonical LotReport bytes to stdout
+//	fleet      poll /cluster/v1/workers until -n workers hold live leases
+//	busyworker poll the fleet until a worker has a job in flight; print its addr
 //
-// submit+wait split across a daemon SIGKILL is how the smoke script
-// proves journal recovery end to end.
+// submit+wait split across a daemon SIGKILL is how the smoke scripts
+// prove journal recovery end to end; submit+busyworker+report is how
+// cluster_smoke.sh aims the SIGKILL at the busy worker and then
+// byte-compares the failed-over report against a standalone control.
 package main
 
 import (
@@ -23,23 +29,27 @@ import (
 	"strings"
 	"time"
 
+	"superpose/internal/netio"
 	"superpose/internal/service"
 )
 
 func main() {
 	base := flag.String("base", "http://127.0.0.1:8418", "daemon base URL")
-	mode := flag.String("mode", "full", "full | submit | wait | ready")
-	job := flag.String("job", "", "job ID to poll (-mode wait)")
+	mode := flag.String("mode", "full", "full | submit | wait | ready | report | fleet | busyworker")
+	job := flag.String("job", "", "job ID to poll (-mode wait/report)")
+	spec := flag.String("spec", `{"kind":"detect","case":"s35932-T200","scale":0.02,"clean":true}`,
+		"job spec JSON for -mode submit/full")
+	n := flag.Int("n", 1, "worker count to wait for (-mode fleet)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "polling budget")
 	flag.Parse()
 
 	var err error
 	switch *mode {
 	case "full":
-		err = runFull(*base, *timeout)
+		err = runFull(*base, *spec, *timeout)
 	case "submit":
 		var id string
-		if id, err = submit(*base); err == nil {
+		if id, err = submit(*base, *spec); err == nil {
 			fmt.Println(id)
 		}
 	case "wait":
@@ -50,6 +60,19 @@ func main() {
 		}
 	case "ready":
 		err = waitReady(*base, *timeout)
+	case "report":
+		if *job == "" {
+			err = fmt.Errorf("-mode report requires -job")
+		} else {
+			err = dumpReport(*base, *job)
+		}
+	case "fleet":
+		err = waitFleet(*base, *n, *timeout)
+	case "busyworker":
+		var addr string
+		if addr, err = busyWorker(*base, *timeout); err == nil {
+			fmt.Println(addr)
+		}
 	default:
 		err = fmt.Errorf("unknown -mode %q", *mode)
 	}
@@ -59,7 +82,7 @@ func main() {
 	}
 }
 
-func runFull(base string, timeout time.Duration) error {
+func runFull(base, spec string, timeout time.Duration) error {
 	resp, err := http.Get(base + "/healthz")
 	if err != nil {
 		return err
@@ -68,7 +91,7 @@ func runFull(base string, timeout time.Duration) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
 	}
-	id, err := submit(base)
+	id, err := submit(base, spec)
 	if err != nil {
 		return err
 	}
@@ -76,8 +99,7 @@ func runFull(base string, timeout time.Duration) error {
 	return wait(base, id, timeout)
 }
 
-func submit(base string) (string, error) {
-	body := `{"kind":"detect","case":"s35932-T200","scale":0.02,"clean":true}`
+func submit(base, body string) (string, error) {
 	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
 	if err != nil {
 		return "", err
@@ -114,14 +136,99 @@ func wait(base, id string, timeout time.Duration) error {
 			if cur.State != service.StateDone {
 				return fmt.Errorf("job ended %s: %s", cur.State, cur.Error)
 			}
-			if cur.Report == nil {
+			switch {
+			case cur.Report != nil:
+				fmt.Fprintf(os.Stderr, "smoke: job done, detected=%v final |S-RPD|=%.4f (bound %.4f)\n",
+					cur.Report.Detected, cur.Report.FinalSRPD, cur.Report.Varsigma)
+			case cur.LotReport != nil:
+				fmt.Fprintf(os.Stderr, "smoke: lot done, %d/%d dies detected (%d unstable)\n",
+					cur.LotReport.Detected, len(cur.LotReport.Dies), cur.LotReport.Unstable)
+			default:
 				return fmt.Errorf("done job carries no report")
 			}
-			fmt.Fprintf(os.Stderr, "smoke: job done, detected=%v final |S-RPD|=%.4f (bound %.4f)\n",
-				cur.Report.Detected, cur.Report.FinalSRPD, cur.Report.Varsigma)
 			return nil
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// dumpReport writes the canonical netio encoding of a done lot job's
+// report to stdout — what cluster_smoke.sh byte-compares (cmp) between
+// the failed-over cluster run and the standalone control run.
+func dumpReport(base, id string) error {
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return err
+	}
+	var st service.Status
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if st.State != service.StateDone || st.LotReport == nil {
+		return fmt.Errorf("job %s is %s with no lot report", id, st.State)
+	}
+	return netio.EncodeLotReport(os.Stdout, st.LotReport)
+}
+
+// workerView mirrors cluster.WorkerView (decoded loosely so the smoke
+// binary does not import internal/cluster's server half).
+type workerView struct {
+	Addr     string `json:"addr"`
+	InFlight int    `json:"in_flight"`
+}
+
+func liveWorkers(base string) ([]workerView, error) {
+	resp, err := http.Get(base + "/cluster/v1/workers")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("workers: HTTP %d", resp.StatusCode)
+	}
+	var body struct {
+		Workers []workerView `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Workers, nil
+}
+
+func waitFleet(base string, n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		ws, err := liveWorkers(base)
+		if err == nil && len(ws) >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("fleet never reached %d workers: %w", n, err)
+			}
+			return fmt.Errorf("fleet never reached %d workers (have %d)", n, len(ws))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func busyWorker(base string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		ws, err := liveWorkers(base)
+		if err == nil {
+			for _, w := range ws {
+				if w.InFlight > 0 {
+					return w.Addr, nil
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("no worker ever went busy")
+		}
+		time.Sleep(25 * time.Millisecond)
 	}
 }
 
