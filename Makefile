@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-parallel bench-adaptive test-race cover experiments experiments-full serve smoke smoke-cluster clean
+.PHONY: all build test vet bench bench-parallel bench-adaptive bench-ppsfp test-race cover experiments experiments-full serve smoke smoke-cluster clean
 
 all: vet test build
 
@@ -38,6 +38,16 @@ bench-adaptive:
 	$(GO) test -run '^$$' -bench BenchmarkAdaptive -benchtime 3x . \
 		| $(GO) run ./cmd/benchjson > BENCH_adaptive.json
 	cat BENCH_adaptive.json
+
+# PPSFP engine kind vs the scalar reference paths (published circuit
+# size, workers=1), archived as a machine-readable artifact. The
+# adaptive arm reports paired wall-clock speedups over the scalar sweep
+# and legacy climbs; the faultsim arm over scalar batch fault
+# simulation. Results are bit-identical across kinds by construction.
+bench-ppsfp:
+	$(GO) test -run '^$$' -bench BenchmarkPPSFP -benchtime 3x . \
+		| $(GO) run ./cmd/benchjson > BENCH_ppsfp.json
+	cat BENCH_ppsfp.json
 
 # The determinism guarantee under the race detector: shuffled, twice.
 test-race:

@@ -426,7 +426,11 @@ func BenchmarkAdaptive(b *testing.B) {
 	ev := superpose.NewEvaluator(inst.Host, lib, dev, 4, superpose.LOS)
 	seed := ev.Chains().RandomPattern(stats.NewRNG(5))
 	ev.Calibrate([]*scan.Pattern{seed})
-	opt := core.AdaptiveOptions{MaxSteps: 4}
+	// Both arms pin the scalar backend: this benchmark isolates the
+	// sweep-vs-legacy measurement-path difference, holding the simulation
+	// engine fixed at the reference kind. BenchmarkPPSFP measures the
+	// engine-kind axis on the same climb.
+	opt := core.AdaptiveOptions{MaxSteps: 4, Engine: sim.EngineScalar}
 	legacyOpt := opt
 	legacyOpt.LegacyMeasure = true
 
@@ -459,6 +463,94 @@ func BenchmarkAdaptive(b *testing.B) {
 		}
 		b.ReportMetric(float64(legacyTotal)/float64(sweepTotal), "speedup")
 		b.ReportMetric(best, "rpd-adaptive")
+	})
+}
+
+// BenchmarkPPSFP measures the engine-kind axis: the 64-way bit-parallel
+// PPSFP configuration (SoA netlist core, delta propagation in the sweep,
+// vectorized sparse pricing) against the scalar reference paths, on the
+// same workloads at published circuit scale. Every arm interleaves its
+// untimed baseline run with the timed run and reports paired wall-clock
+// ratios — both paths see the same machine conditions, so the ratios
+// are stable where one-shot baselines are not. The engine selector
+// changes cost only: the equivalence and exhaustive suites pin that
+// every arm's results are bit-identical.
+func BenchmarkPPSFP(b *testing.B) {
+	const ppsfpBenchScale = 1.0
+	inst, err := trust.Build(trust.Cases()[0], ppsfpBenchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := superpose.StandardCellLibrary()
+
+	// The adaptive climb of BenchmarkAdaptive, with the engine selector
+	// as the only moving part: timed PPSFP-kind climbs against untimed
+	// interleaved sweep-scalar and legacy-scalar climbs.
+	b.Run("adaptive", func(b *testing.B) {
+		chip := superpose.Manufacture(inst.Infected, lib, superpose.ThreeSigmaIntra(benchVarsigma), 42)
+		dev := superpose.NewDevice(chip, 4, superpose.LOS)
+		ev := superpose.NewEvaluator(inst.Host, lib, dev, 4, superpose.LOS)
+		seed := ev.Chains().RandomPattern(stats.NewRNG(5))
+		ev.Calibrate([]*scan.Pattern{seed})
+		ppsfpOpt := core.AdaptiveOptions{MaxSteps: 4, Engine: sim.EnginePPSFP}
+		scalarOpt := core.AdaptiveOptions{MaxSteps: 4, Engine: sim.EngineScalar}
+		legacyOpt := scalarOpt
+		legacyOpt.LegacyMeasure = true
+		ev.Adaptive(seed, ppsfpOpt) // warm caches (sweep plans on first call)
+		var best float64
+		var legacyTotal, scalarTotal, ppsfpTotal time.Duration
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			t0 := time.Now()
+			ev.Adaptive(seed, legacyOpt)
+			legacyTotal += time.Since(t0)
+			t0 = time.Now()
+			ev.Adaptive(seed, scalarOpt)
+			scalarTotal += time.Since(t0)
+			b.StartTimer()
+			t0 = time.Now()
+			ar := ev.Adaptive(seed, ppsfpOpt)
+			ppsfpTotal += time.Since(t0)
+			best = ar.Steps[ar.Best].Reading.RPD
+		}
+		b.ReportMetric(float64(scalarTotal)/float64(ppsfpTotal), "speedup-vs-sweep")
+		b.ReportMetric(float64(legacyTotal)/float64(ppsfpTotal), "speedup-vs-legacy")
+		b.ReportMetric(best, "rpd-adaptive")
+	})
+
+	// Batch fault simulation: PPSFP event-driven cone propagation against
+	// the scalar per-fault full re-simulation, single worker, on a bounded
+	// collapsed-fault sample.
+	b.Run("faultsim", func(b *testing.B) {
+		ch := superpose.ConfigureScan(inst.Host, 4)
+		fs := atpg.NewFaultSimulator(ch)
+		fs.SetWorkers(1)
+		faults, _ := atpg.Collapse(inst.Host, atpg.FaultList(inst.Host))
+		if len(faults) > 512 {
+			faults = faults[:512]
+		}
+		rng := stats.NewRNG(11)
+		pats := make([]*scan.Pattern, 64)
+		for i := range pats {
+			pats[i] = ch.RandomPattern(rng)
+		}
+		var scalarTotal, ppsfpTotal time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			fs.SetEngine(sim.EngineScalar)
+			t0 := time.Now()
+			fs.DetectBatch(pats, faults)
+			scalarTotal += time.Since(t0)
+			b.StartTimer()
+			fs.SetEngine(sim.EnginePPSFP)
+			t0 = time.Now()
+			fs.DetectBatch(pats, faults)
+			ppsfpTotal += time.Since(t0)
+		}
+		b.ReportMetric(float64(scalarTotal)/float64(ppsfpTotal), "speedup-vs-scalar")
 	})
 }
 

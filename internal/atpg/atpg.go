@@ -5,6 +5,7 @@ import (
 
 	"superpose/internal/logic"
 	"superpose/internal/scan"
+	"superpose/internal/sim"
 	"superpose/internal/stats"
 )
 
@@ -44,6 +45,11 @@ type Options struct {
 	// count — each fault's detection mask depends only on the shared
 	// good-machine frames.
 	Workers int
+	// Engine selects the fault-simulation backend (default PPSFP: the
+	// event-driven cone propagation over the SoA netlist core; scalar is
+	// the full-resimulation reference path). Generated patterns and all
+	// counters are bit-identical across engines.
+	Engine sim.EngineKind
 }
 
 func (o Options) withDefaults() Options {
@@ -129,6 +135,7 @@ func Generate(ch *scan.Chains, opt Options) (*Result, error) {
 	res := &Result{TotalFaults: len(reps)}
 	fsim := NewFaultSimulator(ch)
 	fsim.SetWorkers(opt.Workers)
+	fsim.SetEngine(opt.Engine)
 	rng := stats.NewRNG(opt.Seed)
 
 	// liveList materializes the faults still needing detections.

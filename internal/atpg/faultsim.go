@@ -27,24 +27,41 @@ type FaultSimulator struct {
 	eng     *scan.Engine
 	obs     []int
 	workers int
-	sims    []*sim.Simulator // one faulty-machine simulator per worker
+	engine  sim.EngineKind
+	sims    []*sim.Simulator // scalar kind: one faulty-machine simulator per worker
+	props   []*sim.FaultProp // PPSFP kind: one cone propagator per worker
 }
 
-// NewFaultSimulator returns a simulator over the scan configuration.
+// NewFaultSimulator returns a simulator over the scan configuration,
+// using the default engine (PPSFP).
 func NewFaultSimulator(ch *scan.Chains) *FaultSimulator {
 	n := ch.Netlist()
 	e := newExpansion(n, ch)
 	return &FaultSimulator{
-		n:   n,
-		ch:  ch,
-		eng: scan.NewEngine(ch),
-		obs: e.obs,
+		n:      n,
+		ch:     ch,
+		eng:    scan.NewEngine(ch),
+		obs:    e.obs,
+		engine: sim.EngineAuto.Resolve(),
 	}
 }
 
 // SetWorkers bounds the per-fault fan-out: 0 means one worker per CPU,
 // 1 the exact legacy serial path.
 func (fs *FaultSimulator) SetWorkers(w int) { fs.workers = w }
+
+// SetEngine selects the faulty-machine evaluation backend: PPSFP
+// propagates each fault event-driven through its fanout cone over the
+// SoA netlist core, the scalar kind re-simulates the whole netlist per
+// fault (the original reference path). Detection masks are bit-identical
+// across kinds; the shared good-machine launch switches backend too.
+func (fs *FaultSimulator) SetEngine(kind sim.EngineKind) {
+	fs.engine = kind.Resolve()
+	fs.eng.SetKind(kind)
+}
+
+// Engine returns the resolved faulty-machine backend.
+func (fs *FaultSimulator) Engine() sim.EngineKind { return fs.engine }
 
 // simulators returns at least w per-worker simulators, growing the pool
 // lazily (construction is cheap; the value arrays dominate and are
@@ -54,6 +71,19 @@ func (fs *FaultSimulator) simulators(w int) []*sim.Simulator {
 		fs.sims = append(fs.sims, sim.New(fs.n))
 	}
 	return fs.sims[:w]
+}
+
+// propagators returns at least w per-worker cone propagators, each
+// loaded with the shared good-machine capture frame.
+func (fs *FaultSimulator) propagators(w int, good2 []logic.Word) []*sim.FaultProp {
+	for len(fs.props) < w {
+		fs.props = append(fs.props, sim.NewFaultProp(fs.n, fs.obs))
+	}
+	props := fs.props[:w]
+	for _, fp := range props {
+		fp.SetBase(good2)
+	}
+	return props
 }
 
 // DetectBatch simulates up to 64 patterns and reports, per fault in
@@ -68,7 +98,6 @@ func (fs *FaultSimulator) DetectBatch(pats []*scan.Pattern, faults []Fault) []lo
 	}
 	good1 := append([]logic.Word(nil), f1...)
 	good2 := append([]logic.Word(nil), f2...)
-	src2 := fs.eng.Frame2Sources()
 
 	laneMask := logic.AllOne
 	if len(pats) < 64 {
@@ -80,6 +109,35 @@ func (fs *FaultSimulator) DetectBatch(pats []*scan.Pattern, faults []Fault) []lo
 	if w > len(faults) {
 		w = len(faults)
 	}
+
+	if fs.engine == sim.EnginePPSFP {
+		// Event-driven cone propagation per fault, against the shared
+		// good-machine capture frame — O(active cone) per fault instead
+		// of a full-netlist re-simulation.
+		props := fs.propagators(max(w, 1), good2)
+		if w <= 1 {
+			fp := props[0]
+			for i, f := range faults {
+				out[i] = detectOneProp(fp, f, good1, laneMask)
+			}
+			return out
+		}
+		if err := parallel.ForEach(context.Background(), w, w, func(shard int) error {
+			fp := props[shard]
+			lo := shard * len(faults) / w
+			hi := (shard + 1) * len(faults) / w
+			for i := lo; i < hi; i++ {
+				out[i] = detectOneProp(fp, faults[i], good1, laneMask)
+			}
+			return nil
+		}); err != nil {
+			// The shard body never errors; only a contained panic lands here.
+			panic(err.Error())
+		}
+		return out
+	}
+
+	src2 := fs.eng.Frame2Sources()
 	if w <= 1 {
 		s := fs.simulators(1)[0]
 		for i, f := range faults {
@@ -103,6 +161,23 @@ func (fs *FaultSimulator) DetectBatch(pats []*scan.Pattern, faults []Fault) []lo
 		panic(err.Error())
 	}
 	return out
+}
+
+// detectOneProp is detectOne through the PPSFP cone propagator: the
+// launch-lane computation is shared, the faulty-machine deviation comes
+// from event-driven propagation instead of RunForced. Bit-identical by
+// construction — unreached observation nets contribute zero diff, and
+// OR-accumulation is order-independent.
+func detectOneProp(fp *sim.FaultProp, f Fault, good1 []logic.Word, laneMask logic.Word) logic.Word {
+	initial := logic.AllZero
+	if f.Dir.initial() {
+		initial = logic.AllOne
+	}
+	launch := ^(good1[f.Net] ^ initial) & laneMask
+	if launch == 0 {
+		return 0
+	}
+	return fp.Propagate(f.Net, initial, launch)
 }
 
 // detectOne computes one fault's detection mask against the shared

@@ -1,0 +1,158 @@
+package atpg
+
+import (
+	"runtime"
+	"testing"
+
+	"superpose/internal/logic"
+	"superpose/internal/scan"
+	"superpose/internal/sim"
+	"superpose/internal/stats"
+	"superpose/internal/trust"
+)
+
+func engineEquivChains(t testing.TB, seed uint64) *scan.Chains {
+	t.Helper()
+	n, err := trust.Generate(trust.Params{
+		Name: "engeq", PIs: 5, POs: 5, FFs: 20, Comb: 260, Levels: 5, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scan.Configure(n, 2)
+}
+
+// TestDetectBatchEngineEquivalence requires the PPSFP cone propagator to
+// report the exact detection word the scalar full-resimulation path does,
+// for every collapsed fault, at the partial-lane batch sizes (1, 63, 64)
+// and on the s27 benchmark plus generated circuits.
+func TestDetectBatchEngineEquivalence(t *testing.T) {
+	chains := []*scan.Chains{scan.Configure(parseS27(t), 1)}
+	for seed := uint64(1); seed <= 2; seed++ {
+		chains = append(chains, engineEquivChains(t, seed))
+	}
+	for _, ch := range chains {
+		n := ch.Netlist()
+		reps, _ := Collapse(n, FaultList(n))
+		rng := stats.NewRNG(1234)
+
+		scalar := NewFaultSimulator(ch)
+		scalar.SetEngine(sim.EngineScalar)
+		ppsfp := NewFaultSimulator(ch)
+		ppsfp.SetEngine(sim.EnginePPSFP)
+		if scalar.Engine() != sim.EngineScalar || ppsfp.Engine() != sim.EnginePPSFP {
+			t.Fatalf("engines resolved to %v/%v", scalar.Engine(), ppsfp.Engine())
+		}
+
+		for _, count := range []int{1, 63, 64} {
+			pats := make([]*scan.Pattern, count)
+			for i := range pats {
+				pats[i] = ch.RandomPattern(rng)
+			}
+			want := scalar.DetectBatch(pats, reps)
+			got := ppsfp.DetectBatch(pats, reps)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s count %d fault %v: ppsfp %016x, scalar %016x",
+						n.Name, count, reps[i], got[i], want[i])
+				}
+			}
+			// A garbage lane beyond the batch would be a laneMask leak.
+			if count < 64 {
+				mask := (logic.Word(1) << uint(count)) - 1
+				for i, w := range got {
+					if w&^mask != 0 {
+						t.Fatalf("%s count %d fault %v: detection word %016x leaks beyond lane %d",
+							n.Name, count, reps[i], w, count)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDetectBatchEngineWorkerEquivalence shards the PPSFP fault loop
+// across worker counts and requires bit-identical detection words — the
+// per-fault propagations are independent given the shared good-machine
+// frames, at any fan-out. (The name keeps it inside the CI race
+// detector's equivalence run.)
+func TestDetectBatchEngineWorkerEquivalence(t *testing.T) {
+	ch := engineEquivChains(t, 9)
+	n := ch.Netlist()
+	reps, _ := Collapse(n, FaultList(n))
+	rng := stats.NewRNG(55)
+	pats := make([]*scan.Pattern, 64)
+	for i := range pats {
+		pats[i] = ch.RandomPattern(rng)
+	}
+
+	workerCounts := []int{1, 4, runtime.NumCPU()}
+	for _, engine := range []sim.EngineKind{sim.EngineScalar, sim.EnginePPSFP} {
+		var ref []logic.Word
+		for _, w := range workerCounts {
+			fs := NewFaultSimulator(ch)
+			fs.SetEngine(engine)
+			fs.SetWorkers(w)
+			det := fs.DetectBatch(pats, reps)
+			if ref == nil {
+				ref = det
+				continue
+			}
+			for i := range ref {
+				if det[i] != ref[i] {
+					t.Fatalf("%v workers %d fault %v: %016x, serial %016x",
+						engine, w, reps[i], det[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateEngineEquivalence runs full ATPG under both engines and
+// requires identical results end to end: same patterns, same coverage,
+// same per-pattern detection counts.
+func TestGenerateEngineEquivalence(t *testing.T) {
+	ch := engineEquivChains(t, 3)
+	base := Options{Seed: 11, RandomPatterns: 32, BacktrackLimit: 256}
+
+	optScalar := base
+	optScalar.Engine = sim.EngineScalar
+	want, err := Generate(ch, optScalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	optPP := base
+	optPP.Engine = sim.EnginePPSFP
+	got, err := Generate(ch, optPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.TotalFaults != want.TotalFaults || got.Detected != want.Detected ||
+		got.Untestable != want.Untestable || got.Aborted != want.Aborted ||
+		got.NotTargeted != want.NotTargeted || got.NDetectSatisfied != want.NDetectSatisfied {
+		t.Fatalf("summary diverged:\n ppsfp  %v\n scalar %v", got, want)
+	}
+	if len(got.Patterns) != len(want.Patterns) {
+		t.Fatalf("%d patterns, scalar %d", len(got.Patterns), len(want.Patterns))
+	}
+	for i := range want.Patterns {
+		if got.PerPatternDetects[i] != want.PerPatternDetects[i] {
+			t.Fatalf("pattern %d detects %d, scalar %d", i, got.PerPatternDetects[i], want.PerPatternDetects[i])
+		}
+		a, b := got.Patterns[i], want.Patterns[i]
+		for c := range a.Scan {
+			for j := range a.Scan[c] {
+				if a.Scan[c][j] != b.Scan[c][j] {
+					t.Fatalf("pattern %d scan bit (%d,%d) diverged", i, c, j)
+				}
+			}
+		}
+		for j := range a.PI {
+			if a.PI[j] != b.PI[j] {
+				t.Fatalf("pattern %d PI %d diverged", i, j)
+			}
+		}
+	}
+}

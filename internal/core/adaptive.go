@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"superpose/internal/scan"
+	"superpose/internal/sim"
 )
 
 // CellRef addresses one stimulus bit: a scan bit (Chain >= 0) or a primary
@@ -78,6 +79,13 @@ type AdaptiveOptions struct {
 	// S-RPD — the Fig. 1 ideal is a static sensitization difference whose
 	// unique set is tiny.
 	ScreenTop int
+	// Engine selects the simulation backend for the whole climb — the
+	// golden-model launches, the device's physical launches, and the
+	// sweep session's base launches. Auto (the zero value) keeps the
+	// workbench's current engine (PPSFP over the SoA netlist core unless
+	// reconfigured); scalar is the reference oracle. The trajectory is
+	// bit-identical across kinds.
+	Engine sim.EngineKind
 	// LegacyMeasure routes the candidate batches through the reference
 	// clone-and-measure path (one materialized pattern and a full
 	// 64-lane launch per chunk) instead of the incremental single-flip
@@ -192,6 +200,9 @@ func (ev *Evaluator) Adaptive(seed *scan.Pattern, opt AdaptiveOptions) *Adaptive
 // background context the climb is bit-identical to Adaptive.
 func (ev *Evaluator) AdaptiveContext(ctx context.Context, seed *scan.Pattern, opt AdaptiveOptions) (*AdaptiveResult, error) {
 	opt = opt.withDefaults(seed)
+	if opt.Engine != sim.EngineAuto {
+		ev.SetEngine(opt.Engine)
+	}
 	cur := seed.Clone()
 	res := &AdaptiveResult{
 		Steps: []AdaptiveStep{{

@@ -9,6 +9,7 @@ import (
 	"superpose/internal/netlist"
 	"superpose/internal/power"
 	"superpose/internal/scan"
+	"superpose/internal/sim"
 	"superpose/internal/stats"
 	"superpose/internal/tester"
 )
@@ -99,6 +100,15 @@ func newDevice(chip *power.Chip, ch *scan.Chains, mode scan.Mode) *Device {
 		prevRaw:  math.NaN(), // never matches the first reading
 	}
 }
+
+// SetEngine selects the device-side simulation backend (PPSFP over the
+// SoA netlist core, or the scalar reference path). Readings are
+// bit-identical across kinds — the engine only changes how the physical
+// launch activity is computed, never what it is.
+func (d *Device) SetEngine(kind sim.EngineKind) { d.eng.SetKind(kind) }
+
+// Engine returns the resolved device-side simulation backend.
+func (d *Device) Engine() sim.EngineKind { return d.eng.Kind() }
 
 // SetRepeats makes every reading the aggregate of k pattern applications —
 // standard tester practice to suppress measurement noise (process
@@ -361,9 +371,10 @@ func (d *Device) Measure(p *scan.Pattern) float64 {
 }
 
 // NewSweeper builds a single-flip sweep engine over the device's scan
-// configuration and physical netlist, for use with MeasureSweep.
+// configuration and physical netlist, for use with MeasureSweep. The
+// sweeper's base launches use the device's current engine kind.
 func (d *Device) NewSweeper(flips []scan.Flip) (*scan.Sweeper, error) {
-	return scan.NewSweeper(d.eng.Chains(), d.mode, flips)
+	return scan.NewSweeperKind(d.eng.Chains(), d.mode, flips, d.eng.Kind())
 }
 
 // MeasureSweep acquires readings for one sweep chunk: lane i is the base
@@ -377,11 +388,20 @@ func (d *Device) NewSweeper(flips []scan.Flip) (*scan.Sweeper, error) {
 // device's scratch storage; it is valid until the next measurement.
 func (d *Device) MeasureSweep(base *scan.Pattern, flips []scan.Flip, ids []int, masks []logic.Word) []float64 {
 	n := len(flips)
-	return d.acquire(n,
-		func() []float64 {
-			d.sweepRaw = d.chip.MeasureLanesSparse(ids, masks, n, d.sweepRaw)
+	price := func() []float64 {
+		d.sweepRaw = d.chip.MeasureLanesSparse(ids, masks, n, d.sweepRaw)
+		return d.sweepRaw
+	}
+	if d.eng.Kind() == sim.EnginePPSFP {
+		// The PPSFP configuration prices through the vectorized kernel;
+		// the sums — and the lane-order noise draws after them — are
+		// bit-identical to the scalar loop.
+		price = func() []float64 {
+			d.sweepRaw = d.chip.MeasureLanesSparseVec(ids, masks, n, d.sweepRaw)
 			return d.sweepRaw
-		},
+		}
+	}
+	return d.acquire(n, price,
 		func(i int) readingKey {
 			return readingKey{pat: base, chain: flips[i].Chain, index: flips[i].Index, sweep: true}
 		})

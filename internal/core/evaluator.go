@@ -8,6 +8,7 @@ import (
 	"superpose/internal/netlist"
 	"superpose/internal/power"
 	"superpose/internal/scan"
+	"superpose/internal/sim"
 )
 
 // Evaluator is the defender's workbench: the golden (Trojan-free) netlist
@@ -67,6 +68,21 @@ func NewEvaluatorFromChains(golden *netlist.Netlist, lib *power.Library, dev *De
 		driftScale: 1,
 	}
 }
+
+// SetEngine selects the simulation backend on both sides of the
+// workbench — the golden-model engine, the device, and any cached sweep
+// session. Every Reading, PairAnalysis and sweep lane is bit-identical
+// across kinds; the selector changes cost only.
+func (ev *Evaluator) SetEngine(kind sim.EngineKind) {
+	ev.eng.SetKind(kind)
+	ev.dev.SetEngine(kind)
+	if ev.adaptiveSweep != nil {
+		ev.adaptiveSweep.SetEngine(kind)
+	}
+}
+
+// Engine returns the resolved golden-model simulation backend.
+func (ev *Evaluator) Engine() sim.EngineKind { return ev.eng.Kind() }
 
 // launch runs a golden-model simulation of 1..64 patterns. Callers chunk
 // larger sets; an out-of-range batch here is an internal invariant
@@ -280,9 +296,10 @@ func (pa *PairAnalysis) Significance() float64 {
 
 // AnalyzePair applies superposition to a pattern pair.
 func (ev *Evaluator) AnalyzePair(a, b *scan.Pattern) PairAnalysis {
+	// MeasureBatch's nominal pricing launched the pair on the golden
+	// engine and nothing since touched it, so its frames still hold
+	// the pair's toggle activity — no relaunch needed.
 	readings := ev.MeasureBatch([]*scan.Pattern{a, b})
-
-	ev.launch([]*scan.Pattern{a, b})
 	ta := append([]int(nil), ev.eng.Toggles(0)...)
 	tb := ev.eng.Toggles(1)
 	common, aU, bU := SplitToggles(ta, tb)

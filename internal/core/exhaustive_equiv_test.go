@@ -1,0 +1,300 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"superpose/internal/atpg"
+	"superpose/internal/logic"
+	"superpose/internal/power"
+	"superpose/internal/scan"
+	"superpose/internal/sim"
+	"superpose/internal/tester"
+	"superpose/internal/trust"
+)
+
+// The exhaustive cross-check: on every zoo circuit small enough to
+// brute-force (≤ 12 stimulus bits), enumerate ALL input patterns and
+// require the PPSFP stack — golden engine, device, sweep session, fault
+// simulator — to be bit-identical (IEEE-754 bit patterns for every
+// float) to the scalar reference stack, across LOS/LOC application and
+// tester presets. Nothing is sampled; a single divergent lane anywhere
+// in the space fails.
+
+// exhaustiveZoo lists the brute-forceable circuits: generated multi-level
+// netlists whose scan bits + PIs stay ≤ 12.
+func exhaustiveZoo(t testing.TB) []*trust.Params {
+	t.Helper()
+	return []*trust.Params{
+		{Name: "xz-narrow", PIs: 2, POs: 3, FFs: 6, Comb: 60, Levels: 4, Seed: 1},
+		{Name: "xz-wide", PIs: 4, POs: 4, FFs: 8, Comb: 110, Levels: 3, Seed: 2},
+		{Name: "xz-deep", PIs: 2, POs: 2, FFs: 10, Comb: 150, Levels: 6, Seed: 3},
+	}
+}
+
+// allPatterns enumerates every assignment of the configuration's scan
+// bits and PIs.
+func allPatterns(t testing.TB, ch *scan.Chains) []*scan.Pattern {
+	t.Helper()
+	nScan := 0
+	for i := 0; i < ch.NumChains(); i++ {
+		nScan += len(ch.Chain(i))
+	}
+	nVars := nScan + len(ch.Netlist().PIs)
+	if nVars > 12 {
+		t.Fatalf("circuit too large for exhaustive enumeration (%d vars)", nVars)
+	}
+	pats := make([]*scan.Pattern, 0, 1<<nVars)
+	for v := 0; v < 1<<nVars; v++ {
+		p := ch.NewPattern()
+		k := 0
+		for c := 0; c < ch.NumChains(); c++ {
+			for j := range p.Scan[c] {
+				p.Scan[c][j] = v&(1<<k) != 0
+				k++
+			}
+		}
+		for i := range p.PI {
+			p.PI[i] = v&(1<<k) != 0
+			k++
+		}
+		pats = append(pats, p)
+	}
+	return pats
+}
+
+// exhaustiveStack bundles one engine kind's full measurement stack over
+// its own identically-seeded die, so the two kinds see identical noise
+// and tester-fault streams.
+type exhaustiveStack struct {
+	dev *Device
+	ev  *Evaluator
+}
+
+func newExhaustiveStack(t testing.TB, ch *scan.Chains, mode scan.Mode,
+	testerCfg tester.Config, kind sim.EngineKind) *exhaustiveStack {
+	t.Helper()
+	n := ch.Netlist()
+	lib := power.SAED90Like()
+	chip := power.Manufacture(n, lib, power.ThreeSigmaIntra(0.12), 41)
+	dev, err := NewDeviceFromChains(chip, ch, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testerCfg.Enabled() {
+		dev.SetFaultModel(tester.New(testerCfg))
+		dev.SetAcquisition(RobustAcquisition())
+	}
+	ev := NewEvaluatorFromChains(n, lib, dev, ch, mode)
+	ev.SetEngine(kind)
+	if ev.Engine() != kind.Resolve() || dev.Engine() != kind.Resolve() {
+		t.Fatalf("stack engine resolved to %v/%v, want %v", ev.Engine(), dev.Engine(), kind.Resolve())
+	}
+	return &exhaustiveStack{dev: dev, ev: ev}
+}
+
+func sameBits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// TestExhaustiveEngineEquivalence sweeps the zoo × LOS/LOC × tester
+// presets and, for every pattern in the full input space, requires
+// bit-identical Readings (observed, nominal and RPD) from the two
+// engine stacks. The batch is deliberately fed through MeasureBatch in
+// one call: the 64-lane chunking inside exercises full chunks plus the
+// ragged final chunk of each space.
+func TestExhaustiveEngineEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full input-space enumeration")
+	}
+	presets := []struct {
+		name string
+		cfg  tester.Config
+	}{
+		{"clean", tester.Config{}},
+		{"combined", func() tester.Config {
+			cfg, err := tester.Preset("combined", 13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return cfg
+		}()},
+	}
+	for _, params := range exhaustiveZoo(t) {
+		n, err := trust.Generate(*params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := scan.Configure(n, 2)
+		pats := allPatterns(t, ch)
+		for _, mode := range []scan.Mode{scan.LOS, scan.LOC} {
+			for _, preset := range presets {
+				space := pats
+				if preset.cfg.Enabled() {
+					// The faulty-tester regime multiplies every reading
+					// by the robust policy's repeats and retries; a slice
+					// of the space keeps the suite fast while still
+					// covering partial-lane chunk shapes (257 % 64 = 1).
+					space = pats[:min(len(pats), 257)]
+				}
+				scalar := newExhaustiveStack(t, ch, mode, preset.cfg, sim.EngineScalar)
+				ppsfp := newExhaustiveStack(t, ch, mode, preset.cfg, sim.EnginePPSFP)
+
+				want := scalar.ev.MeasureBatch(space)
+				got := ppsfp.ev.MeasureBatch(space)
+				for i := range want {
+					if !sameBits(got[i].Observed, want[i].Observed) ||
+						!sameBits(got[i].Nominal, want[i].Nominal) ||
+						!sameBits(got[i].RPD, want[i].RPD) {
+						t.Fatalf("%s %v %s pattern %d: ppsfp %+v, scalar %+v",
+							n.Name, mode, preset.name, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExhaustiveFaultDetectionEquivalence brute-forces fault simulation:
+// for every zoo circuit, every 64-pattern chunk of the full input space,
+// and every collapsed fault, the PPSFP cone propagator's detection word
+// must equal the scalar full-resimulation word.
+func TestExhaustiveFaultDetectionEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full input-space enumeration")
+	}
+	for _, params := range exhaustiveZoo(t) {
+		n, err := trust.Generate(*params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := scan.Configure(n, 2)
+		pats := allPatterns(t, ch)
+		reps, _ := atpg.Collapse(n, atpg.FaultList(n))
+
+		scalar := atpg.NewFaultSimulator(ch)
+		scalar.SetEngine(sim.EngineScalar)
+		ppsfp := atpg.NewFaultSimulator(ch)
+		ppsfp.SetEngine(sim.EnginePPSFP)
+
+		for start := 0; start < len(pats); start += 64 {
+			end := min(start+64, len(pats))
+			want := scalar.DetectBatch(pats[start:end], reps)
+			got := ppsfp.DetectBatch(pats[start:end], reps)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s chunk %d fault %v: ppsfp %016x, scalar %016x",
+						n.Name, start/64, reps[i], got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestExhaustiveSweepEquivalence compares the two engine stacks' sweep
+// sessions — the sparse single-flip encodings behind the adaptive climb
+// — over every stimulus bit from several exhaustive base patterns, LOS
+// and LOC, requiring bit-identical Readings per lane.
+func TestExhaustiveSweepEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full input-space enumeration")
+	}
+	for _, params := range exhaustiveZoo(t) {
+		n, err := trust.Generate(*params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := scan.Configure(n, 2)
+		pats := allPatterns(t, ch)
+
+		var cands []CellRef
+		for c := 0; c < ch.NumChains(); c++ {
+			for j := range ch.Chain(c) {
+				cands = append(cands, CellRef{c, j})
+			}
+		}
+		for i := range n.PIs {
+			cands = append(cands, CellRef{PIChain, i})
+		}
+
+		for _, mode := range []scan.Mode{scan.LOS, scan.LOC} {
+			scalar := newExhaustiveStack(t, ch, mode, tester.Config{}, sim.EngineScalar)
+			ppsfp := newExhaustiveStack(t, ch, mode, tester.Config{}, sim.EnginePPSFP)
+			ss, err := scalar.ev.NewSweep(cands)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, err := ppsfp.ev.NewSweep(cands)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Base patterns spread across the space, including its ends.
+			bases := []int{0, len(pats) / 3, len(pats) - 1}
+			for _, bi := range bases {
+				if err := ss.Rebase(pats[bi].Clone()); err != nil {
+					t.Fatal(err)
+				}
+				if err := ps.Rebase(pats[bi].Clone()); err != nil {
+					t.Fatal(err)
+				}
+				for c := 0; c < ss.NumChunks(); c++ {
+					want := append([]Reading(nil), ss.MeasureChunk(c)...)
+					got := ps.MeasureChunk(c)
+					for i := range want {
+						if !sameBits(got[i].Observed, want[i].Observed) ||
+							!sameBits(got[i].Nominal, want[i].Nominal) ||
+							!sameBits(got[i].RPD, want[i].RPD) {
+							t.Fatalf("%s %v base %d chunk %d lane %d: ppsfp %+v, scalar %+v",
+								n.Name, mode, bi, c, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExhaustiveNominalPricingEquivalence prices every pattern of the
+// space on both engines' golden models and compares the IEEE-754 bit
+// patterns — the FP addition order of the pricing loops is part of the
+// engine contract, so even a benign reassociation would fail here.
+func TestExhaustiveNominalPricingEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full input-space enumeration")
+	}
+	lib := power.SAED90Like()
+	for _, params := range exhaustiveZoo(t) {
+		n, err := trust.Generate(*params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := scan.Configure(n, 2)
+		pats := allPatterns(t, ch)
+		model := power.NewModel(n, lib)
+
+		for _, mode := range []scan.Mode{scan.LOS, scan.LOC} {
+			scalar := scan.NewEngineKind(ch, sim.EngineScalar)
+			ppsfp := scan.NewEngineKind(ch, sim.EnginePPSFP)
+			var smasks, pmasks []logic.Word
+			for start := 0; start < len(pats); start += 64 {
+				end := min(start+64, len(pats))
+				batch := pats[start:end]
+				if _, _, err := scalar.Launch(batch, mode); err != nil {
+					t.Fatal(err)
+				}
+				if _, _, err := ppsfp.Launch(batch, mode); err != nil {
+					t.Fatal(err)
+				}
+				smasks = scalar.ToggleMasks(smasks)
+				pmasks = ppsfp.ToggleMasks(pmasks)
+				want := model.NominalLanes(smasks, len(batch))
+				got := model.NominalLanes(pmasks, len(batch))
+				for i := range want {
+					if !sameBits(got[i], want[i]) {
+						t.Fatalf("%s %v pattern %d: nominal %x, scalar %x",
+							n.Name, mode, start+i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+					}
+				}
+			}
+		}
+	}
+}

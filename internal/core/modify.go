@@ -94,8 +94,11 @@ func (ev *Evaluator) AnalyzePairs(pairs [][2]*scan.Pattern) []PairAnalysis {
 		for _, pr := range group {
 			flat = append(flat, pr[0], pr[1])
 		}
+		// MeasureBatch's nominal pricing already launched exactly this
+		// ≤64-lane batch on the golden engine, and nothing since touched
+		// it (drift tracking re-measures on the device engine only), so
+		// the frames behind TogglesAll are still the flat batch's.
 		readings := ev.MeasureBatch(flat)
-		ev.launch(flat)
 		sets := ev.eng.TogglesAll(len(flat))
 		for i, pr := range group {
 			ta := sets[2*i]

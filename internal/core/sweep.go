@@ -2,6 +2,7 @@ package core
 
 import (
 	"superpose/internal/scan"
+	"superpose/internal/sim"
 )
 
 // Sweep is the evaluator-level single-flip sweep session behind the
@@ -35,7 +36,7 @@ func (ev *Evaluator) NewSweep(cands []CellRef) (*Sweep, error) {
 	for i, cr := range cands {
 		flips[i] = scan.Flip{Chain: cr.Chain, Index: cr.Index}
 	}
-	golden, err := scan.NewSweeper(ev.chains, ev.mode, flips)
+	golden, err := scan.NewSweeperKind(ev.chains, ev.mode, flips, ev.eng.Kind())
 	if err != nil {
 		return nil, err
 	}
@@ -44,6 +45,13 @@ func (ev *Evaluator) NewSweep(cands []CellRef) (*Sweep, error) {
 		return nil, err
 	}
 	return &Sweep{ev: ev, cands: cands, golden: golden, phys: phys}, nil
+}
+
+// SetEngine switches the base-launch backend of both sides' sweepers.
+// Chunk Readings are bit-identical across kinds.
+func (s *Sweep) SetEngine(kind sim.EngineKind) {
+	s.golden.SetKind(kind)
+	s.phys.SetKind(kind)
 }
 
 // Candidates returns the swept flip list as CellRefs (owned by the
@@ -100,7 +108,15 @@ func (s *Sweep) MeasureChunk(c int) []Reading {
 	ev.sinceRef += len(flips)
 
 	gids, gmasks := s.golden.Run(c)
-	s.noms = ev.model.NominalLanesSparse(gids, gmasks, len(flips), s.noms)
+	if s.golden.Kind() == sim.EnginePPSFP {
+		// The PPSFP configuration prices through the vectorized kernel;
+		// the sums are bit-identical (power.TestVectorPricingBitIdentity
+		// plus the exhaustive equivalence suite pin this), so the engine
+		// selector changes cost only, never Readings.
+		s.noms = ev.model.NominalLanesSparseVec(gids, gmasks, len(flips), s.noms)
+	} else {
+		s.noms = ev.model.NominalLanesSparse(gids, gmasks, len(flips), s.noms)
+	}
 
 	if cap(s.out) < len(flips) {
 		s.out = make([]Reading, len(flips))

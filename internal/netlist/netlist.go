@@ -13,6 +13,7 @@ package netlist
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // GateType enumerates the cell types of the netlist.
@@ -118,6 +119,11 @@ type Netlist struct {
 	order   []int   // topological order of non-source gates
 	level   []int   // logic level per gate (sources are level 0)
 	frozen  bool
+
+	// Lazily compiled structure-of-arrays layout (see SoA), shared by
+	// every PPSFP engine over this netlist.
+	soaOnce sync.Once
+	soa     *SoA
 }
 
 // NumGates returns the total number of gates (including sources).

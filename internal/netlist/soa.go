@@ -1,0 +1,156 @@
+package netlist
+
+// SoA is the structure-of-arrays compile of a frozen netlist: the gate
+// records are re-laid-out into flat, typed, compact-ID arrays sized for
+// the inner loops of the 64-way pattern-parallel (PPSFP) simulation
+// engine. Compact IDs are a permutation of the original gate IDs chosen
+// so that
+//
+//   - IDs [0, NumSources) are the value sources (primary inputs and
+//     flip-flops), in ascending original-ID order, and
+//   - IDs [NumSources, NumGates) are the combinational gates in the
+//     netlist's levelized topological order,
+//
+// which makes a full-netlist evaluation a single forward sweep over a
+// dense index range and gives fault propagation level-bucketed worklists
+// with no indirection through Gate records. The fanin and fanout lists
+// of all gates live in two shared backing arrays addressed by per-gate
+// [ptr, ptr+1) ranges — the classic CSR layout.
+//
+// An SoA is immutable after Compile and may be shared freely between
+// goroutines, like the Netlist it was compiled from.
+type SoA struct {
+	NumGates   int
+	NumSources int // compact IDs below this are PIs/FFs
+
+	Orig    []int32 // compact ID -> original gate ID
+	Compact []int32 // original gate ID -> compact ID
+
+	Typ []GateType // per compact ID
+
+	// Fanins in CSR form: gate c reads Fanin[FaninPtr[c]:FaninPtr[c+1]]
+	// (compact IDs, in the original fanin order — evaluation order of
+	// n-ary gates is part of the bit-identity contract). Sources have
+	// empty ranges: a DFF's D pin is a frame boundary, not a
+	// combinational edge.
+	FaninPtr []int32
+	Fanin    []int32
+
+	// Combinational fanouts in CSR form: gate c drives the inputs of
+	// Fanout[FanoutPtr[c]:FanoutPtr[c+1]] (compact IDs, ascending).
+	// Readers that are sources (DFF D pins) are excluded — within one
+	// launch frame a fault effect stops at the scan cells, which is
+	// exactly the traversal this array exists for.
+	FanoutPtr []int32
+	Fanout    []int32
+
+	// Level per compact ID (sources 0), and the circuit depth. The
+	// compact combinational range is sorted by nondecreasing level.
+	Level    []int32
+	MaxLevel int
+}
+
+// SoA returns the structure-of-arrays compile of the netlist, building
+// it on first use. The result is cached on the netlist and shared; it
+// must not be modified.
+func (n *Netlist) SoA() *SoA {
+	n.soaOnce.Do(func() { n.soa = compileSoA(n) })
+	return n.soa
+}
+
+func compileSoA(n *Netlist) *SoA {
+	num := n.NumGates()
+	s := &SoA{
+		NumGates: num,
+		Orig:     make([]int32, 0, num),
+		Compact:  make([]int32, num),
+		Typ:      make([]GateType, num),
+		Level:    make([]int32, num),
+	}
+
+	// Compact ID assignment: sources in ascending original order (the
+	// gate array is scanned in order), then the levelized topological
+	// order the scalar simulator uses — so a forward sweep over the
+	// combinational range evaluates gates in the exact same sequence.
+	for id, g := range n.Gates {
+		if g.Type.IsSource() {
+			s.Compact[id] = int32(len(s.Orig))
+			s.Orig = append(s.Orig, int32(id))
+		}
+	}
+	s.NumSources = len(s.Orig)
+	for _, id := range n.TopoOrder() {
+		s.Compact[id] = int32(len(s.Orig))
+		s.Orig = append(s.Orig, int32(id))
+	}
+
+	for c, id := range s.Orig {
+		g := &n.Gates[id]
+		s.Typ[c] = g.Type
+		s.Level[c] = int32(n.Level(int(id)))
+		if int(s.Level[c]) > s.MaxLevel {
+			s.MaxLevel = int(s.Level[c])
+		}
+	}
+
+	// Fanin CSR over combinational gates (sources keep empty ranges).
+	s.FaninPtr = make([]int32, num+1)
+	total := 0
+	for c, id := range s.Orig {
+		s.FaninPtr[c] = int32(total)
+		if !s.Typ[c].IsSource() {
+			total += len(n.Gates[id].Fanin)
+		}
+	}
+	s.FaninPtr[num] = int32(total)
+	s.Fanin = make([]int32, 0, total)
+	for c, id := range s.Orig {
+		if s.Typ[c].IsSource() {
+			continue
+		}
+		for _, f := range n.Gates[id].Fanin {
+			s.Fanin = append(s.Fanin, s.Compact[f])
+		}
+	}
+
+	// Combinational-fanout CSR. The netlist's fanout lists are in
+	// ascending reader original-ID order; mapping through Compact keeps
+	// determinism (the traversal order never affects results — fault
+	// propagation is order-independent — but reproducible layouts make
+	// debugging sane).
+	counts := make([]int32, num)
+	for c, id := range s.Orig {
+		for _, r := range n.Fanouts(int(id)) {
+			if !n.Gates[r].Type.IsSource() {
+				counts[c]++
+			}
+		}
+	}
+	s.FanoutPtr = make([]int32, num+1)
+	total = 0
+	for c := 0; c < num; c++ {
+		s.FanoutPtr[c] = int32(total)
+		total += int(counts[c])
+	}
+	s.FanoutPtr[num] = int32(total)
+	s.Fanout = make([]int32, total)
+	fill := make([]int32, num)
+	copy(fill, s.FanoutPtr[:num])
+	for c, id := range s.Orig {
+		for _, r := range n.Fanouts(int(id)) {
+			if n.Gates[r].Type.IsSource() {
+				continue
+			}
+			s.Fanout[fill[c]] = s.Compact[r]
+			fill[c]++
+		}
+	}
+	return s
+}
+
+// FaninOf returns the compact fanin range of compact gate c (read-only).
+func (s *SoA) FaninOf(c int32) []int32 { return s.Fanin[s.FaninPtr[c]:s.FaninPtr[c+1]] }
+
+// FanoutOf returns the compact combinational-fanout range of compact
+// gate c (read-only).
+func (s *SoA) FanoutOf(c int32) []int32 { return s.Fanout[s.FanoutPtr[c]:s.FanoutPtr[c+1]] }

@@ -1,0 +1,149 @@
+package netlist
+
+import (
+	"testing"
+)
+
+// buildSoATestNetlist returns a small multi-level circuit with a mix of
+// sources (PIs and a DFF), n-ary gates and a DFF D-pin reader, covering
+// every structural case the SoA compile distinguishes.
+func buildSoATestNetlist(t *testing.T) *Netlist {
+	t.Helper()
+	b := NewBuilder("soa")
+	for _, in := range []string{"a", "b", "c"} {
+		if _, err := b.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.AddDFF("q", "g2"); err != nil {
+		t.Fatal(err)
+	}
+	mustGate := func(name string, typ GateType, fanin ...string) {
+		t.Helper()
+		if _, err := b.AddGate(name, typ, fanin...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGate("g1", And, "a", "b")
+	mustGate("g2", Or, "g1", "c")
+	mustGate("g3", Xor, "g2", "q")
+	mustGate("g4", Nand, "g1", "g2", "g3")
+	b.MarkOutput("g4")
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestSoAInvariants checks the structural contract of the compile: the
+// compact numbering is a permutation with sources first, the
+// combinational range is the netlist's levelized topological order, the
+// fanin CSR preserves original fanin order, and the fanout CSR holds
+// exactly the combinational (non-source) readers.
+func TestSoAInvariants(t *testing.T) {
+	n := buildSoATestNetlist(t)
+	s := n.SoA()
+
+	if s.NumGates != n.NumGates() {
+		t.Fatalf("NumGates = %d, want %d", s.NumGates, n.NumGates())
+	}
+
+	// Orig/Compact are inverse permutations.
+	if len(s.Orig) != s.NumGates || len(s.Compact) != s.NumGates {
+		t.Fatalf("permutation arrays sized %d/%d, want %d", len(s.Orig), len(s.Compact), s.NumGates)
+	}
+	for c, id := range s.Orig {
+		if s.Compact[id] != int32(c) {
+			t.Errorf("Compact[Orig[%d]] = %d, want %d", c, s.Compact[id], c)
+		}
+	}
+
+	// Sources occupy [0, NumSources) in ascending original-ID order.
+	for c := 0; c < s.NumGates; c++ {
+		isSrc := s.Typ[c].IsSource()
+		if isSrc != (c < s.NumSources) {
+			t.Errorf("compact %d: IsSource=%v but NumSources=%d", c, isSrc, s.NumSources)
+		}
+		if c > 0 && c < s.NumSources && s.Orig[c] <= s.Orig[c-1] {
+			t.Errorf("source order not ascending at compact %d", c)
+		}
+	}
+
+	// The combinational range is exactly TopoOrder, element for element.
+	topo := n.TopoOrder()
+	if got := s.NumGates - s.NumSources; got != len(topo) {
+		t.Fatalf("combinational range %d, want %d", got, len(topo))
+	}
+	for i, id := range topo {
+		if s.Orig[s.NumSources+i] != int32(id) {
+			t.Errorf("combinational slot %d holds orig %d, want %d", i, s.Orig[s.NumSources+i], id)
+		}
+	}
+
+	// Levels match the netlist and are nondecreasing over the
+	// combinational range (the levelization the fault propagator's
+	// bucket drain relies on).
+	for c := 0; c < s.NumGates; c++ {
+		if int(s.Level[c]) != n.Level(int(s.Orig[c])) {
+			t.Errorf("compact %d: level %d, want %d", c, s.Level[c], n.Level(int(s.Orig[c])))
+		}
+	}
+	for c := s.NumSources + 1; c < s.NumGates; c++ {
+		if s.Level[c] < s.Level[c-1] {
+			t.Errorf("level regression at compact %d: %d < %d", c, s.Level[c], s.Level[c-1])
+		}
+	}
+
+	// Fanin CSR: sources empty, gates carry their original fanin order.
+	for c := 0; c < s.NumGates; c++ {
+		fanin := s.FaninOf(int32(c))
+		if c < s.NumSources {
+			if len(fanin) != 0 {
+				t.Errorf("source compact %d has %d fanins", c, len(fanin))
+			}
+			continue
+		}
+		orig := n.Gates[s.Orig[c]].Fanin
+		if len(fanin) != len(orig) {
+			t.Fatalf("compact %d: %d fanins, want %d", c, len(fanin), len(orig))
+		}
+		for i, f := range fanin {
+			if s.Orig[f] != int32(orig[i]) {
+				t.Errorf("compact %d fanin %d: orig %d, want %d (order must be preserved)",
+					c, i, s.Orig[f], orig[i])
+			}
+		}
+	}
+
+	// Fanout CSR: exactly the non-source readers, each strictly higher
+	// level than the driver.
+	for c := 0; c < s.NumGates; c++ {
+		want := map[int32]bool{}
+		for _, r := range n.Fanouts(int(s.Orig[c])) {
+			if !n.Gates[r].Type.IsSource() {
+				want[s.Compact[r]] = true
+			}
+		}
+		got := s.FanoutOf(int32(c))
+		if len(got) != len(want) {
+			t.Errorf("compact %d: %d fanouts, want %d", c, len(got), len(want))
+		}
+		for _, f := range got {
+			if !want[f] {
+				t.Errorf("compact %d: unexpected fanout %d", c, f)
+			}
+			if s.Level[f] <= s.Level[c] && c >= s.NumSources {
+				t.Errorf("fanout %d of %d not at strictly higher level", f, c)
+			}
+		}
+	}
+}
+
+// TestSoACached checks the compile is built once and shared.
+func TestSoACached(t *testing.T) {
+	n := buildSoATestNetlist(t)
+	if n.SoA() != n.SoA() {
+		t.Fatal("SoA() not cached")
+	}
+}

@@ -1,0 +1,112 @@
+// AVX-512F sparse pricing kernel. All 64 lane accumulators live in
+// Z0..Z7 (lane i is element i%8 of Z(i/8)); each sparse entry broadcasts
+// its gate energy into Z8 and applies it to the accumulators under the
+// entry's 64-bit lane mask, eight lanes at a time via the K1 opmask.
+// Per lane this folds the identical ascending-entry addition sequence as
+// the scalar loop in priceLanesSparse, so the sums are bit-identical.
+
+#include "textflag.h"
+
+// func priceSparseZMM(energy *float64, ids *int, masks *logic.Word, n int, laneMask uint64, out *float64)
+TEXT ·priceSparseZMM(SB), NOSPLIT, $0-48
+	MOVQ energy+0(FP), SI
+	MOVQ ids+8(FP), DI
+	MOVQ masks+16(FP), DX
+	MOVQ n+24(FP), CX
+	MOVQ laneMask+32(FP), R10
+	MOVQ out+40(FP), BX
+
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VPXORQ Z2, Z2, Z2
+	VPXORQ Z3, Z3, Z3
+	VPXORQ Z4, Z4, Z4
+	VPXORQ Z5, Z5, Z5
+	VPXORQ Z6, Z6, Z6
+	VPXORQ Z7, Z7, Z7
+
+	XORQ R11, R11 // entry index k
+loop:
+	CMPQ R11, CX
+	JGE  done
+	MOVQ (DX)(R11*8), R9 // lane mask
+	ANDQ R10, R9
+	JZ   next
+	MOVQ (DI)(R11*8), R8          // gate id
+	VBROADCASTSD (SI)(R8*8), Z8   // energy[id] in every element
+
+	// Entries toggling every live lane skip the mask plumbing; dead
+	// lanes beyond laneMask pick up junk sums that are never stored
+	// back (the Go wrapper copies only numLanes lanes out).
+	CMPQ R9, R10
+	JE   all
+
+	KMOVW R9, K1
+	VADDPD Z8, Z0, K1, Z0
+	SHRQ $8, R9
+	KMOVW R9, K1
+	VADDPD Z8, Z1, K1, Z1
+	SHRQ $8, R9
+	KMOVW R9, K1
+	VADDPD Z8, Z2, K1, Z2
+	SHRQ $8, R9
+	KMOVW R9, K1
+	VADDPD Z8, Z3, K1, Z3
+	SHRQ $8, R9
+	KMOVW R9, K1
+	VADDPD Z8, Z4, K1, Z4
+	SHRQ $8, R9
+	KMOVW R9, K1
+	VADDPD Z8, Z5, K1, Z5
+	SHRQ $8, R9
+	KMOVW R9, K1
+	VADDPD Z8, Z6, K1, Z6
+	SHRQ $8, R9
+	KMOVW R9, K1
+	VADDPD Z8, Z7, K1, Z7
+	JMP  next
+
+all:
+	VADDPD Z8, Z0, Z0
+	VADDPD Z8, Z1, Z1
+	VADDPD Z8, Z2, Z2
+	VADDPD Z8, Z3, Z3
+	VADDPD Z8, Z4, Z4
+	VADDPD Z8, Z5, Z5
+	VADDPD Z8, Z6, Z6
+	VADDPD Z8, Z7, Z7
+
+next:
+	INCQ R11
+	JMP  loop
+
+done:
+	VMOVUPD Z0, (BX)
+	VMOVUPD Z1, 64(BX)
+	VMOVUPD Z2, 128(BX)
+	VMOVUPD Z3, 192(BX)
+	VMOVUPD Z4, 256(BX)
+	VMOVUPD Z5, 320(BX)
+	VMOVUPD Z6, 384(BX)
+	VMOVUPD Z7, 448(BX)
+	VZEROUPPER
+	RET
+
+// func cpuidLeaf(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidLeaf(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,194 @@
+package scan
+
+import (
+	"testing"
+
+	"superpose/internal/logic"
+	"superpose/internal/sim"
+	"superpose/internal/stats"
+	"superpose/internal/trust"
+)
+
+// The engine-kind equivalence suite: the PPSFP backend must produce the
+// exact words the scalar backend does — launch frames, toggle masks,
+// sweep encodings — at every pattern count, including the partial-lane
+// edges (1, 63, 64 patterns and the ragged final sweep chunk). The
+// scalar kind is the oracle; the laneMask discipline of Launch means a
+// garbage lane would surface as a masks mismatch here.
+
+func kindEquivNetlist(t testing.TB, seed uint64) *Chains {
+	t.Helper()
+	n, err := trust.Generate(trust.Params{
+		Name: "kindeq", PIs: 4, POs: 4, FFs: 16, Comb: 200, Levels: 5, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Configure(n, 3)
+}
+
+// TestEngineKindLaunchEquivalence compares full launches across kinds at
+// the partial-lane pattern counts, in both LOS and LOC.
+func TestEngineKindLaunchEquivalence(t *testing.T) {
+	ch := kindEquivNetlist(t, 21)
+	n := ch.Netlist()
+	rng := stats.NewRNG(31)
+
+	scalar := NewEngineKind(ch, sim.EngineScalar)
+	ppsfp := NewEngineKind(ch, sim.EnginePPSFP)
+	if scalar.Kind() != sim.EngineScalar || ppsfp.Kind() != sim.EnginePPSFP {
+		t.Fatalf("kinds resolved to %v/%v", scalar.Kind(), ppsfp.Kind())
+	}
+
+	for _, mode := range []Mode{LOS, LOC} {
+		for _, count := range []int{1, 2, 63, 64} {
+			pats := make([]*Pattern, count)
+			for i := range pats {
+				pats[i] = ch.RandomPattern(rng)
+			}
+			sf1, sf2, err := scalar.Launch(pats, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantF1 := append([]logic.Word(nil), sf1...)
+			wantF2 := append([]logic.Word(nil), sf2...)
+			wantMasks := scalar.ToggleMasks(nil)
+
+			pf1, pf2, err := ppsfp.Launch(pats, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := range wantF1 {
+				if pf1[id] != wantF1[id] || pf2[id] != wantF2[id] {
+					t.Fatalf("%v count %d net %s: frames (%016x,%016x), scalar (%016x,%016x)",
+						mode, count, n.NameOf(id), pf1[id], pf2[id], wantF1[id], wantF2[id])
+				}
+			}
+			gotMasks := ppsfp.ToggleMasks(nil)
+			for id := range wantMasks {
+				if gotMasks[id] != wantMasks[id] {
+					t.Fatalf("%v count %d net %s: toggle mask %016x, scalar %016x",
+						mode, count, n.NameOf(id), gotMasks[id], wantMasks[id])
+				}
+			}
+		}
+	}
+}
+
+// TestEngineSetKindPreservesResults switches one engine between kinds
+// mid-stream and requires the same launch both before and after — the
+// selector must never carry state across kinds.
+func TestEngineSetKindPreservesResults(t *testing.T) {
+	ch := kindEquivNetlist(t, 22)
+	rng := stats.NewRNG(5)
+	eng := NewEngine(ch) // default kind: PPSFP
+	if eng.Kind() != sim.EnginePPSFP {
+		t.Fatalf("default kind %v, want ppsfp", eng.Kind())
+	}
+
+	pats := []*Pattern{ch.RandomPattern(rng), ch.RandomPattern(rng)}
+	f1, f2, err := eng.Launch(pats, LOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF1 := append([]logic.Word(nil), f1...)
+	wantF2 := append([]logic.Word(nil), f2...)
+
+	eng.SetKind(sim.EngineScalar)
+	g1, g2, err := eng.Launch(pats, LOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range wantF1 {
+		if g1[id] != wantF1[id] || g2[id] != wantF2[id] {
+			t.Fatalf("net %d: scalar relaunch diverged after SetKind", id)
+		}
+	}
+
+	eng.SetKind(sim.EngineAuto) // back to PPSFP
+	h1, h2, err := eng.Launch(pats, LOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range wantF1 {
+		if h1[id] != wantF1[id] || h2[id] != wantF2[id] {
+			t.Fatalf("net %d: ppsfp relaunch diverged after SetKind round-trip", id)
+		}
+	}
+}
+
+// TestSweeperKindEquivalence runs the same sweep session — including the
+// ragged final chunk and incremental Advance transitions — under both
+// kinds and requires identical sparse toggle encodings.
+func TestSweeperKindEquivalence(t *testing.T) {
+	ch := kindEquivNetlist(t, 23)
+	rng := stats.NewRNG(77)
+
+	// Every stimulus bit plus one duplicate: the flip count is chosen to
+	// leave a short final chunk (the 65-pattern shape of the edge suite).
+	var flips []Flip
+	for c := 0; c < ch.NumChains(); c++ {
+		for j := range ch.Chain(c) {
+			flips = append(flips, Flip{c, j})
+		}
+	}
+	for i := range ch.Netlist().PIs {
+		flips = append(flips, Flip{PIFlip, i})
+	}
+	for len(flips)%64 != 1 {
+		flips = append(flips, flips[0])
+	}
+
+	for _, mode := range []Mode{LOS, LOC} {
+		scalar, err := NewSweeperKind(ch, mode, flips, sim.EngineScalar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ppsfp, err := NewSweeperKind(ch, mode, flips, sim.EnginePPSFP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last := scalar.ChunkFlips(scalar.NumChunks() - 1); len(last) != 1 {
+			t.Fatalf("final chunk holds %d flips, want the 1-lane edge", len(last))
+		}
+
+		base := ch.RandomPattern(rng)
+		baseP := base.Clone()
+		if err := scalar.Rebase(base); err != nil {
+			t.Fatal(err)
+		}
+		if err := ppsfp.Rebase(baseP); err != nil {
+			t.Fatal(err)
+		}
+
+		compare := func(step string) {
+			t.Helper()
+			for c := 0; c < scalar.NumChunks(); c++ {
+				sids, smasks := scalar.Run(c)
+				pids, pmasks := ppsfp.Run(c)
+				if len(sids) != len(pids) {
+					t.Fatalf("%v %s chunk %d: %d ids vs %d", mode, step, c, len(pids), len(sids))
+				}
+				for i := range sids {
+					if sids[i] != pids[i] || smasks[i] != pmasks[i] {
+						t.Fatalf("%v %s chunk %d entry %d: (%d,%016x) vs scalar (%d,%016x)",
+							mode, step, c, i, pids[i], pmasks[i], sids[i], smasks[i])
+					}
+				}
+			}
+		}
+		compare("rebased")
+
+		// Two accepted climb steps: Advance must stay equivalent too.
+		for step := 0; step < 2; step++ {
+			f := flips[rng.Intn(len(flips))]
+			if err := scalar.Advance(f); err != nil {
+				t.Fatal(err)
+			}
+			if err := ppsfp.Advance(f); err != nil {
+				t.Fatal(err)
+			}
+			compare("advanced")
+		}
+	}
+}

@@ -305,9 +305,18 @@ func (c *Chains) LOSSources(p *Pattern) (f1, f2 []logic.Word) {
 
 // Engine applies patterns to a netlist and extracts launch activity. It
 // owns a simulator and scratch buffers; not safe for concurrent use.
+//
+// The simulation backend is selectable (see sim.EngineKind): the
+// default PPSFP engine evaluates full launches through a compiled
+// instruction stream over the structure-of-arrays netlist core, the
+// scalar kind through the original per-gate Simulator. The two are
+// bit-identical, so the kind never changes any frame value, toggle set
+// or downstream reading.
 type Engine struct {
 	ch     *Chains
+	kind   sim.EngineKind
 	sim    *sim.Simulator
+	pp     *sim.PPSFP // non-nil iff the resolved kind is PPSFP
 	src    []logic.Word
 	f1     []logic.Word // frame-1 net values (copy)
 	f2     []logic.Word // frame-2 net values (copy)
@@ -315,16 +324,49 @@ type Engine struct {
 	valid  bool
 }
 
-// NewEngine returns an Engine over the configuration's netlist.
-func NewEngine(ch *Chains) *Engine {
+// NewEngine returns an Engine over the configuration's netlist, using
+// the default simulation backend (PPSFP).
+func NewEngine(ch *Chains) *Engine { return NewEngineKind(ch, sim.EngineAuto) }
+
+// NewEngineKind returns an Engine with an explicit simulation backend.
+func NewEngineKind(ch *Chains, kind sim.EngineKind) *Engine {
 	s := sim.New(ch.n)
-	return &Engine{
+	e := &Engine{
 		ch:  ch,
 		sim: s,
 		src: s.SourceWords(),
 		f1:  make([]logic.Word, ch.n.NumGates()),
 		f2:  make([]logic.Word, ch.n.NumGates()),
 	}
+	e.SetKind(kind)
+	return e
+}
+
+// SetKind switches the simulation backend in place. All other engine
+// state (hidden-cell pins, the frames of the most recent Launch) is
+// preserved; results are bit-identical across kinds either way.
+func (e *Engine) SetKind(kind sim.EngineKind) {
+	e.kind = kind.Resolve()
+	if e.kind == sim.EnginePPSFP {
+		if e.pp == nil {
+			e.pp = sim.NewPPSFP(e.ch.n)
+		}
+	} else {
+		e.pp = nil
+	}
+}
+
+// Kind returns the resolved simulation backend.
+func (e *Engine) Kind() sim.EngineKind { return e.kind }
+
+// run evaluates the current source words into dst through the selected
+// backend.
+func (e *Engine) run(dst []logic.Word) {
+	if e.pp != nil {
+		e.pp.RunInto(e.src, dst)
+		return
+	}
+	copy(dst, e.sim.Run(e.src))
 }
 
 // Chains returns the engine's scan configuration.
@@ -387,7 +429,7 @@ func (e *Engine) Launch(pats []*Pattern, mode Mode) (f1, f2 []logic.Word, err er
 			}
 		}
 	}
-	copy(e.f1, e.sim.Run(e.src))
+	e.run(e.f1)
 
 	// Frame 2 sources: PIs unchanged.
 	switch mode {
@@ -416,7 +458,7 @@ func (e *Engine) Launch(pats []*Pattern, mode Mode) (f1, f2 []logic.Word, err er
 			e.src[ff] = e.f1[n.Gates[ff].Fanin[0]]
 		}
 	}
-	copy(e.f2, e.sim.Run(e.src))
+	e.run(e.f2)
 
 	e.valid = true
 	return e.f1, e.f2, nil

@@ -2,6 +2,7 @@ package scan
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"superpose/internal/logic"
@@ -89,13 +90,35 @@ type Sweeper struct {
 	ids   []int
 	masks []logic.Word
 	fill  []logic.Word
+
+	// Delta-propagation fast-path state (PPSFP kind): one propagator per
+	// frame, lazily built; gen is the base generation (bumped by Rebase
+	// and Advance) and dpGen tracks which generation the propagators'
+	// base words were gathered from. div is the per-Run scratch of
+	// diverged gate IDs.
+	gen    uint64
+	dpGen  uint64
+	dp1    *sim.DeltaProp
+	dp2    *sim.DeltaProp
+	div    []int32
+	divmap []uint64
 }
 
 // NewSweeper builds a sweep engine over the scan configuration for the
 // given flip list, in order: flip i is lane i%64 of chunk i/64. The
 // structural cones of every chunk are computed here, once; Rebase and
-// Run allocate nothing afterwards.
+// Run allocate nothing afterwards. The base-frame launches use the
+// default simulation backend; see NewSweeperKind.
 func NewSweeper(ch *Chains, mode Mode, flips []Flip) (*Sweeper, error) {
+	return NewSweeperKind(ch, mode, flips, sim.EngineAuto)
+}
+
+// NewSweeperKind is NewSweeper with an explicit simulation backend for
+// the base-frame launches (Rebase). The chunk cones themselves always
+// run through their compiled per-chunk programs — that is the sweep
+// engine's own PPSFP structure — so the kind only selects how the full
+// base launch is evaluated; results are bit-identical either way.
+func NewSweeperKind(ch *Chains, mode Mode, flips []Flip, kind sim.EngineKind) (*Sweeper, error) {
 	n := ch.Netlist()
 	for _, f := range flips {
 		if f.IsPI() {
@@ -115,12 +138,13 @@ func NewSweeper(ch *Chains, mode Mode, flips []Flip) (*Sweeper, error) {
 	s := &Sweeper{
 		ch:   ch,
 		mode: mode,
-		eng:  NewEngine(ch),
+		eng:  NewEngineKind(ch, kind),
 		f1b:  make([]logic.Word, n.NumGates()),
 		f2b:  make([]logic.Word, n.NumGates()),
 		v1:   make([]logic.Word, n.NumGates()),
 		v2:   make([]logic.Word, n.NumGates()),
 		fill: make([]logic.Word, n.NumGates()),
+		gen:  1,
 	}
 	for i := range s.fill {
 		s.fill[i] = ^logic.Word(0)
@@ -245,6 +269,13 @@ func buildPlan(ch *Chains, mode Mode, flips []Flip, walker *netlist.ConeWalker, 
 	return p
 }
 
+// SetKind switches the base-launch simulation backend in place (see
+// NewSweeperKind); the per-base state survives, results are identical.
+func (s *Sweeper) SetKind(kind sim.EngineKind) { s.eng.SetKind(kind) }
+
+// Kind returns the resolved base-launch simulation backend.
+func (s *Sweeper) Kind() sim.EngineKind { return s.eng.Kind() }
+
 // Chains returns the sweep's scan configuration.
 func (s *Sweeper) Chains() *Chains { return s.ch }
 
@@ -288,6 +319,7 @@ func (s *Sweeper) Rebase(base *Pattern) error {
 	copy(s.v1, s.f1b)
 	copy(s.v2, s.f2b)
 	s.based = true
+	s.gen++ // cached delta-propagation bases are now stale
 	return nil
 }
 
@@ -368,6 +400,7 @@ func (s *Sweeper) Advance(f Flip) error {
 			s.baseToggles = append(s.baseToggles, id)
 		}
 	}
+	s.gen++ // cached delta-propagation bases are now stale
 	return nil
 }
 
@@ -380,6 +413,17 @@ func (s *Sweeper) Advance(f Flip) error {
 func (s *Sweeper) Run(c int) (ids []int, masks []logic.Word) {
 	if !s.based {
 		panic("scan: Sweeper.Run before Rebase")
+	}
+	if s.eng.Kind() == sim.EnginePPSFP {
+		// The PPSFP configuration propagates only the actual word
+		// deviations of the chunk's flips (sim.DeltaProp) instead of
+		// re-evaluating the union structural cone — which, for 64 flips
+		// spread across the chains, covers half the netlist while logic
+		// masking confines true divergence to a few hundred gates. The
+		// encodings are bit-identical to the global path below, which
+		// stays as the scalar kind's reference (TestSweeperKindEquivalence
+		// and the exhaustive suite pin the equivalence).
+		return s.runDelta(c)
 	}
 	p := &s.plans[c]
 
@@ -436,6 +480,115 @@ func (s *Sweeper) Run(c int) (ids []int, masks []logic.Word) {
 		}
 		s.v1[id] = s.f1b[id]
 		s.v2[id] = s.f2b[id]
+	}
+	if j < len(bt) {
+		ids = append(ids, bt[j:]...)
+		masks = append(masks, fill[:len(bt)-j]...)
+	}
+	if p.laneMask != ^logic.Word(0) {
+		for k := range fill {
+			fill[k] = ^logic.Word(0)
+		}
+	}
+	s.ids, s.masks = ids, masks
+	return ids, masks
+}
+
+// runDelta is Run's PPSFP-kind fast path: seed each frame's delta
+// propagator with the chunk's per-lane source XORs, propagate only the
+// words that actually change, and emit the sparse encoding from the
+// (typically small) diverged set — reading nothing and writing nothing
+// through the global working arrays, which preserves the broadcast-base
+// invariant Advance and the global path rely on.
+func (s *Sweeper) runDelta(c int) (ids []int, masks []logic.Word) {
+	p := &s.plans[c]
+	if s.dp1 == nil {
+		n := s.ch.Netlist()
+		s.dp1 = sim.NewDeltaProp(n)
+		s.dp2 = sim.NewDeltaProp(n)
+		s.dpGen = 0 // force the first base gather
+	}
+	if s.dpGen != s.gen {
+		s.dp1.SetBase(s.f1b)
+		s.dp2.SetBase(s.f2b)
+		s.dpGen = s.gen
+	}
+	s.dp1.Begin()
+	for _, sf := range p.f1Srcs {
+		s.dp1.SeedXOR(sf.gate, sf.bit)
+	}
+	s.dp1.Run()
+	s.dp2.Begin()
+	for _, sf := range p.f2Srcs {
+		s.dp2.SeedXOR(sf.gate, sf.bit)
+	}
+	for _, cp := range p.captures {
+		// LOC re-capture: the cell's frame-2 deviation is however far its
+		// D pin's frame-1 value moved from the base capture (zero when the
+		// frame-1 deviation never reached the pin — the base frames of a
+		// real launch already satisfy f2b[ff] == frame1(dpin)).
+		s.dp2.SeedXOR(cp.ff, s.dp1.Value(cp.dpin)^s.f2b[cp.ff])
+	}
+	s.dp2.Run()
+
+	// Diverged-gate set of either frame, deduplicated and enumerated in
+	// ascending ID order through a bitmap over original gate IDs — word
+	// order plus trailing-zero extraction yields the sorted walk without
+	// a comparison sort. The true divergence is typically a small
+	// fraction of the union structural cone, which is what makes this
+	// merge cheaper than walking p.affected in full.
+	s.div = s.dp1.AppendDiverged(s.div[:0])
+	s.div = s.dp2.AppendDiverged(s.div)
+	if s.divmap == nil {
+		s.divmap = make([]uint64, (s.ch.Netlist().NumGates()+63)/64)
+	}
+	for _, id := range s.div {
+		s.divmap[uint32(id)>>6] |= 1 << (uint32(id) & 63)
+	}
+
+	// The merge mirrors the global path exactly — the same ascending-ID
+	// interleave of base toggles and deviating gates, the same bulk
+	// template copies — but walks the diverged set instead of the whole
+	// structural cone: a gate neither frame's propagation reached kept
+	// its base toggle state on every lane by construction, which is
+	// precisely what re-evaluating its cone would have produced.
+	ids, masks = s.ids[:0], s.masks[:0]
+	bt := s.baseToggles
+	fill := s.fill[:len(bt)]
+	if p.laneMask != ^logic.Word(0) {
+		for k := range fill {
+			fill[k] = p.laneMask
+		}
+	}
+	j := 0
+	for w, dw := range s.divmap {
+		if dw == 0 {
+			continue
+		}
+		s.divmap[w] = 0
+		for dw != 0 {
+			id := w<<6 + bits.TrailingZeros64(dw)
+			dw &= dw - 1
+			k := j
+			for k < len(bt) && bt[k] < id {
+				k++
+			}
+			if k > j {
+				ids = append(ids, bt[j:k]...)
+				masks = append(masks, fill[:k-j]...)
+				j = k
+			}
+			var btw logic.Word
+			if j < len(bt) && bt[j] == id {
+				btw = ^logic.Word(0)
+				j++
+			}
+			c := s.dp1.Compact(id)
+			if m := (btw ^ s.dp1.DeltaAt(c) ^ s.dp2.DeltaAt(c)) & p.laneMask; m != 0 {
+				ids = append(ids, id)
+				masks = append(masks, m)
+			}
+		}
 	}
 	if j < len(bt) {
 		ids = append(ids, bt[j:]...)

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"superpose/internal/logic"
+	"superpose/internal/netlist"
+)
+
+// DeltaProp is multi-seed event-driven divergence propagation over the
+// SoA netlist core: given one frame's fault-free base words (all 64
+// lanes of a broadcast base pattern), it computes how a set of source
+// perturbations — e.g. a sweep chunk's one-flip-per-lane XOR seeds —
+// deviates the frame, by propagating only actual word changes through
+// the fanout structure. It is the generalization of FaultProp from one
+// forced site to many seeded sources, keeping the full deviated state
+// queryable instead of reducing to an observation mask.
+//
+// The payoff is the same as fault propagation's: logic masking kills
+// most divergence within a few levels, so the touched set is typically
+// a small fraction of the union structural cone of 64 spread flips
+// (which can cover half the netlist). Gates the deviation never reaches
+// keep their base words by construction, so the result is bit-identical
+// to re-evaluating the union cone in full — two-valued logic has one
+// answer; only the work changes.
+//
+// Unlike FaultProp's epoch-marked overlay, val is a full materialized
+// copy of base: Begin un-does the previous propagation's touched entries
+// (a short list), which keeps the hot eval loop free of per-fanin mark
+// checks — it reads val directly, exactly like a compiled Program over
+// its value array.
+//
+// A DeltaProp owns its state and is not safe for concurrent use.
+type DeltaProp struct {
+	soa  *netlist.SoA
+	base []logic.Word // compact-indexed frame base values
+	val  []logic.Word // == base except at the live propagation's touched set
+
+	sched   []uint32 // epoch guard for bucket membership
+	epoch   uint32
+	buckets [][]int32 // per-level worklists, drained low to high
+
+	touched []int32 // compact IDs whose val may deviate this propagation
+}
+
+// NewDeltaProp builds a propagator for n.
+func NewDeltaProp(n *netlist.Netlist) *DeltaProp {
+	s := n.SoA()
+	return &DeltaProp{
+		soa:     s,
+		base:    make([]logic.Word, s.NumGates),
+		val:     make([]logic.Word, s.NumGates),
+		sched:   make([]uint32, s.NumGates),
+		buckets: make([][]int32, s.MaxLevel+1),
+	}
+}
+
+// SetBase loads the frame's fault-free values (original-indexed, one
+// word per net) that subsequent propagations deviate from.
+func (dp *DeltaProp) SetBase(values []logic.Word) {
+	for c, id := range dp.soa.Orig {
+		w := values[id]
+		dp.base[c] = w
+		dp.val[c] = w
+	}
+	dp.touched = dp.touched[:0] // val == base everywhere again
+}
+
+// Begin starts a new propagation: it rolls the previous one's touched
+// entries back to base, then seeds accumulate via SeedXOR until Run
+// drains the deviation.
+func (dp *DeltaProp) Begin() {
+	for _, c := range dp.touched {
+		dp.val[c] = dp.base[c]
+	}
+	dp.touched = dp.touched[:0]
+	dp.epoch++
+	if dp.epoch == 0 { // uint32 wraparound: restart the scheduling guard
+		clear(dp.sched)
+		dp.epoch = 1
+	}
+}
+
+// SeedXOR XORs delta into source net's word (original ID). Seeds are
+// cumulative — two seeds on the same net compose exactly like two XORs
+// into a working array — and a zero net deviation (delta folding back
+// to base) propagates nothing.
+func (dp *DeltaProp) SeedXOR(net int, delta logic.Word) {
+	if delta == 0 {
+		return
+	}
+	c := dp.soa.Compact[net]
+	if dp.val[c] == dp.base[c] {
+		dp.touched = append(dp.touched, c)
+	}
+	dp.val[c] ^= delta
+}
+
+// Run propagates the seeded deviation to fixpoint: level-bucketed
+// worklists, evaluating a gate only when a fanin's word actually
+// changed, dropping branches the logic masks off.
+func (dp *DeltaProp) Run() {
+	s := dp.soa
+	epoch := dp.epoch
+	lo, hi := s.MaxLevel+1, 0
+	schedule := func(c int32) {
+		for _, g := range s.FanoutOf(c) {
+			if dp.sched[g] != epoch {
+				dp.sched[g] = epoch
+				l := int(s.Level[g])
+				dp.buckets[l] = append(dp.buckets[l], g)
+				if l < lo {
+					lo = l
+				}
+				if l > hi {
+					hi = l
+				}
+			}
+		}
+	}
+	// touched holds exactly the seeds at this point; seeds whose deltas
+	// folded back to zero wake nothing.
+	for _, c := range dp.touched {
+		if dp.val[c] != dp.base[c] {
+			schedule(c)
+		}
+	}
+	for l := lo; l <= hi; l++ {
+		// A gate's fanouts sit at strictly higher levels, so the bucket
+		// being drained never grows under its own iteration.
+		for _, g := range dp.buckets[l] {
+			nv := dp.eval(g)
+			// val[g] is still base[g] here: fanout CSR edges never lead to
+			// source gates, so an evaluated gate is never a seed, and the
+			// epoch guard admits each gate to its level bucket only once.
+			if nv == dp.base[g] {
+				continue // deviation masked off at this gate
+			}
+			dp.val[g] = nv
+			dp.touched = append(dp.touched, g)
+			schedule(g)
+		}
+		dp.buckets[l] = dp.buckets[l][:0]
+	}
+}
+
+// Value returns net's current word (original ID): the base word moved
+// by however much of the seeded deviation reached it.
+func (dp *DeltaProp) Value(net int) logic.Word {
+	return dp.val[dp.soa.Compact[net]]
+}
+
+// DeltaOf returns net's deviation word value^base (original ID); zero
+// when the propagation never reached it.
+func (dp *DeltaProp) DeltaOf(net int) logic.Word {
+	c := dp.soa.Compact[net]
+	return dp.val[c] ^ dp.base[c]
+}
+
+// DeltaAt is DeltaOf in the compact index space — for callers merging
+// several propagators over the same SoA, which resolve the compact
+// index once via Compact.
+func (dp *DeltaProp) DeltaAt(c int32) logic.Word {
+	return dp.val[c] ^ dp.base[c]
+}
+
+// Compact translates an original net ID into the propagator's compact
+// index space (shared by every DeltaProp over the same netlist).
+func (dp *DeltaProp) Compact(net int) int32 {
+	return dp.soa.Compact[net]
+}
+
+// AppendDiverged appends the original IDs of every net whose word
+// deviates from base after Run — seeds whose deltas folded back to zero
+// excluded — in no particular order.
+func (dp *DeltaProp) AppendDiverged(ids []int32) []int32 {
+	for _, c := range dp.touched {
+		if dp.val[c] != dp.base[c] {
+			ids = append(ids, dp.soa.Orig[c])
+		}
+	}
+	return ids
+}
+
+// eval recomputes compact gate g directly over val — the same word
+// algebra as evalGate, over the SoA layout.
+func (dp *DeltaProp) eval(g int32) logic.Word {
+	s := dp.soa
+	val := dp.val
+	fanin := s.FaninOf(g)
+	switch s.Typ[g] {
+	case netlist.Buf:
+		return val[fanin[0]]
+	case netlist.Not:
+		return ^val[fanin[0]]
+	case netlist.And, netlist.Nand:
+		w := logic.AllOne
+		for _, f := range fanin {
+			w &= val[f]
+		}
+		if s.Typ[g] == netlist.Nand {
+			w = ^w
+		}
+		return w
+	case netlist.Or, netlist.Nor:
+		w := logic.AllZero
+		for _, f := range fanin {
+			w |= val[f]
+		}
+		if s.Typ[g] == netlist.Nor {
+			w = ^w
+		}
+		return w
+	case netlist.Xor, netlist.Xnor:
+		w := logic.AllZero
+		for _, f := range fanin {
+			w ^= val[f]
+		}
+		if s.Typ[g] == netlist.Xnor {
+			w = ^w
+		}
+		return w
+	default:
+		panic("sim: DeltaProp.eval on a source gate")
+	}
+}

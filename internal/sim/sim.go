@@ -142,45 +142,56 @@ const (
 // as evaluating one would.
 func CompileOrdered(n *netlist.Netlist, order []int) *Program {
 	p := &Program{ops: make([]progOp, 0, len(order))}
+	var scratch []int32
 	for _, id := range order {
 		g := &n.Gates[id]
-		o := progOp{id: int32(id)}
-		var two, wide uint8
-		switch g.Type {
-		case netlist.Buf:
-			o.op, o.f0 = opBuf, int32(g.Fanin[0])
-			p.ops = append(p.ops, o)
-			continue
-		case netlist.Not:
-			o.op, o.f0 = opNot, int32(g.Fanin[0])
-			p.ops = append(p.ops, o)
-			continue
-		case netlist.And:
-			two, wide = opAnd2, opAndN
-		case netlist.Nand:
-			two, wide = opNand2, opNandN
-		case netlist.Or:
-			two, wide = opOr2, opOrN
-		case netlist.Nor:
-			two, wide = opNor2, opNorN
-		case netlist.Xor:
-			two, wide = opXor2, opXorN
-		case netlist.Xnor:
-			two, wide = opXnor2, opXnorN
-		default:
-			panic(fmt.Sprintf("sim: unexpected gate type %v in compiled order", g.Type))
+		scratch = scratch[:0]
+		for _, f := range g.Fanin {
+			scratch = append(scratch, int32(f))
 		}
-		if len(g.Fanin) == 2 {
-			o.op, o.f0, o.f1 = two, int32(g.Fanin[0]), int32(g.Fanin[1])
-		} else {
-			o.op, o.f0, o.f1 = wide, int32(len(p.ext)), int32(len(g.Fanin))
-			for _, f := range g.Fanin {
-				p.ext = append(p.ext, int32(f))
-			}
-		}
-		p.ops = append(p.ops, o)
+		p.push(int32(id), g.Type, scratch)
 	}
 	return p
+}
+
+// push appends one gate to the compiled stream. The target and fanin
+// indices address whatever value array the Program will run over — the
+// original gate-ID space for CompileOrdered, the compact SoA space for
+// the PPSFP engine's whole-netlist program.
+func (p *Program) push(id int32, typ netlist.GateType, fanin []int32) {
+	o := progOp{id: id}
+	var two, wide uint8
+	switch typ {
+	case netlist.Buf:
+		o.op, o.f0 = opBuf, fanin[0]
+		p.ops = append(p.ops, o)
+		return
+	case netlist.Not:
+		o.op, o.f0 = opNot, fanin[0]
+		p.ops = append(p.ops, o)
+		return
+	case netlist.And:
+		two, wide = opAnd2, opAndN
+	case netlist.Nand:
+		two, wide = opNand2, opNandN
+	case netlist.Or:
+		two, wide = opOr2, opOrN
+	case netlist.Nor:
+		two, wide = opNor2, opNorN
+	case netlist.Xor:
+		two, wide = opXor2, opXorN
+	case netlist.Xnor:
+		two, wide = opXnor2, opXnorN
+	default:
+		panic(fmt.Sprintf("sim: unexpected gate type %v in compiled order", typ))
+	}
+	if len(fanin) == 2 {
+		o.op, o.f0, o.f1 = two, fanin[0], fanin[1]
+	} else {
+		o.op, o.f0, o.f1 = wide, int32(len(p.ext)), int32(len(fanin))
+		p.ext = append(p.ext, fanin...)
+	}
+	p.ops = append(p.ops, o)
 }
 
 // Run evaluates the compiled sequence over the value array in place —
