@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-parallel bench-adaptive bench-ppsfp test-race cover experiments experiments-full serve smoke smoke-cluster clean
+.PHONY: all build test vet bench bench-parallel bench-adaptive bench-ppsfp bench-scale test-race cover experiments experiments-full serve smoke smoke-cluster clean
 
 all: vet test build
 
@@ -48,6 +48,18 @@ bench-ppsfp:
 	$(GO) test -run '^$$' -bench BenchmarkPPSFP -benchtime 3x . \
 		| $(GO) run ./cmd/benchjson > BENCH_ppsfp.json
 	cat BENCH_ppsfp.json
+
+# Capacity-tier scale curve (10⁴/10⁵/10⁶ gates certified, 10⁷
+# parse-and-levelize only): per-point wall-clock phase timings and peak
+# RSS, each point isolated in its own child process. The 10⁶ certify
+# point takes minutes; bench-scale-smoke is the CI-budget variant.
+bench-scale:
+	$(GO) run ./cmd/benchjson -scale > BENCH_scale.json
+	cat BENCH_scale.json
+
+bench-scale-smoke:
+	$(GO) run ./cmd/benchjson -scale -max-gates 100000 > BENCH_scale_ci.json
+	cat BENCH_scale_ci.json
 
 # The determinism guarantee under the race detector: shuffled, twice.
 test-race:

@@ -6,12 +6,20 @@
 //	benchgen -bench s35932 -scale 0.25 -o s35932.bench
 //	benchgen -bench s38417 -trojan T100 -scale 0.25 -o s38417_t100.bench
 //	benchgen -pis 8 -pos 8 -ffs 64 -comb 600 -levels 6 -seed 1 -o custom.bench
+//	benchgen -gates 1000000 -seed 1 -o synth1m.bench
+//
+// -gates selects the capacity-tier streaming generator: the netlist is
+// emitted straight to the output as .bench text with O(levels) scratch,
+// never materialized in memory, so 10⁶–10⁷ gate files generate in
+// seconds at flat RSS.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"superpose/internal/bench"
 	"superpose/internal/netio"
@@ -26,6 +34,8 @@ func main() {
 		scale     = flag.Float64("scale", 0.25, "size scale for suite benchmarks (1.0 = published size)")
 		out       = flag.String("o", "", "output file (default stdout)")
 
+		gates = flag.Int("gates", 0, "streaming: emit a synthetic host of this total gate count (capacity tier; .bench only)")
+
 		pis    = flag.Int("pis", 8, "custom: primary inputs")
 		pos    = flag.Int("pos", 8, "custom: primary outputs")
 		ffs    = flag.Int("ffs", 64, "custom: flip-flops")
@@ -34,6 +44,14 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "custom: generator seed")
 	)
 	flag.Parse()
+
+	if *gates > 0 {
+		if err := emitStreaming(*gates, *seed, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	n, err := generate(*benchName, *trojName, *scale, trust.Params{
 		Name: "custom", PIs: *pis, POs: *pos, FFs: *ffs, Comb: *comb, Levels: *levels, Seed: *seed,
@@ -54,6 +72,30 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, n.ComputeStats())
+}
+
+// emitStreaming writes a capacity-tier synthetic host straight to the
+// output as .bench text, without building the netlist in memory.
+func emitStreaming(gates int, seed uint64, out string) error {
+	if out != "" && strings.ToLower(filepath.Ext(out)) != ".bench" {
+		return fmt.Errorf("-gates emits .bench text only (got %q)", out)
+	}
+	p := trust.SizedLargeParams(gates, seed)
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trust.EmitLarge(w, p); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d gates (%d PI, %d PO, %d FF, %d comb, %d levels)\n",
+		p.Name, p.TotalGates(), p.PIs, p.POs, p.FFs, p.Comb, p.Levels)
+	return nil
 }
 
 func generate(benchName, trojName string, scale float64, custom trust.Params) (*netlist.Netlist, error) {

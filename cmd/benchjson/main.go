@@ -5,6 +5,17 @@
 //
 //	go test -run '^$' -bench CertifyLotParallel . | benchjson > BENCH_parallel.json
 //
+// With -scale it instead measures the capacity-tier scale curve itself:
+// for each point (10⁴, 10⁵, 10⁶ gates certified; 10⁷ parse-and-levelize
+// only) it re-executes itself as a child process that generates, parses
+// and certifies a synthetic netlist of that size, and records the
+// child's wall-clock phase timings together with its peak RSS (from the
+// parent's wait rusage). -max-gates and -certify-max-gates bound the
+// curve for CI budgets:
+//
+//	benchjson -scale > BENCH_scale.json
+//	benchjson -scale -max-gates 100000 > BENCH_scale.json   # CI smoke
+//
 // Each benchmark line
 //
 //	BenchmarkFoo/sub-8   5   123456 ns/op   2.00 speedup
@@ -16,6 +27,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
@@ -41,6 +53,31 @@ type document struct {
 }
 
 func main() {
+	var (
+		scale      = flag.Bool("scale", false, "measure the capacity-tier scale curve instead of converting stdin")
+		maxGates   = flag.Int("max-gates", 10_000_000, "scale: largest point to run")
+		certifyMax = flag.Int("certify-max-gates", 1_000_000, "scale: largest point to certify (larger points parse+levelize only)")
+
+		scaleChild   = flag.Bool("scale-child", false, "internal: run one scale point in-process")
+		childGates   = flag.Int("gates", 0, "internal: gate count for -scale-child")
+		childCertify = flag.Bool("certify", false, "internal: certify in -scale-child")
+	)
+	flag.Parse()
+	switch {
+	case *scaleChild:
+		if err := runScaleChild(*childGates, *childCertify); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	case *scale:
+		if err := runScale(*maxGates, *certifyMax); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	doc := document{
 		Date:   time.Now().UTC().Format(time.RFC3339),
 		GoOS:   runtime.GOOS,

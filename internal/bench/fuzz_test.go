@@ -4,20 +4,32 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"superpose/internal/netlist"
 )
 
-// FuzzParse throws arbitrary text at the .bench parser: it must never
-// panic, and anything it accepts must survive a Write/Parse round trip.
+// FuzzParse throws arbitrary text at the .bench parsers: neither may
+// panic, the streaming parser must agree with the legacy one
+// gate-for-gate (or both must reject), and anything accepted must
+// survive a Write/Parse round trip.
 func FuzzParse(f *testing.F) {
 	f.Add(s27)
 	f.Add("INPUT(a)\nOUTPUT(b)\nb = NOT(a)\n")
 	f.Add("# only a comment\n")
 	f.Add("x = AND(a, b)\n")
 	f.Add("INPUT(a)\nx = DFF(a)\nOUTPUT(x)\n")
+	f.Add("OUTPUT(z)\nINPUT(a)\nz = BUFF(a)\ny = INV(z)\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		n, err := Parse(strings.NewReader(src), "fuzz")
+		sn, serr := ParseStream(strings.NewReader(src), "fuzz")
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("parser disagreement: legacy err %v, streaming err %v\n%s", err, serr, src)
+		}
 		if err != nil {
 			return
+		}
+		if d := netlist.Diff(n, sn); d != "" {
+			t.Fatalf("streaming parse differs from legacy: %s\n%s", d, src)
 		}
 		var buf bytes.Buffer
 		if err := Write(&buf, n); err != nil {

@@ -177,6 +177,7 @@ func DetectContext(ctx context.Context, golden *netlist.Netlist, lib *power.Libr
 	dev.SetContext(ctx)
 	acqStart := dev.AcquisitionStats()
 	ev := NewEvaluator(golden, lib, dev, cfg.NumChains, cfg.Mode)
+	defer ev.Close() // the workbench is per-Detect; its pooled buffers recycle across dies
 
 	seeds := cfg.SeedPatterns
 	rep := &Report{Varsigma: cfg.Varsigma}

@@ -107,6 +107,10 @@ func newDevice(chip *power.Chip, ch *scan.Chains, mode scan.Mode) *Device {
 // launch activity is computed, never what it is.
 func (d *Device) SetEngine(kind sim.EngineKind) { d.eng.SetKind(kind) }
 
+// Close returns the device's pooled simulation buffers to the shared
+// pools. The Device must not be used afterwards; Close is idempotent.
+func (d *Device) Close() { d.eng.Close() }
+
 // Engine returns the resolved device-side simulation backend.
 func (d *Device) Engine() sim.EngineKind { return d.eng.Kind() }
 

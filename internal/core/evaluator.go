@@ -39,6 +39,16 @@ type Evaluator struct {
 
 	masks []logic.Word // scratch for batch pricing
 
+	// tsetBuf and splitBuf back the pair-analysis toggle decomposition
+	// (AnalyzePair/AnalyzePairs). The strategic climb analyses pairs once
+	// per candidate modification; at 10⁵–10⁶ gates each analysis would
+	// otherwise allocate megabytes of toggle sets whose floating garbage —
+	// not live data — dominates certify-time peak RSS. The decomposition
+	// never escapes the analysis (only counts and nominal sums are kept),
+	// so one grown-to-high-water buffer per Evaluator serves every call.
+	tsetBuf  []int
+	splitBuf []int
+
 	// adaptiveSweep caches the all-stimulus-bits sweep session across
 	// Adaptive calls: the flip list depends only on the scan shape, which
 	// is fixed per Evaluator, so the structural cone analysis is paid
@@ -66,6 +76,18 @@ func NewEvaluatorFromChains(golden *netlist.Netlist, lib *power.Library, dev *De
 		mode:       mode,
 		scale:      1,
 		driftScale: 1,
+	}
+}
+
+// Close returns the workbench's pooled simulation buffers — the golden
+// engine's frames and any cached sweep session — to the shared pools.
+// The device is owned by the caller and stays open. The Evaluator must
+// not be used afterwards; Close is idempotent.
+func (ev *Evaluator) Close() {
+	ev.eng.Close()
+	if ev.adaptiveSweep != nil {
+		ev.adaptiveSweep.Close()
+		ev.adaptiveSweep = nil
 	}
 }
 
@@ -242,7 +264,7 @@ func (ev *Evaluator) Measure(p *scan.Pattern) Reading {
 // defender's prediction of which gates switch.
 func (ev *Evaluator) GoldenToggles(p *scan.Pattern) []int {
 	ev.launch([]*scan.Pattern{p})
-	return append([]int(nil), ev.eng.Toggles(0)...)
+	return ev.eng.Toggles(0) // freshly allocated per call by the toggle extractor
 }
 
 // PairAnalysis is the superposition view of a pattern pair (§IV-C): the
@@ -300,9 +322,10 @@ func (ev *Evaluator) AnalyzePair(a, b *scan.Pattern) PairAnalysis {
 	// engine and nothing since touched it, so its frames still hold
 	// the pair's toggle activity — no relaunch needed.
 	readings := ev.MeasureBatch([]*scan.Pattern{a, b})
-	ta := append([]int(nil), ev.eng.Toggles(0)...)
-	tb := ev.eng.Toggles(1)
-	common, aU, bU := SplitToggles(ta, tb)
+	sets, tbuf := ev.eng.TogglesAllBuf(2, ev.tsetBuf)
+	ev.tsetBuf = tbuf
+	common, aU, bU, sbuf := splitTogglesInto(sets[0], sets[1], ev.splitBuf)
+	ev.splitBuf = sbuf
 
 	pa := PairAnalysis{
 		A: a, B: b,

@@ -150,6 +150,7 @@ func CertifyLotContext(ctx context.Context, golden *netlist.Netlist, lib *power.
 				chip.SetMeasurementNoise(lot.MeasurementNoise)
 			}
 			dev := NewDevice(chip, cfg.NumChains, cfg.Mode)
+			defer dev.Close() // per-die device; recycle its pooled buffers
 			if lot.MeasurementRepeats > 1 {
 				dev.SetRepeats(lot.MeasurementRepeats)
 			}

@@ -99,11 +99,13 @@ func (ev *Evaluator) AnalyzePairs(pairs [][2]*scan.Pattern) []PairAnalysis {
 		// it (drift tracking re-measures on the device engine only), so
 		// the frames behind TogglesAll are still the flat batch's.
 		readings := ev.MeasureBatch(flat)
-		sets := ev.eng.TogglesAll(len(flat))
+		sets, tbuf := ev.eng.TogglesAllBuf(len(flat), ev.tsetBuf)
+		ev.tsetBuf = tbuf
 		for i, pr := range group {
 			ta := sets[2*i]
 			tb := sets[2*i+1]
-			common, aU, bU := SplitToggles(ta, tb)
+			common, aU, bU, sbuf := splitTogglesInto(ta, tb, ev.splitBuf)
+			ev.splitBuf = sbuf
 			pa := PairAnalysis{
 				A: pr[0], B: pr[1],
 				ObservedA: readings[2*i].Observed, ObservedB: readings[2*i+1].Observed,

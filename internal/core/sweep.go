@@ -47,6 +47,13 @@ func (ev *Evaluator) NewSweep(cands []CellRef) (*Sweep, error) {
 	return &Sweep{ev: ev, cands: cands, golden: golden, phys: phys}, nil
 }
 
+// Close returns both sides' sweepers' pooled buffers to the shared
+// pools. The Sweep must not be used afterwards; Close is idempotent.
+func (s *Sweep) Close() {
+	s.golden.Close()
+	s.phys.Close()
+}
+
 // SetEngine switches the base-launch backend of both sides' sweepers.
 // Chunk Readings are bit-identical across kinds.
 func (s *Sweep) SetEngine(kind sim.EngineKind) {

@@ -15,19 +15,28 @@ import (
 )
 
 // ReadFile parses a netlist file; the format is chosen by extension
-// (.bench, .v/.verilog).
+// (.bench, .v/.verilog). Parsing goes through the streaming parsers —
+// proven bit-identical to the in-memory reference parsers by the fuzz
+// corpus — with the arena size hint derived from the file size, so a
+// million-gate netlist loads without intermediate per-line maps.
 func ReadFile(path string) (*netlist.Netlist, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	// ~32 bytes per net line is the low end for generated .bench text;
+	// underestimating only costs arena growth, never correctness.
+	hint := 0
+	if st, err := f.Stat(); err == nil {
+		hint = int(st.Size() / 32)
+	}
 	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 	switch strings.ToLower(filepath.Ext(path)) {
 	case ".bench":
-		return bench.Parse(f, name)
+		return bench.ParseStreamSized(f, name, hint)
 	case ".v", ".verilog":
-		return verilog.Parse(f, name)
+		return verilog.ParseStreamSized(f, name, hint)
 	default:
 		return nil, fmt.Errorf("netio: unknown netlist format %q (want .bench or .v)", filepath.Ext(path))
 	}

@@ -43,6 +43,23 @@ func NewConeWalker(n *Netlist) *ConeWalker {
 	return &ConeWalker{n: n, mark: make([]uint32, n.NumGates())}
 }
 
+// AcquireConeWalker returns a walker over n from the netlist's pool,
+// creating one when the pool is empty. Walkers hold O(gates) mark
+// scratch, so construction-time consumers (Sweeper plan building) should
+// acquire/release instead of allocating their own.
+func (n *Netlist) AcquireConeWalker() *ConeWalker {
+	if w, ok := n.walkerPool.Get().(*ConeWalker); ok {
+		return w
+	}
+	return NewConeWalker(n)
+}
+
+// Release returns the walker to its netlist's pool. The caller must not
+// use the walker (or slices returned by Walk) afterwards.
+func (w *ConeWalker) Release() {
+	w.n.walkerPool.Put(w)
+}
+
 // Walk returns the combinational gates reachable from the root nets,
 // sorted by (logic level, ID) — a valid topological evaluation order.
 // Roots themselves are marked as reached (see Reached) but only

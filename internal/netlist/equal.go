@@ -1,0 +1,57 @@
+package netlist
+
+import "fmt"
+
+// Diff reports the first structural difference between two frozen
+// netlists, or "" when they are identical: same IDs, names, gate types,
+// fanin lists (nil and empty are the same list), port orders, scan
+// exclusions, levels and topological order. It is the oracle the
+// streaming-vs-legacy equivalence tests and fuzz targets assert with.
+func Diff(a, b *Netlist) string {
+	if len(a.Gates) != len(b.Gates) {
+		return fmt.Sprintf("gate count %d vs %d", len(a.Gates), len(b.Gates))
+	}
+	for id := range a.Gates {
+		ga, gb := &a.Gates[id], &b.Gates[id]
+		if a.Names[id] != b.Names[id] {
+			return fmt.Sprintf("gate %d name %q vs %q", id, a.Names[id], b.Names[id])
+		}
+		if ga.Type != gb.Type {
+			return fmt.Sprintf("gate %d (%s) type %s vs %s", id, a.Names[id], ga.Type, gb.Type)
+		}
+		if !intsEqual(ga.Fanin, gb.Fanin) {
+			return fmt.Sprintf("gate %d (%s) fanin %v vs %v", id, a.Names[id], ga.Fanin, gb.Fanin)
+		}
+		if a.IsNoScan(id) != b.IsNoScan(id) {
+			return fmt.Sprintf("gate %d (%s) no-scan %v vs %v", id, a.Names[id], a.IsNoScan(id), b.IsNoScan(id))
+		}
+	}
+	if !intsEqual(a.PIs, b.PIs) {
+		return fmt.Sprintf("PIs %v vs %v", a.PIs, b.PIs)
+	}
+	if !intsEqual(a.POs, b.POs) {
+		return fmt.Sprintf("POs %v vs %v", a.POs, b.POs)
+	}
+	if !intsEqual(a.FFs, b.FFs) {
+		return fmt.Sprintf("FFs %v vs %v", a.FFs, b.FFs)
+	}
+	if !intsEqual(a.order, b.order) {
+		return "topological orders differ"
+	}
+	if !intsEqual(a.level, b.level) {
+		return "levelizations differ"
+	}
+	return ""
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -114,11 +114,16 @@ type Netlist struct {
 	// nil when every flip-flop is scannable.
 	NoScan []bool
 
-	byName  map[string]int
-	fanouts [][]int // computed by Freeze
-	order   []int   // topological order of non-source gates
-	level   []int   // logic level per gate (sources are level 0)
-	frozen  bool
+	byName   map[string]int
+	nameOnce sync.Once // guards the lazy byName build (streaming path)
+	fanouts  [][]int   // computed by Freeze
+	order    []int     // topological order of non-source gates
+	level    []int     // logic level per gate (sources are level 0)
+	frozen   bool
+
+	// walkerPool recycles ConeWalkers (whose marks are O(gates)) across
+	// short-lived consumers like per-die Sweeper construction.
+	walkerPool sync.Pool
 
 	// Lazily compiled structure-of-arrays layout (see SoA), shared by
 	// every PPSFP engine over this netlist.
@@ -153,8 +158,20 @@ func (n *Netlist) IsNoScan(id int) bool {
 // NumCombinational returns the number of combinational (non-source) gates.
 func (n *Netlist) NumCombinational() int { return len(n.order) }
 
-// GateID looks up a gate by net name.
+// GateID looks up a gate by net name. The name index is built lazily on
+// first use: netlists from the streaming ingestion path carry no map, so
+// pure build/simulate workloads never pay for a million-entry index.
 func (n *Netlist) GateID(name string) (int, bool) {
+	n.nameOnce.Do(func() {
+		if n.byName != nil {
+			return // eager index from the legacy Builder
+		}
+		m := make(map[string]int, len(n.Names))
+		for id, nm := range n.Names {
+			m[nm] = id
+		}
+		n.byName = m
+	})
 	id, ok := n.byName[name]
 	return id, ok
 }

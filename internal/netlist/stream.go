@@ -1,0 +1,224 @@
+package netlist
+
+import "fmt"
+
+// StreamBuilder is the allocation-frugal counterpart of Builder for the
+// million-gate ingestion path: instead of one Fanin slice per gate it
+// accumulates every fanin reference into a single flat arena (CSR-style
+// count-then-slice), interns net names through a byte-token API that
+// allocates only on first sight of a symbol, and resolves primary
+// outputs at Build like the .bench format requires. The netlist it
+// produces is identical — gate IDs, names, fanin order, PO order,
+// levelization — to what Builder would have produced from the same
+// declaration sequence; the legacy Builder stays as the reference oracle
+// (see stream_test.go's equivalence suite).
+//
+// Net IDs are assigned on first mention (definition or reference), the
+// same rule Builder.intern applies, so the two construction paths agree
+// ID-for-ID. MarkOutput is name-based and deferred to Build for the same
+// reason: OUTPUT directives do not assign IDs in the legacy path.
+type StreamBuilder struct {
+	name   string
+	names  []string
+	byName map[string]int32
+
+	typ     []GateType
+	defined []bool
+
+	// Flat fanin arena in definition order; gate id's fanins live at
+	// fanin[foff[id] : foff[id]+fcnt[id]].
+	fanin []int32
+	foff  []int32
+	fcnt  []int32
+
+	pis    []int32
+	ffs    []int32
+	noScan []int32
+	pos    []string // PO net names, resolved at Build
+}
+
+// NewStreamBuilder returns a StreamBuilder for a netlist with the given
+// name. sizeHint, when positive, pre-sizes the arenas for roughly that
+// many nets (growth is amortized either way; the hint avoids the early
+// doublings on multi-million-gate inputs).
+func NewStreamBuilder(name string, sizeHint int) *StreamBuilder {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &StreamBuilder{
+		name:    name,
+		names:   make([]string, 0, sizeHint),
+		byName:  make(map[string]int32, sizeHint),
+		typ:     make([]GateType, 0, sizeHint),
+		defined: make([]bool, 0, sizeHint),
+		foff:    make([]int32, 0, sizeHint),
+		fcnt:    make([]int32, 0, sizeHint),
+	}
+}
+
+// Intern returns the net ID for a name given as a byte token, creating
+// an undefined placeholder on first sight. The token may point into a
+// transient I/O buffer: the builder copies it only when the symbol is
+// new (map lookups on string(tok) do not allocate).
+func (b *StreamBuilder) Intern(tok []byte) int32 {
+	if id, ok := b.byName[string(tok)]; ok {
+		return id
+	}
+	return b.internNew(string(tok))
+}
+
+// InternString is Intern for callers that already hold a string.
+func (b *StreamBuilder) InternString(name string) int32 {
+	if id, ok := b.byName[name]; ok {
+		return id
+	}
+	return b.internNew(name)
+}
+
+func (b *StreamBuilder) internNew(name string) int32 {
+	id := int32(len(b.names))
+	b.names = append(b.names, name)
+	b.typ = append(b.typ, Input) // placeholder; set at definition
+	b.defined = append(b.defined, false)
+	b.foff = append(b.foff, 0)
+	b.fcnt = append(b.fcnt, 0)
+	b.byName[name] = id
+	return id
+}
+
+// NameOf returns the interned name of a net ID.
+func (b *StreamBuilder) NameOf(id int32) string { return b.names[id] }
+
+// NumNets returns the number of nets seen so far (defined or referenced).
+func (b *StreamBuilder) NumNets() int { return len(b.names) }
+
+func (b *StreamBuilder) define(id int32, typ GateType) error {
+	if b.defined[id] {
+		return fmt.Errorf("builder %q: net %q defined twice", b.name, b.names[id])
+	}
+	b.defined[id] = true
+	b.typ[id] = typ
+	return nil
+}
+
+// AddInput declares net id a primary input.
+func (b *StreamBuilder) AddInput(id int32) error {
+	if err := b.define(id, Input); err != nil {
+		return err
+	}
+	b.pis = append(b.pis, id)
+	return nil
+}
+
+// AddDFF declares net id a flip-flop (scan cell) whose D pin is net d.
+func (b *StreamBuilder) AddDFF(id, d int32) error {
+	if err := b.define(id, DFF); err != nil {
+		return err
+	}
+	b.foff[id] = int32(len(b.fanin))
+	b.fcnt[id] = 1
+	b.fanin = append(b.fanin, d)
+	b.ffs = append(b.ffs, id)
+	return nil
+}
+
+// AddNonScanDFF is AddDFF for a flip-flop excluded from the scan chains.
+func (b *StreamBuilder) AddNonScanDFF(id, d int32) error {
+	if err := b.AddDFF(id, d); err != nil {
+		return err
+	}
+	b.noScan = append(b.noScan, id)
+	return nil
+}
+
+// AddGate declares net id a combinational gate computing typ over the
+// fanin nets. The fanins slice is copied into the flat arena; callers
+// may reuse it across calls.
+func (b *StreamBuilder) AddGate(id int32, typ GateType, fanins []int32) error {
+	if typ.IsSource() {
+		return fmt.Errorf("builder %q: use AddInput/AddDFF for %s", b.name, typ)
+	}
+	if err := b.define(id, typ); err != nil {
+		return err
+	}
+	b.foff[id] = int32(len(b.fanin))
+	b.fcnt[id] = int32(len(fanins))
+	b.fanin = append(b.fanin, fanins...)
+	return nil
+}
+
+// MarkOutput declares the named net a primary output. Like the legacy
+// Builder, the name is resolved at Build and does not assign a net ID —
+// OUTPUT directives may precede the driver's declaration.
+func (b *StreamBuilder) MarkOutput(tok []byte) {
+	b.pos = append(b.pos, string(tok))
+}
+
+// Build finalizes the netlist: checks every referenced net was defined,
+// resolves outputs, re-lays the arena fanins into ID order behind one
+// shared backing array, and freezes the structure.
+func (b *StreamBuilder) Build() (*Netlist, error) {
+	for id, ok := range b.defined {
+		if !ok {
+			return nil, fmt.Errorf("builder %q: net %q referenced but never defined", b.name, b.names[id])
+		}
+	}
+	num := len(b.names)
+	gates := make([]Gate, num)
+	flat := make([]int, len(b.fanin))
+	pos := 0
+	for id := 0; id < num; id++ {
+		g := &gates[id]
+		g.Type = b.typ[id]
+		cnt := int(b.fcnt[id])
+		if cnt == 0 {
+			continue
+		}
+		span := flat[pos : pos+cnt : pos+cnt]
+		src := b.fanin[b.foff[id] : int(b.foff[id])+cnt]
+		for i, f := range src {
+			span[i] = int(f)
+		}
+		g.Fanin = span
+		pos += cnt
+	}
+
+	n := &Netlist{
+		Name:  b.name,
+		Gates: gates,
+		Names: b.names,
+		PIs:   int32sToInts(b.pis),
+		FFs:   int32sToInts(b.ffs),
+		// byName stays nil: Netlist.GateID builds the index lazily on
+		// first lookup, so pure simulation workloads never pay for a
+		// million-entry map.
+	}
+	if len(b.noScan) > 0 {
+		n.NoScan = make([]bool, num)
+		for _, id := range b.noScan {
+			n.NoScan[id] = true
+		}
+	}
+	for _, po := range b.pos {
+		id, ok := b.byName[po]
+		if !ok {
+			return nil, fmt.Errorf("builder %q: output %q never defined", b.name, po)
+		}
+		n.POs = append(n.POs, int(id))
+	}
+	if err := n.Freeze(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func int32sToInts(xs []int32) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = int(x)
+	}
+	return out
+}

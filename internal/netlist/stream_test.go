@@ -1,0 +1,182 @@
+package netlist
+
+import (
+	"fmt"
+	"testing"
+)
+
+// buildBoth drives the legacy Builder and the StreamBuilder through the
+// same declaration sequence and returns both results.
+type declOp struct {
+	kind   string // input, dff, nsdff, gate, output
+	name   string
+	typ    GateType
+	fanins []string
+}
+
+func buildBoth(t *testing.T, name string, ops []declOp) (*Netlist, *Netlist) {
+	t.Helper()
+	lb := NewBuilder(name)
+	sb := NewStreamBuilder(name, 0)
+	for _, op := range ops {
+		var lerr, serr error
+		switch op.kind {
+		case "input":
+			_, lerr = lb.AddInput(op.name)
+			serr = sb.AddInput(sb.InternString(op.name))
+		case "dff":
+			_, lerr = lb.AddDFF(op.name, op.fanins[0])
+			id := sb.InternString(op.name)
+			serr = sb.AddDFF(id, sb.InternString(op.fanins[0]))
+		case "nsdff":
+			_, lerr = lb.AddNonScanDFF(op.name, op.fanins[0])
+			id := sb.InternString(op.name)
+			serr = sb.AddNonScanDFF(id, sb.InternString(op.fanins[0]))
+		case "gate":
+			_, lerr = lb.AddGate(op.name, op.typ, op.fanins...)
+			id := sb.InternString(op.name)
+			ids := make([]int32, len(op.fanins))
+			for i, f := range op.fanins {
+				ids[i] = sb.InternString(f)
+			}
+			serr = sb.AddGate(id, op.typ, ids)
+		case "output":
+			lb.MarkOutput(op.name)
+			sb.MarkOutput([]byte(op.name))
+		}
+		if (lerr == nil) != (serr == nil) {
+			t.Fatalf("op %+v: legacy err %v, stream err %v", op, lerr, serr)
+		}
+		if lerr != nil {
+			return nil, nil
+		}
+	}
+	ln, lerr := lb.Build()
+	sn, serr := sb.Build()
+	if (lerr == nil) != (serr == nil) {
+		t.Fatalf("build: legacy err %v, stream err %v", lerr, serr)
+	}
+	if lerr != nil {
+		return nil, nil
+	}
+	return ln, sn
+}
+
+func TestStreamBuilderEquivalence(t *testing.T) {
+	ops := []declOp{
+		{kind: "input", name: "a"},
+		{kind: "input", name: "b"},
+		{kind: "output", name: "z"}, // marked before its driver exists
+		{kind: "dff", name: "q0", fanins: []string{"d0"}},
+		{kind: "nsdff", name: "q1", fanins: []string{"d1"}},
+		// Forward references: g1 reads g2 before g2 is defined.
+		{kind: "gate", name: "g1", typ: Nand, fanins: []string{"a", "g2"}},
+		{kind: "gate", name: "g2", typ: Nor, fanins: []string{"b", "q0", "q1"}},
+		{kind: "gate", name: "z", typ: Xor, fanins: []string{"g1", "g2"}},
+		{kind: "gate", name: "d0", typ: Buf, fanins: []string{"z"}},
+		{kind: "gate", name: "d1", typ: Not, fanins: []string{"g1"}},
+		{kind: "output", name: "g2"},
+	}
+	ln, sn := buildBoth(t, "equiv", ops)
+	if d := Diff(ln, sn); d != "" {
+		t.Fatalf("stream and legacy builders disagree: %s", d)
+	}
+	// Fanouts (derived by Freeze) must match too.
+	for id := range ln.Gates {
+		lf, sf := ln.Fanouts(id), sn.Fanouts(id)
+		if len(lf) != len(sf) {
+			t.Fatalf("gate %d fanout count %d vs %d", id, len(lf), len(sf))
+		}
+		for i := range lf {
+			if lf[i] != sf[i] {
+				t.Fatalf("gate %d fanouts differ: %v vs %v", id, lf, sf)
+			}
+		}
+	}
+	// Lazy name index answers the same queries.
+	for id, name := range ln.Names {
+		got, ok := sn.GateID(name)
+		if !ok || got != id {
+			t.Fatalf("GateID(%q) = %d,%v; want %d", name, got, ok, id)
+		}
+	}
+	if _, ok := sn.GateID("no-such-net"); ok {
+		t.Fatal("GateID invented a net")
+	}
+}
+
+func TestStreamBuilderErrors(t *testing.T) {
+	for _, ops := range [][]declOp{
+		// Net defined twice.
+		{{kind: "input", name: "a"}, {kind: "input", name: "a"}},
+		{{kind: "input", name: "a"}, {kind: "gate", name: "a", typ: Buf, fanins: []string{"a"}}},
+		// Referenced but never defined.
+		{{kind: "input", name: "a"}, {kind: "gate", name: "g", typ: Buf, fanins: []string{"x"}}},
+		// Output never defined.
+		{{kind: "input", name: "a"}, {kind: "output", name: "zz"}},
+	} {
+		ln, sn := buildBoth(t, "err", ops)
+		if ln != nil || sn != nil {
+			t.Fatalf("ops %+v: expected both builders to fail", ops)
+		}
+	}
+	// Source types must go through AddInput/AddDFF.
+	sb := NewStreamBuilder("src", 0)
+	if err := sb.AddGate(sb.InternString("x"), DFF, nil); err == nil {
+		t.Fatal("AddGate accepted a source type")
+	}
+}
+
+// Satellite regression for stack-depth hazards: a 50k-deep inverter
+// chain must build, levelize, walk and simulate without recursion
+// blowing the stack — every walk in the netlist core is iterative.
+func TestDeepChain50k(t *testing.T) {
+	const depth = 50000
+	b := NewStreamBuilder("deep", depth+8)
+	in := b.InternString("a")
+	if err := b.AddInput(in); err != nil {
+		t.Fatal(err)
+	}
+	// One scan cell so the scan infrastructure has something to drive.
+	ff := b.InternString("ff0")
+	if err := b.AddDFF(ff, b.InternString("d0")); err != nil {
+		t.Fatal(err)
+	}
+	prev := in
+	for i := 0; i < depth; i++ {
+		id := b.InternString(fmt.Sprintf("c%d", i))
+		typ := Not
+		if i%2 == 1 {
+			typ = Buf
+		}
+		if err := b.AddGate(id, typ, []int32{prev}); err != nil {
+			t.Fatal(err)
+		}
+		prev = id
+	}
+	if err := b.AddGate(b.InternString("d0"), Buf, []int32{prev}); err != nil {
+		t.Fatal(err)
+	}
+	b.MarkOutput([]byte(fmt.Sprintf("c%d", depth-1)))
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Depth(); got != depth+1 {
+		t.Fatalf("depth = %d, want %d", got, depth+1)
+	}
+
+	// The full-depth cone walk must be iterative too.
+	w := n.AcquireConeWalker()
+	cone := w.Walk([]int{int(in)})
+	if len(cone) != depth+1 {
+		t.Fatalf("cone size = %d, want %d", len(cone), depth+1)
+	}
+	w.Release()
+
+	// And the SoA compiles and levelizes identically.
+	s := n.SoA()
+	if int(s.MaxLevel) != depth+1 {
+		t.Fatalf("SoA max level = %d, want %d", s.MaxLevel, depth+1)
+	}
+}

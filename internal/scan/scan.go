@@ -17,6 +17,7 @@ import (
 
 	"superpose/internal/logic"
 	"superpose/internal/netlist"
+	"superpose/internal/scratch"
 	"superpose/internal/sim"
 	"superpose/internal/stats"
 )
@@ -334,12 +335,31 @@ func NewEngineKind(ch *Chains, kind sim.EngineKind) *Engine {
 	e := &Engine{
 		ch:  ch,
 		sim: s,
-		src: s.SourceWords(),
-		f1:  make([]logic.Word, ch.n.NumGates()),
-		f2:  make([]logic.Word, ch.n.NumGates()),
+		src: scratch.Words(ch.n.NumGates()),
+		f1:  scratch.Words(ch.n.NumGates()),
+		f2:  scratch.Words(ch.n.NumGates()),
 	}
 	e.SetKind(kind)
 	return e
+}
+
+// Close returns the engine's pooled per-net buffers (frames, sources,
+// simulator state) to the shared pools. The Engine must not be used
+// afterwards; Close is idempotent.
+func (e *Engine) Close() {
+	if e.f1 == nil {
+		return
+	}
+	scratch.PutWords(e.src)
+	scratch.PutWords(e.f1)
+	scratch.PutWords(e.f2)
+	e.src, e.f1, e.f2 = nil, nil, nil
+	e.sim.Release()
+	if e.pp != nil {
+		e.pp.Release()
+		e.pp = nil
+	}
+	e.valid = false
 }
 
 // SetKind switches the simulation backend in place. All other engine
@@ -351,7 +371,8 @@ func (e *Engine) SetKind(kind sim.EngineKind) {
 		if e.pp == nil {
 			e.pp = sim.NewPPSFP(e.ch.n)
 		}
-	} else {
+	} else if e.pp != nil {
+		e.pp.Release()
 		e.pp = nil
 	}
 }
@@ -492,6 +513,16 @@ func (e *Engine) TogglesAll(numLanes int) [][]int {
 		panic("scan: TogglesAll before Launch")
 	}
 	return sim.ToggleSetsAll(e.f1, e.f2, numLanes)
+}
+
+// TogglesAllBuf is TogglesAll with a caller-owned backing array (see
+// sim.ToggleSetsAllBuf): the returned sets alias buf and are valid only
+// until the buffer is passed back in.
+func (e *Engine) TogglesAllBuf(numLanes int, buf []int) ([][]int, []int) {
+	if e.f1 == nil {
+		panic("scan: TogglesAllBuf before Launch")
+	}
+	return sim.ToggleSetsAllBuf(e.f1, e.f2, numLanes, buf)
 }
 
 // Toggles returns the toggle set (gate IDs whose value changed between the

@@ -7,6 +7,7 @@ import (
 
 	"superpose/internal/logic"
 	"superpose/internal/netlist"
+	"superpose/internal/scratch"
 	"superpose/internal/sim"
 )
 
@@ -36,21 +37,34 @@ type capture struct {
 }
 
 // chunkPlan is the structural, base-independent precomputation of one
-// sweep chunk (up to 64 flips, one per simulator lane). Because the
-// adaptive flow sweeps the same stimulus bits every step, each plan is
-// built once and reused for the whole run.
+// sweep chunk (up to 64 flips, one per simulator lane). The per-lane
+// source perturbations are computed at construction — O(lanes), no
+// netlist walk — while the structural cone state splits into two
+// lazily derived tiers: the LOC re-capture list (one cone walk, needed
+// by every evaluation path) and the compiled union-cone programs
+// (needed only by the scalar evaluation path and materialized on a
+// chunk's first scalar use). The PPSFP configuration propagates word
+// deviations directly (sim.DeltaProp), so under it a sweep over a
+// million-gate netlist never compiles a single cone program. Because
+// the adaptive flow sweeps the same stimulus bits every step, whatever
+// tier a chunk does materialize is reused for the whole run.
 type chunkPlan struct {
 	flips    []Flip
 	f1Srcs   []srcFlip // frame-1 source bits to XOR, per lane
 	f2Srcs   []srcFlip // frame-2 source bits to XOR (LOS scan cells, PIs)
+	laneMask logic.Word
+
+	// Lazily derived: ensureCaptures fills captures (trivial for LOS);
+	// ensureCompiled fills the rest.
+	capsDone bool
 	captures []capture // LOC only: FFs re-captured from the frame-1 cone
-	order1   []int     // levelized frame-1 union-cone evaluation order
-	order2   []int     // levelized frame-2 union-cone evaluation order
+	compiled bool
+	order1   []int // levelized frame-1 union-cone evaluation order
+	order2   []int // levelized frame-2 union-cone evaluation order
 	prog1    *sim.Program
 	prog2    *sim.Program
 	progF    *sim.Program // LOS only: fused dual-frame program over the merged cone
 	affected []int        // ascending union of every gate whose word may deviate
-	laneMask logic.Word
 }
 
 // Sweeper is the single-flip sweep engine of the adaptive flow (§IV-B):
@@ -102,22 +116,26 @@ type Sweeper struct {
 	dp2    *sim.DeltaProp
 	div    []int32
 	divmap []uint64
+
+	roots []int // scratch for lazy cone-walk root lists
 }
 
 // NewSweeper builds a sweep engine over the scan configuration for the
-// given flip list, in order: flip i is lane i%64 of chunk i/64. The
-// structural cones of every chunk are computed here, once; Rebase and
-// Run allocate nothing afterwards. The base-frame launches use the
-// default simulation backend; see NewSweeperKind.
+// given flip list, in order: flip i is lane i%64 of chunk i/64. Setup
+// is O(flips) plus pooled per-net buffers — the structural cone state
+// of each chunk is derived lazily on its first use (see chunkPlan) —
+// so per-lot construction cost stays flat as netlists grow. The
+// base-frame launches use the default simulation backend; see
+// NewSweeperKind.
 func NewSweeper(ch *Chains, mode Mode, flips []Flip) (*Sweeper, error) {
 	return NewSweeperKind(ch, mode, flips, sim.EngineAuto)
 }
 
 // NewSweeperKind is NewSweeper with an explicit simulation backend for
-// the base-frame launches (Rebase). The chunk cones themselves always
-// run through their compiled per-chunk programs — that is the sweep
-// engine's own PPSFP structure — so the kind only selects how the full
-// base launch is evaluated; results are bit-identical either way.
+// the base-frame launches (Rebase). The kind also selects the chunk
+// evaluation path — compiled per-chunk cone programs for the scalar
+// kind, delta propagation for PPSFP — but results are bit-identical
+// either way.
 func NewSweeperKind(ch *Chains, mode Mode, flips []Flip, kind sim.EngineKind) (*Sweeper, error) {
 	n := ch.Netlist()
 	for _, f := range flips {
@@ -139,33 +157,57 @@ func NewSweeperKind(ch *Chains, mode Mode, flips []Flip, kind sim.EngineKind) (*
 		ch:   ch,
 		mode: mode,
 		eng:  NewEngineKind(ch, kind),
-		f1b:  make([]logic.Word, n.NumGates()),
-		f2b:  make([]logic.Word, n.NumGates()),
-		v1:   make([]logic.Word, n.NumGates()),
-		v2:   make([]logic.Word, n.NumGates()),
-		fill: make([]logic.Word, n.NumGates()),
+		f1b:  scratch.Words(n.NumGates()),
+		f2b:  scratch.Words(n.NumGates()),
+		v1:   scratch.Words(n.NumGates()),
+		v2:   scratch.Words(n.NumGates()),
+		fill: scratch.Words(n.NumGates()),
 		gen:  1,
 	}
 	for i := range s.fill {
 		s.fill[i] = ^logic.Word(0)
 	}
-	walker := netlist.NewConeWalker(n)
-	inUnion := make([]bool, n.NumGates())
 	for start := 0; start < len(flips); start += 64 {
 		end := min(start+64, len(flips))
-		s.plans = append(s.plans, buildPlan(ch, mode, flips[start:end], walker, inUnion))
+		s.plans = append(s.plans, buildPlanSources(ch, mode, flips[start:end]))
 	}
 	return s, nil
 }
 
-// buildPlan precomputes one chunk: the per-lane source perturbations,
-// the levelized union cones of both frames, and the ascending list of
-// all gates the chunk can deviate from the base.
-func buildPlan(ch *Chains, mode Mode, flips []Flip, walker *netlist.ConeWalker, inUnion []bool) chunkPlan {
+// Close returns the sweeper's pooled buffers (per-net working arrays,
+// delta propagators, the base-launch engine) to the shared pools. The
+// Sweeper must not be used afterwards; Close is idempotent.
+func (s *Sweeper) Close() {
+	if s.f1b == nil {
+		return
+	}
+	scratch.PutWords(s.f1b)
+	scratch.PutWords(s.f2b)
+	scratch.PutWords(s.v1)
+	scratch.PutWords(s.v2)
+	scratch.PutWords(s.fill)
+	s.f1b, s.f2b, s.v1, s.v2, s.fill = nil, nil, nil, nil, nil
+	if s.divmap != nil {
+		scratch.PutUint64s(s.divmap)
+		s.divmap = nil
+	}
+	if s.dp1 != nil {
+		s.dp1.Release()
+		s.dp2.Release()
+		s.dp1, s.dp2 = nil, nil
+	}
+	s.eng.Close()
+	s.based = false
+}
+
+// buildPlanSources computes the eager tier of one chunk: the per-lane
+// source perturbations and the lane mask. No netlist walk happens here.
+func buildPlanSources(ch *Chains, mode Mode, flips []Flip) chunkPlan {
 	n := ch.Netlist()
 	p := chunkPlan{
 		flips:    append([]Flip(nil), flips...),
 		laneMask: ^logic.Word(0),
+		capsDone: mode == LOS, // LOS has no re-captures, nothing to derive
 	}
 	if len(flips) < 64 {
 		p.laneMask = logic.Word(1)<<uint(len(flips)) - 1
@@ -195,52 +237,100 @@ func buildPlan(ch *Chains, mode Mode, flips []Flip, walker *netlist.ConeWalker, 
 			p.f2Srcs = append(p.f2Srcs, srcFlip{chain[f.Index], bit})
 		case LOC:
 			// Frame 1 is the loaded state; frame 2 re-captures from the
-			// frame-1 responses, handled through p.captures below.
+			// frame-1 responses, handled through p.captures (derived
+			// lazily by ensureCaptures).
 			p.f1Srcs = append(p.f1Srcs, srcFlip{chain[f.Index], bit})
 		}
 	}
+	return p
+}
 
-	roots1 := make([]int, 0, len(p.f1Srcs))
-	for _, sf := range p.f1Srcs {
-		roots1 = append(roots1, sf.gate)
+// appendRoots appends the source gates of the given perturbations to
+// roots and returns it.
+func appendRoots(roots []int, srcs []srcFlip) []int {
+	for _, sf := range srcs {
+		roots = append(roots, sf.gate)
 	}
-	p.order1 = append([]int(nil), walker.Walk(roots1)...)
+	return roots
+}
 
-	roots2 := make([]int, 0, len(p.f2Srcs))
-	for _, sf := range p.f2Srcs {
-		roots2 = append(roots2, sf.gate)
-	}
-	if mode == LOC {
-		// Every scannable flip-flop whose D pin the frame-1 cone touches
-		// captures a perturbed value; those cells seed the frame-2 cone.
-		for _, ff := range n.FFs {
-			if n.IsNoScan(ff) {
-				continue
-			}
-			dpin := n.Gates[ff].Fanin[0]
-			if walker.Reached(dpin) {
-				p.captures = append(p.captures, capture{ff, dpin})
-				roots2 = append(roots2, ff)
-			}
+// scanCaptures fills p.captures from the walker's current Reached
+// state, which must hold the chunk's frame-1 cone: every scannable
+// flip-flop whose D pin the cone touches re-captures a perturbed value.
+func (s *Sweeper) scanCaptures(p *chunkPlan, w *netlist.ConeWalker) {
+	n := s.ch.Netlist()
+	for _, ff := range n.FFs {
+		if n.IsNoScan(ff) {
+			continue
+		}
+		dpin := n.Gates[ff].Fanin[0]
+		if w.Reached(dpin) {
+			p.captures = append(p.captures, capture{ff, dpin})
 		}
 	}
-	p.order2 = append([]int(nil), walker.Walk(roots2)...)
+	p.capsDone = true
+}
+
+// ensureCaptures derives the chunk's LOC re-capture list on first use —
+// one frame-1 cone walk through a pooled walker, no program compiles.
+// It is all the structural state the delta-propagation paths need.
+func (s *Sweeper) ensureCaptures(p *chunkPlan) {
+	if p.capsDone {
+		return
+	}
+	n := s.ch.Netlist()
+	w := n.AcquireConeWalker()
+	s.roots = appendRoots(s.roots[:0], p.f1Srcs)
+	w.Walk(s.roots)
+	s.scanCaptures(p, w)
+	w.Release()
+}
+
+// ensureCompiled derives the chunk's full structural tier on its first
+// scalar-path use: the levelized union cones of both frames, their
+// compiled programs, and the ascending affected-gate union. The walks
+// and the union scratch run through pooled buffers, and the derivation
+// order matches the former eager construction exactly, so the compiled
+// artifacts are bit-identical to what it produced.
+func (s *Sweeper) ensureCompiled(p *chunkPlan) {
+	if p.compiled {
+		return
+	}
+	n := s.ch.Netlist()
+	w := n.AcquireConeWalker()
+
+	roots := appendRoots(s.roots[:0], p.f1Srcs)
+	n1 := len(roots)
+	p.order1 = append([]int(nil), w.Walk(roots[:n1])...)
+	if !p.capsDone {
+		// The walker still holds the frame-1 cone: derive the LOC
+		// re-capture list from the same walk.
+		s.scanCaptures(p, w)
+	}
+	roots = appendRoots(roots, p.f2Srcs)
+	for _, cp := range p.captures {
+		roots = append(roots, cp.ff)
+	}
+	p.order2 = append([]int(nil), w.Walk(roots[n1:])...)
 	// The cones are re-evaluated once per chunk per step; compiled
 	// programs shed the generic per-gate dispatch overhead.
 	p.prog1 = sim.CompileOrdered(n, p.order1)
 	p.prog2 = sim.CompileOrdered(n, p.order2)
-	if mode == LOS {
+	if s.mode == LOS {
 		// LOS frames are independent (no re-captures), so both can run
 		// through one fused program over the merged cone: see RunPair.
 		// Gates in only one frame's cone recompute their unchanged value
 		// in the other — harmless, and the two frames' cones overlap
 		// almost entirely (they seed from adjacent cells of the same
 		// chains), so the merged order is barely longer than either.
-		merged := walker.Walk(append(roots1, roots2...))
+		merged := w.Walk(roots)
 		p.progF = sim.CompileOrdered(n, merged)
 	}
+	s.roots = roots[:0]
+	w.Release()
 
 	// Ascending union of everything the chunk can touch.
+	inUnion := scratch.Bools(n.NumGates())
 	add := func(id int) {
 		if !inUnion[id] {
 			inUnion[id] = true
@@ -262,11 +352,9 @@ func buildPlan(ch *Chains, mode Mode, flips []Flip, walker *netlist.ConeWalker, 
 	for _, id := range p.order2 {
 		add(id)
 	}
-	for _, id := range p.affected {
-		inUnion[id] = false // reset scratch for the next chunk
-	}
+	scratch.PutBools(inUnion)
 	sort.Ints(p.affected)
-	return p
+	p.compiled = true
 }
 
 // SetKind switches the base-launch simulation backend in place (see
@@ -351,6 +439,16 @@ func (s *Sweeper) Advance(f Flip) error {
 	if p == nil {
 		return fmt.Errorf("scan: Sweeper.Advance: flip %v not in sweep", f)
 	}
+	if s.eng.Kind() == sim.EnginePPSFP {
+		// Delta-propagation fast path: the accepted flip's deviation is
+		// propagated from its sources and committed where it actually
+		// diverged — no cone programs compiled, no structural-cone
+		// evaluation. Two-valued logic is exact, so the resulting state
+		// is identical to the compiled path below.
+		s.advanceDelta(p, lane)
+		return nil
+	}
+	s.ensureCompiled(p)
 
 	// Reuse the plan's source analysis: the chosen lane's perturbations,
 	// broadcast to every lane, turn the working arrays into the new base.
@@ -404,6 +502,78 @@ func (s *Sweeper) Advance(f Flip) error {
 	return nil
 }
 
+// ensureDeltaProps lazily builds the two per-frame delta propagators
+// and refreshes their base words after a Rebase or Advance.
+func (s *Sweeper) ensureDeltaProps() {
+	if s.dp1 == nil {
+		n := s.ch.Netlist()
+		s.dp1 = sim.NewDeltaProp(n)
+		s.dp2 = sim.NewDeltaProp(n)
+		s.dpGen = 0 // force the first base gather
+	}
+	if s.dpGen != s.gen {
+		s.dp1.SetBase(s.f1b)
+		s.dp2.SetBase(s.f2b)
+		s.dpGen = s.gen
+	}
+}
+
+// advanceDelta is Advance's PPSFP-kind implementation: seed both
+// frames' propagators with the accepted lane's source flips on every
+// lane (the new base is broadcast, so the deviation word is all-ones),
+// propagate, and commit exactly the diverged gates into the broadcast
+// base and working arrays. Gates the deviation never reaches keep
+// their old base words — which is precisely what re-evaluating their
+// cones would have produced — so the committed state is bit-identical
+// to the compiled path's.
+func (s *Sweeper) advanceDelta(p *chunkPlan, lane int) {
+	s.ensureCaptures(p)
+	s.ensureDeltaProps()
+	bit := logic.Word(1) << uint(lane)
+	s.dp1.Begin()
+	for _, sf := range p.f1Srcs {
+		if sf.bit == bit {
+			s.dp1.SeedXOR(sf.gate, ^logic.Word(0))
+		}
+	}
+	s.dp1.Run()
+	s.dp2.Begin()
+	for _, sf := range p.f2Srcs {
+		if sf.bit == bit {
+			s.dp2.SeedXOR(sf.gate, ^logic.Word(0))
+		}
+	}
+	for _, cp := range p.captures {
+		// LOC re-capture: the cell's frame-2 deviation is however far
+		// its D pin's frame-1 value moved from the base capture.
+		s.dp2.SeedXOR(cp.ff, s.dp1.Value(cp.dpin)^s.f2b[cp.ff])
+	}
+	s.dp2.Run()
+
+	// Commit: diverged gates take their propagated words in both the
+	// broadcast base and the working arrays (which must equal it
+	// between runs); everything else never left the old base.
+	s.div = s.dp1.AppendDiverged(s.div[:0])
+	for _, id := range s.div {
+		w := s.dp1.Value(int(id))
+		s.f1b[id] = w
+		s.v1[id] = w
+	}
+	s.div = s.dp2.AppendDiverged(s.div[:0])
+	for _, id := range s.div {
+		w := s.dp2.Value(int(id))
+		s.f2b[id] = w
+		s.v2[id] = w
+	}
+	s.baseToggles = s.baseToggles[:0]
+	for id := range s.f1b {
+		if s.f1b[id] != s.f2b[id] {
+			s.baseToggles = append(s.baseToggles, id)
+		}
+	}
+	s.gen++ // the committed base invalidates the propagators' gathered words
+}
+
 // Run evaluates chunk c against the current base: it applies the lane
 // flips to the affected source words, re-evaluates the union cone of
 // both frames, and returns the chunk's toggle activity as a sparse
@@ -426,6 +596,7 @@ func (s *Sweeper) Run(c int) (ids []int, masks []logic.Word) {
 		return s.runDelta(c)
 	}
 	p := &s.plans[c]
+	s.ensureCompiled(p)
 
 	for _, sf := range p.f1Srcs {
 		s.v1[sf.gate] ^= sf.bit
@@ -502,17 +673,8 @@ func (s *Sweeper) Run(c int) (ids []int, masks []logic.Word) {
 // invariant Advance and the global path rely on.
 func (s *Sweeper) runDelta(c int) (ids []int, masks []logic.Word) {
 	p := &s.plans[c]
-	if s.dp1 == nil {
-		n := s.ch.Netlist()
-		s.dp1 = sim.NewDeltaProp(n)
-		s.dp2 = sim.NewDeltaProp(n)
-		s.dpGen = 0 // force the first base gather
-	}
-	if s.dpGen != s.gen {
-		s.dp1.SetBase(s.f1b)
-		s.dp2.SetBase(s.f2b)
-		s.dpGen = s.gen
-	}
+	s.ensureCaptures(p)
+	s.ensureDeltaProps()
 	s.dp1.Begin()
 	for _, sf := range p.f1Srcs {
 		s.dp1.SeedXOR(sf.gate, sf.bit)
@@ -540,7 +702,7 @@ func (s *Sweeper) runDelta(c int) (ids []int, masks []logic.Word) {
 	s.div = s.dp1.AppendDiverged(s.div[:0])
 	s.div = s.dp2.AppendDiverged(s.div)
 	if s.divmap == nil {
-		s.divmap = make([]uint64, (s.ch.Netlist().NumGates()+63)/64)
+		s.divmap = scratch.Uint64s((s.ch.Netlist().NumGates() + 63) / 64)
 	}
 	for _, id := range s.div {
 		s.divmap[uint32(id)>>6] |= 1 << (uint32(id) & 63)

@@ -3,6 +3,7 @@ package sim
 import (
 	"superpose/internal/logic"
 	"superpose/internal/netlist"
+	"superpose/internal/scratch"
 )
 
 // DeltaProp is multi-seed event-driven divergence propagation over the
@@ -41,16 +42,30 @@ type DeltaProp struct {
 	touched []int32 // compact IDs whose val may deviate this propagation
 }
 
-// NewDeltaProp builds a propagator for n.
+// NewDeltaProp builds a propagator for n. The O(gates) working arrays
+// come from shared size-class pools; Release returns them when the
+// propagator is done, so per-lot construction churn stays flat.
 func NewDeltaProp(n *netlist.Netlist) *DeltaProp {
 	s := n.SoA()
 	return &DeltaProp{
 		soa:     s,
-		base:    make([]logic.Word, s.NumGates),
-		val:     make([]logic.Word, s.NumGates),
-		sched:   make([]uint32, s.NumGates),
+		base:    scratch.Words(s.NumGates),
+		val:     scratch.Words(s.NumGates),
+		sched:   scratch.Uint32s(s.NumGates),
 		buckets: make([][]int32, s.MaxLevel+1),
 	}
+}
+
+// Release returns the propagator's pooled working arrays. The DeltaProp
+// must not be used afterwards.
+func (dp *DeltaProp) Release() {
+	if dp.base == nil {
+		return
+	}
+	scratch.PutWords(dp.base)
+	scratch.PutWords(dp.val)
+	scratch.PutUint32s(dp.sched)
+	dp.base, dp.val, dp.sched = nil, nil, nil
 }
 
 // SetBase loads the frame's fault-free values (original-indexed, one

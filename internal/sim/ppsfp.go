@@ -5,6 +5,7 @@ import (
 
 	"superpose/internal/logic"
 	"superpose/internal/netlist"
+	"superpose/internal/scratch"
 )
 
 // EngineKind selects the simulation backend of the launch machinery:
@@ -86,13 +87,23 @@ func NewPPSFP(n *netlist.Netlist) *PPSFP {
 	s := n.SoA()
 	p := &PPSFP{
 		soa:   s,
-		plane: make([]logic.Word, s.NumGates),
+		plane: scratch.Words(s.NumGates),
 	}
 	p.prog = &Program{ops: make([]progOp, 0, s.NumGates-s.NumSources)}
 	for c := int32(s.NumSources); c < int32(s.NumGates); c++ {
 		p.prog.push(c, s.Typ[c], s.FaninOf(c))
 	}
 	return p
+}
+
+// Release returns the engine's pooled value plane. The PPSFP must not
+// be used afterwards.
+func (p *PPSFP) Release() {
+	if p.plane == nil {
+		return
+	}
+	scratch.PutWords(p.plane)
+	p.plane = nil
 }
 
 // RunInto evaluates up to 64 patterns at once: sources maps each

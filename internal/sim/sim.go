@@ -11,6 +11,7 @@ import (
 
 	"superpose/internal/logic"
 	"superpose/internal/netlist"
+	"superpose/internal/scratch"
 	"superpose/internal/stats"
 )
 
@@ -22,9 +23,20 @@ type Simulator struct {
 	values []logic.Word
 }
 
-// New returns a Simulator for n.
+// New returns a Simulator for n. The per-net value array comes from a
+// shared size-class pool; Release returns it when the simulator is done.
 func New(n *netlist.Netlist) *Simulator {
-	return &Simulator{n: n, values: make([]logic.Word, n.NumGates())}
+	return &Simulator{n: n, values: scratch.Words(n.NumGates())}
+}
+
+// Release returns the simulator's pooled value array. The Simulator
+// must not be used afterwards.
+func (s *Simulator) Release() {
+	if s.values == nil {
+		return
+	}
+	scratch.PutWords(s.values)
+	s.values = nil
 }
 
 // Netlist returns the simulated netlist.
@@ -373,7 +385,16 @@ func (s *Simulator) SourceWords() []logic.Word {
 // pattern lane `bit`. This is the switching-activity set of a launch.
 func ToggleSet(a, b []logic.Word, bit uint) []int {
 	mask := logic.Word(1) << bit
-	var out []int
+	n := 0
+	for id := range a {
+		if (a[id]^b[id])&mask != 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
 	for id := range a {
 		if (a[id]^b[id])&mask != 0 {
 			out = append(out, id)
@@ -398,10 +419,51 @@ func ToggleMask(a, b []logic.Word, dst []logic.Word) []logic.Word {
 // single pass over the nets (O(nets + total toggles), against O(nets ×
 // lanes) for per-lane ToggleSet calls).
 func ToggleSetsAll(a, b []logic.Word, numLanes int) [][]int {
+	out, _ := ToggleSetsAllBuf(a, b, numLanes, nil)
+	return out
+}
+
+// ToggleSetsAllBuf is ToggleSetsAll with a caller-owned backing array:
+// the per-lane sets are carved out of buf (grown only when too small),
+// so a steady caller — the strategic climb analyses pairs once per
+// candidate modification — churns no per-call garbage. The returned
+// buffer must be threaded back into the next call; the sets alias it
+// and are valid only until then.
+func ToggleSetsAllBuf(a, b []logic.Word, numLanes int, buf []int) ([][]int, []int) {
 	out := make([][]int, numLanes)
 	laneMask := logic.Word(1)<<uint(numLanes) - 1
 	if numLanes >= 64 {
 		laneMask = ^logic.Word(0)
+	}
+	// Count first, then carve one exactly-sized backing array into the
+	// per-lane sets: two passes over the nets instead of dozens of
+	// append-grown reallocations across the lanes. The three-index
+	// slices cap each lane's region so a caller's append cannot clobber
+	// its neighbour.
+	var counts [64]int
+	total := 0
+	for id := range a {
+		m := (a[id] ^ b[id]) & laneMask
+		for m != 0 {
+			lane := bits.TrailingZeros64(uint64(m))
+			counts[lane]++
+			total++
+			m &= m - 1
+		}
+	}
+	if cap(buf) < total {
+		buf = make([]int, total)
+	}
+	buf = buf[:total]
+	off := 0
+	nl := numLanes
+	if nl > 64 {
+		nl = 64
+	}
+	for lane := 0; lane < nl; lane++ {
+		end := off + counts[lane]
+		out[lane] = buf[off:off:end]
+		off = end
 	}
 	for id := range a {
 		m := (a[id] ^ b[id]) & laneMask
@@ -411,7 +473,7 @@ func ToggleSetsAll(a, b []logic.Word, numLanes int) [][]int {
 			m &= m - 1
 		}
 	}
-	return out
+	return out, buf
 }
 
 // CountToggles returns the number of toggling nets at pattern lane bit.

@@ -1,0 +1,70 @@
+// Package textio provides the shared line reader for the streaming
+// netlist parsers: bufio.Scanner semantics (lines without terminators,
+// lone trailing '\r' dropped, a hard cap on line length) without
+// Scanner's grow-by-copy token buffer — the fast path hands out slices
+// of the bufio.Reader's own window, so a multi-gigabyte netlist streams
+// through a fixed 64 KiB buffer.
+package textio
+
+import (
+	"bufio"
+	"errors"
+	"io"
+)
+
+// ErrTooLong is returned when a single line exceeds the reader's limit,
+// mirroring bufio.ErrTooLong for Scanner-based parsers.
+var ErrTooLong = errors.New("textio: line too long")
+
+// Lines yields the lines of an io.Reader one at a time.
+type Lines struct {
+	r     *bufio.Reader
+	spill []byte // reused accumulator for lines longer than the window
+	max   int
+}
+
+// NewLines returns a line reader over r that errors on lines longer
+// than max bytes.
+func NewLines(r io.Reader, max int) *Lines {
+	return &Lines{r: bufio.NewReaderSize(r, 64*1024), max: max}
+}
+
+// Next returns the next line without its terminator ('\n' stripped, one
+// trailing '\r' dropped — the bufio.ScanLines convention), io.EOF after
+// the last line, or ErrTooLong. The returned slice is only valid until
+// the following Next call.
+func (l *Lines) Next() ([]byte, error) {
+	chunk, err := l.r.ReadSlice('\n')
+	if err == nil {
+		return trimEOL(chunk), nil // whole line inside the window: no copy
+	}
+	l.spill = append(l.spill[:0], chunk...)
+	for err == bufio.ErrBufferFull {
+		if len(l.spill) > l.max {
+			return nil, ErrTooLong
+		}
+		chunk, err = l.r.ReadSlice('\n')
+		l.spill = append(l.spill, chunk...)
+	}
+	switch {
+	case err == nil || (err == io.EOF && len(l.spill) > 0):
+		if len(l.spill) > l.max {
+			return nil, ErrTooLong
+		}
+		return trimEOL(l.spill), nil
+	case err == io.EOF:
+		return nil, io.EOF
+	default:
+		return nil, err
+	}
+}
+
+func trimEOL(line []byte) []byte {
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line
+}
