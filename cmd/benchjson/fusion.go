@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"superpose/internal/atpg"
+	"superpose/internal/core"
+	"superpose/internal/fusion"
+	"superpose/internal/parallel"
+	"superpose/internal/power"
+	"superpose/internal/trust"
+)
+
+// fusionArm is one measured certification configuration: the mean
+// wall-clock of certifying the same infected lot under one channel,
+// plus the verdict it reached.
+type fusionArm struct {
+	Channel string `json:"channel"`
+	// Seconds is the mean lot-certification wall-clock across reps.
+	Seconds float64 `json:"seconds"`
+	// OverheadVsPower is Seconds relative to the power-only arm.
+	OverheadVsPower float64 `json:"overhead_vs_power"`
+	Detected        int     `json:"detected"`
+	Dies            int     `json:"dies"`
+}
+
+type fusionDocument struct {
+	Date     string  `json:"date"`
+	GoOS     string  `json:"goos"`
+	GoArch   string  `json:"goarch"`
+	NumCPU   int     `json:"num_cpu"`
+	Case     string  `json:"case"`
+	Scale    float64 `json:"scale"`
+	Varsigma float64 `json:"varsigma"`
+	Reps     int     `json:"reps"`
+	// TrainSeconds is the one-time clean-lot calibration cost (the
+	// service amortizes it through its artifact cache).
+	TrainSeconds float64     `json:"train_seconds"`
+	Threshold    float64     `json:"threshold"`
+	Arms         []fusionArm `json:"arms"`
+}
+
+// runFusion measures the delay-channel overhead: the same infected lot
+// certified power-only, delay-only and fused, reps times each with the
+// arms interleaved so they see the same machine conditions. The fused
+// calibration trains once on a clean control lot outside the timed
+// region.
+func runFusion(reps int) error {
+	const (
+		fusionScale = 0.04
+		// ς = 0.08: the fused threshold doubles the worst clean
+		// training score, and at wider spreads the infected/clean
+		// separation narrows below that bound (see EXPERIMENTS.md).
+		fusionVarsigma = 0.08
+		lotDies        = 4
+	)
+	if reps < 1 {
+		reps = 1
+	}
+	c := trust.Cases()[0]
+	inst, err := trust.Build(c, fusionScale)
+	if err != nil {
+		return err
+	}
+	lib := power.SAED90Like()
+	base, err := core.WithSharedSeeds(inst.Host, core.Config{
+		NumChains:   4,
+		Varsigma:    fusionVarsigma,
+		ATPG:        atpg.Options{Seed: 7, RandomPatterns: 32, MaxFaults: 40, FaultSample: 120},
+		MaxPairs:    6,
+		Acquisition: core.RobustAcquisition(),
+		Channel:     core.ChannelFused,
+	})
+	if err != nil {
+		return err
+	}
+	lot := func(salt int) core.LotOptions {
+		return core.LotOptions{
+			Dies:      lotDies,
+			Variation: power.ThreeSigmaIntra(fusionVarsigma),
+			Seed:      parallel.Mix(99, salt),
+			Workers:   1,
+		}
+	}
+
+	t0 := time.Now()
+	train, err := core.CertifyLot(inst.Host, lib, inst.Host, base, lot(1))
+	if err != nil {
+		return fmt.Errorf("fusion training lot: %w", err)
+	}
+	trainSeconds := time.Since(t0).Seconds()
+	obs := make([]fusion.Observation, 0, len(train.Dies))
+	for _, d := range train.Dies {
+		obs = append(obs, fusion.Observation{Power: d.FinalMag, Delay: d.DelayMag})
+	}
+	cal := fusion.Train(obs, 0)
+
+	fusedCfg := base
+	fusedCfg.Fusion = &cal
+	powerCfg := base
+	powerCfg.Channel = core.ChannelPower
+	delayCfg := base
+	delayCfg.Channel = core.ChannelDelay
+
+	arms := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"power", powerCfg},
+		{"delay", delayCfg},
+		{"fused", fusedCfg},
+	}
+	totals := make([]time.Duration, len(arms))
+	results := make([]*core.LotReport, len(arms))
+	for rep := 0; rep < reps; rep++ {
+		for i, arm := range arms {
+			t0 := time.Now()
+			lr, err := core.CertifyLot(inst.Host, lib, inst.Infected, arm.cfg, lot(2))
+			if err != nil {
+				return fmt.Errorf("fusion %s lot: %w", arm.name, err)
+			}
+			totals[i] += time.Since(t0)
+			results[i] = lr
+		}
+	}
+
+	doc := fusionDocument{
+		Date:         time.Now().UTC().Format(time.RFC3339),
+		GoOS:         runtime.GOOS,
+		GoArch:       runtime.GOARCH,
+		NumCPU:       runtime.NumCPU(),
+		Case:         c.String(),
+		Scale:        fusionScale,
+		Varsigma:     fusionVarsigma,
+		Reps:         reps,
+		TrainSeconds: trainSeconds,
+		Threshold:    cal.Threshold,
+	}
+	powerSeconds := totals[0].Seconds() / float64(reps)
+	for i, arm := range arms {
+		lr := results[i]
+		var detected int
+		switch arm.name {
+		case "delay":
+			detected = lr.DelayDetected
+		case "fused":
+			detected = lr.FusedDetected
+		default:
+			detected = lr.Detected
+		}
+		seconds := totals[i].Seconds() / float64(reps)
+		doc.Arms = append(doc.Arms, fusionArm{
+			Channel:         arm.name,
+			Seconds:         seconds,
+			OverheadVsPower: seconds / powerSeconds,
+			Detected:        detected,
+			Dies:            len(lr.Dies),
+		})
+		fmt.Fprintf(os.Stderr, "fusion: %-5s %7.3fs/lot  %.2fx vs power  detected %d/%d\n",
+			arm.name, seconds, seconds/powerSeconds, detected, len(lr.Dies))
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -614,3 +614,41 @@ func TestCoordinatorRestartReclaimsResult(t *testing.T) {
 		t.Fatalf("results_reclaimed = %d, want 1", stats.Cluster["results_reclaimed"])
 	}
 }
+
+// TestClusterFusedSpecPassthrough: a fused-channel spec survives the
+// coordinator → worker dispatch intact — the worker-side runner sees
+// the channel field, so a remote fused certification trains and
+// applies its calibration exactly like a local one.
+func TestClusterFusedSpecPassthrough(t *testing.T) {
+	gotChannel := make(chan string, 1)
+	_, worker := startWorker(t, func(ctx context.Context, j *service.Job) error {
+		gotChannel <- j.Spec.Channel
+		return nil
+	})
+	_, coord := startCoordinator(t, Options{
+		Service:      service.Options{QueueSize: 16, Workers: 2},
+		LeaseTTL:     time.Minute,
+		PollInterval: 2 * time.Millisecond,
+	})
+	registerWorker(t, coord.URL, worker.URL)
+
+	st, resp := submitSpec(t, coord.URL, `{"kind":"detect","case":"s35932-T200","channel":"fused"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	waitState(t, coord.URL, st.ID, service.StateDone, 5*time.Second)
+	select {
+	case ch := <-gotChannel:
+		if ch != "fused" {
+			t.Fatalf("worker saw channel %q, want fused", ch)
+		}
+	default:
+		t.Fatal("worker runner never observed the spec")
+	}
+
+	// An invalid channel is rejected at submission, before dispatch.
+	_, resp = submitSpec(t, coord.URL, `{"kind":"detect","case":"s35932-T200","channel":"thermal"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid channel: HTTP %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+// The fusion experiment: power vs delay vs fused ROC across tester
+// fault presets. The fused operating point is learned on a clean
+// training lot (fusion.Train), then evaluated on held-out infected and
+// clean lots, so the table reports honest out-of-sample numbers: the
+// training controls never appear in any ROC, and the false-positive
+// column counts held-out clean dies only.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"superpose/internal/fusion"
+	"superpose/internal/parallel"
+	"superpose/internal/power"
+	"superpose/internal/tester"
+	"superpose/internal/trust"
+)
+
+// FusionPresets are the tester fault regimes of the fusion table:
+// the ideal tester, the power-hostile drift pathology (where the TDC
+// sees only mild jitter, so the delay channel should rescue the
+// verdict), and the everything-at-once regime.
+var FusionPresets = []string{"clean", "drift", "combined"}
+
+// FusionRow is one tester fault preset's line of the fusion table:
+// the per-channel AUCs over held-out infected/clean lots, the learned
+// operating point, and the honesty columns (training and held-out
+// false positives at that operating point).
+type FusionRow struct {
+	Preset string `json:"preset"`
+	Case   string `json:"case"`
+
+	// AUC of each channel's score over the held-out lots (NaN when the
+	// channel produced no finite score — wire-safe via wire.go).
+	PowerAUC float64 `json:"power_auc"`
+	DelayAUC float64 `json:"delay_auc"`
+	FusedAUC float64 `json:"fused_auc"`
+
+	// Threshold is the learned fused verdict bound (1 + margin in
+	// normalized score space).
+	Threshold float64 `json:"threshold"`
+	// TrainDies / TrainFP: clean training controls consumed, and how
+	// many the learned operating point flags (0 by construction).
+	TrainDies int `json:"train_dies"`
+	TrainFP   int `json:"train_fp"`
+	// Detection accounting over the held-out lots at the learned
+	// operating point (fused channel) and the fixed ς bound (power).
+	Infected      int `json:"infected"`
+	Clean         int `json:"clean"`
+	FusedDetected int `json:"fused_detected"`
+	FusedFP       int `json:"fused_fp"`
+	PowerDetected int `json:"power_detected"`
+	PowerFP       int `json:"power_fp"`
+	// Unstable counts held-out dies whose power channel never
+	// stabilized (NaN |S-RPD|).
+	Unstable int `json:"unstable"`
+
+	// The full per-channel curves, for the ROC artifact.
+	PowerROC []ROCPoint `json:"power_roc,omitempty"`
+	DelayROC []ROCPoint `json:"delay_roc,omitempty"`
+	FusedROC []ROCPoint `json:"fused_roc,omitempty"`
+}
+
+// String renders the row compactly.
+func (r FusionRow) String() string {
+	return fmt.Sprintf("%-8s AUC power %.3f delay %.3f fused %.3f  thr %.3g  fusedTPR %d/%d  fusedFP %d/%d  trainFP %d/%d",
+		r.Preset, r.PowerAUC, r.DelayAUC, r.FusedAUC, r.Threshold,
+		r.FusedDetected, r.Infected, r.FusedFP, r.Clean, r.TrainFP, r.TrainDies)
+}
+
+// RunFusionRow evaluates one tester fault preset: train the fused
+// calibration on a clean control lot, then certify held-out infected
+// and clean lots of the same benchmark under the same preset and score
+// all three channels. trainDies/evalDies of 0 take the defaults (8/6).
+func RunFusionRow(preset string, c trust.Case, cfg ExperimentConfig, trainDies, evalDies int) (FusionRow, error) {
+	return RunFusionRowContext(context.Background(), preset, c, cfg, trainDies, evalDies)
+}
+
+// RunFusionRowContext is RunFusionRow under a run context: the three
+// lot certifications stop dispatching dies on cancellation (see
+// CertifyLotContext).
+func RunFusionRowContext(ctx context.Context, preset string, c trust.Case, cfg ExperimentConfig, trainDies, evalDies int) (FusionRow, error) {
+	cfg = cfg.withDefaults()
+	if trainDies <= 0 {
+		trainDies = 8
+	}
+	if evalDies <= 0 {
+		evalDies = 6
+	}
+	inst, err := trust.Build(c, cfg.Scale)
+	if err != nil {
+		return FusionRow{}, fmt.Errorf("fusion %s: %w", preset, err)
+	}
+	lib := power.SAED90Like()
+	base, err := WithSharedSeeds(inst.Host, Config{
+		NumChains:   cfg.NumChains,
+		ATPG:        cfg.ATPG,
+		MaxSeeds:    cfg.MaxSeeds,
+		MaxPairs:    cfg.MaxPairs,
+		Varsigma:    cfg.Varsigma,
+		Acquisition: RobustAcquisition(),
+		Channel:     ChannelFused,
+	})
+	if err != nil {
+		return FusionRow{}, fmt.Errorf("fusion %s: seeds: %w", preset, err)
+	}
+
+	// Each lot gets its own process-variation stream and tester fault
+	// realization, derived from the chip seed and a per-lot salt alone,
+	// so the row is bit-identical at any worker count.
+	lot := func(dies, salt int) (LotOptions, error) {
+		tc, err := tester.Preset(preset, parallel.Mix(cfg.ChipSeed^0xFA57, salt))
+		if err != nil {
+			return LotOptions{}, fmt.Errorf("fusion preset %q: %w", preset, err)
+		}
+		return LotOptions{
+			Dies:        dies,
+			Variation:   power.ThreeSigmaIntra(cfg.Varsigma),
+			Seed:        parallel.Mix(cfg.ChipSeed, salt),
+			Tester:      tc,
+			Acquisition: RobustAcquisition(),
+			Workers:     cfg.Workers,
+		}, nil
+	}
+
+	// Train: a clean control lot under the same tester preset. The
+	// config carries no calibration yet (Fusion nil), so the dies
+	// measure both channels but render no fused verdict.
+	trainLot, err := lot(trainDies, 1)
+	if err != nil {
+		return FusionRow{}, err
+	}
+	train, err := CertifyLotContext(ctx, inst.Host, lib, inst.Host, base, trainLot)
+	if err != nil {
+		return FusionRow{}, fmt.Errorf("fusion %s: training lot: %w", preset, err)
+	}
+	obs := make([]fusion.Observation, 0, len(train.Dies))
+	for _, d := range train.Dies {
+		obs = append(obs, fusion.Observation{Power: d.FinalMag, Delay: d.DelayMag})
+	}
+	cal := fusion.Train(obs, 0)
+
+	row := FusionRow{
+		Preset:    preset,
+		Case:      c.String(),
+		Threshold: cal.Threshold,
+		TrainDies: len(obs),
+	}
+	for _, o := range obs {
+		if cal.Detect(o) {
+			row.TrainFP++
+		}
+	}
+
+	// Evaluate: held-out infected and clean lots carrying the learned
+	// calibration.
+	eval := base
+	eval.Fusion = &cal
+	infLot, err := lot(evalDies, 2)
+	if err != nil {
+		return FusionRow{}, err
+	}
+	infected, err := CertifyLotContext(ctx, inst.Host, lib, inst.Infected, eval, infLot)
+	if err != nil {
+		return FusionRow{}, fmt.Errorf("fusion %s: infected lot: %w", preset, err)
+	}
+	cleanLot, err := lot(evalDies, 3)
+	if err != nil {
+		return FusionRow{}, err
+	}
+	clean, err := CertifyLotContext(ctx, inst.Host, lib, inst.Host, eval, cleanLot)
+	if err != nil {
+		return FusionRow{}, fmt.Errorf("fusion %s: clean lot: %w", preset, err)
+	}
+
+	row.Infected = len(infected.Dies)
+	row.Clean = len(clean.Dies)
+	row.FusedDetected = infected.FusedDetected
+	row.FusedFP = clean.FusedDetected
+	row.PowerDetected = infected.Detected
+	row.PowerFP = clean.Detected
+	row.Unstable = infected.Unstable + clean.Unstable
+
+	scores := func(lr *LotReport, f func(DieResult) float64) []float64 {
+		out := make([]float64, 0, len(lr.Dies))
+		for _, d := range lr.Dies {
+			out = append(out, f(d))
+		}
+		return out
+	}
+	powerOf := func(d DieResult) float64 { return d.FinalMag }
+	delayOf := func(d DieResult) float64 { return d.DelayMag }
+	fusedOf := func(d DieResult) float64 { return d.FusedScore }
+	row.PowerROC = ROCFromScores(scores(infected, powerOf), scores(clean, powerOf))
+	row.DelayROC = ROCFromScores(scores(infected, delayOf), scores(clean, delayOf))
+	row.FusedROC = ROCFromScores(scores(infected, fusedOf), scores(clean, fusedOf))
+	row.PowerAUC = AUC(row.PowerROC)
+	row.DelayAUC = AUC(row.DelayROC)
+	row.FusedAUC = AUC(row.FusedROC)
+	return row, nil
+}
+
+// RunFusionTable evaluates every fusion preset on the first benchmark
+// case. Presets run serially — the dies inside each lot already fan
+// out over cfg.Workers — and each row derives all randomness from the
+// chip seed and its lot salts, so the table is bit-reproducible.
+func RunFusionTable(cfg ExperimentConfig) ([]FusionRow, error) {
+	return RunFusionTableContext(context.Background(), cfg)
+}
+
+// RunFusionTableContext is RunFusionTable under a run context (same
+// cancellation contract as RunFusionRowContext).
+func RunFusionTableContext(ctx context.Context, cfg ExperimentConfig) ([]FusionRow, error) {
+	c := trust.Cases()[0]
+	rows := make([]FusionRow, 0, len(FusionPresets))
+	for _, preset := range FusionPresets {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		row, err := RunFusionRowContext(ctx, preset, c, cfg, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// The AUC columns ride the NaN-safe carrier: a channel that produced
+// no finite score on either held-out lot has no curve, and its AUC is
+// NaN rather than a fabricated number.
+func (r FusionRow) MarshalJSON() ([]byte, error) {
+	type alias FusionRow
+	return json.Marshal(struct {
+		alias
+		PowerAUC nanf `json:"power_auc"`
+		DelayAUC nanf `json:"delay_auc"`
+		FusedAUC nanf `json:"fused_auc"`
+	}{alias(r), nanf(r.PowerAUC), nanf(r.DelayAUC), nanf(r.FusedAUC)})
+}
+
+func (r *FusionRow) UnmarshalJSON(b []byte) error {
+	type alias FusionRow
+	var w struct {
+		alias
+		PowerAUC nanf `json:"power_auc"`
+		DelayAUC nanf `json:"delay_auc"`
+		FusedAUC nanf `json:"fused_auc"`
+	}
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*r = FusionRow(w.alias)
+	r.PowerAUC = float64(w.PowerAUC)
+	r.DelayAUC = float64(w.DelayAUC)
+	r.FusedAUC = float64(w.FusedAUC)
+	return nil
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"superpose/internal/delay"
+	"superpose/internal/power"
+	"superpose/internal/scan"
+	"superpose/internal/tester"
+	"superpose/internal/timing"
+	"superpose/internal/trust"
+)
+
+// quickFusionRow runs one fusion-table row at the quick test scale.
+func quickFusionRow(t *testing.T, preset string, workers int) FusionRow {
+	t.Helper()
+	cfg := quickRobustnessConfig()
+	cfg.Workers = workers
+	row, err := RunFusionRow(preset, trust.Cases()[0], cfg, 4, 3)
+	if err != nil {
+		t.Fatalf("fusion row %s: %v", preset, err)
+	}
+	return row
+}
+
+// TestFusionHonestyZeroFalsePositives is the calibration-honesty
+// criterion: across every tester preset of the fusion table, the
+// learned operating point flags zero clean dies — on the training
+// controls by construction, and on the held-out clean lot because the
+// margin absorbs the preset's residual measurement scatter.
+func TestFusionHonestyZeroFalsePositives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-lot pipeline run")
+	}
+	for _, preset := range FusionPresets {
+		preset := preset
+		t.Run(preset, func(t *testing.T) {
+			row := quickFusionRow(t, preset, 0)
+			t.Logf("%s", row)
+			if row.TrainFP != 0 {
+				t.Errorf("learned threshold flags %d/%d training controls", row.TrainFP, row.TrainDies)
+			}
+			if row.FusedFP != 0 {
+				t.Errorf("fused verdict flags %d/%d held-out clean dies", row.FusedFP, row.Clean)
+			}
+			if row.FusedDetected == 0 {
+				t.Errorf("fused verdict missed every infected die: %s", row)
+			}
+			if math.IsNaN(row.FusedAUC) {
+				t.Errorf("fused AUC is NaN: %s", row)
+			}
+		})
+	}
+}
+
+// TestFusionRowWorkerDeterminism: the learned threshold and the full
+// row — calibration, AUCs, ROC curves, per-lot counts — must be
+// bit-identical at any worker count. Training canonicalizes the
+// observation order, and every lot derives its seeds from the die
+// index alone, so serial and saturated runs may not diverge anywhere.
+func TestFusionRowWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-lot pipeline run")
+	}
+	serial := quickFusionRow(t, "combined", 1)
+	fanned := quickFusionRow(t, "combined", 4)
+	sj, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj, err := json.Marshal(fanned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, fj) {
+		t.Errorf("fusion row differs across worker counts:\nworkers=1: %s\nworkers=4: %s", sj, fj)
+	}
+}
+
+// delayChannelDetect runs the first benchmark case's infected die with
+// the delay channel active under a named tester preset — the delay
+// analogue of retryAcqDetect. A fresh instance, chip, and device are
+// built per call so repeated runs share no state.
+func delayChannelDetect(t *testing.T, channel Channel, regime string) *Report {
+	t.Helper()
+	cfg := quickRobustnessConfig().withDefaults()
+	inst, err := trust.Build(trust.Cases()[0], cfg.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := power.SAED90Like()
+	variation := power.ThreeSigmaIntra(cfg.Varsigma)
+	chip := power.Manufacture(inst.Infected, lib, variation, cfg.ChipSeed)
+	dev := NewDevice(chip, cfg.NumChains, scan.LOS)
+	defer dev.Close()
+	if channel.UsesDelay() {
+		dev.SetDelayChip(delay.Manufacture(inst.Infected, timing.SAED90LikeDelays(), variation, cfg.ChipSeed))
+	}
+	dev.SetAcquisition(RobustAcquisition())
+	tc, err := tester.Preset(regime, cfg.ChipSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Enabled() {
+		dev.SetFaultModel(tester.New(tc))
+	}
+	rep, err := Detect(inst.Host, lib, dev, Config{
+		NumChains:   cfg.NumChains,
+		ATPG:        cfg.ATPG,
+		MaxSeeds:    cfg.MaxSeeds,
+		MaxPairs:    cfg.MaxPairs,
+		Varsigma:    cfg.Varsigma,
+		Acquisition: RobustAcquisition(),
+		Channel:     channel,
+	})
+	if err != nil {
+		t.Fatalf("detect (%s/%s): %v", channel, regime, err)
+	}
+	return rep
+}
+
+// TestDelayChannelRetryBitIdentical extends the PR-5 acquisition
+// identity contract to the delay channel: under the combined preset
+// (power spikes + drift + TDC jitter/quantization/drops) two runs of
+// the identical configuration produce bit-identical reports, delay
+// result included.
+func TestDelayChannelRetryBitIdentical(t *testing.T) {
+	a := delayChannelDetect(t, ChannelDelay, "combined")
+	b := delayChannelDetect(t, ChannelDelay, "combined")
+	aj, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("delay-channel runs differ:\nfirst:  %s\nsecond: %s", aj, bj)
+	}
+	if a.Delay == nil {
+		t.Fatal("delay channel selected but no delay result")
+	}
+	if math.IsNaN(a.Delay.Score) {
+		t.Errorf("delay score NaN under robust acquisition: %+v", a.Delay)
+	}
+}
+
+// TestDelayChannelDoesNotPerturbPower is the cross-channel identity
+// contract: adding the delay channel must leave every power-channel
+// field bit-identical — the delay path draws from its own RNG streams
+// (tester delayRNG, decorrelated delay die) and never touches the
+// power chip's noise stream or the evaluator's drift counters.
+func TestDelayChannelDoesNotPerturbPower(t *testing.T) {
+	powerOnly := delayChannelDetect(t, ChannelPower, "combined")
+	withDelay := delayChannelDetect(t, ChannelDelay, "combined")
+
+	if withDelay.Delay == nil {
+		t.Fatal("delay run carried no delay result")
+	}
+	// The delay acquisitions are accounted in the device's shared
+	// counters, so the totals legitimately grow…
+	if withDelay.Acquisition.Readings <= powerOnly.Acquisition.Readings {
+		t.Errorf("delay run recorded no extra acquisitions: %v vs %v",
+			withDelay.Acquisition, powerOnly.Acquisition)
+	}
+	// …but after stripping the delay-only fields and the accounting,
+	// every power-verdict field must match exactly.
+	withDelay.Channel = powerOnly.Channel
+	withDelay.Delay = nil
+	withDelay.Acquisition = powerOnly.Acquisition
+	aj, err := json.Marshal(powerOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(withDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("delay channel perturbed the power verdict:\npower-only: %s\nwith-delay: %s", aj, bj)
+	}
+}
+
+// TestFusedChannelRequiresDelayChip: selecting a delay-bearing channel
+// on a device without a delay die is a configuration error, not a
+// silent power-only run.
+func TestFusedChannelRequiresDelayChip(t *testing.T) {
+	cfg := quickRobustnessConfig().withDefaults()
+	inst, err := trust.Build(trust.Cases()[0], cfg.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := power.SAED90Like()
+	chip := power.Manufacture(inst.Infected, lib, power.ThreeSigmaIntra(cfg.Varsigma), cfg.ChipSeed)
+	dev := NewDevice(chip, cfg.NumChains, scan.LOS)
+	defer dev.Close()
+	_, err = Detect(inst.Host, lib, dev, Config{
+		NumChains: cfg.NumChains,
+		ATPG:      cfg.ATPG,
+		Varsigma:  cfg.Varsigma,
+		Channel:   ChannelFused,
+	})
+	if err == nil {
+		t.Fatal("fused channel without a delay chip must refuse to run")
+	}
+}
+
+// TestFusionRowWireRoundTrip: the row (NaN AUCs included) survives the
+// JSON wire bit-for-bit.
+func TestFusionRowWireRoundTrip(t *testing.T) {
+	row := FusionRow{
+		Preset:   "drift",
+		Case:     "s35932-T200",
+		PowerAUC: math.NaN(),
+		DelayAUC: 0.875,
+		FusedAUC: 1,
+		PowerROC: []ROCPoint{{Threshold: 0.1, TPR: 1, FPR: 0.5}},
+	}
+	b, err := json.Marshal(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FusionRow
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(back.PowerAUC) || back.DelayAUC != 0.875 || back.FusedAUC != 1 {
+		t.Errorf("AUC columns did not round-trip: %+v", back)
+	}
+	if len(back.PowerROC) != 1 || back.PowerROC[0] != row.PowerROC[0] {
+		t.Errorf("ROC curve did not round-trip: %+v", back.PowerROC)
+	}
+}

@@ -1,51 +1,57 @@
 package core
 
 import (
+	"math"
 	"sort"
 
 	"superpose/internal/netlist"
 	"superpose/internal/power"
 )
 
-// ROCPoint is one verdict-threshold operating point over a pair of lots.
+// ROCPoint is one verdict-threshold operating point over a pair of
+// score populations. It is a wire type (json tags + NaN-safe marshaling
+// in wire.go) so ROC tables ship through internal/netio.
 type ROCPoint struct {
-	Threshold float64 // |S-RPD| verdict bound
-	TPR       float64 // fraction of infected dies flagged
-	FPR       float64 // fraction of clean dies flagged
+	Threshold float64 `json:"threshold"` // verdict bound on the score
+	TPR       float64 `json:"tpr"`       // fraction of infected dies flagged
+	FPR       float64 `json:"fpr"`       // fraction of clean dies flagged
 }
 
-// ROC sweeps the verdict threshold over the observed |S-RPD| values of an
-// infected and a clean lot, producing the receiver operating
-// characteristic of the method at the lots' process conditions. This is
-// an extension beyond the paper's evaluation (which fixes the bound at ς);
-// it makes the safety margin visible: a wide gap between the lots shows as
-// a long plateau of (TPR=1, FPR=0) thresholds.
-func ROC(infected, clean *LotReport) []ROCPoint {
+// ROCFromScores sweeps a verdict threshold over two scalar score
+// populations — higher score = more suspicious — producing the receiver
+// operating characteristic of any scoring rule: |S-RPD| magnitudes,
+// delay residuals, fused scores. NaN scores (unstable dies) stay in the
+// denominators but can never be flagged at any threshold, matching the
+// flow's graceful-degradation rule that an unstable die is never a
+// detection. Returns nil when no finite score exists on either side.
+func ROCFromScores(infected, clean []float64) []ROCPoint {
 	var thresholds []float64
-	for _, d := range infected.Dies {
-		thresholds = append(thresholds, d.FinalMag)
+	for _, s := range append(append([]float64(nil), infected...), clean...) {
+		if !math.IsNaN(s) {
+			thresholds = append(thresholds, s)
+		}
 	}
-	for _, d := range clean.Dies {
-		thresholds = append(thresholds, d.FinalMag)
+	if len(thresholds) == 0 {
+		return nil
 	}
 	sort.Float64s(thresholds)
 
-	rate := func(lr *LotReport, thr float64) float64 {
-		if len(lr.Dies) == 0 {
+	rate := func(scores []float64, thr float64) float64 {
+		if len(scores) == 0 {
 			return 0
 		}
 		n := 0
-		for _, d := range lr.Dies {
-			if d.FinalMag > thr {
+		for _, s := range scores {
+			if s > thr { // NaN fails every comparison: never flagged
 				n++
 			}
 		}
-		return float64(n) / float64(len(lr.Dies))
+		return float64(n) / float64(len(scores))
 	}
 
 	var out []ROCPoint
-	// One point just below every observed magnitude plus a closing point.
-	prev := -1.0
+	// One point just below every observed score plus a closing point.
+	prev := math.Inf(-1)
 	for _, thr := range thresholds {
 		t := thr - 1e-12
 		if t == prev {
@@ -56,6 +62,46 @@ func ROC(infected, clean *LotReport) []ROCPoint {
 	}
 	last := thresholds[len(thresholds)-1]
 	out = append(out, ROCPoint{Threshold: last, TPR: rate(infected, last), FPR: rate(clean, last)})
+	return out
+}
+
+// AUC integrates the area under an ROC curve by the trapezoid rule,
+// anchored at (0,0) and (1,1). 1.0 is perfect separation, 0.5 chance.
+// Returns NaN for an empty curve.
+func AUC(points []ROCPoint) float64 {
+	if len(points) == 0 {
+		return math.NaN()
+	}
+	pts := append([]ROCPoint(nil), points...)
+	pts = append(pts, ROCPoint{FPR: 0, TPR: 0}, ROCPoint{FPR: 1, TPR: 1})
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].FPR != pts[j].FPR {
+			return pts[i].FPR < pts[j].FPR
+		}
+		return pts[i].TPR < pts[j].TPR
+	})
+	var area float64
+	for i := 1; i < len(pts); i++ {
+		area += (pts[i].FPR - pts[i-1].FPR) * (pts[i].TPR + pts[i-1].TPR) / 2
+	}
+	return area
+}
+
+// ROC sweeps the verdict threshold over the observed |S-RPD| values of an
+// infected and a clean lot, producing the receiver operating
+// characteristic of the method at the lots' process conditions. This is
+// an extension beyond the paper's evaluation (which fixes the bound at ς);
+// it makes the safety margin visible: a wide gap between the lots shows as
+// a long plateau of (TPR=1, FPR=0) thresholds.
+func ROC(infected, clean *LotReport) []ROCPoint {
+	return ROCFromScores(finalMags(infected), finalMags(clean))
+}
+
+func finalMags(lr *LotReport) []float64 {
+	out := make([]float64, 0, len(lr.Dies))
+	for _, d := range lr.Dies {
+		out = append(out, d.FinalMag)
+	}
 	return out
 }
 

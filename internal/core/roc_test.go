@@ -1,6 +1,9 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
+	"math"
 	"testing"
 
 	"superpose/internal/atpg"
@@ -87,5 +90,75 @@ func TestRunROCEndToEnd(t *testing.T) {
 	}
 	if !perfect {
 		t.Error("no perfect operating point")
+	}
+}
+
+func TestROCFromScoresNaNAndDegenerate(t *testing.T) {
+	// NaN scores stay in the denominators but can never be flagged: an
+	// unstable die dilutes the TPR honestly instead of vanishing.
+	roc := ROCFromScores([]float64{0.2, math.NaN()}, []float64{0.05})
+	if len(roc) == 0 {
+		t.Fatal("empty curve")
+	}
+	for _, p := range roc {
+		if p.TPR > 0.5+1e-12 {
+			t.Errorf("NaN infected die counted as detected: %+v", p)
+		}
+	}
+	// All-NaN populations have no curve at all.
+	if roc := ROCFromScores([]float64{math.NaN()}, []float64{math.NaN()}); roc != nil {
+		t.Errorf("all-NaN populations produced a curve: %v", roc)
+	}
+	// One-sided input still sweeps its own scores.
+	roc = ROCFromScores([]float64{0.3}, nil)
+	if len(roc) == 0 {
+		t.Fatal("one-sided curve empty")
+	}
+	if roc[0].TPR != 1 || roc[0].FPR != 0 {
+		t.Errorf("one-sided point %+v", roc[0])
+	}
+}
+
+func TestAUCValues(t *testing.T) {
+	// Perfect separation integrates to 1.
+	perfect := ROCFromScores([]float64{0.2, 0.3}, []float64{0.01, 0.02})
+	if auc := AUC(perfect); math.Abs(auc-1) > 1e-9 {
+		t.Errorf("perfect AUC %v", auc)
+	}
+	// Identical populations land at chance.
+	chance := ROCFromScores([]float64{0.1, 0.2}, []float64{0.1, 0.2})
+	if auc := AUC(chance); math.Abs(auc-0.5) > 0.1 {
+		t.Errorf("chance AUC %v", auc)
+	}
+	if auc := AUC(nil); !math.IsNaN(auc) {
+		t.Errorf("empty-curve AUC %v, want NaN", auc)
+	}
+}
+
+func TestROCPointWireRoundTrip(t *testing.T) {
+	pts := []ROCPoint{
+		{Threshold: 0.1, TPR: 1, FPR: 0.25},
+		{Threshold: math.Inf(1), TPR: math.NaN(), FPR: 0},
+	}
+	b, err := json.Marshal(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []ROCPoint
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Errorf("ROC wire not stable: %s vs %s", b, b2)
+	}
+	if back[0] != pts[0] {
+		t.Errorf("finite point mangled: %+v", back[0])
+	}
+	if !math.IsInf(back[1].Threshold, 1) || !math.IsNaN(back[1].TPR) {
+		t.Errorf("non-finite point mangled: %+v", back[1])
 	}
 }

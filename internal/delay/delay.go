@@ -1,0 +1,139 @@
+// Package delay is the transition-delay side channel: the second
+// independent observable the paper's LOS launch patterns expose for
+// free. A launch-off-shift pattern pair creates transitions and races
+// them against the capture edge, so the same stimuli that price
+// switching power also measure the slowest sensitized path — no pattern
+// re-generation, just a second instrument on the tester.
+//
+// The measurement model mirrors the power substrate deliberately:
+//
+//   - per-die process variation — one inter-die scale plus independent
+//     per-gate intra-die factors — drawn from a seeded RNG stream
+//     decorrelated from the power chip's (the two channels' variations
+//     are physically distinct: threshold voltage vs carrier mobility
+//     dominate differently);
+//   - the fanout load penalty of internal/timing as the Trojan-tap
+//     lever: a trigger tap adds a reader to its host net, which the
+//     golden model does not expect;
+//   - trigger-tree gates that toggle on the physical die extend the
+//     measured sensitized path through cells absent from the golden
+//     netlist entirely — the delay analogue of the power method's
+//     partial trigger activity.
+//
+// Analysis is self-referencing like the power flow: the median
+// measured/nominal ratio calibrates out the inter-die scale, and the
+// score is the worst calibrated relative residual across patterns.
+package delay
+
+import (
+	"math"
+	"sort"
+
+	"superpose/internal/netlist"
+	"superpose/internal/power"
+	"superpose/internal/timing"
+)
+
+// chipSeedSalt decorrelates the delay die's process draw from the power
+// chip (which consumes the raw lot seed) and from the standalone timing
+// baseline (which salts with 0x7137): the same die index yields
+// independent — but individually reproducible — draws on every channel.
+const chipSeedSalt = 0xD31AC8A1
+
+// Chip is one manufactured die's timing reality over the physical
+// (possibly infected) netlist, as seen by the delay measurement path.
+type Chip struct {
+	n   *netlist.Netlist
+	lib *timing.Library
+	tc  *timing.Chip
+}
+
+// Manufacture draws a die's delay reality. Variation semantics match the
+// power model (inter-die scale plus per-gate intra-die factors, both
+// clamped away from zero); v is the same Variation the lot applies to
+// the power chip, realized through an independent RNG stream.
+func Manufacture(n *netlist.Netlist, lib *timing.Library, v power.Variation, seed uint64) *Chip {
+	return &Chip{
+		n:   n,
+		lib: lib,
+		tc:  timing.Manufacture(n, lib, v.SigmaInter, v.SigmaIntra, seed^chipSeedSalt),
+	}
+}
+
+// Netlist returns the physical netlist the die was manufactured over.
+func (c *Chip) Netlist() *netlist.Netlist { return c.n }
+
+// Library returns the delay library, which the defender shares: the
+// golden nominal model is built from the same cells.
+func (c *Chip) Library() *timing.Library { return c.lib }
+
+// Delays returns the die's true per-gate delays (timing.Chip storage).
+// MEASUREMENT-MODEL USE ONLY: the tester observes path delays, never
+// per-gate delays; internal/core funnels these through a
+// timing.PathWalker to produce the observable.
+func (c *Chip) Delays() []float64 { return c.tc.Delays() }
+
+// Result is the outcome of a delay-channel comparison over one pattern
+// set.
+type Result struct {
+	// Score is the worst calibrated relative residual |m/(n·scale) − 1|
+	// across usable patterns — NaN when no pattern was usable (every
+	// measurement lost, or the set was empty).
+	Score float64
+	// Scale is the calibrated inter-die factor (median measured/nominal
+	// ratio); NaN when nothing was usable.
+	Scale float64
+	// Used counts patterns contributing to the score; Unstable counts
+	// patterns whose measurement came back NaN (lost conversions the
+	// acquisition layer could not recover).
+	Used     int
+	Unstable int
+}
+
+// Analyze compares measured per-pattern path delays against the golden
+// nominal expectations, index-aligned. The median ratio calibrates out
+// the inter-die scale (robust to a Trojan contaminating a minority of
+// patterns); the score is the worst remaining relative residual. NaN
+// measurements and non-positive nominals are excluded from both the
+// calibration and the score — graceful degradation, mirroring the power
+// flow's treatment of unstable readings.
+func Analyze(measured, nominal []float64) Result {
+	res := Result{Score: math.NaN(), Scale: math.NaN()}
+	ratios := make([]float64, 0, len(measured))
+	for i := range measured {
+		if math.IsNaN(measured[i]) {
+			res.Unstable++
+			continue
+		}
+		if i < len(nominal) && nominal[i] > 0 {
+			ratios = append(ratios, measured[i]/nominal[i])
+		}
+	}
+	if len(ratios) == 0 {
+		return res
+	}
+	sort.Float64s(ratios)
+	scale := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		scale = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+	}
+	if scale <= 0 {
+		return res
+	}
+	res.Scale = scale
+	res.Score = 0
+	for i := range measured {
+		if math.IsNaN(measured[i]) || i >= len(nominal) || nominal[i] <= 0 {
+			continue
+		}
+		r := measured[i]/(nominal[i]*scale) - 1
+		if r < 0 {
+			r = -r
+		}
+		if r > res.Score {
+			res.Score = r
+		}
+		res.Used++
+	}
+	return res
+}

@@ -1,0 +1,103 @@
+package delay
+
+import (
+	"math"
+	"testing"
+
+	"superpose/internal/power"
+	"superpose/internal/timing"
+	"superpose/internal/trust"
+)
+
+func TestManufactureDecorrelatedFromPower(t *testing.T) {
+	inst, err := trust.Build(trust.Case{Benchmark: "s35932", Trojan: "T200"}, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := timing.SAED90LikeDelays()
+	v := power.ThreeSigmaIntra(0.15)
+
+	c1 := Manufacture(inst.Host, lib, v, 42)
+	c2 := Manufacture(inst.Host, lib, v, 42)
+	c3 := Manufacture(inst.Host, lib, v, 43)
+	d1, d2, d3 := c1.Delays(), c2.Delays(), c3.Delays()
+	same, diff := true, false
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			same = false
+		}
+		if d1[i] != d3[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed must reproduce the die bit-for-bit")
+	}
+	if !diff {
+		t.Error("different seeds must draw different dies")
+	}
+
+	// Decorrelation from the standalone timing baseline: the same seed
+	// through timing.Manufacture directly yields a different die.
+	base := timing.Manufacture(inst.Host, lib, v.SigmaInter, v.SigmaIntra, 42)
+	if d1[0] == base.Delays()[0] && d1[1] == base.Delays()[1] {
+		t.Error("delay chip must not share the timing baseline's RNG stream")
+	}
+	if c1.Netlist() != inst.Host || c1.Library() != lib {
+		t.Error("accessors must return construction arguments")
+	}
+}
+
+func TestAnalyzeCalibratesInterDieScale(t *testing.T) {
+	nominal := []float64{100, 220, 310, 400, 150}
+	measured := make([]float64, len(nominal))
+	for i, n := range nominal {
+		measured[i] = n * 1.17 // pure inter-die scale: calibrates out exactly
+	}
+	res := Analyze(measured, nominal)
+	if math.Abs(res.Scale-1.17) > 1e-12 {
+		t.Errorf("scale %v, want 1.17", res.Scale)
+	}
+	if res.Score > 1e-12 {
+		t.Errorf("pure-scale residual %v, want 0", res.Score)
+	}
+	if res.Used != len(nominal) || res.Unstable != 0 {
+		t.Errorf("used %d unstable %d", res.Used, res.Unstable)
+	}
+}
+
+func TestAnalyzeScoresOutlierPattern(t *testing.T) {
+	nominal := []float64{100, 220, 310, 400, 150}
+	measured := []float64{100, 220, 310 * 1.3, 400, 150} // one path 30% slow
+	res := Analyze(measured, nominal)
+	if math.Abs(res.Scale-1) > 1e-12 {
+		t.Errorf("median calibration must resist a minority outlier: scale %v", res.Scale)
+	}
+	if math.Abs(res.Score-0.3) > 1e-9 {
+		t.Errorf("score %v, want 0.3", res.Score)
+	}
+}
+
+func TestAnalyzeGracefulDegradation(t *testing.T) {
+	nan := math.NaN()
+	res := Analyze([]float64{nan, 220, nan}, []float64{100, 220, 310})
+	if res.Unstable != 2 || res.Used != 1 {
+		t.Errorf("unstable %d used %d", res.Unstable, res.Used)
+	}
+	if math.IsNaN(res.Score) {
+		t.Error("one stable pattern suffices for a score")
+	}
+
+	all := Analyze([]float64{nan, nan}, []float64{100, 220})
+	if !math.IsNaN(all.Score) || !math.IsNaN(all.Scale) {
+		t.Error("all-unstable set must deliver NaN score and scale")
+	}
+	if empty := Analyze(nil, nil); !math.IsNaN(empty.Score) {
+		t.Error("empty set must deliver NaN score")
+	}
+	// Non-positive nominals carry no information.
+	zeroNom := Analyze([]float64{5, 100}, []float64{0, 100})
+	if zeroNom.Used != 1 {
+		t.Errorf("zero-nominal pattern must be excluded; used %d", zeroNom.Used)
+	}
+}

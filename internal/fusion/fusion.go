@@ -1,0 +1,144 @@
+// Package fusion joins the power and delay side channels into one
+// verdict, in the spirit of the multiple-parameter analyses the paper's
+// related work surveys (and LASCA's learning-assisted calibration): each
+// channel alone can be defeated — power by measurement pathologies the
+// acquisition layer cannot fully scrub, delay by a Trojan that never
+// extends a measured path — but a Trojan must evade *both* instruments
+// at once to pass a fused threshold.
+//
+// The calibration is learned, not assumed: it is trained on clean
+// control dies only (the lots the experiment harness already certifies
+// to estimate false-positive rates), normalizing each channel by the
+// worst score a clean die exhibited and placing the operating threshold
+// a safety margin above it. By construction the trained threshold flags
+// zero training controls; the honesty tests assert the same holds on
+// held-out clean lots across every tester fault preset.
+//
+// Everything is deterministic: training canonicalizes the observation
+// order before reducing, so the learned threshold is bit-identical
+// regardless of the worker count that produced the observations.
+package fusion
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultMargin is the relative safety margin above the worst clean
+// training score when none is configured. The clean |S-RPD| scatter is
+// heavy-tailed and training lots are small, so the max a handful of
+// controls exhibits understates the tail a held-out lot will reach;
+// doubling the worst training score (margin 1.0) absorbs that gap
+// while staying far below the 3–6× signal an activated Trojan shows.
+const DefaultMargin = 1.0
+
+// Observation is one die's channel-score pair: the power channel's
+// |final S-RPD| and the delay channel's worst calibrated path residual.
+// Either may be NaN (an unstable channel on that die).
+type Observation struct {
+	Power float64 `json:"power"`
+	Delay float64 `json:"delay"`
+}
+
+// Calibration is a learned fused operating point. The zero value is
+// untrained (Enabled reports false); all fields of a trained calibration
+// are finite, so the type marshals through encoding/json directly.
+type Calibration struct {
+	// PowerScale and DelayScale normalize each channel: the worst finite
+	// score a clean training die exhibited on that channel. A scale of 0
+	// disables the channel (no clean die produced a finite score — the
+	// channel carries no calibrated information).
+	PowerScale float64 `json:"power_scale"`
+	DelayScale float64 `json:"delay_scale"`
+	// Threshold is the fused verdict bound: 1 + margin. A fused score of
+	// 1.0 equals the worst clean training die.
+	Threshold float64 `json:"threshold"`
+	// Margin echoes the trained safety margin.
+	Margin float64 `json:"margin"`
+	// Trained counts the clean control observations consumed.
+	Trained int `json:"trained"`
+}
+
+// Train learns a calibration from clean control observations. margin is
+// the relative safety margin above the worst clean score (DefaultMargin
+// when non-positive). The observations are canonicalized (sorted) before
+// reduction, so any permutation of the same multiset — e.g. a lot
+// certified at a different worker count — trains a bit-identical
+// calibration.
+func Train(clean []Observation, margin float64) Calibration {
+	if margin <= 0 {
+		margin = DefaultMargin
+	}
+	obs := append([]Observation(nil), clean...)
+	sort.Slice(obs, func(i, j int) bool {
+		// NaN sorts first via the negated-NaN trick: any comparison with
+		// NaN is false, so order NaNs explicitly.
+		pi, pj := obs[i].Power, obs[j].Power
+		switch {
+		case math.IsNaN(pi) && !math.IsNaN(pj):
+			return true
+		case !math.IsNaN(pi) && math.IsNaN(pj):
+			return false
+		case pi != pj:
+			return pi < pj
+		}
+		di, dj := obs[i].Delay, obs[j].Delay
+		if math.IsNaN(di) {
+			return !math.IsNaN(dj)
+		}
+		return di < dj
+	})
+	c := Calibration{Threshold: 1 + margin, Margin: margin, Trained: len(obs)}
+	for _, o := range obs {
+		if !math.IsNaN(o.Power) && o.Power > c.PowerScale {
+			c.PowerScale = o.Power
+		}
+		if !math.IsNaN(o.Delay) && o.Delay > c.DelayScale {
+			c.DelayScale = o.Delay
+		}
+	}
+	return c
+}
+
+// Enabled reports whether the calibration was trained.
+func (c Calibration) Enabled() bool { return c.Trained > 0 }
+
+// Score returns the fused outlier score of an observation: the worse of
+// the two normalized channel scores, where 1.0 marks the worst clean
+// training die on that channel. A NaN channel is skipped (the other
+// carries the verdict alone); a disabled channel (scale 0) likewise.
+// When no channel is usable the score is NaN — the fused analogue of an
+// unstable die, never silently clean.
+func (c Calibration) Score(o Observation) float64 {
+	score, usable := 0.0, false
+	if c.PowerScale > 0 && !math.IsNaN(o.Power) {
+		if s := o.Power / c.PowerScale; s > score {
+			score = s
+		}
+		usable = true
+	}
+	if c.DelayScale > 0 && !math.IsNaN(o.Delay) {
+		if s := o.Delay / c.DelayScale; s > score {
+			score = s
+		}
+		usable = true
+	}
+	if !usable {
+		return math.NaN()
+	}
+	return score
+}
+
+// Detect applies the learned operating point: fused score beyond the
+// threshold. NaN (no usable channel) is never a detection.
+func (c Calibration) Detect(o Observation) bool {
+	s := c.Score(o)
+	return !math.IsNaN(s) && s > c.Threshold
+}
+
+// String renders the operating point for table output.
+func (c Calibration) String() string {
+	return fmt.Sprintf("fused(power/%.4g, delay/%.4g, thr %.3g, n=%d)",
+		c.PowerScale, c.DelayScale, c.Threshold, c.Trained)
+}

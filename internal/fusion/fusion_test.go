@@ -1,0 +1,127 @@
+package fusion
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTrainZeroFalsePositivesByConstruction(t *testing.T) {
+	clean := []Observation{
+		{Power: 0.08, Delay: 0.02},
+		{Power: 0.11, Delay: 0.015},
+		{Power: 0.05, Delay: 0.03},
+	}
+	c := Train(clean, 0)
+	if !c.Enabled() {
+		t.Fatal("trained calibration must be enabled")
+	}
+	if c.PowerScale != 0.11 || c.DelayScale != 0.03 {
+		t.Fatalf("scales %v/%v", c.PowerScale, c.DelayScale)
+	}
+	if c.Threshold != 1+DefaultMargin {
+		t.Fatalf("threshold %v", c.Threshold)
+	}
+	for i, o := range clean {
+		if c.Detect(o) {
+			t.Errorf("training control %d flagged", i)
+		}
+		if s := c.Score(o); s > 1 {
+			t.Errorf("training control %d scores %v > 1", i, s)
+		}
+	}
+}
+
+func TestScoreChannels(t *testing.T) {
+	c := Train([]Observation{{Power: 0.1, Delay: 0.02}}, 0.25)
+
+	// Either channel alone can carry a detection.
+	if !c.Detect(Observation{Power: 0.2, Delay: 0.01}) {
+		t.Error("power excursion must be detected")
+	}
+	if !c.Detect(Observation{Power: 0.05, Delay: 0.08}) {
+		t.Error("delay excursion must be detected")
+	}
+	// A NaN channel degrades to the other, never to a verdict.
+	if !c.Detect(Observation{Power: math.NaN(), Delay: 0.08}) {
+		t.Error("NaN power must not mask a delay detection")
+	}
+	if c.Detect(Observation{Power: math.NaN(), Delay: 0.01}) {
+		t.Error("NaN power with a clean delay is not a detection")
+	}
+	if s := c.Score(Observation{Power: math.NaN(), Delay: math.NaN()}); !math.IsNaN(s) {
+		t.Errorf("both channels NaN must score NaN, got %v", s)
+	}
+	if c.Detect(Observation{Power: math.NaN(), Delay: math.NaN()}) {
+		t.Error("NaN fused score is never a detection")
+	}
+}
+
+func TestTrainOrderIndependentBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	obs := make([]Observation, 40)
+	for i := range obs {
+		obs[i] = Observation{Power: rng.Float64() * 0.2, Delay: rng.Float64() * 0.05}
+	}
+	obs[3].Delay = math.NaN() // unstable channels must not disturb canonicalization
+	obs[9].Power = math.NaN()
+
+	ref := Train(obs, 0)
+	for trial := 0; trial < 20; trial++ {
+		shuf := append([]Observation(nil), obs...)
+		rng.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+		got := Train(shuf, 0)
+		if math.Float64bits(got.PowerScale) != math.Float64bits(ref.PowerScale) ||
+			math.Float64bits(got.DelayScale) != math.Float64bits(ref.DelayScale) ||
+			math.Float64bits(got.Threshold) != math.Float64bits(ref.Threshold) {
+			t.Fatalf("trial %d: permuted training diverged: %+v vs %+v", trial, got, ref)
+		}
+	}
+}
+
+func TestDisabledChannel(t *testing.T) {
+	// No clean die produced a finite delay score: the delay channel is
+	// uncalibrated and must be ignored, not treated as zero-scale outlier.
+	c := Train([]Observation{
+		{Power: 0.1, Delay: math.NaN()},
+		{Power: 0.08, Delay: math.NaN()},
+	}, 0)
+	if c.DelayScale != 0 {
+		t.Fatalf("delay scale %v, want disabled", c.DelayScale)
+	}
+	if c.Detect(Observation{Power: 0.05, Delay: 99}) {
+		t.Error("an uncalibrated channel must not produce detections")
+	}
+	if !c.Detect(Observation{Power: 0.25, Delay: 99}) {
+		t.Error("the calibrated channel still detects")
+	}
+}
+
+func TestUntrainedZeroValue(t *testing.T) {
+	var c Calibration
+	if c.Enabled() {
+		t.Error("zero value must be untrained")
+	}
+	if s := c.Score(Observation{Power: 1, Delay: 1}); !math.IsNaN(s) {
+		t.Errorf("untrained score %v, want NaN", s)
+	}
+	if c.Detect(Observation{Power: 1, Delay: 1}) {
+		t.Error("untrained calibration never detects")
+	}
+}
+
+func TestCalibrationJSONRoundTrip(t *testing.T) {
+	c := Train([]Observation{{Power: 0.1, Delay: 0.02}}, 0.3)
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Calibration
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("round trip %+v vs %+v", got, c)
+	}
+}

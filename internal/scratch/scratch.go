@@ -46,10 +46,12 @@ func (p *slices[T]) put(s []T) {
 }
 
 var (
-	wordPool   slices[logic.Word]
-	uint32Pool slices[uint32]
-	uint64Pool slices[uint64]
-	boolPool   slices[bool]
+	wordPool    slices[logic.Word]
+	uint32Pool  slices[uint32]
+	uint64Pool  slices[uint64]
+	boolPool    slices[bool]
+	float64Pool slices[float64]
+	intPool     slices[int]
 )
 
 // Words returns a zeroed []logic.Word of length n.
@@ -75,3 +77,15 @@ func Bools(n int) []bool { return boolPool.get(n) }
 
 // PutBools returns a slice to the pool.
 func PutBools(s []bool) { boolPool.put(s) }
+
+// Float64s returns a zeroed []float64 of length n.
+func Float64s(n int) []float64 { return float64Pool.get(n) }
+
+// PutFloat64s returns a slice to the pool.
+func PutFloat64s(s []float64) { float64Pool.put(s) }
+
+// Ints returns a zeroed []int of length n.
+func Ints(n int) []int { return intPool.get(n) }
+
+// PutInts returns a slice to the pool.
+func PutInts(s []int) { intPool.put(s) }

@@ -1,0 +1,134 @@
+package timing
+
+import (
+	"sort"
+
+	"superpose/internal/netlist"
+	"superpose/internal/scratch"
+)
+
+// Delays exposes the model's per-gate nominal delays (indexed by gate
+// ID). The slice is owned by the model; callers must not mutate it.
+func (m *Model) Delays() []float64 { return m.delay }
+
+// Delays exposes the die's true per-gate delays (indexed by gate ID of
+// the chip's netlist). The slice is owned by the chip; callers must not
+// mutate it. EVALUATION AND MEASUREMENT-MODEL USE: a real tester sees
+// only path arrivals, never per-gate delays — internal/core's delay
+// measurement path funnels these through a PathWalker to produce the
+// tester-visible observable.
+func (c *Chip) Delays() []float64 { return c.delays }
+
+// Netlist returns the netlist the chip was manufactured over.
+func (c *Chip) Netlist() *netlist.Netlist { return c.n }
+
+// PathWalker extracts per-pattern sensitized-path delays: the worst-case
+// arrival among the gates one launch actually toggles, which is what a
+// transition-delay test measures (the capture edge races the slowest
+// sensitized path, not the static critical path). Gates that do not
+// toggle contribute nothing — their outputs hold steady through the
+// launch — so the walk runs over the toggle set only.
+//
+// The walker is iterative and pooled: its O(gates) arrival array and
+// epoch-guard array come from internal/scratch and are reset in O(1) per
+// call by bumping an epoch counter, so million-gate netlists pay neither
+// recursion depth nor per-pattern clearing. One walker serves any number
+// of PathDelay calls over the same netlist; it is not safe for
+// concurrent use (pool one per goroutine, like the simulation engines).
+type PathWalker struct {
+	n       *netlist.Netlist
+	arrival []float64 // per gate: arrival this epoch (valid iff seen matches)
+	seen    []uint32  // epoch guard: arrival[id] is live iff seen[id] == epoch
+	epoch   uint32
+	order   []int // scratch: toggle set sorted into propagation order
+}
+
+// NewPathWalker builds a walker over n using pooled storage.
+func NewPathWalker(n *netlist.Netlist) *PathWalker {
+	return &PathWalker{
+		n:       n,
+		arrival: scratch.Float64s(n.NumGates()),
+		seen:    scratch.Uint32s(n.NumGates()),
+	}
+}
+
+// Release returns the walker's pooled storage. The walker must not be
+// used afterwards; Release is idempotent.
+func (w *PathWalker) Release() {
+	if w.arrival != nil {
+		scratch.PutFloat64s(w.arrival)
+		w.arrival = nil
+	}
+	if w.seen != nil {
+		scratch.PutUint32s(w.seen)
+		w.seen = nil
+	}
+	if w.order != nil {
+		scratch.PutInts(w.order)
+		w.order = nil
+	}
+}
+
+// PathDelay returns the worst-case arrival over the toggled subgraph:
+// each toggled source launches at its own delay, each toggled
+// combinational gate adds its delay to the latest arrival among its
+// *toggled* fanins (an untoggled fanin holds steady and launches no
+// transition into the gate). delays is indexed by gate ID — a Model's
+// nominal delays for the defender's expectation, a Chip's true delays
+// for the die's physical reality. toggles is not mutated.
+//
+// The result over the full gate set equals the global worst arrival of
+// Analyze; over a pattern's toggle set it is the tester-visible
+// transition-delay observable of that launch.
+func (w *PathWalker) PathDelay(delays []float64, toggles []int) float64 {
+	if len(toggles) == 0 {
+		return 0
+	}
+	w.epoch++
+	if w.epoch == 0 { // wrapped: every stale mark would read as live
+		clear(w.seen)
+		w.epoch = 1
+	}
+
+	// Propagation order: gate IDs are assigned in stream order, which the
+	// builders do not promise is topological, so sort the toggle set by
+	// levelized depth (ties by ID for determinism). Within a level no gate
+	// reads another, so the order within ties is immaterial to the result.
+	if cap(w.order) < len(toggles) {
+		if w.order != nil {
+			scratch.PutInts(w.order)
+		}
+		w.order = scratch.Ints(len(toggles))
+	}
+	order := append(w.order[:0], toggles...)
+	sort.Slice(order, func(i, j int) bool {
+		li, lj := w.n.Level(order[i]), w.n.Level(order[j])
+		if li != lj {
+			return li < lj
+		}
+		return order[i] < order[j]
+	})
+
+	worst := 0.0
+	for _, id := range order {
+		g := &w.n.Gates[id]
+		best := 0.0
+		if !g.Type.IsSource() {
+			// Sources launch at their own delay (clk-to-Q, 0 for PIs):
+			// a DFF's D-pin fanin is next-state logic, not part of the
+			// launch path through the cell.
+			for _, f := range g.Fanin {
+				if w.seen[f] == w.epoch && w.arrival[f] > best {
+					best = w.arrival[f]
+				}
+			}
+		}
+		a := best + delays[id]
+		w.arrival[id] = a
+		w.seen[id] = w.epoch
+		if a > worst {
+			worst = a
+		}
+	}
+	return worst
+}
