@@ -1,0 +1,369 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"superpose/internal/netio"
+	"superpose/internal/service"
+)
+
+// haGetStatus polls a job tolerating the transient failures a failover
+// produces (connection refused, 503 from a standby, 404 mid-replay).
+func haGetStatus(base, id string) (service.Status, bool) {
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return service.Status{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return service.Status{}, false
+	}
+	var st service.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return service.Status{}, false
+	}
+	return st, true
+}
+
+// haRole reads a node's /ha/v1/role discovery probe.
+func haRole(base string) string {
+	resp, err := http.Get(base + "/ha/v1/role")
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Role string `json:"role"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&body) != nil {
+		return ""
+	}
+	return body.Role
+}
+
+// TestClusterKillPrimaryMidLot is the HA layer's headline proof: a
+// primary+standby coordinator pair and two workers as real processes,
+// one lot job in flight, the primary SIGKILLed mid-lot. The standby
+// must detect the lease silence, promote itself within the failover
+// window, re-attach the live worker run through the replicated journal
+// copy, and serve a LotReport byte-identical to an uninterrupted
+// control run — with exactly one done-finish across the worker
+// journals and exactly one complete across BOTH coordinators' cluster
+// journals.
+func TestClusterKillPrimaryMidLot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process HA e2e with a multi-second lot job")
+	}
+
+	control, controlDur := controlLotReport(t)
+	t.Logf("control run: %s, %d report bytes", controlDur, len(control))
+
+	const haTTL = 1 * time.Second
+	root := t.TempDir()
+	lease := root + "/primary.lease"
+	primaryDir, standbyDir := root+"/coord-a", root+"/coord-b"
+	workerDirs := []string{t.TempDir(), t.TempDir()}
+
+	primary := spawnDaemon(t,
+		"-role", "coordinator", "-addr", "127.0.0.1:0",
+		"-lease-ttl", "2s", "-poll", "25ms",
+		"-data-dir", primaryDir, "-ha-lease", lease, "-ha-lease-ttl", "1s",
+		"-drain", "3m")
+	standby := spawnDaemon(t,
+		"-role", "standby", "-addr", "127.0.0.1:0",
+		"-lease-ttl", "2s", "-poll", "25ms",
+		"-data-dir", standbyDir, "-ha-lease", lease, "-ha-lease-ttl", "1s",
+		"-peer", primary.base,
+		"-drain", "3m")
+	discovery := primary.base + "," + standby.base
+	workers := make([]*daemonProc, 2)
+	for i := range workers {
+		workers[i] = spawnDaemon(t,
+			"-role", "worker", "-addr", "127.0.0.1:0",
+			"-coordinator-addr", discovery,
+			"-data-dir", workerDirs[i], "-drain", "3m")
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for len(liveWorkers(t, primary.base)) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never reached 2 live workers: %+v", liveWorkers(t, primary.base))
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	resp, err := http.Post(primary.base+"/v1/jobs", "application/json", strings.NewReader(e2eSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d, want 202", resp.StatusCode)
+	}
+
+	// Wait until a worker is genuinely mid-lot and the standby's journal
+	// copy has caught up — the crash must be survivable by replication,
+	// not luck.
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		busy := false
+		for _, w := range liveWorkers(t, primary.base) {
+			if w.InFlight > 0 {
+				busy = true
+			}
+		}
+		var stats service.Stats
+		getJSON(t, primary.base+"/v1/stats", &stats)
+		lag, _ := stats.HA["ha_peer_lag_records"].(float64)
+		if busy && lag == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached busy worker + zero replication lag (lag %v)", stats.HA["ha_peer_lag_records"])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	midLot := controlDur / 3
+	if midLot > 2*time.Second {
+		midLot = 2 * time.Second
+	}
+	time.Sleep(midLot)
+	if cur, ok := haGetStatus(primary.base, st.ID); ok && cur.State.Terminal() {
+		t.Fatalf("job finished in %q before the kill; grow e2eSpec", cur.State)
+	}
+
+	killedAt := time.Now()
+	if err := primary.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	primary.cmd.Wait()
+	t.Logf("killed primary %s mid-lot", primary.base)
+
+	// The standby must promote once the lease goes silent for a TTL —
+	// allow detection granularity plus replay on top of the window.
+	deadline = time.Now().Add(3*haTTL + 2*time.Second)
+	for haRole(standby.base) != "primary" {
+		if time.Now().After(deadline) {
+			t.Fatalf("standby never promoted (role %q)", haRole(standby.base))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Logf("standby promoted %s after the kill", time.Since(killedAt))
+
+	// The job must finish on the promoted standby with the exact bytes
+	// of the control run — the worker's in-flight run re-attached, not
+	// restarted (and even a worst-case restart must replay identically).
+	deadline = time.Now().Add(3*controlDur + time.Minute)
+	var final service.Status
+	for {
+		if cur, ok := haGetStatus(standby.base, st.ID); ok && cur.State.Terminal() {
+			final = cur
+			break
+		}
+		if time.Now().After(deadline) {
+			cur, _ := haGetStatus(standby.base, st.ID)
+			t.Fatalf("job stuck in %q after primary kill", cur.State)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if final.State != service.StateDone || final.LotReport == nil {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+	var got bytes.Buffer
+	if err := netio.EncodeLotReport(&got, final.LotReport); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), control) {
+		t.Fatalf("failed-over report differs from control (%d vs %d bytes)", got.Len(), len(control))
+	}
+
+	// The failover shows up in the survivor's stats.
+	var stats service.Stats
+	getJSON(t, standby.base+"/v1/stats", &stats)
+	if role, _ := stats.HA["ha_role"].(string); role != "primary" {
+		t.Errorf("survivor ha_role = %q, want primary", role)
+	}
+	if fo, _ := stats.HA["failovers_total"].(float64); fo != 1 {
+		t.Errorf("failovers_total = %v, want 1", stats.HA["failovers_total"])
+	}
+
+	// Quiesce the survivors so the journals can be read.
+	for _, p := range append(workers, standby) {
+		p.cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { p.cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(time.Minute):
+			t.Fatal("daemon did not exit after SIGTERM")
+		}
+	}
+
+	// Exactly-once, proven from the durable record: one done-finish
+	// across the worker journals, one complete for the job across BOTH
+	// coordinators' cluster journals.
+	doneFinishes := 0
+	for _, dir := range workerDirs {
+		doneFinishes += countJournal(t, dir+"/journal", func(rec map[string]any) bool {
+			return rec["type"] == "finish" && rec["state"] == "done"
+		})
+	}
+	if doneFinishes != 1 {
+		t.Errorf("done-finish records across worker journals = %d, want exactly 1", doneFinishes)
+	}
+	completes := 0
+	for _, dir := range []string{primaryDir, standbyDir} {
+		completes += countJournal(t, dir+"/cluster", func(rec map[string]any) bool {
+			return rec["type"] == "complete" && rec["job"] == st.ID
+		})
+	}
+	if completes != 1 {
+		t.Errorf("complete records for %s across both cluster journals = %d, want exactly 1", st.ID, completes)
+	}
+}
+
+// TestClusterKillCoordinatorInConfirmWindow pins the fsync-ordering
+// bugfix end to end: the assign INTENT must be durable before the
+// dispatch RPC. The armed failpoint stretches the window between the
+// accepted RPC and its confirming record; SIGKILLing the coordinator
+// inside it leaves exactly the crash state the ordering exists for. On
+// restart, reclaim re-sends the journaled token and the worker dedupes
+// — the job finishes, having run exactly once. If the intent were
+// written after the RPC, the restarted coordinator would find no
+// record and dispatch the job a second time.
+func TestClusterKillCoordinatorInConfirmWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process crash-window e2e")
+	}
+
+	coordDir, workerDir := t.TempDir(), t.TempDir()
+	coord := spawnDaemon(t,
+		"-role", "coordinator", "-addr", "127.0.0.1:0",
+		"-lease-ttl", "1s", "-poll", "25ms",
+		"-data-dir", coordDir,
+		"-failpoints", "cluster/assign/confirm=1*sleep(8s)",
+		"-drain", "3m")
+	worker := spawnDaemon(t,
+		"-role", "worker", "-addr", "127.0.0.1:0",
+		"-coordinator-addr", coord.base,
+		"-data-dir", workerDir, "-drain", "3m")
+
+	deadline := time.Now().Add(30 * time.Second)
+	for len(liveWorkers(t, coord.base)) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	spec := `{"kind":"detect","case":"s35932-T200","scale":0.05,"clean":true}`
+	resp, err := http.Post(coord.base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d, want 202", resp.StatusCode)
+	}
+
+	// The RPC has landed once the worker has accepted a job; the armed
+	// sleep guarantees the coordinator is still pre-confirm — kill it
+	// there.
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		var ws service.Stats
+		getJSON(t, worker.base+"/v1/stats", &ws)
+		if ws.JobsSubmitted >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never received the dispatch RPC")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := coord.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	coord.cmd.Wait()
+	t.Log("killed coordinator inside the assign-confirm window")
+
+	// Restart on the same address and data dir (the worker only knows
+	// that address). Replay must find the un-confirmed intent.
+	u, err := url.Parse(coord.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord2 := spawnDaemon(t,
+		"-role", "coordinator", "-addr", u.Host,
+		"-lease-ttl", "1s", "-poll", "25ms",
+		"-data-dir", coordDir, "-drain", "3m")
+
+	deadline = time.Now().Add(2 * time.Minute)
+	var final service.Status
+	for {
+		if cur, ok := haGetStatus(coord2.base, st.ID); ok && cur.State.Terminal() {
+			final = cur
+			break
+		}
+		if time.Now().After(deadline) {
+			cur, _ := haGetStatus(coord2.base, st.ID)
+			t.Fatalf("job stuck in %q after coordinator restart", cur.State)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if final.State != service.StateDone || final.Report == nil {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+
+	// Quiesce and read the durable record: the worker journaled exactly
+	// one submit and one done-finish (the token resend deduped), and the
+	// coordinator journals carry the intent (token, no worker job)
+	// before exactly one complete.
+	for _, p := range []*daemonProc{worker, coord2} {
+		p.cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { p.cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(time.Minute):
+			t.Fatal("daemon did not exit after SIGTERM")
+		}
+	}
+	if n := countJournal(t, workerDir+"/journal", func(rec map[string]any) bool {
+		return rec["type"] == "submit"
+	}); n != 1 {
+		t.Errorf("worker journal submit records = %d, want exactly 1 (token resend must dedupe)", n)
+	}
+	if n := countJournal(t, workerDir+"/journal", func(rec map[string]any) bool {
+		return rec["type"] == "finish" && rec["state"] == "done"
+	}); n != 1 {
+		t.Errorf("worker journal done-finish records = %d, want exactly 1", n)
+	}
+	intents := countJournal(t, coordDir+"/cluster", func(rec map[string]any) bool {
+		return rec["type"] == "assign" && rec["job"] == st.ID &&
+			rec["token"] != nil && rec["worker_job"] == nil
+	})
+	if intents < 1 {
+		t.Errorf("cluster journal has no durable intent record for %s", st.ID)
+	}
+	if n := countJournal(t, coordDir+"/cluster", func(rec map[string]any) bool {
+		return rec["type"] == "complete" && rec["job"] == st.ID
+	}); n != 1 {
+		t.Errorf("cluster journal complete records = %d, want exactly 1", n)
+	}
+}

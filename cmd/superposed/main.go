@@ -17,6 +17,16 @@
 //	superposed -role coordinator -addr 127.0.0.1:8418 -lease-ttl 10s
 //	superposed -role worker -addr 127.0.0.1:0 -coordinator-addr http://127.0.0.1:8418
 //
+// With -ha-lease the coordinator becomes one node of an HA pair: the
+// designated primary serves while a -role standby peer tails its
+// journals and promotes itself automatically if the primary goes
+// silent for a lease TTL. Workers list both coordinators
+// (comma-separated -coordinator-addr) and rotate on failover:
+//
+//	superposed -role coordinator -addr 127.0.0.1:8418 -data-dir a -ha-lease /shared/primary.lease -peer http://127.0.0.1:8419
+//	superposed -role standby     -addr 127.0.0.1:8419 -data-dir b -ha-lease /shared/primary.lease -peer http://127.0.0.1:8418
+//	superposed -role worker -addr 127.0.0.1:0 -coordinator-addr http://127.0.0.1:8418,http://127.0.0.1:8419
+//
 // On SIGTERM/SIGINT the daemon stops accepting jobs, drains the backlog
 // within the -drain budget, then cancels whatever is still in flight.
 // Workers drain before deregistering, so a job finished during drain is
@@ -34,6 +44,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -68,8 +79,11 @@ func run(args []string, out io.Writer) error {
 		dataDir   = fs.String("data-dir", "", "enable the crash-safe job journal under this directory (restart recovers jobs)")
 		failpts   = fs.String("failpoints", os.Getenv("FAILPOINTS"), "fault-injection spec, e.g. 'core/acquire=1*error(chaos);journal/fsync=p(0.1,7)*error(disk)' (default $FAILPOINTS)")
 
-		role        = fs.String("role", "standalone", "standalone | coordinator | worker")
-		coordAddr   = fs.String("coordinator-addr", "", "worker role: coordinator base URL, e.g. http://127.0.0.1:8418")
+		role        = fs.String("role", "standalone", "standalone | coordinator | worker | standby")
+		coordAddr   = fs.String("coordinator-addr", "", "worker role: coordinator base URL(s), comma-separated for an HA pair")
+		peer        = fs.String("peer", "", "HA pair: the other coordinator's base URL")
+		haLease     = fs.String("ha-lease", "", "HA pair: shared primary-lease file; enables HA for coordinator/standby roles")
+		haTTL       = fs.Duration("ha-lease-ttl", 0, "HA pair: primary lease TTL (default: -lease-ttl)")
 		advertise   = fs.String("advertise-addr", "", "worker role: base URL the coordinator reaches this worker on (default: the bound listen address)")
 		leaseTTL    = fs.Duration("lease-ttl", 10*time.Second, "coordinator role: worker lease TTL (heartbeats renew at TTL/3)")
 		pollEvery   = fs.Duration("poll", 100*time.Millisecond, "coordinator role: worker job-status poll interval")
@@ -107,26 +121,50 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		svc = s
-	case "coordinator":
+	case "coordinator", "standby":
 		if !workersSet {
 			// Dispatch slots are cheap waiting, not CPU: default wider
 			// than the standalone worker pool.
 			svcOpts.Workers = 8
 		}
-		c, err := cluster.New(cluster.Options{
+		clOpts := cluster.Options{
 			Service:      svcOpts,
 			LeaseTTL:     *leaseTTL,
 			PollInterval: *pollEvery,
 			StealMargin:  *stealMargin,
 			TenantRate:   *tenantRate,
 			TenantBurst:  *tenantBurst,
-		})
-		if err != nil {
-			return err
 		}
-		svc = c
+		if *haLease != "" {
+			if svcOpts.DataDir == "" {
+				return errors.New("-ha-lease requires -data-dir (the standby journal copy lives there)")
+			}
+			n, err := cluster.NewHANode(cluster.HAOptions{
+				Coordinator: clOpts,
+				Standby:     *role == "standby",
+				Peer:        *peer,
+				LeasePath:   *haLease,
+				LeaseTTL:    *haTTL,
+				Logf: func(format string, a ...any) {
+					fmt.Fprintf(out, "superposed: %s\n", fmt.Sprintf(format, a...))
+				},
+			})
+			if err != nil {
+				return err
+			}
+			svc = n
+		} else {
+			if *role == "standby" {
+				return errors.New("-role standby requires -ha-lease (and usually -peer)")
+			}
+			c, err := cluster.New(clOpts)
+			if err != nil {
+				return err
+			}
+			svc = c
+		}
 	default:
-		return fmt.Errorf("unknown -role %q (want standalone, coordinator or worker)", *role)
+		return fmt.Errorf("unknown -role %q (want standalone, coordinator, standby or worker)", *role)
 	}
 	svc.Start()
 
@@ -153,9 +191,15 @@ func run(args []string, out io.Writer) error {
 		if workerURL == "" {
 			workerURL = "http://" + ln.Addr().String()
 		}
+		var coords []string
+		for _, b := range strings.Split(*coordAddr, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				coords = append(coords, b)
+			}
+		}
 		agent := cluster.NewAgent(cluster.AgentOptions{
-			Coordinator: *coordAddr,
-			Addr:        workerURL,
+			Coordinators: coords,
+			Addr:         workerURL,
 			Logf: func(format string, a ...any) {
 				fmt.Fprintf(out, "superposed: %s\n", fmt.Sprintf(format, a...))
 			},

@@ -16,8 +16,15 @@ import (
 
 // AgentOptions configures a worker-side membership agent.
 type AgentOptions struct {
-	// Coordinator is the coordinator's base URL.
+	// Coordinator is the coordinator's base URL. With an HA pair, list
+	// every coordinator in Coordinators instead; the agent discovers
+	// whichever is primary and rotates on failover.
 	Coordinator string
+	// Coordinators is the multi-coordinator discovery list. The agent
+	// registers with the first member that accepts (a standby answers
+	// 503 and is skipped), and rotates to the next on lease loss or
+	// coordinator silence. Coordinator, when set too, is prepended.
+	Coordinators []string
 	// Addr is this worker's base URL as reachable from the coordinator
 	// — what gets registered.
 	Addr string
@@ -34,7 +41,9 @@ type AgentOptions struct {
 // best-effort so the coordinator reroutes immediately instead of
 // waiting out the TTL.
 type Agent struct {
-	opts AgentOptions
+	opts  AgentOptions
+	bases []string // discovery list, in rotation order
+	cur   int      // index of the coordinator currently registered with
 }
 
 func NewAgent(opts AgentOptions) *Agent {
@@ -44,11 +53,24 @@ func NewAgent(opts AgentOptions) *Agent {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
-	return &Agent{opts: opts}
+	var bases []string
+	if opts.Coordinator != "" {
+		bases = append(bases, opts.Coordinator)
+	}
+	for _, b := range opts.Coordinators {
+		if b != "" && b != opts.Coordinator {
+			bases = append(bases, b)
+		}
+	}
+	return &Agent{opts: opts, bases: bases}
 }
 
-// Run drives the register/heartbeat loop until ctx is cancelled.
+// Run drives the register/heartbeat loop until ctx is cancelled. With
+// a multi-coordinator list, registration rotates through it under
+// decorrelated-jitter backoff until a primary accepts — so a failover
+// costs the worker one discovery sweep, not its membership.
 func (a *Agent) Run(ctx context.Context) {
+	backoff := retry.Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second, Seed: 0xA6E17BEA7}.Backoff()
 	for ctx.Err() == nil {
 		lease, err := a.register(ctx)
 		if err != nil {
@@ -56,28 +78,48 @@ func (a *Agent) Run(ctx context.Context) {
 				return
 			}
 			a.opts.Logf("cluster agent: register: %v (retrying)", err)
-			retry.Sleep(ctx, 200*time.Millisecond)
+			retry.Sleep(ctx, backoff.Next())
 			continue
 		}
-		a.opts.Logf("cluster agent: registered as %s (lease %s, ttl %.1fs)",
-			lease.WorkerID, lease.LeaseID, lease.TTLSec)
+		a.opts.Logf("cluster agent: registered with %s as %s (lease %s, ttl %.1fs)",
+			a.base(), lease.WorkerID, lease.LeaseID, lease.TTLSec)
 		a.beat(ctx, lease)
 		// beat only returns when the lease is lost or ctx died; the
 		// loop re-registers (fresh lease) or exits.
 	}
 }
 
-// register acquires a lease.
+// base is the coordinator the agent currently targets.
+func (a *Agent) base() string { return a.bases[a.cur%len(a.bases)] }
+
+// rotate advances to the next coordinator of the discovery list.
+func (a *Agent) rotate(why string) {
+	if len(a.bases) < 2 {
+		return
+	}
+	a.cur = (a.cur + 1) % len(a.bases)
+	a.opts.Logf("cluster agent: rotating to coordinator %s (%s)", a.base(), why)
+}
+
+// register acquires a lease from the current coordinator, rotating on
+// refusal so the next attempt lands on the peer.
 func (a *Agent) register(ctx context.Context) (RegisterResponse, error) {
 	var lease RegisterResponse
 	err := a.post(ctx, "/cluster/v1/register", RegisterRequest{Addr: a.opts.Addr}, &lease)
+	if err != nil {
+		a.rotate(err.Error())
+	}
 	return lease, err
 }
 
 // beat renews the lease at TTL/3 until it is lost. The heartbeat
-// failpoint drops beats (simulating a stalled agent); network errors
-// are retried on the next tick — only an authoritative rejection
-// (unknown worker, superseded lease) abandons the lease.
+// failpoint drops beats (simulating a stalled agent); transient network
+// errors are retried on the next tick. Three things abandon the lease:
+// an authoritative rejection (unknown worker, superseded lease), a 503
+// (the coordinator demoted — a standby cannot hold our lease), and a
+// full TTL without a successful beat (the coordinator is gone; by now
+// its lease table has expired us anyway, so rotate and re-register
+// rather than beating a dead address forever).
 func (a *Agent) beat(ctx context.Context, lease RegisterResponse) {
 	ttl := time.Duration(lease.TTLSec * float64(time.Second))
 	interval := ttl / 3
@@ -86,6 +128,7 @@ func (a *Agent) beat(ctx context.Context, lease RegisterResponse) {
 	}
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
+	lastOK := time.Now()
 	for {
 		select {
 		case <-ctx.Done():
@@ -99,6 +142,7 @@ func (a *Agent) beat(ctx context.Context, lease RegisterResponse) {
 			err := a.post(ctx, "/cluster/v1/heartbeat",
 				HeartbeatRequest{WorkerID: lease.WorkerID, LeaseID: lease.LeaseID}, &ack)
 			if err == nil {
+				lastOK = time.Now()
 				continue
 			}
 			if ctx.Err() != nil {
@@ -106,11 +150,21 @@ func (a *Agent) beat(ctx context.Context, lease RegisterResponse) {
 				return
 			}
 			var se *statusError
-			if errors.As(err, &se) && (se.code == http.StatusNotFound || se.code == http.StatusConflict) {
+			switch {
+			case errors.As(err, &se) && (se.code == http.StatusNotFound || se.code == http.StatusConflict):
 				a.opts.Logf("cluster agent: lease %s rejected (%v); re-registering", lease.LeaseID, err)
 				return
+			case errors.As(err, &se) && se.code == http.StatusServiceUnavailable:
+				a.opts.Logf("cluster agent: coordinator not serving (%v); re-registering", err)
+				a.rotate("coordinator unavailable")
+				return
+			case time.Since(lastOK) > ttl:
+				a.opts.Logf("cluster agent: no successful beat for a full TTL (%v); re-registering", err)
+				a.rotate("coordinator silent")
+				return
+			default:
+				a.opts.Logf("cluster agent: heartbeat: %v (will retry)", err)
 			}
-			a.opts.Logf("cluster agent: heartbeat: %v (will retry)", err)
 		}
 	}
 }
@@ -140,7 +194,7 @@ func (a *Agent) post(ctx context.Context, path string, in, out any) error {
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.opts.Coordinator+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.base()+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}

@@ -47,6 +47,21 @@ type Options struct {
 
 	// Now is the clock (default time.Now) — injectable for lease tests.
 	Now func() time.Time
+
+	// ClusterJournalTap, when non-nil, observes every cluster-journal
+	// record: replayed history during New (in order), then each record
+	// durably appended afterwards. The HA replication hub hangs off
+	// this, mirroring service.Options.JournalTap for the job journal.
+	ClusterJournalTap func(payload []byte)
+
+	// Admit, ExtraStats and ExtraReady chain with the coordinator's own
+	// hooks (which own the underlying service.Options fields): Admit
+	// runs BEFORE quota admission — the HA layer fences submissions on
+	// a non-primary node here; ExtraStats and ExtraReady run after the
+	// coordinator's, decorating what it produced.
+	Admit      func(spec service.JobSpec) error
+	ExtraStats func(*service.Stats)
+	ExtraReady func() []string
 }
 
 func (o Options) withDefaults() Options {
@@ -101,6 +116,14 @@ type clusterRecord struct {
 	Worker    string `json:"worker,omitempty"`
 	Addr      string `json:"addr,omitempty"`
 	WorkerJob string `json:"worker_job,omitempty"`
+	// Token and Try fence dispatch idempotency: an assign record with a
+	// Token but no WorkerJob is a durable INTENT written before the
+	// dispatch RPC — after a crash in that window, reclaim re-sends the
+	// submit with the same token and the worker dedupes. Try is the
+	// placement counter the token derives from; replay restores it so a
+	// restarted coordinator never reuses a token.
+	Token string `json:"token,omitempty"`
+	Try   int    `json:"try,omitempty"`
 }
 
 // Coordinator is the cluster's head node: it embeds a service.Server
@@ -156,6 +179,11 @@ func New(opts Options) (*Coordinator, error) {
 			return nil, fmt.Errorf("cluster: open journal: %w", err)
 		}
 		c.jnl = jnl
+		if opts.ClusterJournalTap != nil {
+			for _, rec := range records {
+				opts.ClusterJournalTap(rec)
+			}
+		}
 		c.replay(records)
 	}
 
@@ -164,6 +192,25 @@ func New(opts Options) (*Coordinator, error) {
 	svcOpts.Admit = c.admit
 	svcOpts.ExtraStats = c.extraStats
 	svcOpts.ExtraReady = c.extraReady
+	if opts.Admit != nil {
+		svcOpts.Admit = func(spec service.JobSpec) error {
+			if err := opts.Admit(spec); err != nil {
+				return err
+			}
+			return c.admit(spec)
+		}
+	}
+	if opts.ExtraStats != nil {
+		svcOpts.ExtraStats = func(st *service.Stats) {
+			c.extraStats(st)
+			opts.ExtraStats(st)
+		}
+	}
+	if opts.ExtraReady != nil {
+		svcOpts.ExtraReady = func() []string {
+			return append(c.extraReady(), opts.ExtraReady()...)
+		}
+	}
 	svc, err := service.New(svcOpts)
 	if err != nil {
 		if c.jnl != nil {
@@ -350,6 +397,11 @@ func (c *Coordinator) journalRec(rec clusterRecord) {
 	defer c.jmu.Unlock()
 	if err := c.jnl.Append(payload); err != nil {
 		c.counters.journalErrors.Add(1)
+		return
+	}
+	if c.opts.ClusterJournalTap != nil {
+		// Under jmu: the tap observes records in durable append order.
+		c.opts.ClusterJournalTap(payload)
 	}
 }
 
@@ -382,9 +434,13 @@ func (c *Coordinator) reclaimFor(jobID string) (clusterRecord, bool) {
 }
 
 // recordAssign journals an assignment and updates the materialized
-// view.
-func (c *Coordinator) recordAssign(jobID string, w *workerNode, workerJob string) {
-	rec := clusterRecord{Type: "assign", Job: jobID, Worker: w.id, Addr: w.addr, WorkerJob: workerJob}
+// view. With workerJob == "" it is the durable intent written BEFORE
+// the dispatch RPC; the confirming record (same token, worker-side ID
+// filled in) follows once the worker accepts. journalRec fsyncs before
+// returning, so the intent is on disk before the RPC leaves.
+func (c *Coordinator) recordAssign(jobID string, w *workerNode, workerJob, token string, try int) {
+	rec := clusterRecord{Type: "assign", Job: jobID, Worker: w.id, Addr: w.addr,
+		WorkerJob: workerJob, Token: token, Try: try}
 	c.amu.Lock()
 	c.lastAssign[jobID] = rec
 	c.amu.Unlock()
@@ -490,13 +546,18 @@ var errWorkerLost = errors.New("cluster: worker lost mid-job")
 func (c *Coordinator) dispatch(ctx context.Context, j *service.Job) error {
 	c.counters.dispatches.Add(1)
 	key := j.Spec.ContentKey()
+	try := 0
 
 	// A restarted coordinator may find the job still running on (or
-	// already finished by) a worker that survived the outage.
-	if rec, ok := c.reclaimFor(j.ID); ok && rec.WorkerJob != "" {
-		done, err := c.tryReclaim(ctx, j, rec)
-		if done {
-			return err
+	// already finished by) a worker that survived the outage — or an
+	// assign intent whose dispatch RPC it is not sure arrived.
+	if rec, ok := c.reclaimFor(j.ID); ok {
+		try = rec.Try
+		if rec.WorkerJob != "" || (rec.Token != "" && rec.Addr != "") {
+			done, err := c.tryReclaim(ctx, j, rec)
+			if done {
+				return err
+			}
 		}
 	}
 
@@ -509,7 +570,18 @@ func (c *Coordinator) dispatch(ctx context.Context, j *service.Job) error {
 			c.counters.steals.Add(1)
 			c.journalRec(clusterRecord{Type: "steal", Job: j.ID, Worker: node.id})
 		}
-		workerJob, err := c.submitTo(ctx, node, j.Spec)
+		// Exactly-once fence, in order: (1) the assign intent with its
+		// idempotency token goes durably to the cluster journal, (2) the
+		// dispatch RPC carries the token, (3) the confirming record adds
+		// the worker-side job ID. A crash after (2) leaves the intent on
+		// disk, and recovery re-sends the same token — the worker dedupes
+		// instead of double-running.
+		try++
+		token := fmt.Sprintf("%s#%d", j.ID, try)
+		c.recordAssign(j.ID, node, "", token, try)
+		spec := j.Spec
+		spec.SubmitToken = token
+		workerJob, err := c.submitTo(ctx, node, spec)
 		if err != nil {
 			c.leases.release(node)
 			if ctx.Err() != nil {
@@ -523,7 +595,12 @@ func (c *Coordinator) dispatch(ctx context.Context, j *service.Job) error {
 			}
 			continue
 		}
-		c.recordAssign(j.ID, node, workerJob)
+		// Chaos window: an armed sleep here stretches the gap between the
+		// accepted dispatch and its confirming record — the kill-primary
+		// regression SIGKILLs inside it. An error spec only widens the
+		// window too (the confirm below still runs).
+		_ = failpoint.Inject("cluster/assign/confirm")
+		c.recordAssign(j.ID, node, workerJob, token, try)
 
 		err = c.await(ctx, j, node, workerJob)
 		c.leases.release(node)
@@ -735,6 +812,38 @@ func (c *Coordinator) adopt(ctx context.Context, j *service.Job, st service.Stat
 // normal dispatch — after best-effort cancelling the old worker-side
 // job so a zombie cannot produce a duplicate execution.
 func (c *Coordinator) tryReclaim(ctx context.Context, j *service.Job, rec clusterRecord) (done bool, err error) {
+	if rec.WorkerJob == "" {
+		// An intent without a confirmed worker-side ID: the coordinator
+		// died between the dispatch RPC and its confirming record. The
+		// token resolves the ambiguity — re-send the submit with the SAME
+		// token to the recorded worker: it dedupes onto the in-flight job
+		// if the RPC had arrived, or starts the job if it never did.
+		node := c.waitAddr(ctx, rec.Addr)
+		if node == nil {
+			return false, nil // worker gone for good: fresh dispatch
+		}
+		spec := j.Spec
+		spec.SubmitToken = rec.Token
+		workerJob, serr := c.submitTo(ctx, node, spec)
+		if serr != nil {
+			c.leases.release(node)
+			return false, nil
+		}
+		c.recordAssign(j.ID, node, workerJob, rec.Token, rec.Try)
+		err = c.await(ctx, j, node, workerJob)
+		c.leases.release(node)
+		if errors.Is(err, errWorkerLost) {
+			c.counters.handoffs.Add(1)
+			c.journalRec(clusterRecord{Type: "handoff", Job: j.ID, Worker: node.id})
+			return false, nil
+		}
+		if err == nil {
+			c.counters.resultsReclaimed.Add(1)
+			c.journalComplete(j.ID, node.id)
+		}
+		return true, err
+	}
+
 	st, perr := c.pollOnce(ctx, rec.Addr, rec.WorkerJob)
 	if perr != nil {
 		// The old worker is unreachable (or forgot the job): normal
@@ -747,14 +856,12 @@ func (c *Coordinator) tryReclaim(ctx context.Context, j *service.Job, rec cluste
 		c.journalComplete(j.ID, rec.Worker)
 		return true, err
 	}
-	// Still running over there. If the worker re-registered (it is a
-	// live member again), re-attach and await its result; otherwise
-	// cancel the zombie and start fresh.
-	if node := c.leases.findAddr(rec.Addr); node != nil {
-		c.leases.mu.Lock()
-		node.inflight++
-		c.leases.mu.Unlock()
-		c.recordAssign(j.ID, node, rec.WorkerJob)
+	// Still running over there. If the worker re-registers (a promoted
+	// standby's workers rotate over within a heartbeat interval — wait
+	// for them rather than killing live work), re-attach and await its
+	// result; otherwise cancel the zombie and start fresh.
+	if node := c.waitAddr(ctx, rec.Addr); node != nil {
+		c.recordAssign(j.ID, node, rec.WorkerJob, rec.Token, rec.Try)
 		err = c.await(ctx, j, node, rec.WorkerJob)
 		c.leases.release(node)
 		if errors.Is(err, errWorkerLost) {
@@ -770,6 +877,33 @@ func (c *Coordinator) tryReclaim(ctx context.Context, j *service.Job, rec cluste
 	}
 	c.cancelOn(rec.Addr, rec.WorkerJob)
 	return false, nil
+}
+
+// waitAddr returns the live member at addr, waiting up to one lease
+// TTL for it to (re-)register — after a failover, surviving workers
+// rotate to the promoted coordinator within a heartbeat interval, and
+// reclaim must not mistake that gap for a dead worker. The returned
+// node has its inflight count raised; callers release it.
+func (c *Coordinator) waitAddr(ctx context.Context, addr string) *workerNode {
+	deadline := time.NewTimer(c.opts.LeaseTTL)
+	defer deadline.Stop()
+	for {
+		if node := c.leases.findAddr(addr); node != nil {
+			c.leases.mu.Lock()
+			node.inflight++
+			c.leases.mu.Unlock()
+			return node
+		}
+		wake := c.leases.waitCh()
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-deadline.C:
+			return nil
+		case <-wake:
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,573 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"superpose/internal/core"
+	"superpose/internal/failpoint"
+	"superpose/internal/journal"
+	"superpose/internal/service"
+)
+
+// waitCond polls until cond holds or the deadline passes.
+func waitCond(t *testing.T, within time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// haPair boots a primary+standby pair over one temp tree and returns
+// both nodes with their listeners. The worker-lease TTL is hour-scale so
+// only the HA lease (ttl) drives the failover clock.
+func haPair(t *testing.T, ttl time.Duration) (p, s *HANode, tsP, tsS *httptest.Server) {
+	t.Helper()
+	root := t.TempDir()
+	lease := filepath.Join(root, "primary.lease")
+	mk := func(sub string, standby bool, peer string) (*HANode, *httptest.Server) {
+		n, err := NewHANode(HAOptions{
+			Coordinator: Options{
+				Service:      service.Options{QueueSize: 16, Workers: 2, DataDir: filepath.Join(root, sub), NoSync: true},
+				LeaseTTL:     time.Hour,
+				PollInterval: 2 * time.Millisecond,
+			},
+			Standby:   standby,
+			Peer:      peer,
+			LeasePath: lease,
+			LeaseTTL:  ttl,
+			Logf:      t.Logf,
+		})
+		if err != nil {
+			t.Fatalf("NewHANode(%s): %v", sub, err)
+		}
+		n.Start()
+		ts := httptest.NewServer(n)
+		t.Cleanup(func() {
+			ts.Close()
+			dctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			n.Drain(dctx)
+		})
+		return n, ts
+	}
+	p, tsP = mk("a", false, "")
+	s, tsS = mk("b", true, tsP.URL)
+	return p, s, tsP, tsS
+}
+
+// crashHANode models a SIGKILL in-process: background loops stop dead
+// (no lease release, no drain) and the listener closes. The lease stays
+// owned, so the peer must earn the takeover through the silence window.
+func crashHANode(n *HANode, ts *httptest.Server) {
+	n.stopOnce.Do(func() { close(n.stop) })
+	ts.Close()
+}
+
+func haStat(t *testing.T, base, key string) any {
+	t.Helper()
+	st := serverStats(t, base)
+	if st.HA == nil {
+		t.Fatalf("/v1/stats carries no ha object")
+	}
+	return st.HA[key]
+}
+
+// TestHAStandbyHonestReadiness: a standby is alive but refuses work
+// honestly — ready 503 naming the role, submissions 503 with a
+// Retry-After, stats exposing the ha object rather than erroring.
+func TestHAStandbyHonestReadiness(t *testing.T) {
+	root := t.TempDir()
+	s, err := NewHANode(HAOptions{
+		Coordinator: Options{
+			Service:  service.Options{QueueSize: 4, Workers: 1, DataDir: filepath.Join(root, "b"), NoSync: true},
+			LeaseTTL: time.Hour,
+		},
+		Standby:   true,
+		Peer:      "http://127.0.0.1:1", // unreachable: followers just retry
+		LeasePath: filepath.Join(root, "primary.lease"),
+		LeaseTTL:  time.Hour, // never promotes during the test
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("NewHANode: %v", err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live on standby: HTTP %d, want 200", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz/ready")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready struct {
+		Reasons []string `json:"reasons"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ready on standby: HTTP %d, want 503", resp.StatusCode)
+	}
+	if len(ready.Reasons) != 1 || ready.Reasons[0] != "standby" {
+		t.Fatalf("ready reasons = %v, want [standby]", ready.Reasons)
+	}
+
+	_, resp2 := submitSpec(t, ts.URL, testSpec)
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit on standby: HTTP %d, want 503", resp2.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp2.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("submit Retry-After = %q, want integer >= 1", resp2.Header.Get("Retry-After"))
+	}
+
+	if role := haStat(t, ts.URL, "ha_role"); role != "standby" {
+		t.Fatalf("stats ha_role = %v, want standby", role)
+	}
+}
+
+// TestHAFailoverExactlyOnce is the tentpole invariant in-process: kill
+// the primary (no drain, no lease release) while a worker runs a job;
+// the standby must promote within the lease window, reclaim the live
+// job by its journaled token, and finish it — the worker having run it
+// exactly once.
+func TestHAFailoverExactlyOnce(t *testing.T) {
+	const ttl = 150 * time.Millisecond
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	var runs atomic.Int64
+	_, worker := startWorker(t, func(ctx context.Context, j *service.Job) error {
+		runs.Add(1)
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-release:
+			j.SetResult(&core.Report{Detected: true}, nil)
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+
+	p, s, tsP, tsS := haPair(t, ttl)
+	if p.Role() != HAPrimary || s.Role() != HAStandby {
+		t.Fatalf("roles = %s/%s, want primary/standby", p.Role(), s.Role())
+	}
+	registerWorker(t, tsP.URL, worker.URL)
+
+	st, resp := submitSpec(t, tsP.URL, testSpec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	<-started
+
+	// The standby must have a durable copy of the assignment before the
+	// crash — wait for replication to drain.
+	waitCond(t, 5*time.Second, "replication catch-up", func() bool {
+		lag, _ := haStat(t, tsP.URL, "ha_peer_lag_records").(float64)
+		return lag == 0
+	})
+
+	crashHANode(p, tsP)
+
+	waitCond(t, 10*time.Second, "standby promotion", func() bool { return s.Role() == HAPrimary })
+	if got := s.Failovers(); got != 1 {
+		t.Fatalf("failovers = %d, want 1", got)
+	}
+
+	// The worker rejoins the survivor (in production the agent rotates
+	// here) and only then finishes the job — reclaim must wait for the
+	// re-registration, not kill the live run.
+	registerWorker(t, tsS.URL, worker.URL)
+	close(release)
+
+	got := waitState(t, tsS.URL, st.ID, service.StateDone, 10*time.Second)
+	if got.Report == nil {
+		t.Fatalf("failed-over job carries no report")
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("worker ran the job %d times across the failover, want exactly 1", runs.Load())
+	}
+	stats := serverStats(t, tsS.URL)
+	if stats.Cluster["results_reclaimed"] != 1 {
+		t.Fatalf("results_reclaimed = %d, want 1", stats.Cluster["results_reclaimed"])
+	}
+	if stats.Cluster["duplicate_results"] != 0 {
+		t.Fatalf("duplicate_results = %d, want 0", stats.Cluster["duplicate_results"])
+	}
+	if role := haStat(t, tsS.URL, "ha_role"); role != "primary" {
+		t.Fatalf("survivor ha_role = %v, want primary", role)
+	}
+}
+
+// sseRead consumes a job's SSE stream until pred says stop (or the
+// stream ends), returning the (id, event) pairs seen.
+func sseRead(t *testing.T, base, id, lastEventID string, pred func(service.Event) bool) []struct {
+	id uint64
+	ev service.Event
+} {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: HTTP %d", resp.StatusCode)
+	}
+	var out []struct {
+		id uint64
+		ev service.Event
+	}
+	var curID uint64
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			n, err := strconv.ParseUint(strings.TrimPrefix(line, "id: "), 10, 64)
+			if err != nil {
+				t.Fatalf("bad SSE id line %q: %v", line, err)
+			}
+			curID = n
+		case strings.HasPrefix(line, "data: "):
+			var ev service.Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad SSE payload %q: %v", line, err)
+			}
+			out = append(out, struct {
+				id uint64
+				ev service.Event
+			}{curID, ev})
+			if pred(ev) {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// TestHASSEContinuityAcrossFailover: an SSE client that watched the job
+// on the old primary reconnects to the promoted standby with its
+// Last-Event-ID and sees a continuation — strictly increasing ids,
+// exactly one terminal result — because the restored job's sequence
+// floor keeps every post-failover event above anything the dead
+// incarnation emitted.
+func TestHASSEContinuityAcrossFailover(t *testing.T) {
+	const ttl = 150 * time.Millisecond
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	_, worker := startWorker(t, func(ctx context.Context, j *service.Job) error {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+
+	p, s, tsP, tsS := haPair(t, ttl)
+	registerWorker(t, tsP.URL, worker.URL)
+	st, _ := submitSpec(t, tsP.URL, testSpec)
+	<-started
+
+	// Watch the job on the doomed primary up to its first event.
+	pre := sseRead(t, tsP.URL, st.ID, "", func(service.Event) bool { return true })
+	if len(pre) == 0 {
+		t.Fatal("no events from the primary before the crash")
+	}
+	lastSeen := pre[len(pre)-1].id
+
+	waitCond(t, 5*time.Second, "replication catch-up", func() bool {
+		lag, _ := haStat(t, tsP.URL, "ha_peer_lag_records").(float64)
+		return lag == 0
+	})
+	crashHANode(p, tsP)
+	waitCond(t, 10*time.Second, "standby promotion", func() bool { return s.Role() == HAPrimary })
+	registerWorker(t, tsS.URL, worker.URL)
+	close(release)
+	waitState(t, tsS.URL, st.ID, service.StateDone, 10*time.Second)
+
+	// Reconnect where we left off. The promoted incarnation must resume
+	// the stream above our cursor and deliver exactly one result.
+	post := sseRead(t, tsS.URL, st.ID, strconv.FormatUint(lastSeen, 10),
+		func(ev service.Event) bool { return ev.Type == "result" })
+	if len(post) == 0 {
+		t.Fatal("no events after reconnecting to the promoted standby")
+	}
+	prev := lastSeen
+	results := 0
+	for _, e := range post {
+		if e.id <= prev {
+			t.Fatalf("event id %d not above previous %d (ids must stay monotone across failover)", e.id, prev)
+		}
+		prev = e.id
+		if e.ev.Type == "result" {
+			results++
+			if e.ev.State != service.StateDone {
+				t.Fatalf("result state = %q, want done", e.ev.State)
+			}
+		}
+	}
+	if results != 1 {
+		t.Fatalf("saw %d result events after failover, want exactly 1", results)
+	}
+}
+
+// TestHAReplicationChaosCatchup: armed send/recv failpoints repeatedly
+// sever the replication stream; the follower must reconnect from its
+// durable offset and still drain the lag to zero, after which an
+// orderly handover (lease released) promotes the standby with the full
+// history — finished jobs stay queryable with their reports.
+func TestHAReplicationChaosCatchup(t *testing.T) {
+	if err := failpoint.Enable("cluster/ha/replicate/send", "2*error(stream severed)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Enable("cluster/ha/replicate/recv", "1*error(recv chaos)"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(failpoint.DisableAll)
+
+	_, worker := startWorker(t, func(ctx context.Context, j *service.Job) error {
+		j.SetResult(&core.Report{Detected: true}, nil)
+		return nil
+	})
+	p, s, tsP, tsS := haPair(t, 150*time.Millisecond)
+	registerWorker(t, tsP.URL, worker.URL)
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		st, resp := submitSpec(t, tsP.URL, testSpec)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, resp.StatusCode)
+		}
+		ids = append(ids, st.ID)
+		waitState(t, tsP.URL, st.ID, service.StateDone, 10*time.Second)
+	}
+
+	waitCond(t, 10*time.Second, "replication catch-up through chaos", func() bool {
+		lag, _ := haStat(t, tsP.URL, "ha_peer_lag_records").(float64)
+		return lag == 0
+	})
+
+	// Orderly handover: drain releases the lease, the standby sees a
+	// vacant lease and takes over without waiting out the silence window.
+	dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := p.Drain(dctx); err != nil {
+		t.Fatalf("primary drain: %v", err)
+	}
+	cancel()
+	tsP.Close()
+
+	waitCond(t, 10*time.Second, "standby promotion after release", func() bool { return s.Role() == HAPrimary })
+	for _, id := range ids {
+		got := getStatus(t, tsS.URL, id)
+		if got.State != service.StateDone || got.Report == nil {
+			t.Fatalf("job %s on promoted standby = %q (report %v), want done with report", id, got.State, got.Report != nil)
+		}
+	}
+}
+
+// TestHAPromotionChaosAborted: an armed promotion failpoint kills the
+// first takeover attempt; the watch loop must fall back to observing
+// and succeed on a later tick rather than wedging or double-counting.
+func TestHAPromotionChaosAborted(t *testing.T) {
+	if err := failpoint.Enable("cluster/ha/promote", "1*error(promotion chaos)"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(failpoint.DisableAll)
+
+	root := t.TempDir()
+	s, err := NewHANode(HAOptions{
+		Coordinator: Options{
+			Service:  service.Options{QueueSize: 4, Workers: 1, DataDir: filepath.Join(root, "b"), NoSync: true},
+			LeaseTTL: time.Hour,
+		},
+		Standby:   true,
+		Peer:      "http://127.0.0.1:1",
+		LeasePath: filepath.Join(root, "primary.lease"), // vacant: immediately stealable
+		LeaseTTL:  90 * time.Millisecond,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("NewHANode: %v", err)
+	}
+	s.Start()
+	t.Cleanup(func() {
+		dctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		s.Drain(dctx)
+	})
+
+	waitCond(t, 10*time.Second, "promotion after aborted attempt", func() bool { return s.Role() == HAPrimary })
+	if got := s.Failovers(); got != 1 {
+		t.Fatalf("failovers = %d, want 1", got)
+	}
+}
+
+// readClusterRecords parses every record of an on-disk cluster journal
+// directly from its segment files — the frame codec doubles as the
+// forensic reader, so tests can assert on durable state mid-flight
+// without opening the (live) journal.
+func readClusterRecords(t *testing.T, dir string) []clusterRecord {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []clusterRecord
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd := bytes.NewReader(data)
+		for {
+			payload, err := journal.ReadFrame(rd)
+			if err != nil {
+				if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+					break // a live tail can be mid-write; stop at the tear
+				}
+				t.Fatalf("read %s: %v", name, err)
+			}
+			if payload == nil {
+				continue
+			}
+			var rec clusterRecord
+			if err := json.Unmarshal(payload, &rec); err != nil {
+				t.Fatalf("decode %s: %v", name, err)
+			}
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// TestHADispatchIntentPrecedesRPC pins the fsync-ordering bugfix: by
+// the time the dispatch RPC reaches the worker, an assign INTENT
+// (token set, worker job still unknown) must already be durable in the
+// coordinator's cluster journal — otherwise a crash inside the RPC
+// window orphans the worker-side run with no record to reclaim it by.
+func TestHADispatchIntentPrecedesRPC(t *testing.T) {
+	dir := t.TempDir()
+
+	svc, err := service.New(service.Options{QueueSize: 8, Workers: 2,
+		Runner: func(ctx context.Context, j *service.Job) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	intentErr := make(chan error, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+			body, _ := io.ReadAll(r.Body)
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			var spec service.JobSpec
+			if err := json.Unmarshal(body, &spec); err != nil {
+				intentErr <- err
+			} else {
+				intentErr <- checkIntentOnDisk(t, dir+"/cluster", spec.SubmitToken)
+			}
+		}
+		svc.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		ts.Close()
+		dctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		svc.Drain(dctx)
+	})
+
+	_, coord := startCoordinator(t, Options{
+		Service:      service.Options{QueueSize: 16, Workers: 2, DataDir: dir, NoSync: true},
+		LeaseTTL:     time.Hour,
+		PollInterval: 2 * time.Millisecond,
+	})
+	registerWorker(t, coord.URL, ts.URL)
+
+	st, resp := submitSpec(t, coord.URL, testSpec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	waitState(t, coord.URL, st.ID, service.StateDone, 10*time.Second)
+
+	select {
+	case err := <-intentErr:
+		if err != nil {
+			t.Fatalf("durable-intent check at RPC time: %v", err)
+		}
+	default:
+		t.Fatal("worker never observed the dispatch RPC")
+	}
+
+	// And the confirm record followed: the final journal state pairs the
+	// intent with a worker-job-bearing assign for the same token.
+	recs := readClusterRecords(t, dir+"/cluster")
+	var intent, confirm bool
+	for _, rec := range recs {
+		if rec.Type == "assign" && rec.Job == st.ID && rec.Token != "" {
+			if rec.WorkerJob == "" {
+				intent = true
+			} else if intent {
+				confirm = true
+			}
+		}
+	}
+	if !intent || !confirm {
+		t.Fatalf("journal order: intent=%v confirm=%v, want intent then confirm", intent, confirm)
+	}
+}
+
+// checkIntentOnDisk scans a cluster journal for an intent assign
+// carrying the token, from inside the worker's RPC handler.
+func checkIntentOnDisk(t *testing.T, dir, token string) error {
+	if token == "" {
+		return errors.New("dispatch RPC carried no submit token")
+	}
+	for _, rec := range readClusterRecords(t, dir) {
+		if rec.Type == "assign" && rec.Token == token && rec.WorkerJob == "" {
+			return nil
+		}
+	}
+	return errors.New("no durable intent record for token " + token + " at RPC time")
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// skewClock is a fake clock offset from a shared base — the HA skew
+// matrix gives each node its own offset and advances them in lockstep,
+// modeling real time passing under arbitrary wall-clock disagreement.
+type skewClock struct {
+	base *fakeClock
+	off  time.Duration
+}
+
+func (c skewClock) Now() time.Time { return c.base.Now().Add(c.off) }
+
+// TestHALeaseFencing is the core epoch protocol: a takeover bumps the
+// epoch, and the deposed holder's next renewal fails — it can never
+// believe it is primary after the steal.
+func TestHALeaseFencing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "primary.lease")
+	const ttl = time.Second
+	a := openHALease(path, "node-a", ttl, nil)
+	b := openHALease(path, "node-b", ttl, nil)
+
+	epochA, err := a.Acquire()
+	if err != nil {
+		t.Fatalf("a.Acquire: %v", err)
+	}
+	if epochA != 1 {
+		t.Fatalf("first epoch = %d, want 1", epochA)
+	}
+	if err := a.Renew(); err != nil {
+		t.Fatalf("a.Renew while holding: %v", err)
+	}
+
+	epochB, err := b.Acquire()
+	if err != nil {
+		t.Fatalf("b.Acquire: %v", err)
+	}
+	if epochB != epochA+1 {
+		t.Fatalf("takeover epoch = %d, want %d", epochB, epochA+1)
+	}
+	if err := a.Renew(); !errors.Is(err, ErrHALeaseLost) {
+		t.Fatalf("deposed a.Renew = %v, want ErrHALeaseLost", err)
+	}
+	if err := b.Renew(); err != nil {
+		t.Fatalf("b.Renew: %v", err)
+	}
+
+	// Orderly release vacates the lease; the watch treats vacancy as
+	// indefinitely silent, so a successor steals without waiting.
+	if err := b.Release(); err != nil {
+		t.Fatalf("b.Release: %v", err)
+	}
+	st, err := b.Observe()
+	if err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if st.Owner != "" {
+		t.Fatalf("owner after release = %q, want vacant", st.Owner)
+	}
+	var w leaseWatch
+	if silent := w.update(st, time.Now()); silent < ttl {
+		t.Fatalf("vacant lease reported silent %v, want >= TTL (immediate steal)", silent)
+	}
+}
+
+// TestHALeaseSkewMatrix proves the no-dual-primary and no-premature-
+// steal invariants under every combination of ±TTL/2 wall-clock offset
+// between the two nodes. The protocol never compares the nodes' clocks
+// — the primary renews and the standby measures silence each against
+// its OWN clock — so offset must be entirely invisible: a renewing
+// primary is never stolen from, and a silent one always is, after
+// exactly a full TTL of standby-local time.
+func TestHALeaseSkewMatrix(t *testing.T) {
+	const ttl = 900 * time.Millisecond
+	offsets := []time.Duration{-ttl / 2, 0, ttl / 2}
+	for _, pOff := range offsets {
+		for _, sOff := range offsets {
+			t.Run(fmt.Sprintf("primary%+v_standby%+v", pOff, sOff), func(t *testing.T) {
+				base := newFakeClock()
+				pClk := skewClock{base: base, off: pOff}
+				sClk := skewClock{base: base, off: sOff}
+				path := filepath.Join(t.TempDir(), "primary.lease")
+				primary := openHALease(path, "primary", ttl, pClk.Now)
+				standby := openHALease(path, "standby", ttl, sClk.Now)
+
+				if _, err := primary.Acquire(); err != nil {
+					t.Fatalf("Acquire: %v", err)
+				}
+
+				// Phase 1: a live primary renewing at TTL/3. The standby
+				// observes between renewals and must never accumulate a
+				// full TTL of silence, whatever the offsets.
+				var watch leaseWatch
+				observe := func() time.Duration {
+					st, err := standby.Observe()
+					if err != nil {
+						t.Fatalf("Observe: %v", err)
+					}
+					return watch.update(st, sClk.Now())
+				}
+				observe() // prime the watch
+				for i := 0; i < 9; i++ {
+					base.Advance(ttl / 3)
+					if silent := observe(); silent >= ttl {
+						t.Fatalf("step %d: standby saw %v of silence from a renewing primary (premature steal)", i, silent)
+					}
+					if err := primary.Renew(); err != nil {
+						t.Fatalf("step %d: Renew: %v", i, err)
+					}
+				}
+
+				// Phase 2: the primary goes silent (crash). The standby
+				// keeps observing at TTL/3 on its own clock and must cross
+				// the steal threshold after ~one TTL — not sooner.
+				steps := 0
+				for observe() < ttl {
+					base.Advance(ttl / 3)
+					steps++
+					if steps > 6 {
+						t.Fatalf("standby never reached the steal threshold after %d observation intervals", steps)
+					}
+				}
+				if steps < 3 {
+					t.Fatalf("standby crossed the steal threshold after only %d intervals (%v), want a full TTL", steps, time.Duration(steps)*ttl/3)
+				}
+
+				// Phase 3: the steal fences the (hypothetically revived)
+				// primary — its renewal must fail, so no dual-primary
+				// window exists at any offset combination.
+				if _, err := standby.Acquire(); err != nil {
+					t.Fatalf("standby Acquire: %v", err)
+				}
+				if err := primary.Renew(); !errors.Is(err, ErrHALeaseLost) {
+					t.Fatalf("revived primary Renew = %v, want ErrHALeaseLost", err)
+				}
+			})
+		}
+	}
+}
+
+// TestHALeaseCorruptFileTreatedVacant: a scribbled lease file must not
+// wedge the pair forever — it reads as vacant and the next Acquire
+// rewrites it.
+func TestHALeaseCorruptFileTreatedVacant(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "primary.lease")
+	l := openHALease(path, "node-a", time.Second, nil)
+	if _, err := l.Acquire(); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := l.Observe()
+	if err != nil {
+		t.Fatalf("Observe on corrupt file: %v", err)
+	}
+	if st.Owner != "" || st.Epoch != 0 {
+		t.Fatalf("corrupt lease read as %+v, want vacant zero state", st)
+	}
+	if _, err := l.Acquire(); err != nil {
+		t.Fatalf("Acquire over corrupt file: %v", err)
+	}
+	if err := l.Renew(); err != nil {
+		t.Fatalf("Renew after re-acquire: %v", err)
+	}
+}

@@ -1,0 +1,330 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"superpose/internal/failpoint"
+	"superpose/internal/journal"
+	"superpose/internal/retry"
+)
+
+// HA journal replication. The primary does not copy segment files —
+// compaction rewrites those underneath a byte-level tail. Instead a
+// repHub retains the LOGICAL record history of each journal ("service"
+// jobs, "cluster" assignments), seeded from replay at startup and fed
+// by the journal taps on every durable append. A follower on the
+// standby tails a stream over HTTP — each record framed exactly like an
+// on-disk segment record (journal.WriteFrame) — and appends it to its
+// own local journal, so a promotion is nothing but a normal journal
+// replay of the local copy. Replay is last-record-wins, which makes the
+// scheme immune to duplicate history across reconnects and compactions.
+
+// AckRequest is the body of POST /ha/v1/replicate/ack: how many records
+// of a stream the standby has made durable locally. It doubles as the
+// standby's liveness signal for ha_peer_lag_records.
+type AckRequest struct {
+	Stream string `json:"stream"`
+	Count  int    `json:"count"`
+}
+
+// repHub retains the logical record history per stream and tracks what
+// the peer has acknowledged.
+type repHub struct {
+	mu      sync.Mutex
+	streams map[string]*repStream
+	acked   map[string]int
+}
+
+type repStream struct {
+	mu   sync.Mutex
+	recs [][]byte
+	wait chan struct{} // closed and replaced on every publish
+}
+
+func newRepHub() *repHub {
+	return &repHub{streams: make(map[string]*repStream), acked: make(map[string]int)}
+}
+
+// stream returns (creating) the named stream.
+func (h *repHub) stream(name string) *repStream {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.streams[name]
+	if !ok {
+		st = &repStream{wait: make(chan struct{})}
+		h.streams[name] = st
+	}
+	return st
+}
+
+// publish appends one record to a stream and wakes blocked senders.
+func (h *repHub) publish(name string, payload []byte) {
+	st := h.stream(name)
+	rec := make([]byte, len(payload))
+	copy(rec, payload)
+	st.mu.Lock()
+	st.recs = append(st.recs, rec)
+	close(st.wait)
+	st.wait = make(chan struct{})
+	st.mu.Unlock()
+}
+
+// from snapshots a stream's records after offset n, plus the channel
+// that signals the next publish.
+func (st *repStream) from(n int) ([][]byte, <-chan struct{}) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out [][]byte
+	if n < len(st.recs) {
+		out = st.recs[n:len(st.recs):len(st.recs)]
+	}
+	return out, st.wait
+}
+
+// ack records the peer's durable count for a stream (monotone).
+func (h *repHub) ack(name string, count int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if count > h.acked[name] {
+		h.acked[name] = count
+	}
+}
+
+// lag sums, across streams, how many published records the peer has
+// not yet acknowledged.
+func (h *repHub) lag() int {
+	h.mu.Lock()
+	streams := make(map[string]*repStream, len(h.streams))
+	acked := make(map[string]int, len(h.acked))
+	for k, v := range h.streams {
+		streams[k] = v
+	}
+	for k, v := range h.acked {
+		acked[k] = v
+	}
+	h.mu.Unlock()
+	total := 0
+	for name, st := range streams {
+		st.mu.Lock()
+		n := len(st.recs)
+		st.mu.Unlock()
+		if d := n - acked[name]; d > 0 {
+			total += d
+		}
+	}
+	return total
+}
+
+// reset drops all retained history and acks (demotion wipes the local
+// journals; the hub must not resurrect the discarded timeline).
+func (h *repHub) reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, st := range h.streams {
+		st.mu.Lock()
+		st.recs = nil
+		close(st.wait)
+		st.wait = make(chan struct{})
+		st.mu.Unlock()
+	}
+	h.streams = make(map[string]*repStream)
+	h.acked = make(map[string]int)
+}
+
+// serveStream writes a stream to one follower connection: a frame per
+// record from the requested offset, heartbeat frames when idle, until
+// the connection dies or stop closes. The send failpoint drops the
+// connection mid-stream (partition chaos).
+func (h *repHub) serveStream(w http.ResponseWriter, r *http.Request, heartbeat time.Duration, stop <-chan struct{}) {
+	name := r.URL.Query().Get("stream")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "replicate: stream parameter required")
+		return
+	}
+	from, _ := strconv.Atoi(r.URL.Query().Get("from"))
+	if from < 0 {
+		from = 0
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "replicate: streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	st := h.stream(name)
+	n := from
+	for {
+		recs, wait := st.from(n)
+		for _, rec := range recs {
+			if err := failpoint.Inject("cluster/ha/replicate/send"); err != nil {
+				return // connection drops; the follower reconnects from its count
+			}
+			if err := journal.WriteFrame(w, rec); err != nil {
+				return
+			}
+			n++
+		}
+		flusher.Flush()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-stop:
+			return
+		case <-wait:
+		case <-time.After(heartbeat):
+			if err := journal.WriteFrame(w, nil); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// follower tails one stream of the peer's journal into a local journal
+// directory. It reconnects with decorrelated-jitter backoff, resumes
+// from its local record count (the stream offset), and acknowledges
+// durable progress back to the primary.
+type follower struct {
+	name   string // stream name: "service" or "cluster"
+	peer   string // primary's base URL
+	dir    string // local journal directory
+	nosync bool
+	client *http.Client
+	logf   func(format string, args ...any)
+	stall  time.Duration // watchdog: max quiet time before reconnecting
+
+	mu    sync.Mutex
+	count int // records durable locally == stream offset
+}
+
+// offset returns how many records the follower has made durable.
+func (f *follower) offset() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.count
+}
+
+// run tails the stream until ctx dies. The local journal is opened per
+// connection attempt so a torn tail from a crashed standby is truncated
+// by the normal journal replay path before the resume offset is
+// computed.
+func (f *follower) run(ctx context.Context) {
+	backoff := retry.Policy{BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second, Seed: 0x0F011073}.Backoff()
+	for ctx.Err() == nil {
+		err := f.tail(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			f.logf("ha follower %s: %v (reconnecting)", f.name, err)
+		}
+		retry.Sleep(ctx, backoff.Next())
+	}
+}
+
+// tail opens the local journal, connects at the resume offset and
+// appends frames until the stream breaks.
+func (f *follower) tail(ctx context.Context) error {
+	jnl, records, err := journal.Open(f.dir, journal.Options{NoSync: f.nosync})
+	if err != nil {
+		return err
+	}
+	defer jnl.Close()
+	f.mu.Lock()
+	f.count = len(records)
+	from := f.count
+	f.mu.Unlock()
+
+	// The stream context is cancelled by a stall watchdog when neither a
+	// record nor a heartbeat frame arrives for several heartbeat
+	// intervals — a half-open connection must not wedge replication.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stall := f.stall
+	if stall <= 0 {
+		stall = 5 * time.Second
+	}
+	watchdog := time.AfterFunc(stall, cancel)
+	defer watchdog.Stop()
+
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet,
+		fmt.Sprintf("%s/ha/v1/replicate?stream=%s&from=%d", f.peer, f.name, from), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("replicate %s: HTTP %d: %s", f.name, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+
+	for {
+		payload, err := journal.ReadFrame(resp.Body)
+		if err != nil {
+			if err == io.EOF && ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("replicate %s: %w", f.name, err)
+		}
+		watchdog.Reset(stall)
+		if payload == nil {
+			f.sendAck(ctx) // heartbeat: ack as standby liveness
+			continue
+		}
+		if err := failpoint.Inject("cluster/ha/replicate/recv"); err != nil {
+			return fmt.Errorf("replicate %s: %w", f.name, err)
+		}
+		if err := jnl.Append(payload); err != nil {
+			return fmt.Errorf("replicate %s: local append: %w", f.name, err)
+		}
+		f.mu.Lock()
+		f.count++
+		n := f.count
+		f.mu.Unlock()
+		if n%16 == 0 {
+			f.sendAck(ctx)
+		}
+	}
+}
+
+// sendAck posts the follower's durable count to the primary,
+// best-effort — lag accounting, not correctness.
+func (f *follower) sendAck(ctx context.Context) {
+	body, err := json.Marshal(AckRequest{Stream: f.name, Count: f.offset()})
+	if err != nil {
+		return
+	}
+	actx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost,
+		f.peer+"/ha/v1/replicate/ack", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if resp, err := f.client.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+var errNotPrimary = errors.New("cluster: not the primary")

@@ -78,6 +78,14 @@ type JobSpec struct {
 	// Tenant attributes the job to a client for quota accounting and
 	// the per-tenant queue depths in /v1/stats (default "default").
 	Tenant string `json:"tenant,omitempty"`
+
+	// SubmitToken, when set, makes the submission idempotent: a second
+	// submit carrying the same token returns the job the first one
+	// created instead of enqueueing a duplicate. The cluster coordinator
+	// stamps dispatches with one so a re-sent RPC (after a crash or an
+	// ambiguous timeout) cannot double-run a job. Tokens do not affect
+	// the artifact-cache identity.
+	SubmitToken string `json:"submit_token,omitempty"`
 }
 
 // withDefaults fills the service defaults into zero fields.
@@ -166,6 +174,9 @@ func (s JobSpec) Validate() error {
 	}
 	if len(s.Tenant) > 64 {
 		return fmt.Errorf("tenant name exceeds 64 bytes")
+	}
+	if len(s.SubmitToken) > 128 {
+		return fmt.Errorf("submit_token exceeds 128 bytes")
 	}
 	if s.Tester != "" {
 		if _, err := tester.Preset(s.Tester, 1); err != nil {
@@ -435,6 +446,14 @@ func restoredJob(id string, spec JobSpec, ctx context.Context, cancel context.Ca
 	j := newJob(id, spec, ctx, cancel)
 	j.attempts = attempts
 	j.cacheHit = cacheHit
+	// Seq floor: restart the event stream well above anything the
+	// previous incarnation can have issued, so a client reconnecting
+	// with Last-Event-ID to a restarted (or failed-over) server sees
+	// strictly increasing ids and never confuses old events for new.
+	// Each incarnation consumes at least one attempt before the next
+	// crash, and no attempt emits anywhere near 2^20 events, so the
+	// floor is monotone across incarnations.
+	j.seq = uint64(attempts) << 20
 	if st.Terminal() {
 		j.state = st
 		j.errMsg = errMsg

@@ -42,6 +42,11 @@ func (s *Server) journalAppend(rec journalRecord) {
 	defer s.jmu.Unlock()
 	if err := s.journal.Append(payload); err != nil {
 		s.counters.journalErrors.Add(1)
+		return
+	}
+	if s.opts.JournalTap != nil {
+		// Under jmu: the tap observes records in durable append order.
+		s.opts.JournalTap(payload)
 	}
 }
 
@@ -146,6 +151,11 @@ func (s *Server) decodeJournal(records [][]byte) (order []string, byID map[strin
 func (s *Server) restore(order []string, byID map[string]*recoveredJob) {
 	for _, id := range order {
 		r := byID[id]
+		if r.spec.SubmitToken != "" {
+			// The token fence survives restarts: a coordinator re-sending
+			// a pre-crash dispatch dedupes onto the recovered job.
+			s.tokens[r.spec.SubmitToken] = id
+		}
 		switch {
 		case r.finish != nil:
 			var rep *core.Report
@@ -306,6 +316,11 @@ func (s *Server) openJournal(dir string) error {
 		return fmt.Errorf("service: open journal: %w", err)
 	}
 	s.journal = jnl
+	if s.opts.JournalTap != nil {
+		for _, rec := range records {
+			s.opts.JournalTap(rec)
+		}
+	}
 	order, byID, maxID := s.decodeJournal(records)
 	s.nextID = maxID
 	s.restore(order, byID)

@@ -84,6 +84,14 @@ type Options struct {
 	// reasons to /healthz/ready — e.g. "no live workers" on a cluster
 	// coordinator.
 	ExtraReady func() []string
+
+	// JournalTap, when non-nil, observes every journal record: once per
+	// replayed record during New (in replay order, before the server
+	// serves) and once per record durably appended afterwards, in append
+	// order. The HA replication hub hangs off this to stream the
+	// primary's logical history to a standby. Compaction rewrites are
+	// not re-tapped — they carry no new state.
+	JournalTap func(payload []byte)
 }
 
 func (o Options) withDefaults() Options {
@@ -171,6 +179,10 @@ type Stats struct {
 	// Cluster carries the coordinator's lease/handoff/steal counters
 	// (via Options.ExtraStats); empty on a standalone or worker node.
 	Cluster map[string]uint64 `json:"cluster,omitempty"`
+	// HA carries the high-availability view (ha_role, peer lag,
+	// failover counters) on nodes running under an HA pair; empty
+	// elsewhere. Populated via Options.ExtraStats.
+	HA map[string]any `json:"ha,omitempty"`
 }
 
 // Server owns the queue, cache, worker pool, job registry, durability
@@ -189,6 +201,7 @@ type Server struct {
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
+	tokens map[string]string // submit token → job ID (idempotent dispatch)
 	nextID uint64
 
 	// Per-tenant queued-job counts (accepted into the queue, not yet
@@ -233,6 +246,7 @@ func New(opts Options) (*Server, error) {
 		baseCtx:     ctx,
 		cancelBase:  cancel,
 		jobs:        make(map[string]*Job),
+		tokens:      make(map[string]string),
 		tenantDepth: make(map[string]int),
 		jitter:      retry.NewJitter(0x5E11A7E2),
 		retryBudget: retry.NewBudget(opts.RetryBudget, 0),
@@ -345,15 +359,32 @@ func (s *Server) Job(id string) (*Job, bool) {
 // Submit validates, registers and enqueues a job spec. It is the
 // programmatic path behind POST /v1/jobs. A submission against a tester
 // profile whose circuit breaker is open is shed with a shedError (HTTP:
-// 503 + Retry-After) instead of being queued to fail.
+// 503 + Retry-After) instead of being queued to fail. A spec carrying a
+// SubmitToken already registered here returns the existing job instead
+// of enqueueing a duplicate — the at-most-once fence a coordinator
+// relies on when it re-sends a dispatch it is not sure arrived.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %w", errBadSpec, err)
 	}
+	if spec.SubmitToken != "" {
+		s.mu.Lock()
+		id, ok := s.tokens[spec.SubmitToken]
+		j := s.jobs[id]
+		s.mu.Unlock()
+		if ok && j != nil {
+			return j, nil
+		}
+	}
 	if s.opts.Admit != nil {
 		if err := s.opts.Admit(spec); err != nil {
-			s.counters.jobsThrottled.Add(1)
+			var unavail *UnavailableError
+			if errors.As(err, &unavail) {
+				s.counters.jobsShed.Add(1)
+			} else {
+				s.counters.jobsThrottled.Add(1)
+			}
 			return nil, err
 		}
 	}
@@ -363,16 +394,32 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	s.mu.Lock()
+	if spec.SubmitToken != "" {
+		// Re-check under the lock: a concurrent duplicate may have won.
+		if id, ok := s.tokens[spec.SubmitToken]; ok {
+			if j := s.jobs[id]; j != nil {
+				s.mu.Unlock()
+				cancel()
+				return j, nil
+			}
+		}
+	}
 	s.nextID++
 	id := fmt.Sprintf("job-%d", s.nextID)
 	j := newJob(id, spec, ctx, cancel)
 	s.jobs[id] = j
+	if spec.SubmitToken != "" {
+		s.tokens[spec.SubmitToken] = id
+	}
 	s.mu.Unlock()
 
 	if err := s.queue.TryEnqueue(j); err != nil {
 		cancel()
 		s.mu.Lock()
 		delete(s.jobs, id)
+		if spec.SubmitToken != "" {
+			delete(s.tokens, spec.SubmitToken)
+		}
 		s.mu.Unlock()
 		s.counters.jobsRejected.Add(1)
 		return nil, err
@@ -422,6 +469,21 @@ func (e *ThrottleError) Error() string {
 		e.Tenant, e.Reason, e.RetryAfter.Round(time.Millisecond))
 }
 
+// UnavailableError is a submission refused because this node cannot
+// currently admit work at all — an HA standby, or a coordinator still
+// replaying or promoting. The HTTP layer maps it to 503 with the
+// (already jittered) Retry-After hint so clients back off and retry the
+// failover instead of seeing a connection refused.
+type UnavailableError struct {
+	Reason     string // "standby", "replaying" or "promoting"
+	RetryAfter time.Duration
+}
+
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("service: node is %s and not admitting jobs, retry in %s",
+		e.Reason, e.RetryAfter.Round(time.Millisecond))
+}
+
 // shedError is a submission refused by an open circuit breaker.
 type shedError struct {
 	profile    string
@@ -444,6 +506,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.Submit(spec)
 	var shed *shedError
 	var throttled *ThrottleError
+	var unavail *UnavailableError
 	switch {
 	case err == nil:
 	case errors.Is(err, errBadSpec):
@@ -459,6 +522,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.As(err, &throttled):
 		w.Header().Set("Retry-After", retryAfterSecs(throttled.RetryAfter))
 		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.As(err, &unavail):
+		w.Header().Set("Retry-After", retryAfterSecs(unavail.RetryAfter))
+		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case errors.As(err, &shed):
 		// Jitter around the breaker's cooldown: never earlier than the

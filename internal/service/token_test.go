@@ -1,0 +1,68 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSubmitTokenIdempotent: resubmitting with the same submit token
+// returns the existing job instead of spawning a duplicate — the fence
+// that lets a cluster coordinator resend a dispatch after a crash
+// without running the job twice — and the mapping survives a restart
+// via the journal.
+func TestSubmitTokenIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int64
+	s1 := newJournaledServer(t, dir, Options{Workers: 1}, func(ctx context.Context, j *Job) error {
+		runs.Add(1)
+		return nil
+	})
+	s1.Start()
+
+	spec := quickSpec
+	spec.SubmitToken = "dispatch-tok-1"
+	j1, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatalf("token resubmit: %v", err)
+	}
+	if j2.ID != j1.ID {
+		t.Fatalf("token resubmit created job %s, want existing %s", j2.ID, j1.ID)
+	}
+	waitTerminal(t, j1, StateDone)
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("job ran %d times, want 1", got)
+	}
+	drainServer(t, s1)
+
+	// Restart: the journal replays the token mapping, so a dispatcher
+	// retrying across the restart still lands on the same job.
+	s2 := newJournaledServer(t, dir, Options{Workers: 1}, func(ctx context.Context, j *Job) error {
+		runs.Add(1)
+		return nil
+	})
+	s2.Start()
+	defer drainServer(t, s2)
+	j3, err := s2.Submit(spec)
+	if err != nil {
+		t.Fatalf("token resubmit after restart: %v", err)
+	}
+	if j3.ID != j1.ID {
+		t.Fatalf("post-restart token resubmit = %s, want %s", j3.ID, j1.ID)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("job ran %d times across the restart, want 1", got)
+	}
+
+	// A token is an opaque fence, not a payload: bound at 128 bytes.
+	long := quickSpec
+	long.SubmitToken = strings.Repeat("x", 129)
+	if _, err := s2.Submit(long); err == nil {
+		t.Fatal("oversized submit token accepted, want validation error")
+	}
+}

@@ -1,9 +1,22 @@
 #!/usr/bin/env sh
-# Smoke test for the superposed cluster: boot a coordinator and two
-# workers as real processes, submit a lot job, SIGKILL whichever worker
-# is running it, and require the coordinator to fail the job over to
-# the survivor — finishing with a report byte-identical to a standalone
+# Smoke test for the superposed cluster, two acts:
+#
+#   Act 1 — kill the busy WORKER: coordinator + two workers as real
+#   processes, one lot job, SIGKILL whichever worker is running it; the
+#   coordinator must fail the job over to the survivor.
+#
+#   Act 2 — kill the PRIMARY coordinator: an HA pair (primary + hot
+#   standby replicating the journals) + two workers, one lot job,
+#   SIGKILL the primary mid-lot; the standby must promote itself and
+#   finish serving the job.
+#
+# Both acts must end with a report byte-identical to a standalone
 # control run of the same spec.
+#
+# HA_SMOKE_FAILPOINTS, when set, is passed to the HA pair's -failpoints
+# flag — CI uses it to drop replication frames mid-stream
+# (cluster/ha/replicate/send|recv) and prove the stream reconnects and
+# catches up before the kill.
 #
 # Requires only the go toolchain and a POSIX shell (no curl/jq): the
 # HTTP client half lives in scripts/smokeclient, a tiny stdlib program.
@@ -16,11 +29,11 @@ cd "$(dirname "$0")/.."
 # which is what makes the byte-compare below meaningful.
 SPEC='{"kind":"lot","case":"s35932-T200","scale":0.12,"dies":8,"seeds":4,"tenant":"acme"}'
 
-clog=$(mktemp) w1log=$(mktemp) w2log=$(mktemp) slog=$(mktemp)
+clog=$(mktemp) w1log=$(mktemp) w2log=$(mktemp) slog=$(mktemp) blog=$(mktemp)
 control=$(mktemp) recovered=$(mktemp)
-cdir=$(mktemp -d) w1dir=$(mktemp -d) w2dir=$(mktemp -d) sdir=$(mktemp -d)
-cpid="" w1pid="" w2pid="" spid=""
-trap 'for p in "$cpid" "$w1pid" "$w2pid" "$spid"; do [ -n "$p" ] && kill -9 "$p" 2>/dev/null || true; done; rm -rf "$clog" "$w1log" "$w2log" "$slog" "$control" "$recovered" "$cdir" "$w1dir" "$w2dir" "$sdir"' EXIT INT TERM
+cdir=$(mktemp -d) w1dir=$(mktemp -d) w2dir=$(mktemp -d) sdir=$(mktemp -d) bdir=$(mktemp -d) hadir=$(mktemp -d)
+cpid="" w1pid="" w2pid="" spid="" bpid=""
+trap 'for p in "$cpid" "$w1pid" "$w2pid" "$spid" "$bpid"; do [ -n "$p" ] && kill -9 "$p" 2>/dev/null || true; done; rm -rf "$clog" "$w1log" "$w2log" "$slog" "$blog" "$control" "$recovered" "$cdir" "$w1dir" "$w2dir" "$sdir" "$bdir" "$hadir"' EXIT INT TERM
 
 go build -o /tmp/superposed-csmoke ./cmd/superposed
 go build -o /tmp/smokeclient-csmoke ./scripts/smokeclient
@@ -96,4 +109,68 @@ done
 [ -n "$w2pid" ] && { wait "$w2pid" || { echo "worker 2 exited non-zero:"; cat "$w2log"; exit 1; }; }
 grep -q "drained, bye" "$clog" || { echo "coordinator exited without draining:"; cat "$clog"; exit 1; }
 cpid="" w1pid="" w2pid=""
+echo "cluster-smoke: act 1 (kill busy worker) OK"
+
+# =========================================================================
+# Act 2 — HA pair: SIGKILL the PRIMARY coordinator mid-lot. The standby
+# tails the primary's journals over the replication stream, detects the
+# lease silence, promotes itself, re-attaches the in-flight work and
+# serves the byte-identical report. The client side never targets one
+# node: every smokeclient call below gets the full discovery list.
+# =========================================================================
+ha_fp="${HA_SMOKE_FAILPOINTS:-}"
+[ -n "$ha_fp" ] && echo "cluster-smoke: HA failpoints armed: $ha_fp"
+lease="$hadir/primary.lease"
+
+/tmp/superposed-csmoke -role coordinator -addr 127.0.0.1:0 -lease-ttl 2s -poll 25ms \
+    -ha-lease "$lease" -ha-lease-ttl 1s \
+    ${ha_fp:+-failpoints} ${ha_fp:+"$ha_fp"} \
+    -drain 60s -data-dir "$hadir/a" >"$clog" 2>&1 &
+cpid=$!
+pbase=$(wait_banner "$clog" "$cpid")
+/tmp/superposed-csmoke -role standby -addr 127.0.0.1:0 -lease-ttl 2s -poll 25ms \
+    -ha-lease "$lease" -ha-lease-ttl 1s -peer "$pbase" \
+    ${ha_fp:+-failpoints} ${ha_fp:+"$ha_fp"} \
+    -drain 60s -data-dir "$hadir/b" >"$blog" 2>&1 &
+bpid=$!
+bbase=$(wait_banner "$blog" "$bpid")
+discovery="$pbase,$bbase"
+/tmp/superposed-csmoke -role worker -addr 127.0.0.1:0 -coordinator-addr "$discovery" \
+    -drain 60s -data-dir "$hadir/w1" >"$w1log" 2>&1 &
+w1pid=$!
+/tmp/superposed-csmoke -role worker -addr 127.0.0.1:0 -coordinator-addr "$discovery" \
+    -drain 60s -data-dir "$hadir/w2" >"$w2log" 2>&1 &
+w2pid=$!
+/tmp/smokeclient-csmoke -base "$pbase" -mode fleet -n 2 -timeout 30s
+echo "cluster-smoke: HA pair primary=$pbase standby=$bbase, 2 workers"
+
+id=$(/tmp/smokeclient-csmoke -base "$discovery" -mode submit -spec "$SPEC")
+/tmp/smokeclient-csmoke -base "$pbase" -mode busyworker -timeout 30s >/dev/null
+# Only kill once the standby's journal copy has caught up: surviving the
+# crash must be replication, not luck. With HA_SMOKE_FAILPOINTS set this
+# also proves the stream reconnects through injected frame drops.
+/tmp/smokeclient-csmoke -base "$pbase" -mode halag -timeout 30s
+sleep 1
+echo "cluster-smoke: SIGKILL primary coordinator $pbase (pid $cpid)"
+kill -9 "$cpid"
+cpid=""
+
+/tmp/smokeclient-csmoke -base "$discovery" -mode wait -job "$id" -timeout 3m
+/tmp/smokeclient-csmoke -base "$discovery" -mode report -job "$id" >"$recovered"
+cmp "$control" "$recovered" || {
+    echo "cluster-smoke: failed-over report differs from the standalone control" >&2
+    exit 1
+}
+echo "cluster-smoke: post-failover report is byte-identical to the control ($(wc -c <"$recovered") bytes)"
+
+for p in "$bpid" "$w1pid" "$w2pid"; do
+    kill -TERM "$p"
+done
+wait "$bpid" || { echo "standby exited non-zero:"; cat "$blog"; exit 1; }
+wait "$w1pid" || { echo "worker 1 exited non-zero:"; cat "$w1log"; exit 1; }
+wait "$w2pid" || { echo "worker 2 exited non-zero:"; cat "$w2log"; exit 1; }
+grep -q "drained, bye" "$blog" || { echo "promoted standby exited without draining:"; cat "$blog"; exit 1; }
+grep -q "promoted to primary" "$blog" || { echo "standby never logged a promotion:"; cat "$blog"; exit 1; }
+bpid="" w1pid="" w2pid=""
+echo "cluster-smoke: act 2 (kill primary coordinator) OK"
 echo "cluster-smoke: OK"

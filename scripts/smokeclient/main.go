@@ -13,6 +13,12 @@
 //	report     write a done job's (-job) canonical LotReport bytes to stdout
 //	fleet      poll /cluster/v1/workers until -n workers hold live leases
 //	busyworker poll the fleet until a worker has a job in flight; print its addr
+//	halag      poll /v1/stats until ha_peer_lag_records is 0 (standby caught up)
+//
+// -base accepts a comma-separated list for an HA coordinator pair: the
+// client targets one member at a time and rotates on connection errors
+// and 503s (a standby, or a primary mid-promotion), so a failover is a
+// retried poll, not a failed smoke run.
 //
 // submit+wait split across a daemon SIGKILL is how the smoke scripts
 // prove journal recovery end to end; submit+busyworker+report is how
@@ -24,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strings"
@@ -34,8 +41,8 @@ import (
 )
 
 func main() {
-	base := flag.String("base", "http://127.0.0.1:8418", "daemon base URL")
-	mode := flag.String("mode", "full", "full | submit | wait | ready | report | fleet | busyworker")
+	base := flag.String("base", "http://127.0.0.1:8418", "daemon base URL(s), comma-separated for an HA pair")
+	mode := flag.String("mode", "full", "full | submit | wait | ready | report | fleet | busyworker | halag")
 	job := flag.String("job", "", "job ID to poll (-mode wait/report)")
 	spec := flag.String("spec", `{"kind":"detect","case":"s35932-T200","scale":0.02,"clean":true}`,
 		"job spec JSON for -mode submit/full")
@@ -43,36 +50,39 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "polling budget")
 	flag.Parse()
 
+	t := newTarget(*base)
 	var err error
 	switch *mode {
 	case "full":
-		err = runFull(*base, *spec, *timeout)
+		err = runFull(t, *spec, *timeout)
 	case "submit":
 		var id string
-		if id, err = submit(*base, *spec); err == nil {
+		if id, err = submit(t, *spec, *timeout); err == nil {
 			fmt.Println(id)
 		}
 	case "wait":
 		if *job == "" {
 			err = fmt.Errorf("-mode wait requires -job")
 		} else {
-			err = wait(*base, *job, *timeout)
+			err = wait(t, *job, *timeout)
 		}
 	case "ready":
-		err = waitReady(*base, *timeout)
+		err = waitReady(t, *timeout)
 	case "report":
 		if *job == "" {
 			err = fmt.Errorf("-mode report requires -job")
 		} else {
-			err = dumpReport(*base, *job)
+			err = dumpReport(t, *job, *timeout)
 		}
 	case "fleet":
-		err = waitFleet(*base, *n, *timeout)
+		err = waitFleet(t, *n, *timeout)
 	case "busyworker":
 		var addr string
-		if addr, err = busyWorker(*base, *timeout); err == nil {
+		if addr, err = busyWorker(t, *timeout); err == nil {
 			fmt.Println(addr)
 		}
+	case "halag":
+		err = waitHALag(t, *timeout)
 	default:
 		err = fmt.Errorf("unknown -mode %q", *mode)
 	}
@@ -82,55 +92,124 @@ func main() {
 	}
 }
 
-func runFull(base, spec string, timeout time.Duration) error {
-	resp, err := http.Get(base + "/healthz")
+// target is the coordinator discovery list: requests go to the current
+// member; connection errors and 503s rotate to the next so a failover
+// only costs a retry.
+type target struct {
+	bases []string
+	cur   int
+}
+
+func newTarget(base string) *target {
+	var bases []string
+	for _, b := range strings.Split(base, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			bases = append(bases, b)
+		}
+	}
+	if len(bases) == 0 {
+		bases = []string{"http://127.0.0.1:8418"}
+	}
+	return &target{bases: bases}
+}
+
+func (t *target) base() string { return t.bases[t.cur%len(t.bases)] }
+func (t *target) rotate()      { t.cur++ }
+
+// getJSON fetches one endpoint into out. A connection error or a 503
+// rotates the target and reports a retryable error; other non-2xx
+// statuses are returned as-is for the caller to judge.
+func (t *target) getJSON(path string, out any) (int, error) {
+	resp, err := http.Get(t.base() + path)
 	if err != nil {
-		return err
+		t.rotate()
+		return 0, err
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		t.rotate()
+		return resp.StatusCode, fmt.Errorf("%s: HTTP 503 (not primary)", path)
 	}
-	id, err := submit(base, spec)
+	if out != nil && resp.StatusCode/100 == 2 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func runFull(t *target, spec string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		code, err := t.getJSON("/healthz", nil)
+		if err == nil && code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("healthz never answered (last: HTTP %d, %v)", code, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	id, err := submit(t, spec, timeout)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "smoke: submitted %s\n", id)
-	return wait(base, id, timeout)
+	return wait(t, id, timeout)
 }
 
-func submit(base, body string) (string, error) {
-	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
-	if err != nil {
-		return "", err
+// submit posts the job spec, retrying across the discovery list until
+// a primary accepts. The spec carries no client-side submit token, so
+// the retry only resends after a definitive refusal (connection error
+// or 503) — never after a 202.
+func submit(t *target, body string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Post(t.base()+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err == nil {
+			var st service.Status
+			derr := json.NewDecoder(resp.Body).Decode(&st)
+			code := resp.StatusCode
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if code == http.StatusAccepted {
+				if derr != nil {
+					return "", derr
+				}
+				return st.ID, nil
+			}
+			if code != http.StatusServiceUnavailable {
+				return "", fmt.Errorf("submit: HTTP %d", code)
+			}
+			t.rotate()
+			err = fmt.Errorf("submit: HTTP 503 (not primary)")
+		} else {
+			t.rotate()
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("submit never accepted: %w", err)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
-	var st service.Status
-	err = json.NewDecoder(resp.Body).Decode(&st)
-	resp.Body.Close()
-	if err != nil {
-		return "", err
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		return "", fmt.Errorf("submit: HTTP %d", resp.StatusCode)
-	}
-	return st.ID, nil
 }
 
-func wait(base, id string, timeout time.Duration) error {
+func wait(t *target, id string, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("job %s still not terminal", id)
 		}
-		resp, err := http.Get(base + "/v1/jobs/" + id)
-		if err != nil {
-			return err
-		}
 		var cur service.Status
-		err = json.NewDecoder(resp.Body).Decode(&cur)
-		resp.Body.Close()
-		if err != nil {
-			return err
+		code, err := t.getJSON("/v1/jobs/"+id, &cur)
+		if err != nil || code != http.StatusOK {
+			// Transient: connection refused (daemon restarting), 503
+			// (failover in progress), 404 from a standby that has not
+			// finished replaying. Keep polling until the deadline.
+			time.Sleep(50 * time.Millisecond)
+			continue
 		}
 		if cur.State.Terminal() {
 			if cur.State != service.StateDone {
@@ -155,21 +234,22 @@ func wait(base, id string, timeout time.Duration) error {
 // dumpReport writes the canonical netio encoding of a done lot job's
 // report to stdout — what cluster_smoke.sh byte-compares (cmp) between
 // the failed-over cluster run and the standalone control run.
-func dumpReport(base, id string) error {
-	resp, err := http.Get(base + "/v1/jobs/" + id)
-	if err != nil {
-		return err
+func dumpReport(t *target, id string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		var st service.Status
+		code, err := t.getJSON("/v1/jobs/"+id, &st)
+		if err == nil && code == http.StatusOK {
+			if st.State != service.StateDone || st.LotReport == nil {
+				return fmt.Errorf("job %s is %s with no lot report", id, st.State)
+			}
+			return netio.EncodeLotReport(os.Stdout, st.LotReport)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s never readable (last: HTTP %d, %v)", id, code, err)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
-	var st service.Status
-	err = json.NewDecoder(resp.Body).Decode(&st)
-	resp.Body.Close()
-	if err != nil {
-		return err
-	}
-	if st.State != service.StateDone || st.LotReport == nil {
-		return fmt.Errorf("job %s is %s with no lot report", id, st.State)
-	}
-	return netio.EncodeLotReport(os.Stdout, st.LotReport)
 }
 
 // workerView mirrors cluster.WorkerView (decoded loosely so the smoke
@@ -179,28 +259,24 @@ type workerView struct {
 	InFlight int    `json:"in_flight"`
 }
 
-func liveWorkers(base string) ([]workerView, error) {
-	resp, err := http.Get(base + "/cluster/v1/workers")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("workers: HTTP %d", resp.StatusCode)
-	}
+func liveWorkers(t *target) ([]workerView, error) {
 	var body struct {
 		Workers []workerView `json:"workers"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+	code, err := t.getJSON("/cluster/v1/workers", &body)
+	if err != nil {
 		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("workers: HTTP %d", code)
 	}
 	return body.Workers, nil
 }
 
-func waitFleet(base string, n int, timeout time.Duration) error {
+func waitFleet(t *target, n int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		ws, err := liveWorkers(base)
+		ws, err := liveWorkers(t)
 		if err == nil && len(ws) >= n {
 			return nil
 		}
@@ -214,10 +290,10 @@ func waitFleet(base string, n int, timeout time.Duration) error {
 	}
 }
 
-func busyWorker(base string, timeout time.Duration) (string, error) {
+func busyWorker(t *target, timeout time.Duration) (string, error) {
 	deadline := time.Now().Add(timeout)
 	for {
-		ws, err := liveWorkers(base)
+		ws, err := liveWorkers(t)
 		if err == nil {
 			for _, w := range ws {
 				if w.InFlight > 0 {
@@ -232,21 +308,40 @@ func busyWorker(base string, timeout time.Duration) (string, error) {
 	}
 }
 
-func waitReady(base string, timeout time.Duration) error {
+// waitHALag blocks until the primary reports zero replication lag to
+// its standby — the point after which a primary SIGKILL is survivable
+// by journal replay rather than luck.
+func waitHALag(t *target, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		resp, err := http.Get(base + "/healthz/ready")
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
+		var stats struct {
+			HA map[string]any `json:"ha"`
+		}
+		code, err := t.getJSON("/v1/stats", &stats)
+		if err == nil && code == http.StatusOK && stats.HA != nil {
+			if lag, ok := stats.HA["ha_peer_lag_records"].(float64); ok && lag == 0 {
 				return nil
 			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("standby never caught up (last: HTTP %d, ha=%v, %v)", code, stats.HA, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func waitReady(t *target, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		code, err := t.getJSON("/healthz/ready", nil)
+		if err == nil && code == http.StatusOK {
+			return nil
 		}
 		if time.Now().After(deadline) {
 			if err != nil {
 				return fmt.Errorf("daemon never became ready: %w", err)
 			}
-			return fmt.Errorf("daemon never became ready (last HTTP %d)", resp.StatusCode)
+			return fmt.Errorf("daemon never became ready (last HTTP %d)", code)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
