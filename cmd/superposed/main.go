@@ -77,6 +77,7 @@ func run(args []string, out io.Writer) error {
 		workers   = fs.Int("workers", 1, "jobs run concurrently (coordinator: concurrent dispatches, default 8)")
 		drain     = fs.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 		dataDir   = fs.String("data-dir", "", "enable the crash-safe job journal under this directory (restart recovers jobs)")
+		retain    = fs.Duration("retain", 0, "evict terminal jobs (and their idempotency tokens) this long after they finish; 0 keeps them forever")
 		failpts   = fs.String("failpoints", os.Getenv("FAILPOINTS"), "fault-injection spec, e.g. 'core/acquire=1*error(chaos);journal/fsync=p(0.1,7)*error(disk)' (default $FAILPOINTS)")
 
 		role        = fs.String("role", "standalone", "standalone | coordinator | worker | standby")
@@ -111,7 +112,7 @@ func run(args []string, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	svcOpts := service.Options{QueueSize: *queueSize, Workers: *workers, DataDir: *dataDir}
+	svcOpts := service.Options{QueueSize: *queueSize, Workers: *workers, DataDir: *dataDir, Retain: *retain}
 
 	var svc drainable
 	switch *role {

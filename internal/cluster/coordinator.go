@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -382,27 +383,32 @@ func (c *Coordinator) extraReady() []string {
 	return nil
 }
 
-// journalRec appends one cluster-journal record; like the service
-// journal, failures are counted rather than escalated.
-func (c *Coordinator) journalRec(rec clusterRecord) {
+// journalRec appends one cluster-journal record. Failures are counted
+// and returned; most callers tolerate a lost record (availability over
+// durability), but the assign-intent path must abort dispatch when the
+// record that fences exactly-once cannot be made durable. A failed
+// append is never tapped, so the replication stream stays aligned with
+// what is actually on disk.
+func (c *Coordinator) journalRec(rec clusterRecord) error {
 	if c.jnl == nil {
-		return
+		return nil
 	}
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		c.counters.journalErrors.Add(1)
-		return
+		return err
 	}
 	c.jmu.Lock()
 	defer c.jmu.Unlock()
 	if err := c.jnl.Append(payload); err != nil {
 		c.counters.journalErrors.Add(1)
-		return
+		return err
 	}
 	if c.opts.ClusterJournalTap != nil {
 		// Under jmu: the tap observes records in durable append order.
 		c.opts.ClusterJournalTap(payload)
 	}
+	return nil
 }
 
 // journalComplete retires a job exactly once. The false return flags a
@@ -422,6 +428,52 @@ func (c *Coordinator) journalComplete(jobID, workerID string) bool {
 	return true
 }
 
+// SnapshotClusterUnderJournalLock rebuilds the cluster journal's
+// logical state — one assign record per reclaimable assignment, one
+// complete per retired job — and hands it to fn while holding the
+// journal append lock, so every record tapped after fn returns strictly
+// follows the snapshot. The HA hub rebases a fresh follower's stream
+// from it when the record history before the follower's offset has been
+// trimmed.
+func (c *Coordinator) SnapshotClusterUnderJournalLock(fn func(records [][]byte)) {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	fn(c.clusterSnapshot())
+}
+
+// clusterSnapshot marshals the materialized assignment view in a
+// deterministic (sorted) order. Replaying it yields the same
+// lastAssign/completed state as replaying the full record history.
+func (c *Coordinator) clusterSnapshot() [][]byte {
+	c.amu.Lock()
+	defer c.amu.Unlock()
+	var records [][]byte
+	appendRec := func(rec clusterRecord) {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			c.counters.journalErrors.Add(1)
+			return
+		}
+		records = append(records, payload)
+	}
+	for _, id := range sortedKeys(c.lastAssign) {
+		appendRec(c.lastAssign[id])
+	}
+	for _, id := range sortedKeys(c.completed) {
+		appendRec(clusterRecord{Type: "complete", Job: id})
+	}
+	return records
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // reclaimFor hands out (once) the job's pre-restart assignment.
 func (c *Coordinator) reclaimFor(jobID string) (clusterRecord, bool) {
 	c.amu.Lock()
@@ -437,14 +489,19 @@ func (c *Coordinator) reclaimFor(jobID string) (clusterRecord, bool) {
 // view. With workerJob == "" it is the durable intent written BEFORE
 // the dispatch RPC; the confirming record (same token, worker-side ID
 // filled in) follows once the worker accepts. journalRec fsyncs before
-// returning, so the intent is on disk before the RPC leaves.
-func (c *Coordinator) recordAssign(jobID string, w *workerNode, workerJob, token string, try int) {
+// returning, so the intent is on disk before the RPC leaves — and the
+// journal append comes first, so a failed append leaves no in-memory
+// assignment that disk does not back.
+func (c *Coordinator) recordAssign(jobID string, w *workerNode, workerJob, token string, try int) error {
 	rec := clusterRecord{Type: "assign", Job: jobID, Worker: w.id, Addr: w.addr,
 		WorkerJob: workerJob, Token: token, Try: try}
+	if err := c.journalRec(rec); err != nil {
+		return err
+	}
 	c.amu.Lock()
 	c.lastAssign[jobID] = rec
 	c.amu.Unlock()
-	c.journalRec(rec)
+	return nil
 }
 
 // ---------------------------------------------------------------------
@@ -575,10 +632,15 @@ func (c *Coordinator) dispatch(ctx context.Context, j *service.Job) error {
 		// dispatch RPC carries the token, (3) the confirming record adds
 		// the worker-side job ID. A crash after (2) leaves the intent on
 		// disk, and recovery re-sends the same token — the worker dedupes
-		// instead of double-running.
+		// instead of double-running. When the intent itself cannot be made
+		// durable, the RPC must not leave: a crash inside that window
+		// would orphan a worker-side run with no record to reclaim it by.
 		try++
 		token := fmt.Sprintf("%s#%d", j.ID, try)
-		c.recordAssign(j.ID, node, "", token, try)
+		if err := c.recordAssign(j.ID, node, "", token, try); err != nil {
+			c.leases.release(node)
+			return fmt.Errorf("cluster: assign intent not durable, refusing to dispatch: %w", err)
+		}
 		spec := j.Spec
 		spec.SubmitToken = token
 		workerJob, err := c.submitTo(ctx, node, spec)
@@ -598,9 +660,12 @@ func (c *Coordinator) dispatch(ctx context.Context, j *service.Job) error {
 		// Chaos window: an armed sleep here stretches the gap between the
 		// accepted dispatch and its confirming record — the kill-primary
 		// regression SIGKILLs inside it. An error spec only widens the
-		// window too (the confirm below still runs).
+		// window too (the confirm below still runs). A failed confirm
+		// append is tolerable — the durable intent already fences the
+		// token, so recovery re-resolves the assignment — and the job is
+		// live on the worker, so aborting here would only orphan it.
 		_ = failpoint.Inject("cluster/assign/confirm")
-		c.recordAssign(j.ID, node, workerJob, token, try)
+		_ = c.recordAssign(j.ID, node, workerJob, token, try)
 
 		err = c.await(ctx, j, node, workerJob)
 		c.leases.release(node)
@@ -829,7 +894,9 @@ func (c *Coordinator) tryReclaim(ctx context.Context, j *service.Job, rec cluste
 			c.leases.release(node)
 			return false, nil
 		}
-		c.recordAssign(j.ID, node, workerJob, rec.Token, rec.Try)
+		// Confirm failure tolerated: the original intent is already
+		// durable under the same token.
+		_ = c.recordAssign(j.ID, node, workerJob, rec.Token, rec.Try)
 		err = c.await(ctx, j, node, workerJob)
 		c.leases.release(node)
 		if errors.Is(err, errWorkerLost) {
@@ -861,7 +928,7 @@ func (c *Coordinator) tryReclaim(ctx context.Context, j *service.Job, rec cluste
 	// for them rather than killing live work), re-attach and await its
 	// result; otherwise cancel the zombie and start fresh.
 	if node := c.waitAddr(ctx, rec.Addr); node != nil {
-		c.recordAssign(j.ID, node, rec.WorkerJob, rec.Token, rec.Try)
+		_ = c.recordAssign(j.ID, node, rec.WorkerJob, rec.Token, rec.Try)
 		err = c.await(ctx, j, node, rec.WorkerJob)
 		c.leases.release(node)
 		if errors.Is(err, errWorkerLost) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"os"
 	"strconv"
@@ -132,11 +133,25 @@ func NewHANode(opts HAOptions) (*HANode, error) {
 		h.role = HAStandby
 		return h, nil
 	}
+	// Boot-time deference: a designated primary that crashed and was
+	// auto-restarted must NOT steal the lease back from a peer that
+	// promoted during the outage — the epoch bump would fence the new
+	// primary, which demotes and wipes the only complete history of the
+	// work it acknowledged. If the peer is actively primary (or taking
+	// over), or the lease is held by someone else, join as standby; this
+	// node's pre-crash journals are a stale timeline either way.
+	if h.peerIsActive() || h.leaseHeldElsewhere() {
+		h.logf("ha: peer is the active primary; deferring and joining as standby")
+		h.wipeLocalJournals()
+		h.role = HAStandby
+		return h, nil
+	}
 	epoch, err := h.lease.Acquire()
 	if err != nil {
 		return nil, err
 	}
 	h.epoch = epoch
+	h.hub.setBase(epoch)
 	coord, err := h.buildCoordinator()
 	if err != nil {
 		return nil, err
@@ -144,6 +159,58 @@ func NewHANode(opts HAOptions) (*HANode, error) {
 	h.coord = coord
 	h.role = HAPrimary
 	return h, nil
+}
+
+// peerIsActive probes the peer's /ha/v1/role: true when the peer is
+// serving (or in the middle of taking over) as primary. Probe failures
+// read as inactive — a dead peer must not block the boot.
+func (h *HANode) peerIsActive() bool {
+	if h.opts.Peer == "" {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.opts.Peer+"/ha/v1/role", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := h.opts.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	var body struct {
+		Role string `json:"role"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body); err != nil {
+		return false
+	}
+	switch HARole(body.Role) {
+	case HAPrimary, HAPromoting, HAReplaying:
+		return true
+	}
+	return false
+}
+
+// leaseHeldElsewhere reports whether the lease file names a different
+// owner — a second line of defence for when the promoted peer is
+// momentarily unreachable at probe time.
+func (h *HANode) leaseHeldElsewhere() bool {
+	st, err := h.lease.Observe()
+	if err != nil {
+		return false
+	}
+	return st.Owner != "" && st.Owner != h.ownerName()
+}
+
+// wipeLocalJournals discards the node's journal copies — used when the
+// local history is a dead timeline (demotion, boot-time deference).
+func (h *HANode) wipeLocalJournals() {
+	os.RemoveAll(h.opts.Coordinator.Service.DataDir + "/journal")
+	os.RemoveAll(h.opts.Coordinator.Service.DataDir + "/cluster")
 }
 
 // ownerName derives the lease owner identity from the role the node
@@ -309,7 +376,33 @@ func (h *HANode) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, errNotPrimary.Error())
 		return
 	}
-	h.hub.serveStream(w, r, h.opts.LeaseTTL/3, h.stop)
+	h.hub.serveStream(w, r, h.opts.LeaseTTL/3, h.stop, h.rebaseStream)
+}
+
+// rebaseStream re-seeds a stream from the coordinator's materialized
+// state — compaction has trimmed history a fresh follower needs. The
+// snapshot is taken under the journal append lock, so every tap
+// published after the rebase strictly follows the snapshot records.
+func (h *HANode) rebaseStream(name string) bool {
+	h.mu.Lock()
+	coord := h.coord
+	h.mu.Unlock()
+	if coord == nil {
+		return false
+	}
+	switch name {
+	case "service":
+		coord.Service().SnapshotUnderJournalLock(func(records [][]byte) {
+			h.hub.rebase(name, records)
+		})
+	case "cluster":
+		coord.SnapshotClusterUnderJournalLock(func(records [][]byte) {
+			h.hub.rebase(name, records)
+		})
+	default:
+		return false
+	}
+	return true
 }
 
 // handleAck records the peer's durable replication progress.
@@ -438,6 +531,7 @@ func (h *HANode) promote() bool {
 
 	h.setRole(HAReplaying)
 	h.hub.reset()
+	h.hub.setBase(epoch)
 	coord, err := h.buildCoordinator()
 	if err != nil {
 		// Replay failed (corrupt copy?): release and fall back — the
@@ -524,8 +618,7 @@ func (h *HANode) demote() {
 	// saw; a follower resumes by record COUNT, so the local copy must
 	// be a strict prefix of the peer's history — wipe and re-tail from
 	// zero.
-	os.RemoveAll(h.opts.Coordinator.Service.DataDir + "/journal")
-	os.RemoveAll(h.opts.Coordinator.Service.DataDir + "/cluster")
+	h.wipeLocalJournals()
 	h.hub.reset()
 
 	select {

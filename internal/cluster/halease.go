@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"syscall"
 	"time"
 
 	"superpose/internal/failpoint"
@@ -56,32 +57,36 @@ func openHALease(path, owner string, ttl time.Duration, now func() time.Time) *h
 	return &haLease{path: path, owner: owner, ttl: ttl, now: now}
 }
 
-// withLock serializes read-modify-write cycles on the lease file via an
-// O_EXCL lock file. A lock older than one TTL is broken as stale (its
-// holder died mid-cycle); staleness here is judged by file mtime against
-// the real clock — the lock is held for microseconds, so injectable
-// skewed clocks never see it.
+// withLock serializes read-modify-write cycles on the lease file via a
+// kernel flock on a sibling .lock file. flock is atomic (no
+// check-then-act window two nodes could race through) and is released
+// by the kernel when the holder's process dies, so a crashed holder
+// never wedges the pair and no stale-lock breaking — with its inherent
+// remove/recreate races — is needed at all. The lock file itself is
+// never removed; it is an empty rendezvous point.
 func (l *haLease) withLock(fn func() error) error {
-	lock := l.path + ".lock"
+	f, err := os.OpenFile(l.path+".lock", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	// Non-blocking acquire with bounded retries: the critical section is
+	// microseconds, so contention clears almost immediately, and a bound
+	// keeps a pathological holder from wedging the caller forever.
 	for tries := 0; ; tries++ {
-		f, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
 		if err == nil {
-			f.Close()
 			break
 		}
-		if !os.IsExist(err) {
-			return err
-		}
-		if st, serr := os.Stat(lock); serr == nil && time.Since(st.ModTime()) > l.ttl {
-			os.Remove(lock)
-			continue
+		if err != syscall.EWOULDBLOCK && err != syscall.EAGAIN {
+			return fmt.Errorf("cluster: ha lease lock %s: %w", l.path+".lock", err)
 		}
 		if tries > 2000 {
-			return fmt.Errorf("cluster: ha lease lock %s wedged", lock)
+			return fmt.Errorf("cluster: ha lease lock %s wedged", l.path+".lock")
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	defer os.Remove(lock)
+	defer syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
 	return fn()
 }
 

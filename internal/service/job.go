@@ -390,6 +390,17 @@ func (j *Job) lastSeq() uint64 {
 	return j.seq
 }
 
+// finishedAt returns when the job reached a terminal state; ok is
+// false while it has not.
+func (j *Job) finishedAt() (at time.Time, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		return time.Time{}, false
+	}
+	return j.finished, true
+}
+
 // Attempts returns how many execution attempts the job has consumed.
 func (j *Job) Attempts() int {
 	j.mu.Lock()

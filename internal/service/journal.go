@@ -248,7 +248,26 @@ func (s *Server) compactJournal() {
 	}
 	s.jmu.Lock()
 	defer s.jmu.Unlock()
+	if err := s.journal.Reset(s.compactRecords()); err != nil {
+		s.counters.journalErrors.Add(1)
+	}
+}
 
+// SnapshotUnderJournalLock builds the compacted logical record set and
+// hands it to fn while holding the journal append lock, so every record
+// the JournalTap observes after fn returns strictly follows the
+// snapshot. The HA replication hub rebases a fresh follower's stream
+// from it when the history before the follower's offset has been
+// trimmed.
+func (s *Server) SnapshotUnderJournalLock(fn func(records [][]byte)) {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	fn(s.compactRecords())
+}
+
+// compactRecords marshals the registry's compact representation (the
+// records compaction writes). The caller holds jmu.
+func (s *Server) compactRecords() [][]byte {
 	s.mu.Lock()
 	jobs := make([]*Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
@@ -290,9 +309,7 @@ func (s *Server) compactJournal() {
 			appendRec(rec)
 		}
 	}
-	if err := s.journal.Reset(records); err != nil {
-		s.counters.journalErrors.Add(1)
-	}
+	return records
 }
 
 func sortJobsByNumber(jobs []*Job) {

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRetentionEvictsTerminalJobsAndTokens: with Retain set, a job that
+// has been terminal for longer than the horizon disappears from the
+// registry together with its submit-token fence, and the eviction is
+// counted. Without eviction both maps grow with lifetime throughput
+// (the leak the Retain knob exists to bound).
+func TestRetentionEvictsTerminalJobsAndTokens(t *testing.T) {
+	s, _ := newTestServer(t, Options{QueueSize: 4, Workers: 1, Retain: 30 * time.Millisecond},
+		func(ctx context.Context, j *Job) error { return nil })
+
+	spec := quickSpec
+	spec.SubmitToken = "retire-tok-1"
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never finished")
+	}
+
+	gone := func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		_, jobThere := s.jobs[j.ID]
+		_, tokThere := s.tokens["retire-tok-1"]
+		return !jobThere && !tokThere
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !gone() {
+		if time.Now().After(deadline) {
+			s.mu.Lock()
+			jobs, toks := len(s.jobs), len(s.tokens)
+			s.mu.Unlock()
+			t.Fatalf("terminal job not evicted after retention horizon (jobs=%d tokens=%d)", jobs, toks)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.counters.jobsEvicted.Load(); got < 1 {
+		t.Fatalf("jobs_evicted = %d, want >= 1", got)
+	}
+}
+
+// TestRetentionZeroKeepsJobs: the default (Retain 0) never evicts — a
+// terminal job stays queryable indefinitely.
+func TestRetentionZeroKeepsJobs(t *testing.T) {
+	s, _ := newTestServer(t, Options{QueueSize: 4, Workers: 1},
+		func(ctx context.Context, j *Job) error { return nil })
+	j, err := s.Submit(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	time.Sleep(50 * time.Millisecond)
+	if _, ok := s.Job(j.ID); !ok {
+		t.Fatal("job evicted with Retain unset")
+	}
+}

@@ -62,6 +62,15 @@ type Options struct {
 	// Heartbeat is the SSE keep-alive comment interval (default 15s).
 	Heartbeat time.Duration
 
+	// Retain, when positive, bounds how long terminal jobs stay in the
+	// registry: a sweeper evicts jobs (and their submit-token fences)
+	// that finished longer than Retain ago, so a long-running server's
+	// memory does not grow with lifetime job throughput. Zero keeps
+	// everything forever (the default — correct for short-lived and
+	// test servers). Because eviction drops the token fence, Retain
+	// must sit far above any coordinator's redispatch/reclaim horizon.
+	Retain time.Duration
+
 	// Runner, when non-nil, replaces the built-in executor for every
 	// job — the cluster coordinator injects its dispatch-to-worker path
 	// here. The per-job retry/backoff/classification loop, journaling
@@ -139,6 +148,7 @@ type counters struct {
 	jobsShed          atomic.Uint64
 	jobsThrottled     atomic.Uint64
 	jobsRetried       atomic.Uint64
+	jobsEvicted       atomic.Uint64
 	journalErrors     atomic.Uint64
 	recoveredQueued   atomic.Uint64
 	recoveredRunning  atomic.Uint64
@@ -165,6 +175,7 @@ type Stats struct {
 	JobsShed          uint64                   `json:"jobs_shed"`
 	JobsThrottled     uint64                   `json:"jobs_throttled"`
 	JobsRetried       uint64                   `json:"jobs_retried"`
+	JobsEvicted       uint64                   `json:"jobs_evicted"`
 	JournalErrors     uint64                   `json:"journal_errors"`
 	RecoveredQueued   uint64                   `json:"recovered_queued"`
 	RecoveredRunning  uint64                   `json:"recovered_running"`
@@ -198,6 +209,10 @@ type Server struct {
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
 	wg         sync.WaitGroup
+
+	// Retention sweeper shutdown (only armed when opts.Retain > 0).
+	evictStop chan struct{}
+	evictOnce sync.Once
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -245,6 +260,7 @@ func New(opts Options) (*Server, error) {
 		cache:       NewCache(),
 		baseCtx:     ctx,
 		cancelBase:  cancel,
+		evictStop:   make(chan struct{}),
 		jobs:        make(map[string]*Job),
 		tokens:      make(map[string]string),
 		tenantDepth: make(map[string]int),
@@ -279,6 +295,52 @@ func (s *Server) Start() {
 	if s.journal != nil {
 		s.wg.Add(1)
 		go s.finishRecovery()
+	}
+	if s.opts.Retain > 0 {
+		s.wg.Add(1)
+		go s.evictLoop()
+	}
+}
+
+// evictLoop sweeps expired terminal jobs out of the registry (see
+// Options.Retain).
+func (s *Server) evictLoop() {
+	defer s.wg.Done()
+	interval := s.opts.Retain / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.evictStop:
+			return
+		case <-tick.C:
+			s.evictExpired()
+		}
+	}
+}
+
+// evictExpired deletes jobs terminal for longer than Retain, together
+// with their submit-token fence (the fence must not outlive the job:
+// a token pointing at a deleted ID would make a re-sent dispatch 500
+// instead of deduping — and once the retention horizon has passed, no
+// legitimate re-send is coming).
+func (s *Server) evictExpired() {
+	cutoff := time.Now().Add(-s.opts.Retain)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, j := range s.jobs {
+		at, done := j.finishedAt()
+		if !done || at.After(cutoff) {
+			continue
+		}
+		delete(s.jobs, id)
+		if tok := j.Spec.SubmitToken; tok != "" && s.tokens[tok] == id {
+			delete(s.tokens, tok)
+		}
+		s.counters.jobsEvicted.Add(1)
 	}
 }
 
@@ -315,6 +377,7 @@ func (s *Server) breakerSnapshot() map[string]*retry.Breaker {
 // waits for the workers to unwind. The returned error is ctx's when the
 // deadline forced cancellation, nil on a clean drain.
 func (s *Server) Drain(ctx context.Context) error {
+	s.evictOnce.Do(func() { close(s.evictStop) })
 	s.queue.Close()
 	done := make(chan struct{})
 	go func() {
@@ -664,6 +727,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		JobsShed:          s.counters.jobsShed.Load(),
 		JobsThrottled:     s.counters.jobsThrottled.Load(),
 		JobsRetried:       s.counters.jobsRetried.Load(),
+		JobsEvicted:       s.counters.jobsEvicted.Load(),
 		JournalErrors:     s.counters.journalErrors.Load(),
 		RecoveredQueued:   s.counters.recoveredQueued.Load(),
 		RecoveredRunning:  s.counters.recoveredRunning.Load(),
